@@ -1,0 +1,25 @@
+"""Shared helpers for the figure/table benchmarks.
+
+Every benchmark regenerates one artefact of the paper at its published
+scale, asserts the paper's qualitative claims about it, and prints the
+reproduced series/panels (captured by ``pytest -s`` or the benchmark
+report).  Absolute times are simulated; the *shape* assertions are the
+reproduction criteria (see EXPERIMENTS.md).
+"""
+
+import pytest
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run a whole experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)
+
+
+@pytest.fixture
+def report():
+    """Print a reproduced artefact under the benchmark output."""
+    def _print(text: str) -> None:
+        print()
+        print(text)
+    return _print

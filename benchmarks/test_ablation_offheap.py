@@ -1,0 +1,36 @@
+"""Ablation: Flink hybrid (off-heap) memory vs pure on-heap (§IV-C).
+
+"When the flink.off-heap parameter is set to true, this hybrid memory
+management is enabled" — fewer objects on the JVM heap means less GC
+pressure.
+"""
+
+from conftest import once
+
+from repro.config.presets import wordcount_grep_preset
+from repro.harness.runner import run_once
+from repro.workloads import WordCount
+
+GiB = 2**30
+
+
+def run_both():
+    out = {}
+    for off_heap in (True, False):
+        cfg = wordcount_grep_preset(16)
+        cfg = type(cfg)(spark=cfg.spark,
+                        flink=cfg.flink.with_(off_heap=off_heap),
+                        hdfs_block_size=cfg.hdfs_block_size,
+                        nodes=cfg.nodes)
+        out[off_heap] = run_once("flink", WordCount(16 * 24 * GiB), cfg,
+                                 seed=1)
+    return out
+
+
+def test_ablation_offheap(benchmark, report):
+    results = once(benchmark, run_both)
+    hybrid, on_heap = results[True], results[False]
+    report(f"Flink Word Count, 16 nodes, 384 GB:\n"
+           f"  hybrid (off-heap): {hybrid.duration:7.1f}s\n"
+           f"  on-heap only:      {on_heap.duration:7.1f}s")
+    assert hybrid.duration <= on_heap.duration

@@ -1,0 +1,39 @@
+"""Ablation: Spark's Java serializer vs Kryo (paper §IV-D).
+
+"the serialization is done by default using the Java approach but this
+can be changed to the Kryo serialization library, which can be more
+efficient".
+"""
+
+from conftest import once
+
+from repro.config.presets import wordcount_grep_preset
+from repro.engines.common.serialization import Serializer
+from repro.harness.runner import run_once
+from repro.workloads import WordCount
+
+GiB = 2**30
+
+
+def run_both():
+    out = {}
+    for ser in (Serializer.JAVA, Serializer.KRYO):
+        cfg = wordcount_grep_preset(16)
+        cfg = type(cfg)(spark=cfg.spark.with_(serializer=ser),
+                        flink=cfg.flink, hdfs_block_size=cfg.hdfs_block_size,
+                        nodes=cfg.nodes)
+        out[ser] = run_once("spark", WordCount(16 * 24 * GiB), cfg, seed=1)
+    return out
+
+
+def test_ablation_java_vs_kryo(benchmark, report):
+    results = once(benchmark, run_both)
+    java = results[Serializer.JAVA]
+    kryo = results[Serializer.KRYO]
+    report(f"Spark Word Count, 16 nodes, 384 GB:\n"
+           f"  java serializer: {java.duration:7.1f}s\n"
+           f"  kryo serializer: {kryo.duration:7.1f}s")
+    assert kryo.duration < java.duration
+    # Kryo also moves fewer bytes through the shuffle.
+    assert kryo.metrics["shuffle_wire_bytes"] < \
+        java.metrics["shuffle_wire_bytes"]

@@ -1,0 +1,30 @@
+"""Figure 1: Word Count, fixed 24 GB per node, 2-32 nodes.
+
+Paper claims: both frameworks scale well when adding nodes, similar
+performance at 2-8 nodes, Flink slightly better at 16 and 32 nodes.
+"""
+
+from conftest import once
+
+from repro.core import compare_engines, render_bar_table, weak_scaling_efficiency
+from repro.harness import figures
+
+
+def test_fig01_wordcount_weak(benchmark, report):
+    fig = once(benchmark, figures.fig01_wordcount_weak, trials=3)
+    report(render_bar_table(fig.series.values(), title=fig.title))
+
+    flink, spark = fig.flink(), fig.spark()
+    # Both scale well: weak-scaling efficiency stays above 70%.
+    for series in (flink, spark):
+        assert min(weak_scaling_efficiency(series)) > 0.70
+
+    points = compare_engines(flink, spark)
+    by_nodes = {p.nodes: p for p in points}
+    # Similar performance for a small number of nodes (2-8): within 15%.
+    for n in (2, 4, 8):
+        assert by_nodes[n].advantage < 1.15
+    # For 16 and 32 nodes, Flink performs slightly better.
+    for n in (16, 32):
+        assert by_nodes[n].winner == "flink"
+        assert 1.0 < by_nodes[n].advantage < 1.25

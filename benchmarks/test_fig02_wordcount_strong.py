@@ -1,0 +1,24 @@
+"""Figure 2: Word Count, 16 nodes, 24-33 GB per node.
+
+Paper claims: "Flink constantly outperforming Spark by 10%" as the
+dataset grows on a fixed cluster.
+"""
+
+from conftest import once
+
+from repro.core import compare_engines, render_bar_table
+from repro.harness import figures
+
+
+def test_fig02_wordcount_strong(benchmark, report):
+    fig = once(benchmark, figures.fig02_wordcount_strong, trials=3)
+    report(render_bar_table(fig.series.values(), title=fig.title))
+
+    for p in compare_engines(fig.flink(), fig.spark()):
+        assert p.winner == "flink"
+        assert 1.0 < p.advantage < 1.3, \
+            "Flink's advantage should be ~10%, not a blowout"
+
+    # Time grows with the dataset on a fixed cluster.
+    for series in fig.series.values():
+        assert series.means == sorted(series.means)

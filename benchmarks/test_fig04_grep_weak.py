@@ -1,0 +1,22 @@
+"""Figure 4: Grep, fixed 24 GB per node, 2-32 nodes.
+
+Paper claims: "an improved execution for Spark, with up to 20% smaller
+times for large datasets (16 and 32 nodes)".
+"""
+
+from conftest import once
+
+from repro.core import compare_engines, render_bar_table
+from repro.harness import figures
+
+
+def test_fig04_grep_weak(benchmark, report):
+    fig = once(benchmark, figures.fig04_grep_weak, trials=3)
+    report(render_bar_table(fig.series.values(), title=fig.title))
+
+    points = {p.nodes: p for p in compare_engines(fig.flink(),
+                                                  fig.spark())}
+    for n in (16, 32):
+        assert points[n].winner == "spark"
+        assert 1.0 < points[n].advantage < 1.45, \
+            "Spark's Grep advantage should be up to ~20%"

@@ -1,0 +1,21 @@
+"""Figure 5: Grep, 16 nodes, 24-33 GB per node.
+
+Paper claims: "Spark's advantage is preserved over larger datasets".
+"""
+
+from conftest import once
+
+from repro.core import compare_engines, render_bar_table
+from repro.harness import figures
+
+
+def test_fig05_grep_strong(benchmark, report):
+    fig = once(benchmark, figures.fig05_grep_strong, trials=3)
+    report(render_bar_table(fig.series.values(), title=fig.title))
+
+    for p in compare_engines(fig.flink(), fig.spark()):
+        assert p.winner == "spark"
+
+    # Monotone growth with dataset size on both engines.
+    for series in fig.series.values():
+        assert series.means == sorted(series.means)

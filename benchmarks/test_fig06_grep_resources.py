@@ -1,0 +1,32 @@
+"""Figure 6: Grep resource usage, 32 nodes, 768 GB.
+
+Paper claims: Flink's filter->count implementation leads to
+"inefficient use of the resources in the latter phase" — a long,
+poorly-parallelised DataSink tail — while Spark's single Filter->Count
+span finishes sooner.
+"""
+
+from conftest import once
+
+from repro.core import render_run
+from repro.harness import figures
+
+
+def test_fig06_grep_resources(benchmark, report):
+    fig = once(benchmark, figures.fig06_grep_resources)
+    flink, spark = fig.flink(), fig.spark()
+    report(render_run(flink))
+    report(render_run(spark))
+
+    # Spark wins end-to-end.
+    assert spark.result.duration < flink.result.duration
+
+    # Spark's plan is a single fused Filter->Count span.
+    assert spark.result.span("FC").name == "Filter->Count"
+
+    # Flink's inefficient latter phase: the sink tail does real work
+    # at low parallelism and stretches past most of the filter phase.
+    sink = flink.result.span("DS")
+    assert sink.busy > 20.0, "the count funnel must be a visible tail"
+    main = flink.result.span("DFF")
+    assert sink.end >= main.end - 1.0

@@ -1,0 +1,23 @@
+"""Figure 7: Tera Sort, fixed 32 GB per node, 17-63 nodes.
+
+Paper claims: "although Flink is performing on average better than
+Spark, it also shows a high variance between each of the experiments'
+results" (I/O interference from the pipelined execution).
+"""
+
+from conftest import once
+
+from repro.core import compare_engines, render_bar_table
+from repro.harness import figures
+
+
+def test_fig07_terasort_weak(benchmark, report):
+    fig = once(benchmark, figures.fig07_terasort_weak, trials=4)
+    report(render_bar_table(fig.series.values(), title=fig.title))
+
+    # Flink on average better at every scale.
+    for p in compare_engines(fig.flink(), fig.spark()):
+        assert p.winner == "flink"
+
+    # ... but with higher run-to-run variance than Spark.
+    assert fig.flink().variability() > fig.spark().variability()

@@ -1,0 +1,26 @@
+"""Figure 8: Tera Sort, fixed 3.5 TB dataset, 55-97 nodes.
+
+Paper claims: "Flink's advantage is increasing with larger clusters",
+explained by less I/O interference as each node sorts less data.
+"""
+
+from conftest import once
+
+from repro.core import compare_engines, render_bar_table
+from repro.harness import figures
+
+
+def test_fig08_terasort_strong(benchmark, report):
+    fig = once(benchmark, figures.fig08_terasort_strong, trials=3)
+    report(render_bar_table(fig.series.values(), title=fig.title))
+
+    points = compare_engines(fig.flink(), fig.spark())
+    for p in points:
+        assert p.winner == "flink"
+    # Advantage grows with the cluster.
+    advantages = [p.advantage for p in points]
+    assert advantages[-1] > advantages[0]
+
+    # Strong scaling: both get faster with more nodes.
+    for series in fig.series.values():
+        assert series.means == sorted(series.means, reverse=True)

@@ -1,0 +1,17 @@
+"""Figure 13: Page Rank on the Medium graph, 24-55 nodes (Table VI).
+
+Paper claims: Flink better on the Medium graph.
+"""
+
+from conftest import once
+
+from repro.core import compare_engines, render_bar_table
+from repro.harness import figures
+
+
+def test_fig13_pagerank_medium(benchmark, report):
+    fig = once(benchmark, figures.fig13_pagerank_medium, trials=3)
+    report(render_bar_table(fig.series.values(), title=fig.title))
+
+    for p in compare_engines(fig.flink(), fig.spark()):
+        assert p.winner == "flink"

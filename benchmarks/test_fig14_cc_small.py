@@ -1,0 +1,17 @@
+"""Figure 14: Connected Components on the Small graph, 8-27 nodes.
+
+Paper claims: slightly better Flink performance (delta iterations).
+"""
+
+from conftest import once
+
+from repro.core import compare_engines, render_bar_table
+from repro.harness import figures
+
+
+def test_fig14_cc_small(benchmark, report):
+    fig = once(benchmark, figures.fig14_cc_small, trials=3)
+    report(render_bar_table(fig.series.values(), title=fig.title))
+
+    for p in compare_engines(fig.flink(), fig.spark()):
+        assert p.winner == "flink"

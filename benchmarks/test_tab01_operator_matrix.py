@@ -1,0 +1,47 @@
+"""Table I: the operator inventory per workload.
+
+Regenerates the operator matrix and checks the framework-specific rows
+the paper prints (F = Flink-only, S = Spark-only operators).
+"""
+
+from conftest import once
+
+from repro.workloads import (ALL_WORKLOADS, ConnectedComponents, Grep,
+                             KMeans, PageRank, TeraSort, WordCount)
+from repro.workloads.datagen.graphs import SMALL_GRAPH
+
+GiB = 2**30
+
+
+def build_matrix():
+    instances = [WordCount(GiB), Grep(GiB), TeraSort(GiB), KMeans(GiB),
+                 PageRank(SMALL_GRAPH), ConnectedComponents(SMALL_GRAPH)]
+    return {wl.table1_column: wl.operators for wl in instances}
+
+
+def test_tab01_operator_matrix(benchmark, report):
+    matrix = once(benchmark, build_matrix)
+
+    lines = ["Table I - operators used in each workload"]
+    for col, ops in matrix.items():
+        lines.append(f"{col:3s} common: {', '.join(ops['common'])}")
+        if ops["spark"]:
+            lines.append(f"    (S): {', '.join(ops['spark'])}")
+        if ops["flink"]:
+            lines.append(f"    (F): {', '.join(ops['flink'])}")
+    report("\n".join(lines))
+
+    # Spot checks against the published table.
+    assert "mapToPair" in matrix["WC"]["spark"]
+    assert "groupBy->sum" in matrix["WC"]["flink"]
+    assert matrix["G"]["spark"] == [] and matrix["G"]["flink"] == []
+    assert "repartitionAndSortWithinPartitions" in matrix["TS"]["spark"]
+    assert "partitionCustom->sortPartition" in matrix["TS"]["flink"]
+    assert "BulkIteration" in matrix["KM"]["flink"]
+    assert "collectAsMap" in matrix["KM"]["spark"]
+    assert "foreachPartition" in matrix["PR"]["spark"]
+    assert "DeltaIteration" in matrix["CC"]["flink"]
+    assert "mapReduceTriplets" in matrix["CC"]["spark"]
+    # Every workload saves its output.
+    for col, ops in matrix.items():
+        assert any("save" in c for c in ops["common"])

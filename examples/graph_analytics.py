@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Graph analytics study: Page Rank and Connected Components at scale.
+
+Reproduces §VI-E: the small/medium graph scaling figures, the delta-
+vs-bulk iteration ablation, and the Large-graph Table VII including
+both engines' failure modes (Flink's in-memory CoGroup solution set;
+Spark's heap-death during load and Page Rank message aggregation).
+
+Run:  python examples/graph_analytics.py
+"""
+
+from repro import ConnectedComponents, render_bar_table, run_once
+from repro.config.presets import medium_graph_preset
+from repro.core import compare_engines
+from repro.harness import figures
+from repro.workloads.datagen.graphs import MEDIUM_GRAPH
+
+
+def main() -> None:
+    print("=" * 72)
+    print("Page Rank — Small graph (Fig. 12)")
+    fig = figures.fig12_pagerank_small(trials=2, nodes=(8, 20, 27))
+    print(render_bar_table(fig.series.values(), title=fig.title))
+    for p in compare_engines(fig.flink(), fig.spark()):
+        print(f"  {p.nodes:3d} nodes: {p.winner} wins by {p.advantage:.2f}x")
+
+    print()
+    print("=" * 72)
+    print("Connected Components — Medium graph (Fig. 15)")
+    fig = figures.fig15_cc_medium(trials=2, nodes=(27, 34))
+    print(render_bar_table(fig.series.values(), title=fig.title))
+
+    print()
+    print("=" * 72)
+    print("Delta vs bulk iterations (the paper's Flink-side ablation)")
+    cfg = medium_graph_preset(27)
+    for mode in ("delta", "bulk"):
+        wl = ConnectedComponents(MEDIUM_GRAPH, iterations=23, mode=mode,
+                                 edge_partitions=cfg.spark.edge_partitions)
+        result = run_once("flink", wl, cfg, seed=7)
+        print(f"  flink CC ({mode:5s}): {result.duration:8.1f}s")
+
+    print()
+    print("=" * 72)
+    print("Table VII — the Large graph (1.7B vertices / 64B edges)")
+    cells = figures.tab07_large_graph(node_counts=(27, 97))
+    for cell in cells:
+        status = (f"load {cell.load_seconds:6.0f}s  iter "
+                  f"{cell.iter_seconds:6.0f}s" if cell.success
+                  else f"no — {cell.failure[:60]}...")
+        print(f"  {cell.nodes:3d}n {cell.workload} {cell.engine:5s}: "
+              f"{status}")
+    print()
+    print("At 97 nodes Spark is the faster engine for the Large graph —")
+    print("the paper's headline ~1.7x — while at 27/44 nodes both engines")
+    print("hit their respective memory walls.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Iterative machine learning two ways: simulated at scale AND really
+executed on the local mini-engines.
+
+Part 1 reproduces the paper's K-Means experiment (Fig. 10/11): Flink's
+scheduled-once bulk iteration vs Spark's loop unrolling on 1.2 billion
+samples across 24 simulated nodes.
+
+Part 2 runs *real* K-Means on both executable mini-engines
+(repro.localexec) over generated HiBench-style data and shows that the
+two execution models converge to identical centers — the semantic
+equivalence that makes the performance comparison purely architectural.
+
+Run:  python examples/iterative_ml.py
+"""
+
+import numpy as np
+
+from repro import KMeans, kmeans_preset, run_once
+from repro.localexec import LocalEnvironment, LocalSparkContext
+from repro.localexec.algorithms import (kmeans_flink, kmeans_oracle,
+                                        kmeans_spark)
+from repro.workloads.datagen import generate_points, true_centers
+
+GiB = 2**30
+
+
+def simulated_at_scale() -> None:
+    print("=" * 72)
+    print("K-Means at paper scale: 51 GB / 1.2e9 samples / 10 iterations")
+    cfg = kmeans_preset(24)
+    for engine in ("flink", "spark"):
+        result = run_once(engine, KMeans(51 * GiB, iterations=10), cfg,
+                          seed=11)
+        spans = result.spans
+        iters = [s for s in spans if s.iteration is not None]
+        detail = (f"{len(iters)} unrolled jobs, first "
+                  f"{iters[0].duration:.1f}s" if iters
+                  else "one bulk iteration, scheduled once")
+        print(f"  {engine:5s}: {result.duration:7.1f}s ({detail})")
+    print("Flink avoids Spark's per-iteration scheduling and collect")
+    print("round-trips: the >10% gap of Fig. 11.")
+
+
+def really_executed() -> None:
+    print()
+    print("=" * 72)
+    print("The same algorithm, really executed on the mini-engines")
+    k = 4
+    points = [tuple(p) for p in generate_points(4000, k, spread=0.03,
+                                                seed=21)]
+    init = [tuple(c) for c in true_centers(k, seed=21) + 0.1]
+    iterations = 8
+
+    spark_centers = kmeans_spark(LocalSparkContext(8), points, init,
+                                 iterations)
+    flink_centers = kmeans_flink(LocalEnvironment(8), points, init,
+                                 iterations)
+    oracle_centers = kmeans_oracle(points, init, iterations)
+
+    agree = (np.allclose(spark_centers, oracle_centers) and
+             np.allclose(flink_centers, oracle_centers))
+    print(f"  staged RDD engine    -> {np.round(spark_centers, 4).tolist()}")
+    print(f"  pipelined DataSet    -> {np.round(flink_centers, 4).tolist()}")
+    print(f"  numpy oracle         -> {np.round(oracle_centers, 4).tolist()}")
+    print(f"  all three agree: {agree}")
+    truth = true_centers(k, seed=21)
+    err = max(min(float(np.linalg.norm(np.array(c) - t)) for t in truth)
+              for c in spark_centers)
+    print(f"  max distance to a true mixture center: {err:.4f}")
+
+
+def main() -> None:
+    simulated_at_scale()
+    really_executed()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Parameter configuration study (paper §IV): what the four knob groups
+do, including the misconfigurations the paper warns about.
+
+* task parallelism — Spark's sensitivity to spark.default.parallelism;
+* shuffle tuning — Flink fails outright with too few network buffers;
+* memory management — Flink's CoGroup solution set vs parallelism;
+* serialization — Java vs Kryo on the Spark side.
+
+Run:  python examples/parameter_tuning.py
+"""
+
+from repro import (Cluster, HDFS, TeraSort, WordCount, run_once,
+                   terasort_preset, wordcount_grep_preset)
+from repro.config.parameters import FlinkConfig
+from repro.engines.common.serialization import Serializer
+from repro.engines.flink.engine import FlinkEngine
+
+GiB = 2**30
+
+
+def serialization_study() -> None:
+    print("=" * 72)
+    print("spark.serializer: java vs kryo (Word Count, 16 nodes)")
+    for ser in (Serializer.JAVA, Serializer.KRYO):
+        cfg = wordcount_grep_preset(16)
+        cfg = type(cfg)(spark=cfg.spark.with_(serializer=ser),
+                        flink=cfg.flink,
+                        hdfs_block_size=cfg.hdfs_block_size, nodes=16)
+        r = run_once("spark", WordCount(16 * 24 * GiB), cfg, seed=3)
+        wire_gb = r.metrics["shuffle_wire_bytes"] / GiB
+        print(f"  {ser.value:5s}: {r.duration:7.1f}s "
+              f"(shuffle wire {wire_gb:.1f} GiB)")
+
+
+def network_buffers_study() -> None:
+    print()
+    print("=" * 72)
+    print("flink.nw.buffers: the mandatory knob (Word Count, 8 nodes)")
+    for buffers in (256, 2048, 8 * 2048):
+        cfg = wordcount_grep_preset(8)
+        cfg = type(cfg)(spark=cfg.spark,
+                        flink=cfg.flink.with_(network_buffers=buffers),
+                        hdfs_block_size=cfg.hdfs_block_size, nodes=8)
+        r = run_once("flink", WordCount(8 * 24 * GiB), cfg, seed=3)
+        if r.success:
+            print(f"  {buffers:6d} buffers: {r.duration:7.1f}s")
+        else:
+            print(f"  {buffers:6d} buffers: FAILED — {r.failure[:60]}")
+    print('  ("we had to increase the number of buffers in order to')
+    print('   avoid failed executions" — paper §VI-A)')
+
+
+def task_slots_study() -> None:
+    print()
+    print("=" * 72)
+    print("flink parallelism vs task slots (Tera Sort, 17 nodes)")
+    base = terasort_preset(17)
+    for parallelism in (134, 272, 544):
+        flink = base.flink.with_(default_parallelism=parallelism)
+        cluster = Cluster(17, seed=3)
+        hdfs = HDFS(cluster, block_size=base.hdfs_block_size)
+        wl = TeraSort(17 * 32 * GiB, num_partitions=134)
+        for path, size in wl.input_files():
+            hdfs.create_file(path, size)
+        engine = FlinkEngine(cluster, hdfs, flink)
+        r = engine.run(wl.flink_jobs()[0])
+        status = (f"{r.duration:7.1f}s" if r.success
+                  else f"FAILED — {r.failure[:55]}")
+        print(f"  parallelism {parallelism:4d}: {status}")
+    print('  ("otherwise Flink fails due to insufficient task slots"')
+    print("   — the paper set it to half the cores, Table III)")
+
+
+def main() -> None:
+    serialization_study()
+    network_buffers_study()
+    task_slots_study()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Performance debugging toolkit: the library features that go beyond
+replaying the paper.
+
+1. `explain` — inspect the physical plans both engines would build.
+2. the configuration advisor — §IV's guidance as executable checks,
+   including the Table VII footguns.
+3. what-if (blocked-time) analysis — how much a faster disk or network
+   would actually buy (the paper's related-work [43], applied here).
+4. parameter sweeps — map a knob's response surface, failures included.
+
+Run:  python examples/performance_debugging.py
+"""
+
+from repro import Cluster, HDFS, TeraSort, WordCount, terasort_preset, \
+    wordcount_grep_preset
+from repro.config import advise_flink, advise_spark
+from repro.config.presets import large_graph_preset
+from repro.core.whatif import blocked_time_report
+from repro.engines.flink.engine import FlinkEngine
+from repro.engines.spark.engine import SparkEngine
+from repro.harness import best_row, sweep
+from repro.workloads import PageRank
+from repro.workloads.datagen.graphs import LARGE_GRAPH
+
+GiB = 2**30
+
+
+def show_explain() -> None:
+    print("=" * 72)
+    print("1. explain: the physical plans, no execution")
+    cfg = wordcount_grep_preset(8)
+    cluster = Cluster(8)
+    hdfs = HDFS(cluster, block_size=cfg.hdfs_block_size)
+    wl = WordCount(8 * 24 * GiB)
+    print(SparkEngine(cluster, hdfs, cfg.spark).explain(wl.spark_jobs()[0]))
+    print()
+    print(FlinkEngine(cluster, hdfs, cfg.flink).explain(wl.flink_jobs()[0]))
+
+
+def show_advisor() -> None:
+    print()
+    print("=" * 72)
+    print("2. the configuration advisor on a known-bad setup "
+          "(Table VII at 27 nodes, un-doubled edge partitions)")
+    cfg = large_graph_preset(27, double_edge_partitions=False)
+    plan = PageRank(LARGE_GRAPH,
+                    edge_partitions=cfg.spark.edge_partitions
+                    ).spark_jobs()[0]
+    for advice in advise_spark(cfg.spark, 27, plan=plan):
+        print(f"  {advice}  ({advice.paper_ref})")
+    print()
+    print("   ... and the Flink side of the same experiment:")
+    fplan = PageRank(LARGE_GRAPH).flink_jobs()[1]
+    for advice in advise_flink(cfg.flink, 27, plan=fplan):
+        print(f"  {advice}  ({advice.paper_ref})")
+
+
+def show_whatif() -> None:
+    print()
+    print("=" * 72)
+    print("3. blocked-time analysis: Tera Sort, 17 nodes")
+    cfg = terasort_preset(17)
+    wl = TeraSort(17 * 16 * GiB, num_partitions=134)
+    for engine in ("flink", "spark"):
+        report = blocked_time_report(engine, wl, cfg, seed=5)
+        for result in report.values():
+            print(f"  {result.describe()}")
+
+
+def show_sweep() -> None:
+    print()
+    print("=" * 72)
+    print("4. sweeping flink.nw.buffers x parallelism (Word Count, 8n)")
+    rows = sweep("flink", WordCount(8 * 24 * GiB),
+                 wordcount_grep_preset(8),
+                 grid={"flink.network_buffers": [512, 4096, 32768],
+                       "flink.default_parallelism": [64, 128]})
+    for row in rows:
+        outcome = (f"{row['mean_seconds']:7.1f}s"
+                   if row["failure"] == "" else
+                   f"FAILED ({row['failure'][:45]})")
+        print(f"  buffers={row['flink.network_buffers']:6d} "
+              f"par={row['flink.default_parallelism']:4d}: {outcome}")
+    best = best_row(rows)
+    print(f"  best: buffers={best['flink.network_buffers']}, "
+          f"par={best['flink.default_parallelism']}")
+
+
+def main() -> None:
+    show_explain()
+    show_advisor()
+    show_whatif()
+    show_sweep()
+
+
+if __name__ == "__main__":
+    main()

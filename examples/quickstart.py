@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Quickstart: run one paper experiment and read it like the authors.
+
+This reproduces the core of the paper's §VI-A in under a minute:
+Word Count on a simulated 8-node Grid'5000 cluster under both engines,
+with the operator plan correlated against resource usage.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (WordCount, render_run, run_correlated,
+                   wordcount_grep_preset)
+
+GiB = 2**30
+
+
+def main() -> None:
+    nodes = 8
+    config = wordcount_grep_preset(nodes)       # Table II settings
+    workload = WordCount(total_bytes=nodes * 24 * GiB)  # 24 GB/node
+
+    print(f"Word Count, {nodes} nodes, 24 GB per node "
+          f"(paper §VI-A, Table II)\n")
+
+    runs = {}
+    for engine in ("flink", "spark"):
+        run = run_correlated(engine, workload, config, seed=42)
+        runs[engine] = run
+        print(render_run(run))
+        print()
+
+    flink = runs["flink"].result.duration
+    spark = runs["spark"].result.duration
+    winner = "Flink" if flink < spark else "Spark"
+    print(f"Flink: {flink:7.1f}s   Spark: {spark:7.1f}s   "
+          f"-> {winner} wins by {max(flink, spark) / min(flink, spark):.2f}x")
+    print("Paper (32 nodes): Flink 543s vs Spark 572s — Flink's sort-based")
+    print("combiner and typed serialization beat Spark's heap objects.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Calibration dashboard: headline experiments vs the paper's numbers.
+
+Run after any cost-model change:
+
+    python scripts/calibrate.py [fast]
+
+Prints measured vs published durations and the key ratios the figures
+assert.  This script is the source of the numbers in EXPERIMENTS.md.
+"""
+
+import sys
+import time
+
+GiB = 2**30
+
+from repro.config.presets import (kmeans_preset, large_graph_preset,
+                                  medium_graph_preset, small_graph_preset,
+                                  terasort_preset, wordcount_grep_preset)
+from repro.harness.runner import run_once
+from repro.workloads import (ConnectedComponents, Grep, KMeans, PageRank,
+                             TeraSort, WordCount)
+from repro.workloads.datagen.graphs import (LARGE_GRAPH, MEDIUM_GRAPH,
+                                            SMALL_GRAPH)
+
+FAST = len(sys.argv) > 1 and sys.argv[1] == "fast"
+
+
+def row(tag, cfg, wl, paper_flink, paper_spark, seed=1):
+    out = [f"{tag:28s}"]
+    t0 = time.time()
+    for eng, paper in (("flink", paper_flink), ("spark", paper_spark)):
+        r = run_once(eng, wl, cfg, seed=seed)
+        if r.success:
+            ratio = r.duration / paper if paper else float("nan")
+            out.append(f"{eng[0].upper()}={r.duration:7.0f}s (paper {paper:6.0f}, x{ratio:4.2f})")
+        else:
+            out.append(f"{eng[0].upper()}=FAIL[{str(r.failure)[:40]}]")
+    out.append(f"[{time.time()-t0:5.1f}s wall]")
+    print("  ".join(out), flush=True)
+
+
+print("=== batch ===")
+row("WC 32n 768GB (fig1/3)", wordcount_grep_preset(32),
+    WordCount(32 * 24 * GiB), 543, 572)
+row("WC 16n 24GB/n (fig1)", wordcount_grep_preset(16),
+    WordCount(16 * 24 * GiB), 400, 430)
+row("Grep 32n (fig4/6)", wordcount_grep_preset(32),
+    Grep(32 * 24 * GiB), 331, 275)
+row("TS 17n 32GB/n (fig7)", terasort_preset(17),
+    TeraSort(17 * 32 * GiB, num_partitions=134), 1050, 1400)
+if not FAST:
+    row("TS 55n 3.5TB (fig8/9)", terasort_preset(55),
+        TeraSort(3.5 * 1024 * GiB, num_partitions=475), 4669, 5079)
+print("=== iterative ===")
+row("KM 24n 51GB 10it (fig10/11)", kmeans_preset(24),
+    KMeans(51 * GiB, iterations=10), 244, 278)
+row("KM 8n (fig11)", kmeans_preset(8), KMeans(51 * GiB, iterations=10),
+    700, 780)
+row("PR small 27n 20it (fig12/16)", small_graph_preset(27),
+    PageRank(SMALL_GRAPH, iterations=20, edge_partitions=27 * 16), 192, 232)
+row("PR small 8n (fig12)", small_graph_preset(8),
+    PageRank(SMALL_GRAPH, iterations=20, edge_partitions=8 * 16), 450, 380)
+row("CC small 27n 23it (fig14)", small_graph_preset(27),
+    ConnectedComponents(SMALL_GRAPH, iterations=23,
+                        edge_partitions=27 * 16), 110, 150)
+row("PR med 27n (fig13)", medium_graph_preset(27),
+    PageRank(MEDIUM_GRAPH, iterations=20, edge_partitions=256), 300, 380)
+row("CC med 27n (fig15/17)", medium_graph_preset(27),
+    ConnectedComponents(MEDIUM_GRAPH, iterations=23, edge_partitions=256),
+    267, 388)
+if not FAST:
+    print("=== table VII (large graph, 97n) ===")
+    cfg97 = large_graph_preset(97)
+    row("PR large 97n 5it", cfg97,
+        PageRank(LARGE_GRAPH, iterations=5,
+                 edge_partitions=97 * 16 * 2), 1096 + 645, 418 + 596)
+    row("CC large 97n 10it", cfg97,
+        ConnectedComponents(LARGE_GRAPH, iterations=10,
+                            edge_partitions=97 * 16 * 2), 580 + 1268,
+        357 + 529)
+    print("=== table VII failures (27n) ===")
+    cfg27 = large_graph_preset(27)
+    row("PR large 27n (expect F fail)", cfg27,
+        PageRank(LARGE_GRAPH, iterations=5, edge_partitions=27 * 16 * 2),
+        1, 3977)

@@ -1,0 +1,66 @@
+"""repro — a full reproduction of *"Spark versus Flink: Understanding
+Performance in Big Data Analytics Frameworks"* (Marcu, Costan, Antoniu,
+Pérez-Hernández; IEEE CLUSTER 2016).
+
+The package contains three cooperating systems:
+
+1. **A deterministic cluster simulator** (:mod:`repro.cluster`,
+   :mod:`repro.hdfs`) modelling the paper's Grid'5000 testbed, with
+   mechanistic models of Spark 1.5 (:mod:`repro.engines.spark`) and
+   Flink 0.10 (:mod:`repro.engines.flink`) running the paper's six
+   workloads (:mod:`repro.workloads`) at published scales (up to 100
+   nodes / 3.5 TB).
+
+2. **The paper's methodology as a library** (:mod:`repro.core`,
+   :mod:`repro.monitoring`): correlate operator execution plans with
+   resource utilisation, analyse weak/strong scalability, derive the
+   take-away insights, render the figures.
+
+3. **Really-executable mini-engines** (:mod:`repro.localexec`): a
+   staged RDD runtime and a pipelined DataSet runtime that compute the
+   six workloads on real data, proving the two execution models are
+   semantically equivalent.
+
+Quickstart::
+
+    from repro import run_once, wordcount_grep_preset, WordCount
+    GiB = 2**30
+    result = run_once("flink", WordCount(8 * 24 * GiB),
+                      wordcount_grep_preset(8))
+    print(result.describe())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every figure and table.
+"""
+
+from .cluster import Cluster, HardwareSpec
+from .config import (ExperimentConfig, FlinkConfig, SparkConfig,
+                     kmeans_preset, large_graph_preset, medium_graph_preset,
+                     small_graph_preset, terasort_preset,
+                     wordcount_grep_preset)
+from .core import (CorrelatedRun, ScalingSeries, compare_engines, correlate,
+                   render_bar_table, render_run)
+from .engines.common.result import EngineRunResult
+from .engines.flink import FlinkEngine
+from .engines.spark import SparkEngine
+from .harness import figures, run_correlated, run_once, run_trials
+from .hdfs import HDFS
+from .localexec import LocalEnvironment, LocalSparkContext
+from .monitoring import ClusterMonitor, Metric
+from .workloads import (ALL_WORKLOADS, ConnectedComponents, Grep, KMeans,
+                        PageRank, TeraSort, WordCount, Workload)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_WORKLOADS", "Cluster", "ClusterMonitor", "ConnectedComponents",
+    "CorrelatedRun", "EngineRunResult", "ExperimentConfig", "FlinkConfig",
+    "FlinkEngine", "Grep", "HDFS", "HardwareSpec", "KMeans",
+    "LocalEnvironment", "LocalSparkContext", "Metric", "PageRank",
+    "ScalingSeries", "SparkConfig", "SparkEngine", "TeraSort", "WordCount",
+    "Workload", "__version__", "compare_engines", "correlate", "figures",
+    "kmeans_preset", "large_graph_preset", "medium_graph_preset",
+    "render_bar_table", "render_run", "run_correlated", "run_once",
+    "run_trials", "small_graph_preset", "terasort_preset",
+    "wordcount_grep_preset",
+]

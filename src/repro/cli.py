@@ -1,0 +1,228 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    Show the available workloads, figure experiments and presets.
+``run``
+    Run one workload on one engine at a given scale and print the
+    correlated figure (plan + resource panels).
+``figure``
+    Regenerate one of the paper's figures (fig01..fig17).
+``table7``
+    Regenerate Table VII (the Large-graph grid).
+``explain``
+    Print both engines' physical plans for a workload without running.
+
+Examples
+--------
+python -m repro run --engine flink --workload wordcount --nodes 8
+python -m repro figure fig04 --trials 3
+python -m repro explain --workload terasort --nodes 17
+python -m repro table7 --nodes 97
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .cluster import Cluster
+from .config.presets import (ExperimentConfig, kmeans_preset,
+                             small_graph_preset, terasort_preset,
+                             wordcount_grep_preset)
+from .core import render_bar_table, render_run
+from .harness import figures as figure_registry
+from .harness.runner import run_correlated
+from .hdfs import HDFS
+from .workloads import (ConnectedComponents, Grep, KMeans, PageRank,
+                        TeraSort, WordCount)
+from .workloads.datagen.graphs import (LARGE_GRAPH, MEDIUM_GRAPH,
+                                       SMALL_GRAPH)
+
+__all__ = ["main", "build_workload", "build_config", "WORKLOADS",
+           "FIGURES"]
+
+GiB = float(2**30)
+
+WORKLOADS = ["wordcount", "grep", "terasort", "kmeans", "pagerank",
+             "connected-components"]
+
+FIGURES = {
+    "fig01": figure_registry.fig01_wordcount_weak,
+    "fig02": figure_registry.fig02_wordcount_strong,
+    "fig04": figure_registry.fig04_grep_weak,
+    "fig05": figure_registry.fig05_grep_strong,
+    "fig07": figure_registry.fig07_terasort_weak,
+    "fig08": figure_registry.fig08_terasort_strong,
+    "fig11": figure_registry.fig11_kmeans_scaling,
+    "fig12": figure_registry.fig12_pagerank_small,
+    "fig13": figure_registry.fig13_pagerank_medium,
+    "fig14": figure_registry.fig14_cc_small,
+    "fig15": figure_registry.fig15_cc_medium,
+}
+
+RESOURCE_FIGURES = {
+    "fig03": figure_registry.fig03_wordcount_resources,
+    "fig06": figure_registry.fig06_grep_resources,
+    "fig09": figure_registry.fig09_terasort_resources,
+    "fig10": figure_registry.fig10_kmeans_resources,
+    "fig16": figure_registry.fig16_pagerank_resources,
+    "fig17": figure_registry.fig17_cc_resources,
+}
+
+
+def build_config(workload: str, nodes: int) -> ExperimentConfig:
+    """The paper's preset for a workload at a scale."""
+    if workload in ("wordcount", "grep"):
+        return wordcount_grep_preset(nodes)
+    if workload == "terasort":
+        return terasort_preset(nodes)
+    if workload == "kmeans":
+        return kmeans_preset(nodes)
+    if workload in ("pagerank", "connected-components"):
+        return small_graph_preset(nodes)
+    raise ValueError(f"unknown workload {workload!r}")
+
+
+def build_workload(name: str, nodes: int, graph: str = "small",
+                   iterations: Optional[int] = None):
+    """Instantiate a workload at its paper scale for ``nodes``."""
+    cfg = build_config(name, nodes)
+    graphs = {"small": SMALL_GRAPH, "medium": MEDIUM_GRAPH,
+              "large": LARGE_GRAPH}
+    if name == "wordcount":
+        return WordCount(nodes * 24 * GiB)
+    if name == "grep":
+        return Grep(nodes * 24 * GiB)
+    if name == "terasort":
+        return TeraSort(nodes * 32 * GiB,
+                        num_partitions=cfg.flink.default_parallelism)
+    if name == "kmeans":
+        return KMeans(51 * GiB, iterations=iterations or 10)
+    if name == "pagerank":
+        return PageRank(graphs[graph], iterations=iterations or 20,
+                        edge_partitions=cfg.spark.edge_partitions)
+    if name == "connected-components":
+        return ConnectedComponents(graphs[graph],
+                                   iterations=iterations or 23,
+                                   edge_partitions=cfg.spark.edge_partitions)
+    raise ValueError(f"unknown workload {name!r}")
+
+
+# ----------------------------------------------------------------------
+# subcommands
+# ----------------------------------------------------------------------
+def cmd_list(_args) -> int:
+    print("workloads:", ", ".join(WORKLOADS))
+    print("scaling figures:", ", ".join(sorted(FIGURES)))
+    print("resource figures:", ", ".join(sorted(RESOURCE_FIGURES)))
+    print("tables: table7")
+    return 0
+
+
+def cmd_run(args) -> int:
+    workload = build_workload(args.workload, args.nodes, graph=args.graph,
+                              iterations=args.iterations)
+    config = build_config(args.workload, args.nodes)
+    run = run_correlated(args.engine, workload, config, seed=args.seed)
+    print(render_run(run))
+    print()
+    print(f"bottleneck: {', '.join(run.bottleneck(threshold=40))}")
+    return 0
+
+
+def cmd_figure(args) -> int:
+    fig_id = args.id
+    if fig_id in FIGURES:
+        fig = FIGURES[fig_id](trials=args.trials, seed=args.seed)
+        print(render_bar_table(fig.series.values(), title=fig.title))
+        return 0
+    if fig_id in RESOURCE_FIGURES:
+        fig = RESOURCE_FIGURES[fig_id](seed=args.seed)
+        for run in fig.runs.values():
+            print(render_run(run))
+            print()
+        return 0
+    print(f"unknown figure {fig_id!r}; try one of "
+          f"{sorted(FIGURES) + sorted(RESOURCE_FIGURES)}", file=sys.stderr)
+    return 2
+
+
+def cmd_table7(args) -> int:
+    cells = figure_registry.tab07_large_graph(
+        seed=args.seed, node_counts=tuple(args.nodes))
+    print("Table VII - Large graph (Load / Iter seconds; 'no' = failed)")
+    for cell in cells:
+        status = (f"load {cell.load_seconds:7.0f}s  iter "
+                  f"{cell.iter_seconds:7.0f}s" if cell.success else
+                  f"no ({cell.failure[:60]})")
+        print(f"  {cell.nodes:3d}n {cell.workload} {cell.engine:5s}: "
+              f"{status}")
+    return 0
+
+
+def cmd_explain(args) -> int:
+    from .engines.flink.engine import FlinkEngine
+    from .engines.spark.engine import SparkEngine
+    workload = build_workload(args.workload, args.nodes, graph=args.graph)
+    config = build_config(args.workload, args.nodes)
+    cluster = Cluster(args.nodes)
+    hdfs = HDFS(cluster, block_size=config.hdfs_block_size)
+    spark = SparkEngine(cluster, hdfs, config.spark)
+    flink = FlinkEngine(cluster, hdfs, config.flink)
+    for plan in workload.spark_jobs():
+        print(spark.explain(plan))
+        print()
+    for plan in workload.flink_jobs():
+        print(flink.explain(plan))
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'Spark versus Flink' (CLUSTER 2016)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="available workloads and figures")
+
+    p_run = sub.add_parser("run", help="run one workload once")
+    p_run.add_argument("--engine", choices=("spark", "flink"),
+                       required=True)
+    p_run.add_argument("--workload", choices=WORKLOADS, required=True)
+    p_run.add_argument("--nodes", type=int, default=8)
+    p_run.add_argument("--graph", choices=("small", "medium", "large"),
+                       default="small")
+    p_run.add_argument("--iterations", type=int, default=None)
+    p_run.add_argument("--seed", type=int, default=0)
+
+    p_fig = sub.add_parser("figure", help="regenerate a paper figure")
+    p_fig.add_argument("id", help="fig01..fig17")
+    p_fig.add_argument("--trials", type=int, default=3)
+    p_fig.add_argument("--seed", type=int, default=0)
+
+    p_t7 = sub.add_parser("table7", help="regenerate Table VII")
+    p_t7.add_argument("--nodes", type=int, nargs="+",
+                      default=[27, 44, 97])
+    p_t7.add_argument("--seed", type=int, default=0)
+
+    p_ex = sub.add_parser("explain", help="print both physical plans")
+    p_ex.add_argument("--workload", choices=WORKLOADS, required=True)
+    p_ex.add_argument("--nodes", type=int, default=8)
+    p_ex.add_argument("--graph", choices=("small", "medium", "large"),
+                      default="small")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {"list": cmd_list, "run": cmd_run, "figure": cmd_figure,
+                "table7": cmd_table7, "explain": cmd_explain}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

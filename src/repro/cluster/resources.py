@@ -1,0 +1,158 @@
+"""Discrete-capacity resources: CPU core pools and bounded buffer pools.
+
+A :class:`CorePool` models the execution cores of one node: tasks
+request a core, hold it for a computed duration and release it.  The
+pool records a busy-core :class:`~repro.cluster.trace.StepSeries` which
+the monitoring layer turns into the CPU % panels of the paper's
+figures.
+
+A :class:`BufferPool` models Flink's network buffer pool: a counted
+semaphore whose exhaustion behaviour (block vs fail) is configurable —
+the paper reports failed executions when ``flink.nw.buffers`` was too
+small for the parallelism and workflow operators.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Tuple
+
+from .simulation import Event, Simulation, SimulationError
+from .trace import StepSeries
+
+__all__ = ["CorePool", "BufferPool", "InsufficientBuffersError"]
+
+
+class InsufficientBuffersError(SimulationError):
+    """Raised when a buffer pool is exhausted and configured to fail."""
+
+
+class CorePool:
+    """A pool of identical execution cores with FIFO admission."""
+
+    def __init__(self, sim: Simulation, cores: int, name: str = "cpu") -> None:
+        if cores <= 0:
+            raise ValueError(f"cores must be positive, got {cores}")
+        self.sim = sim
+        self.cores = cores
+        self.name = name
+        self.busy = 0
+        self.busy_series = StepSeries()
+        self.utilisation = StepSeries()  # percent
+        self._waiters: Deque[Event] = deque()
+        self.total_acquisitions = 0
+
+    # ------------------------------------------------------------------
+    def acquire(self) -> Event:
+        """Request one core; the returned event fires when granted."""
+        evt = self.sim.event()
+        if self.busy < self.cores:
+            self._grant(evt)
+        else:
+            self._waiters.append(evt)
+        return evt
+
+    def release(self) -> None:
+        """Return one core to the pool, waking the oldest waiter."""
+        if self.busy <= 0:
+            raise SimulationError(f"{self.name}: release without acquire")
+        if self._waiters:
+            # Hand the core directly to the next waiter: busy stays equal.
+            evt = self._waiters.popleft()
+            self.total_acquisitions += 1
+            self.sim._schedule(evt, 0.0)
+        else:
+            self.busy -= 1
+            self._record()
+
+    def run(self, duration: float):
+        """Generator helper: hold one core for ``duration`` seconds.
+
+        Usage inside a process: ``yield from pool.run(t)``.
+        """
+        yield self.acquire()
+        try:
+            yield self.sim.timeout(duration)
+        finally:
+            self.release()
+
+    # ------------------------------------------------------------------
+    def _grant(self, evt: Event) -> None:
+        self.busy += 1
+        self.total_acquisitions += 1
+        self._record()
+        self.sim._schedule(evt, 0.0)
+
+    def _record(self) -> None:
+        now = self.sim.now
+        self.busy_series.append(now, self.busy)
+        self.utilisation.append(now, 100.0 * self.busy / self.cores)
+
+    @property
+    def available(self) -> int:
+        return self.cores - self.busy
+
+    @property
+    def queued(self) -> int:
+        return len(self._waiters)
+
+    def __repr__(self) -> str:
+        return f"CorePool({self.name!r}, {self.busy}/{self.cores} busy)"
+
+
+class BufferPool:
+    """A counted pool of fixed-size buffers (Flink network buffers)."""
+
+    def __init__(self, sim: Simulation, count: int, buffer_bytes: int,
+                 name: str = "nw-buffers", fail_on_exhaustion: bool = True) -> None:
+        if count <= 0:
+            raise ValueError(f"buffer count must be positive, got {count}")
+        self.sim = sim
+        self.count = count
+        self.buffer_bytes = buffer_bytes
+        self.name = name
+        self.in_use = 0
+        self.fail_on_exhaustion = fail_on_exhaustion
+        self.peak_in_use = 0
+        self._waiters: Deque[Tuple[Event, int]] = deque()
+        self.usage = StepSeries()
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.count * self.buffer_bytes
+
+    def acquire(self, n: int = 1) -> Event:
+        """Take ``n`` buffers; fails (or blocks) when exhausted."""
+        evt = self.sim.event()
+        if n > self.count and self.fail_on_exhaustion:
+            raise InsufficientBuffersError(
+                f"{self.name}: requested {n} buffers but pool holds only "
+                f"{self.count}; increase the configured buffer count")
+        if self.in_use + n <= self.count:
+            self._take(n)
+            self.sim._schedule(evt, 0.0)
+        elif self.fail_on_exhaustion:
+            raise InsufficientBuffersError(
+                f"{self.name}: pool exhausted ({self.in_use}/{self.count} "
+                f"in use, {n} requested)")
+        else:
+            self._waiters.append((evt, n))
+        return evt
+
+    def release(self, n: int = 1) -> None:
+        if n > self.in_use:
+            raise SimulationError(f"{self.name}: releasing {n} > {self.in_use} in use")
+        self.in_use -= n
+        self.usage.append(self.sim.now, self.in_use)
+        while self._waiters and self.in_use + self._waiters[0][1] <= self.count:
+            evt, need = self._waiters.popleft()
+            self._take(need)
+            self.sim._schedule(evt, 0.0)
+
+    def _take(self, n: int) -> None:
+        self.in_use += n
+        self.peak_in_use = max(self.peak_in_use, self.in_use)
+        self.usage.append(self.sim.now, self.in_use)
+
+    def __repr__(self) -> str:
+        return f"BufferPool({self.name!r}, {self.in_use}/{self.count})"

@@ -1,0 +1,326 @@
+"""Discrete-event simulation kernel.
+
+A minimal, deterministic, generator-based process simulator in the style
+of SimPy, written from scratch so the reproduction has no dependencies
+beyond NumPy.  The kernel provides:
+
+* :class:`Event` — one-shot occurrences that processes can wait on;
+* :class:`Timeout` — an event scheduled at ``now + delay``;
+* :class:`Process` — a Python generator driven by the event loop; a
+  process is itself an event that triggers when the generator returns;
+* :class:`AllOf` / :class:`AnyOf` — barrier / race combinators;
+* :class:`Simulation` — the event heap and clock.
+
+Determinism: events scheduled at equal times are processed in schedule
+order (a monotonically increasing sequence number breaks ties), so two
+runs with the same seed produce bit-identical traces.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Simulation",
+    "SimulationError",
+    "Interrupt",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (e.g. scheduling into the past)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that callbacks and processes can wait on."""
+
+    __slots__ = ("sim", "callbacks", "triggered", "ok", "value")
+
+    def __init__(self, sim: "Simulation") -> None:
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self.triggered = False
+        self.ok = True
+        self.value: Any = None
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully, delivering ``value`` to waiters."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self.triggered = True
+        self.ok = True
+        self.value = value
+        self.sim._dispatch(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception, raised inside waiters."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self.triggered = True
+        self.ok = False
+        self.value = exception
+        self.sim._dispatch(self)
+        return self
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` simulated seconds after creation."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulation", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.value = value
+        sim._schedule(self, delay)
+
+    def succeed(self, value: Any = None) -> "Event":  # pragma: no cover
+        raise SimulationError("Timeout events trigger themselves")
+
+
+class Process(Event):
+    """Drives a generator; the process is an event that fires on return."""
+
+    __slots__ = ("generator", "_target")
+
+    def __init__(self, sim: "Simulation", generator: Generator) -> None:
+        super().__init__(sim)
+        self.generator = generator
+        self._target: Optional[Event] = None
+        # Bootstrap: resume the generator at the current simulation time.
+        boot = Event(sim)
+        boot.callbacks.append(self._resume)
+        sim._schedule(boot, 0.0)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            return
+        target = self._target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        evt = Event(self.sim)
+        evt.ok = False
+        evt.value = Interrupt(cause)
+        evt.callbacks.append(self._resume)
+        evt.triggered = False
+        self.sim._schedule_failure(evt)
+
+    def _resume(self, event: Event) -> None:
+        self._target = None
+        gen = self.generator
+        try:
+            if event.ok:
+                nxt = gen.send(event.value)
+            else:
+                exc = event.value
+                if not isinstance(exc, BaseException):  # pragma: no cover
+                    exc = SimulationError(repr(exc))
+                nxt = gen.throw(exc)
+        except StopIteration as stop:
+            self.triggered = True
+            self.ok = True
+            self.value = stop.value
+            self.sim._dispatch(self)
+            return
+        except BaseException as err:
+            self.triggered = True
+            self.ok = False
+            self.value = err
+            if not self.callbacks:
+                # Nobody is waiting on this process: surface the crash.
+                self.sim._crashed.append((self, err))
+            self.sim._dispatch(self)
+            return
+        if not isinstance(nxt, Event):
+            raise SimulationError(
+                f"process yielded non-event {nxt!r}; yield Timeout/Event objects"
+            )
+        if nxt.triggered:
+            # Already happened: resume immediately (next kernel step).
+            imm = Event(self.sim)
+            imm.ok = nxt.ok
+            imm.value = nxt.value
+            imm.callbacks.append(self._resume)
+            self.sim._schedule(imm, 0.0, pre_triggered=True)
+        else:
+            self._target = nxt
+            nxt.callbacks.append(self._resume)
+
+
+class AllOf(Event):
+    """Triggers once all child events have triggered (a barrier).
+
+    The event value is the list of child values in construction order.
+    If any child fails, this event fails with the first failure.
+    """
+
+    __slots__ = ("_children", "_remaining")
+
+    def __init__(self, sim: "Simulation", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        self._children = list(events)
+        self._remaining = 0
+        for evt in self._children:
+            if not evt.triggered:
+                self._remaining += 1
+                evt.callbacks.append(self._on_child)
+            elif not evt.ok:
+                self._remaining = -1
+        if self._remaining == 0:
+            sim._schedule(self, 0.0, pre_triggered=True)
+            self.value = [e.value for e in self._children]
+            self.triggered = False
+        elif self._remaining == -1:
+            failed = next(e for e in self._children if e.triggered and not e.ok)
+            self.ok = False
+            self.value = failed.value
+            sim._schedule_failure(self)
+
+    def _on_child(self, child: Event) -> None:
+        if self.triggered:
+            return
+        if not child.ok:
+            self.fail(child.value if isinstance(child.value, BaseException)
+                      else SimulationError(repr(child.value)))
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([e.value for e in self._children])
+
+
+class AnyOf(Event):
+    """Triggers as soon as any child event triggers (a race)."""
+
+    __slots__ = ("_children",)
+
+    def __init__(self, sim: "Simulation", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        self._children = list(events)
+        done = next((e for e in self._children if e.triggered), None)
+        if done is not None:
+            self.value = done.value
+            self.ok = done.ok
+            sim._schedule(self, 0.0, pre_triggered=True)
+            self.triggered = False
+            return
+        for evt in self._children:
+            evt.callbacks.append(self._on_child)
+
+    def _on_child(self, child: Event) -> None:
+        if self.triggered:
+            return
+        if child.ok:
+            self.succeed(child.value)
+        else:
+            self.fail(child.value if isinstance(child.value, BaseException)
+                      else SimulationError(repr(child.value)))
+
+
+class Simulation:
+    """The event loop: a clock plus a heap of scheduled events."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: List = []
+        self._seq = 0
+        self._crashed: List = []
+
+    # ------------------------------------------------------------------
+    # scheduling primitives
+    # ------------------------------------------------------------------
+    def _schedule(self, event: Event, delay: float, pre_triggered: bool = False) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past ({delay})")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, event, pre_triggered))
+
+    def _schedule_failure(self, event: Event) -> None:
+        """Schedule an already-failed event for dispatch."""
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now, self._seq, event, True))
+
+    def _dispatch(self, event: Event) -> None:
+        callbacks = event.callbacks
+        event.callbacks = None
+        if callbacks:
+            for cb in callbacks:
+                cb(event)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        time, _seq, event, pre_triggered = heapq.heappop(self._heap)
+        if time < self.now:  # pragma: no cover - guarded by _schedule
+            raise SimulationError("event heap time went backwards")
+        self.now = time
+        if event.callbacks is None:
+            return  # cancelled / already dispatched
+        if pre_triggered or event.triggered:
+            event.triggered = True
+            self._dispatch(event)
+        else:
+            event.triggered = True
+            self._dispatch(event)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the heap drains or the clock passes ``until``.
+
+        Raises the first unhandled exception from a crashed process.
+        """
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                self.now = until
+                break
+            self.step()
+            if self._crashed:
+                _proc, err = self._crashed[0]
+                self._crashed.clear()
+                raise err
+        if until is not None and self.now < until:
+            self.now = until
+
+    def peek(self) -> float:
+        """Time of the next scheduled event (inf if none)."""
+        return self._heap[0][0] if self._heap else float("inf")

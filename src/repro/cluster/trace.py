@@ -1,0 +1,159 @@
+"""Step-function time series used for all simulated resource metrics.
+
+Every resource in the cluster simulator (CPU core pools, fluid bandwidth
+capacities, memory accounts) records its state changes as a
+:class:`StepSeries`: a piecewise-constant function of simulated time.
+The monitoring layer later resamples these series onto a uniform grid to
+produce the CPU% / disk util% / MiB/s plots from the paper.
+
+The representation is two parallel lists (``times``, ``values``), with
+``values[i]`` holding between ``times[i]`` (inclusive) and ``times[i+1]``
+(exclusive).  Appends must be monotone in time; appending at an existing
+last timestamp overwrites the last value, which is what a resource wants
+when several state changes happen at the same simulated instant.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+__all__ = ["StepSeries", "merge_step_series"]
+
+
+class StepSeries:
+    """A piecewise-constant time series with monotone timestamps."""
+
+    __slots__ = ("times", "values", "initial")
+
+    def __init__(self, initial: float = 0.0) -> None:
+        self.times: List[float] = []
+        self.values: List[float] = []
+        self.initial = float(initial)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def append(self, time: float, value: float) -> None:
+        """Record that the series takes ``value`` from ``time`` onwards."""
+        if self.times:
+            last = self.times[-1]
+            if time < last:
+                raise ValueError(
+                    f"StepSeries appends must be monotone: {time} < {last}"
+                )
+            if time == last:
+                self.values[-1] = value
+                return
+            if self.values[-1] == value:
+                # Collapse runs of equal values to keep the series compact.
+                return
+        elif value == self.initial:
+            return
+        self.times.append(time)
+        self.values.append(value)
+
+    def extend(self, points: Iterable[Tuple[float, float]]) -> None:
+        for t, v in points:
+            self.append(t, v)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __bool__(self) -> bool:  # a series with no change points is still valid
+        return True
+
+    def __iter__(self) -> Iterator[Tuple[float, float]]:
+        return iter(zip(self.times, self.values))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def value_at(self, time: float) -> float:
+        """Value of the step function at ``time``."""
+        idx = bisect.bisect_right(self.times, time) - 1
+        if idx < 0:
+            return self.initial
+        return self.values[idx]
+
+    @property
+    def last_value(self) -> float:
+        return self.values[-1] if self.values else self.initial
+
+    @property
+    def last_time(self) -> float:
+        return self.times[-1] if self.times else 0.0
+
+    def integral(self, start: float, end: float) -> float:
+        """Integral of the series over ``[start, end]``."""
+        if end < start:
+            raise ValueError(f"end {end} < start {start}")
+        if end == start:
+            return 0.0
+        total = 0.0
+        prev_t = start
+        prev_v = self.value_at(start)
+        lo = bisect.bisect_right(self.times, start)
+        for i in range(lo, len(self.times)):
+            t = self.times[i]
+            if t >= end:
+                break
+            total += prev_v * (t - prev_t)
+            prev_t, prev_v = t, self.values[i]
+        total += prev_v * (end - prev_t)
+        return total
+
+    def mean(self, start: float, end: float) -> float:
+        """Time-weighted mean over ``[start, end]`` (0 for empty interval)."""
+        if end <= start:
+            return 0.0
+        return self.integral(start, end) / (end - start)
+
+    def maximum(self, start: float, end: float) -> float:
+        """Maximum value attained anywhere in ``[start, end]``."""
+        best = self.value_at(start)
+        lo = bisect.bisect_right(self.times, start)
+        for i in range(lo, len(self.times)):
+            if self.times[i] > end:
+                break
+            if self.values[i] > best:
+                best = self.values[i]
+        return best
+
+    def sample(self, start: float, end: float, step: float) -> Tuple[list, list]:
+        """Resample onto a uniform grid, averaging within each bucket.
+
+        Returns ``(grid_times, bucket_means)`` where ``grid_times[i]`` is the
+        left edge of bucket ``i``.  Averaging (rather than point sampling)
+        matches how monitoring agents such as *dstat* report utilisation.
+        """
+        if step <= 0:
+            raise ValueError("step must be positive")
+        n = max(1, math.ceil((end - start) / step))
+        grid = [start + i * step for i in range(n)]
+        means = [self.mean(t, min(t + step, end)) for t in grid]
+        return grid, means
+
+
+def merge_step_series(
+    series: Sequence[StepSeries],
+    start: float,
+    end: float,
+    step: float,
+) -> Tuple[list, list]:
+    """Resample several series on a common grid and sum them per bucket.
+
+    Used to aggregate a metric across the nodes of a cluster (e.g. total
+    disk I/O MiB/s) the same way the paper plots "aggregated values of all
+    nodes".
+    """
+    if not series:
+        return [], []
+    grids = [s.sample(start, end, step) for s in series]
+    times = grids[0][0]
+    summed = [0.0] * len(times)
+    for _, means in grids:
+        for i, v in enumerate(means):
+            summed[i] += v
+    return times, summed

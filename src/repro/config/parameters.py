@@ -1,0 +1,139 @@
+"""Typed configuration of both frameworks (paper §IV).
+
+The paper identifies four parameter groups "having a major influence on
+the overall execution time, scalability and resource consumption":
+task parallelism, shuffle/network behaviour, memory management and data
+serialization.  :class:`SparkConfig` and :class:`FlinkConfig` expose
+exactly those knobs under their paper names (see each field's comment),
+with the frameworks' 2015-era defaults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from ..engines.common.serialization import Serializer
+
+__all__ = ["SparkConfig", "FlinkConfig", "ConfigError"]
+
+KiB = 1024
+GiB = 2**30
+
+
+class ConfigError(ValueError):
+    pass
+
+
+@dataclass(frozen=True)
+class SparkConfig:
+    """Spark 1.5.3 configuration surface used in the study."""
+
+    #: ``spark.default.parallelism`` — partitions of shuffled RDDs.  The
+    #: paper sets it to cores x nodes x (2..6).
+    default_parallelism: int = 16
+    #: ``spark.executor.memory`` — the whole executor heap (bytes).
+    executor_memory: float = 22 * GiB
+    #: ``spark.storage.memoryFraction`` — heap share for cached RDDs.
+    storage_fraction: float = 0.6
+    #: ``spark.shuffle.memoryFraction`` — heap share for shuffle buffers.
+    shuffle_fraction: float = 0.2
+    #: ``spark.serializer`` — Java by default, optionally Kryo.
+    serializer: Serializer = Serializer.JAVA
+    #: ``spark.shuffle.manager`` — the paper always uses tungsten-sort.
+    shuffle_manager: str = "tungsten-sort"
+    #: ``spark.shuffle.file.buffer`` (bytes).
+    shuffle_file_buffer: int = 32 * KiB
+    #: ``spark.shuffle.consolidateFiles`` — enabled in all experiments.
+    shuffle_consolidate_files: bool = True
+    #: ``spark.shuffle.compress`` — map output compression.
+    shuffle_compress: bool = True
+    #: GraphX edge partitions (``spark.edge.partition`` in the paper).
+    edge_partitions: Optional[int] = None
+    #: Executor cores per node (the testbed exposes all 16).
+    executor_cores: int = 16
+
+    def __post_init__(self) -> None:
+        if self.default_parallelism < 1:
+            raise ConfigError("default_parallelism must be >= 1")
+        if self.executor_memory <= 0:
+            raise ConfigError("executor_memory must be positive")
+        if not 0 < self.storage_fraction < 1:
+            raise ConfigError("storage_fraction must be in (0, 1)")
+        if not 0 < self.shuffle_fraction < 1:
+            raise ConfigError("shuffle_fraction must be in (0, 1)")
+        if self.storage_fraction + self.shuffle_fraction >= 1.0:
+            raise ConfigError("storage + shuffle fractions must leave heap "
+                              "room for execution")
+        if self.shuffle_manager not in ("sort", "hash", "tungsten-sort"):
+            raise ConfigError(f"unknown shuffle manager {self.shuffle_manager!r}")
+        if self.shuffle_file_buffer < 1024:
+            raise ConfigError("shuffle_file_buffer must be >= 1 KiB")
+        if self.executor_cores < 1:
+            raise ConfigError("executor_cores must be >= 1")
+        if self.edge_partitions is not None and self.edge_partitions < 1:
+            raise ConfigError("edge_partitions must be >= 1")
+
+    @property
+    def storage_memory(self) -> float:
+        return self.executor_memory * self.storage_fraction
+
+    @property
+    def shuffle_memory(self) -> float:
+        return self.executor_memory * self.shuffle_fraction
+
+    def with_(self, **kw) -> "SparkConfig":
+        return replace(self, **kw)
+
+
+@dataclass(frozen=True)
+class FlinkConfig:
+    """Flink 0.10.2 configuration surface used in the study."""
+
+    #: ``parallelism.default`` — the paper sets it to cores x nodes
+    #: (all task slots), sometimes fewer to give operators more memory.
+    default_parallelism: int = 16
+    #: ``taskmanager.heap.mb`` equivalent — total task manager memory.
+    taskmanager_memory: float = 4 * GiB
+    #: ``taskmanager.memory.fraction`` — share managed by Flink for
+    #: sorting, hash tables and caching of intermediate results.
+    memory_fraction: float = 0.7
+    #: ``taskmanager.memory.off-heap`` — hybrid on/off-heap allocation.
+    off_heap: bool = True
+    #: ``taskmanager.network.numberOfBuffers`` (per task manager).
+    network_buffers: int = 2048
+    #: ``taskmanager.network.bufferSizeInBytes``.
+    buffer_size: int = 32 * KiB
+    #: ``taskmanager.numberOfTaskSlots`` per node.
+    task_slots: int = 16
+
+    def __post_init__(self) -> None:
+        if self.default_parallelism < 1:
+            raise ConfigError("default_parallelism must be >= 1")
+        if self.taskmanager_memory <= 0:
+            raise ConfigError("taskmanager_memory must be positive")
+        if not 0 < self.memory_fraction < 1:
+            raise ConfigError("memory_fraction must be in (0, 1)")
+        if self.network_buffers < 1:
+            raise ConfigError("network_buffers must be >= 1")
+        if self.buffer_size < 1024:
+            raise ConfigError("buffer_size must be >= 1 KiB")
+        if self.task_slots < 1:
+            raise ConfigError("task_slots must be >= 1")
+
+    @property
+    def managed_memory(self) -> float:
+        """Memory managed by Flink for sort/hash/cache."""
+        return self.taskmanager_memory * self.memory_fraction
+
+    @property
+    def heap_memory(self) -> float:
+        """The JVM-heap portion (user objects)."""
+        return self.taskmanager_memory * (1.0 - self.memory_fraction)
+
+    @property
+    def network_buffer_memory(self) -> float:
+        return float(self.network_buffers * self.buffer_size)
+
+    def with_(self, **kw) -> "FlinkConfig":
+        return replace(self, **kw)

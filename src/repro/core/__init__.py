@@ -1,0 +1,33 @@
+"""The paper's methodology as a public API.
+
+Correlate operator execution plans with resource utilisation
+(:mod:`~repro.core.correlate`), analyse weak/strong scalability
+(:mod:`~repro.core.scalability`), derive the take-away statements
+(:mod:`~repro.core.insights`) and render figures as text
+(:mod:`~repro.core.report`).
+"""
+
+from .correlate import (CorrelatedRun, SpanProfile, correlate,
+                        detect_anti_cyclic)
+from .compare import RunComparison, compare_runs
+from .export import frames_to_csv, run_to_csv, scaling_to_csv, spans_to_csv
+from .whatif import WhatIfResult, blocked_time_report, what_if
+from .insights import (Insight, bottleneck_insight, no_single_winner,
+                       summarize_comparison)
+from .scalability import (ComparisonPoint, ScalingSeries, compare_engines,
+                          strong_scaling_efficiency, strong_scaling_speedup,
+                          weak_scaling_efficiency)
+from .report import (render_bar_table, render_metric_panel, render_run,
+                     render_span_gantt)
+
+__all__ = [
+    "ComparisonPoint", "CorrelatedRun", "Insight", "RunComparison",
+    "ScalingSeries", "compare_runs",
+    "SpanProfile", "bottleneck_insight", "compare_engines", "correlate",
+    "detect_anti_cyclic", "frames_to_csv", "no_single_winner",
+    "render_bar_table", "render_metric_panel", "render_run",
+    "render_span_gantt", "run_to_csv", "scaling_to_csv", "spans_to_csv",
+    "strong_scaling_efficiency", "strong_scaling_speedup",
+    "summarize_comparison", "weak_scaling_efficiency", "WhatIfResult",
+    "blocked_time_report", "what_if",
+]

@@ -1,0 +1,70 @@
+"""Export reproduced artefacts to CSV for external plotting.
+
+The paper's figures are gnuplot-style panels; downstream users will
+want the raw series.  These helpers write the three artefact shapes —
+scaling series, operator spans, metric frames — as plain CSV.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Iterable, Sequence, TextIO, Union
+
+from ..engines.common.execution import OperatorSpan
+from ..monitoring.metrics import MetricFrame
+from .correlate import CorrelatedRun
+from .scalability import ScalingSeries
+
+__all__ = ["scaling_to_csv", "spans_to_csv", "frames_to_csv", "run_to_csv"]
+
+
+def _writer(out: Union[TextIO, None]):
+    buf = out if out is not None else io.StringIO()
+    return buf, csv.writer(buf)
+
+
+def scaling_to_csv(series: Iterable[ScalingSeries],
+                   out: TextIO = None) -> str:
+    """One row per (engine, nodes): mean and std in seconds."""
+    buf, w = _writer(out)
+    w.writerow(["engine", "nodes", "mean_seconds", "std_seconds"])
+    for s in series:
+        for n, mean, std in zip(s.nodes, s.means, s.stds):
+            w.writerow([s.engine, n, f"{mean:.3f}", f"{std:.3f}"])
+    return buf.getvalue() if isinstance(buf, io.StringIO) else ""
+
+
+def spans_to_csv(spans: Sequence[OperatorSpan], out: TextIO = None) -> str:
+    """One row per operator span (the plan-panel bars)."""
+    buf, w = _writer(out)
+    w.writerow(["key", "name", "start", "end", "duration", "busy",
+                "iteration"])
+    for s in spans:
+        w.writerow([s.key, s.name, f"{s.start:.3f}", f"{s.end:.3f}",
+                    f"{s.duration:.3f}", f"{s.busy:.3f}",
+                    s.iteration if s.iteration is not None else ""])
+    return buf.getvalue() if isinstance(buf, io.StringIO) else ""
+
+
+def frames_to_csv(frames: Iterable[MetricFrame], out: TextIO = None) -> str:
+    """Long-format metric samples: metric, time, mean, total."""
+    buf, w = _writer(out)
+    w.writerow(["metric", "time", "mean", "cluster_total"])
+    for frame in frames:
+        for t, m, tot in zip(frame.times, frame.mean, frame.total):
+            w.writerow([frame.metric.value, f"{t:.1f}", f"{m:.4f}",
+                        f"{tot:.4f}"])
+    return buf.getvalue() if isinstance(buf, io.StringIO) else ""
+
+
+def run_to_csv(run: CorrelatedRun, out: TextIO = None) -> str:
+    """A whole correlated run: spans block then metric block."""
+    buf = out if out is not None else io.StringIO()
+    buf.write(f"# {run.result.engine} {run.result.workload} "
+              f"{run.result.nodes} nodes, "
+              f"{run.result.duration:.1f}s\n")
+    spans_to_csv(run.result.spans, buf)
+    buf.write("\n")
+    frames_to_csv(run.frames.values(), buf)
+    return buf.getvalue() if isinstance(buf, io.StringIO) else ""

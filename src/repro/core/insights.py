@@ -1,0 +1,91 @@
+"""Automated take-aways: the paper's §VIII as derived statements.
+
+Given comparison points and correlated runs, produce the high-level
+statements the paper closes with ("there is not a single framework for
+all data types, sizes and job patterns", "Spark is about 1.7x faster
+than Flink for large graph processing", ...), each backed by the
+numbers that support it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from .correlate import CorrelatedRun
+from .scalability import ComparisonPoint
+
+__all__ = ["Insight", "summarize_comparison", "no_single_winner"]
+
+
+@dataclass(frozen=True)
+class Insight:
+    """One derived statement with its supporting evidence."""
+
+    statement: str
+    evidence: Dict[str, float]
+    workload: str = ""
+
+    def __str__(self) -> str:
+        return self.statement
+
+
+def summarize_comparison(workload: str,
+                         points: Sequence[ComparisonPoint]) -> Insight:
+    """Who wins this workload, by how much, and where."""
+    winners = [p.winner for p in points if not math.isnan(p.advantage)]
+    if not winners:
+        return Insight(statement=f"{workload}: no successful runs to compare",
+                       evidence={}, workload=workload)
+    flink_wins = winners.count("flink")
+    spark_wins = winners.count("spark")
+    advantages = [p.advantage for p in points if not math.isnan(p.advantage)]
+    best = max(advantages)
+    if flink_wins and spark_wins:
+        cross = next(p.nodes for p in points
+                     if p.winner != points[0].winner)
+        statement = (f"{workload}: the winner flips with scale "
+                     f"(crossover near {cross} nodes; max advantage "
+                     f"{best:.2f}x)")
+    else:
+        who = "Flink" if flink_wins else "Spark"
+        statement = (f"{workload}: {who} wins at every measured scale, "
+                     f"up to {best:.2f}x")
+    return Insight(statement=statement, workload=workload,
+                   evidence={f"advantage@{p.nodes}": p.advantage
+                             for p in points})
+
+
+def no_single_winner(per_workload: Dict[str, Sequence[ComparisonPoint]]
+                     ) -> Insight:
+    """The paper's key finding: neither framework wins everywhere."""
+    overall: Dict[str, str] = {}
+    for workload, points in per_workload.items():
+        winners = {p.winner for p in points if not math.isnan(p.advantage)}
+        if len(winners) == 1:
+            overall[workload] = next(iter(winners))
+        elif winners:
+            overall[workload] = "mixed"
+    distinct = {w for w in overall.values() if w != "mixed"}
+    if len(distinct) > 1 or "mixed" in overall.values():
+        statement = ("no single framework wins for all data types, sizes "
+                     "and job patterns: " +
+                     ", ".join(f"{k}->{v}" for k, v in sorted(overall.items())))
+    else:
+        only = next(iter(distinct)) if distinct else "nobody"
+        statement = f"{only} won every measured workload (unlike the paper)"
+    return Insight(statement=statement,
+                   evidence={k: 1.0 if v == "flink" else 0.0
+                             for k, v in overall.items() if v != "mixed"})
+
+
+def bottleneck_insight(run: CorrelatedRun) -> Insight:
+    """Name the binding resources of one run."""
+    bound = run.bottleneck()
+    name = f"{run.result.engine}/{run.result.workload}"
+    return Insight(
+        statement=f"{name} is {'- and '.join(bound)}-bound",
+        workload=run.result.workload,
+        evidence={},
+    )

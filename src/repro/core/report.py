@@ -1,0 +1,101 @@
+"""Text rendering of the paper's figures: operator-span timelines plus
+resource panels, and mean±std bar tables.
+
+The harness and the benchmarks use these to print, for every figure,
+the same content the paper plots — a Gantt of the operator plan over
+the run window and the aggregated resource usage, or the grouped bars
+of an execution-time figure.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence
+
+from ..engines.common.execution import OperatorSpan
+from ..monitoring.metrics import Metric, MetricFrame
+from .correlate import CorrelatedRun
+from .scalability import ScalingSeries
+
+__all__ = ["render_span_gantt", "render_metric_panel", "render_run",
+           "render_bar_table"]
+
+_WIDTH = 72
+
+
+def render_span_gantt(spans: Sequence[OperatorSpan], start: float,
+                      end: float, width: int = _WIDTH) -> str:
+    """ASCII Gantt chart of operator spans (a plan panel)."""
+    if end <= start:
+        raise ValueError("empty window")
+    scale = width / (end - start)
+    lines = []
+    seen = set()
+    for span in spans:
+        if span.iteration is not None and span.key in seen:
+            continue  # collapse repeated per-iteration spans to the first
+        seen.add(span.key)
+        lo = int((span.start - start) * scale)
+        hi = max(lo + 1, int((span.end - start) * scale))
+        bar = " " * lo + "#" * (hi - lo)
+        label = f"{span.key:>6s} |{bar:<{width}}| {span.duration:8.1f}s"
+        lines.append(label)
+    return "\n".join(lines)
+
+
+def render_metric_panel(frame: MetricFrame, height: int = 5,
+                        width: int = _WIDTH) -> str:
+    """Downsampled ASCII area chart of one metric panel."""
+    if not frame.mean:
+        return "(no samples)"
+    n = len(frame.mean)
+    bucket = max(1, n // width)
+    cols = [max(frame.mean[i:i + bucket]) for i in range(0, n, bucket)][:width]
+    top = max(cols) or 1.0
+    rows = []
+    for level in range(height, 0, -1):
+        cut = top * (level - 0.5) / height
+        rows.append("".join("#" if v >= cut else " " for v in cols))
+    unit = "%" if frame.metric.value.endswith("percent") else " MiB/s"
+    header = f"{frame.metric.value} (peak {top:.1f}{unit})"
+    return header + "\n" + "\n".join(rows)
+
+
+def render_run(run: CorrelatedRun, metrics: Optional[List[Metric]] = None,
+               width: int = _WIDTH) -> str:
+    """Full figure: operator plan + resource panels, like Fig. 3."""
+    result = run.result
+    parts = [
+        f"=== {result.engine} {result.workload} on {result.nodes} nodes: "
+        f"{result.duration:.1f}s ===",
+        render_span_gantt(result.spans, result.start, result.end, width),
+    ]
+    for metric in metrics or [Metric.CPU_PERCENT, Metric.DISK_UTIL_PERCENT,
+                              Metric.DISK_IO_MIBS, Metric.NETWORK_MIBS]:
+        parts.append(render_metric_panel(run.frame(metric), width=width))
+    return "\n\n".join(parts)
+
+
+def render_bar_table(series: Iterable[ScalingSeries],
+                     title: str = "") -> str:
+    """Execution-time figure as a table: one row per node count."""
+    series = list(series)
+    if not series:
+        return "(no series)"
+    nodes = sorted({n for s in series for n in s.nodes})
+    header = f"{'nodes':>6s} " + " ".join(
+        f"{s.engine + ' mean(s)':>16s} {'std':>8s}" for s in series)
+    lines = [title, header] if title else [header]
+    for n in nodes:
+        cells = []
+        for s in series:
+            if n in s.nodes:
+                i = s.nodes.index(n)
+                mean, std = s.means[i], s.stds[i]
+                cell = (f"{mean:16.1f} {std:8.1f}"
+                        if not math.isnan(mean) else f"{'FAILED':>16s} {'-':>8s}")
+            else:
+                cell = f"{'-':>16s} {'-':>8s}"
+            cells.append(cell)
+        lines.append(f"{n:6d} " + " ".join(cells))
+    return "\n".join(lines)

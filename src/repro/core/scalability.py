@@ -1,0 +1,114 @@
+"""Strong and weak scalability analysis (paper §V, §VI).
+
+The batch experiments validate *weak* scalability (fixed problem size
+per node, growing cluster) and *strong* scalability (fixed total
+problem, growing cluster / growing dataset on a fixed cluster).  This
+module turns series of :class:`~repro.harness.runner.TrialStats` into
+the quantities the paper reasons about: speedup, parallel efficiency,
+who-wins-by-how-much, and crossover points.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Sequence
+
+if TYPE_CHECKING:  # avoid a circular import; duck-typed at runtime
+    from ..harness.runner import TrialStats
+
+__all__ = ["ScalingSeries", "ComparisonPoint", "compare_engines",
+           "weak_scaling_efficiency", "strong_scaling_speedup",
+           "strong_scaling_efficiency"]
+
+
+@dataclass
+class ScalingSeries:
+    """One engine's mean duration as a function of cluster size."""
+
+    engine: str
+    nodes: List[int]
+    means: List[float]
+    stds: List[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(self.nodes) != len(self.means):
+            raise ValueError("nodes and means must align")
+        if self.nodes != sorted(self.nodes):
+            raise ValueError("nodes must be ascending")
+        if not self.stds:
+            self.stds = [0.0] * len(self.nodes)
+
+    @classmethod
+    def from_trials(cls, trials: Sequence["TrialStats"]) -> "ScalingSeries":
+        trials = sorted(trials, key=lambda t: t.nodes)
+        if not trials:
+            raise ValueError("no trials")
+        return cls(engine=trials[0].engine,
+                   nodes=[t.nodes for t in trials],
+                   means=[t.mean for t in trials],
+                   stds=[t.std for t in trials])
+
+    def at(self, nodes: int) -> float:
+        return self.means[self.nodes.index(nodes)]
+
+    def variability(self) -> float:
+        """Mean coefficient of variation across the series (run-to-run
+        variance, the quantity behind the paper's Tera Sort remark)."""
+        cvs = [s / m for s, m in zip(self.stds, self.means)
+               if m > 0 and not math.isnan(m)]
+        return sum(cvs) / len(cvs) if cvs else 0.0
+
+
+def strong_scaling_speedup(series: ScalingSeries) -> List[float]:
+    """Speedup relative to the smallest cluster in the series."""
+    base_nodes, base_time = series.nodes[0], series.means[0]
+    return [base_time / t if t > 0 else math.nan for t in series.means]
+
+
+def strong_scaling_efficiency(series: ScalingSeries) -> List[float]:
+    """Speedup normalised by the added resources."""
+    base = series.nodes[0]
+    return [s / (n / base) for s, n
+            in zip(strong_scaling_speedup(series), series.nodes)]
+
+
+def weak_scaling_efficiency(series: ScalingSeries) -> List[float]:
+    """T(smallest)/T(n) under fixed per-node work: 1.0 is perfect."""
+    base_time = series.means[0]
+    return [base_time / t if t > 0 else math.nan for t in series.means]
+
+
+@dataclass
+class ComparisonPoint:
+    """Spark vs Flink at one scale."""
+
+    nodes: int
+    flink: float
+    spark: float
+
+    @property
+    def winner(self) -> str:
+        if math.isnan(self.flink):
+            return "spark"
+        if math.isnan(self.spark):
+            return "flink"
+        return "flink" if self.flink <= self.spark else "spark"
+
+    @property
+    def advantage(self) -> float:
+        """Loser time / winner time (>= 1); the paper's "1.5x" numbers."""
+        lo, hi = sorted([self.flink, self.spark])
+        if lo <= 0 or math.isnan(lo) or math.isnan(hi):
+            return math.nan
+        return hi / lo
+
+
+def compare_engines(flink: ScalingSeries, spark: ScalingSeries
+                    ) -> List[ComparisonPoint]:
+    """Pointwise Spark-vs-Flink comparison on the common node counts."""
+    common = sorted(set(flink.nodes) & set(spark.nodes))
+    if not common:
+        raise ValueError("series share no node counts")
+    return [ComparisonPoint(nodes=n, flink=flink.at(n), spark=spark.at(n))
+            for n in common]

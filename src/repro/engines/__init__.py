@@ -1,0 +1,5 @@
+"""Engine models: Spark (staged) and Flink (pipelined) on one substrate."""
+
+from .common.result import EngineRunResult
+
+__all__ = ["EngineRunResult"]

@@ -1,0 +1,19 @@
+"""Operator algebra, cost model and execution machinery shared by engines."""
+
+from .costs import DEFAULT_COSTS, CostModel
+from .execution import (ChunkQueue, JobFailedError, JobResult, OperatorSpan,
+                        PhaseExecutor, PhaseResources, PhaseSpec,
+                        uniform_resources)
+from .operators import LogicalPlan, Op, OpKind, PlanValidationError
+from .planning import Segment, combined_output, expected_distinct, split_segments
+from .serialization import Serializer, SerializerProfile, serializer_profile
+from .stats import DataStats
+
+__all__ = [
+    "ChunkQueue", "CostModel", "DEFAULT_COSTS", "DataStats",
+    "JobFailedError", "JobResult", "LogicalPlan", "Op", "OpKind",
+    "OperatorSpan", "PhaseExecutor", "PhaseResources", "PhaseSpec",
+    "PlanValidationError", "Segment", "Serializer", "SerializerProfile",
+    "combined_output", "expected_distinct", "serializer_profile",
+    "split_segments", "uniform_resources",
+]

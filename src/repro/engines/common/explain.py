@@ -1,0 +1,125 @@
+"""Dry-run plan explanation: what each engine *would* execute.
+
+``explain(engine, plan)`` compiles a logical plan the way the engine's
+scheduler/optimizer does — stage splitting and span merging for Spark,
+chaining/pipelining and combiner injection for Flink — and renders the
+physical structure without running the simulation.  This mirrors the
+paper's methodology step "we plot the execution plan with different
+parameter settings" (§V).
+"""
+
+from __future__ import annotations
+
+from .operators import LogicalPlan, Op, OpKind
+from .planning import chain_label, combined_output, split_segments
+
+__all__ = ["explain_spark", "explain_flink"]
+
+
+def _fmt_bytes(n: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if n < 1024 or unit == "TiB":
+            return f"{n:.1f} {unit}"
+        n /= 1024
+    return f"{n:.1f} TiB"
+
+
+def explain_spark(plan: LogicalPlan, config, costs, num_nodes: int,
+                  hdfs_block_size: float) -> str:
+    """Describe the staged execution Spark's DAG scheduler would build."""
+    from ..spark.shuffle import plan_shuffle
+
+    lines = [f"== Spark physical plan: {plan.name} "
+             f"({num_nodes} nodes, parallelism "
+             f"{config.default_parallelism})"]
+    stage_no = 0
+
+    def emit_segments(segments, indent: str, scale: float = 1.0) -> None:
+        nonlocal stage_no
+        for si, segment in enumerate(segments):
+            if segment.head.is_iteration:
+                it = segment.head
+                lines.append(f"{indent}loop x{it.iterations} "
+                             f"(unrolled: new tasks every iteration):")
+                emit_segments(split_segments(it.body), indent + "  ")
+                continue
+            stage_no += 1
+            compute = [op for op in segment.ops
+                       if op.kind is not OpKind.SINK and not op.is_action]
+            label = chain_label(compute) or "shuffle"
+            if segment.starts_with_shuffle:
+                tasks = segment.head.partitions or config.default_parallelism
+                src = "shuffle read"
+            elif segment.head.kind is OpKind.SOURCE:
+                tasks = max(1, int(segment.input_stats.total_bytes //
+                                   hdfs_block_size))
+                src = "HDFS scan"
+            else:
+                tasks = config.default_parallelism
+                src = "parent RDD"
+            lines.append(f"{indent}stage {stage_no}: {label} "
+                         f"[{tasks} tasks, input: {src}]")
+            next_seg = segments[si + 1] if si + 1 < len(segments) else None
+            if next_seg is not None and next_seg.head.wide:
+                wide = next_seg.head
+                data = segment.out_stats
+                if wide.combinable:
+                    data = combined_output(
+                        data, max(tasks, 1),
+                        pair_bytes=data.record_bytes * wide.bytes_ratio)
+                spec = plan_shuffle(data, config, costs, num_nodes,
+                                    binary=wide.binary_format)
+                combine = " (map-side combine)" if wide.combinable else ""
+                lines.append(f"{indent}  -> shuffle write "
+                             f"{_fmt_bytes(spec.wire_bytes)}{combine}, "
+                             f"barrier")
+            for op in segment.ops:
+                if op.kind is OpKind.SINK:
+                    lines.append(f"{indent}  -> action: save ({op.name})")
+                elif op.is_action:
+                    lines.append(f"{indent}  -> action: {op.name} "
+                                 f"(driver collects)")
+                if op.cached:
+                    lines.append(f"{indent}  -> persist: {op.name} "
+                                 f"(MEMORY, block manager)")
+    emit_segments(split_segments(plan), "  ")
+    return "\n".join(lines)
+
+
+def explain_flink(plan: LogicalPlan, config, num_nodes: int) -> str:
+    """Describe the pipelined job graph Flink's optimizer would build."""
+    slots = max(1, -(-config.default_parallelism // num_nodes))
+    lines = [f"== Flink job graph: {plan.name} "
+             f"({num_nodes} nodes, parallelism "
+             f"{config.default_parallelism}, {slots} slots/node, "
+             f"{config.network_buffers} network buffers)"]
+
+    def emit_segments(segments, indent: str) -> None:
+        for si, segment in enumerate(segments):
+            if segment.head.is_iteration:
+                it = segment.head
+                native = ("delta iteration (shrinking workset)"
+                          if it.kind is OpKind.DELTA_ITERATION
+                          else "bulk iteration (cyclic dataflow)")
+                lines.append(f"{indent}{native} x{it.iterations}, "
+                             f"scheduled once:")
+                emit_segments(split_segments(it.body), indent + "  ")
+                continue
+            compute = [op for op in segment.ops
+                       if op.kind is not OpKind.SINK and not op.is_action]
+            next_seg = segments[si + 1] if si + 1 < len(segments) else None
+            tail = None
+            if next_seg is not None and next_seg.head.combinable:
+                tail = "GroupCombine"
+            label = chain_label(compute, extra_tail=tail) or "chain"
+            coupling = ("| shuffle (pipelined over network buffers)"
+                        if segment.starts_with_shuffle else "| chained")
+            lines.append(f"{indent}{label} {coupling}")
+            if tail:
+                lines.append(f"{indent}  (optimizer chained a sort-based "
+                             f"combiner)")
+            for op in segment.ops:
+                if op.kind is OpKind.SINK or op.is_action:
+                    lines.append(f"{indent}DataSink ({op.name}) | chained")
+    emit_segments(split_segments(plan), "  ")
+    return "\n".join(lines)

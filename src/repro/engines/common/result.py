@@ -1,0 +1,67 @@
+"""Engine run results: what one framework execution reports back.
+
+An :class:`EngineRunResult` corresponds to one framework execution of
+one workload (possibly several framework *jobs*, e.g. Flink's separate
+vertex-count job in Page Rank).  It carries enough structure for every
+figure in the paper: end-to-end duration, per-job durations (Table VII
+separates *Load* from *Iter.*), operator spans (the plan panels) and a
+failure record (Table VII's ``no`` entries).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .execution import JobResult, OperatorSpan
+
+__all__ = ["EngineRunResult"]
+
+
+@dataclass
+class EngineRunResult:
+    engine: str
+    workload: str
+    nodes: int
+    success: bool
+    start: float = 0.0
+    end: float = math.nan
+    jobs: List[JobResult] = field(default_factory=list)
+    failure: Optional[str] = None
+    #: Free-form counters (shuffled bytes, spilled bytes, gc factor...).
+    metrics: Dict[str, float] = field(default_factory=dict)
+    #: Physical barrier windows (start, end): one per executed stage on
+    #: Spark (display spans may merge several); empty for pipelined
+    #: Flink jobs.  Used by the failure-recovery analysis.
+    stage_windows: List[tuple] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        if not self.success:
+            return math.nan
+        return self.end - self.start
+
+    @property
+    def spans(self) -> List[OperatorSpan]:
+        return [span for job in self.jobs for span in job.spans]
+
+    def job_duration(self, name: str) -> float:
+        for job in self.jobs:
+            if job.name == name:
+                return job.duration
+        raise KeyError(f"no job {name!r}; have {[j.name for j in self.jobs]}")
+
+    def span(self, key: str) -> OperatorSpan:
+        for s in self.spans:
+            if s.key == key:
+                return s
+        raise KeyError(f"no span {key!r}; have {[s.key for s in self.spans]}")
+
+    def describe(self) -> str:
+        """One-line human summary, as the harness logs it."""
+        if not self.success:
+            return (f"{self.engine} {self.workload} on {self.nodes} nodes: "
+                    f"FAILED ({self.failure})")
+        return (f"{self.engine} {self.workload} on {self.nodes} nodes: "
+                f"{self.duration:.1f}s in {len(self.jobs)} job(s)")

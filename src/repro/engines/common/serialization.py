@@ -1,0 +1,63 @@
+"""Serializer cost models (paper §IV-D).
+
+Serialization is one of the four parameter groups the paper singles
+out.  Flink "peeks into the user data types … and exploits this
+information for better internal serialization; hence, no configuration
+is needed"; Spark defaults to Java serialization and can be switched to
+Kryo, "which can be more efficient, trading speed for CPU cycles".
+
+We model a serializer as two multipliers applied wherever records cross
+a process/disk/network boundary:
+
+* ``cpu_factor``   — extra CPU per serialized byte (1.0 = Flink's
+  type-specialised serializer, the fastest of the three);
+* ``bytes_factor`` — on-the-wire size inflation relative to the
+  type-specialised binary encoding (Java object streams carry class
+  descriptors and references).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["Serializer", "SerializerProfile", "serializer_profile"]
+
+
+class Serializer(enum.Enum):
+    """The three serialization stacks that appear in the paper."""
+
+    JAVA = "java"              # Spark default (spark.serializer)
+    KRYO = "kryo"              # Spark optional, via the Kryo library
+    FLINK_TYPED = "flink"      # Flink TypeInformation-based serializers
+
+
+@dataclass(frozen=True)
+class SerializerProfile:
+    serializer: Serializer
+    cpu_factor: float
+    bytes_factor: float
+
+    def __post_init__(self) -> None:
+        if self.cpu_factor < 1.0:
+            raise ValueError("cpu_factor is relative to the fastest stack "
+                             "and must be >= 1.0")
+        if self.bytes_factor < 1.0:
+            raise ValueError("bytes_factor must be >= 1.0")
+
+
+_PROFILES = {
+    # Baseline: Flink's type-specialised serializers write compact binary
+    # and avoid reflection entirely.
+    Serializer.FLINK_TYPED: SerializerProfile(Serializer.FLINK_TYPED, 1.0, 1.0),
+    # Kryo: registration-based, compact, but still generic-path dispatch.
+    Serializer.KRYO: SerializerProfile(Serializer.KRYO, 1.20, 1.10),
+    # Java object serialization: reflection + verbose stream format.  The
+    # paper compensated by giving Spark more memory "because of its use
+    # of the Java serializer".
+    Serializer.JAVA: SerializerProfile(Serializer.JAVA, 1.55, 1.45),
+}
+
+
+def serializer_profile(serializer: Serializer) -> SerializerProfile:
+    return _PROFILES[serializer]

@@ -1,0 +1,68 @@
+"""Statistical descriptors of distributed datasets.
+
+The simulator never materialises records at cluster scale; each edge of
+a logical plan carries a :class:`DataStats` describing the stream that
+would flow there — record count, average record size, number of
+distinct keys (for aggregations) — exactly the statistics a cost-based
+optimizer reasons about.  Operators transform stats; cost models read
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["DataStats"]
+
+
+@dataclass(frozen=True)
+class DataStats:
+    """Size and shape of a (simulated) distributed dataset."""
+
+    records: float
+    record_bytes: float
+    key_cardinality: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.records < 0:
+            raise ValueError(f"records must be >= 0, got {self.records}")
+        if self.record_bytes < 0:
+            raise ValueError(
+                f"record_bytes must be >= 0, got {self.record_bytes}")
+        if self.key_cardinality < 0:
+            raise ValueError(
+                f"key_cardinality must be >= 0, got {self.key_cardinality}")
+
+    @property
+    def total_bytes(self) -> float:
+        return self.records * self.record_bytes
+
+    @classmethod
+    def from_bytes(cls, total_bytes: float, record_bytes: float,
+                   key_cardinality: float = 0.0) -> "DataStats":
+        if record_bytes <= 0:
+            raise ValueError("record_bytes must be positive")
+        return cls(records=total_bytes / record_bytes,
+                   record_bytes=record_bytes,
+                   key_cardinality=key_cardinality)
+
+    def scaled(self, record_factor: float = 1.0,
+               bytes_factor: float = 1.0) -> "DataStats":
+        """Apply an operator's selectivity / byte-ratio."""
+        return replace(
+            self,
+            records=self.records * record_factor,
+            record_bytes=self.record_bytes * bytes_factor,
+            key_cardinality=min(self.key_cardinality,
+                                self.records * record_factor)
+            if self.key_cardinality else 0.0,
+        )
+
+    def with_keys(self, key_cardinality: float) -> "DataStats":
+        return replace(self, key_cardinality=key_cardinality)
+
+    def combined_to_keys(self) -> "DataStats":
+        """Collapse to one record per distinct key (a full aggregation)."""
+        if self.key_cardinality <= 0:
+            return self
+        return replace(self, records=min(self.records, self.key_cardinality))

@@ -1,0 +1,6 @@
+"""The simulated Apache Flink 0.10 engine."""
+
+from .engine import FlinkEngine
+from .memory import FlinkMemoryModel
+
+__all__ = ["FlinkEngine", "FlinkMemoryModel"]

@@ -1,0 +1,432 @@
+"""The Flink 0.10 execution model.
+
+Flink compiles the whole program into one job graph, schedules it
+*once*, and streams data between operators through network buffers —
+"data is flowing in cycles around the operators within an iteration"
+(paper §II-C).  The executable differences from Spark, each of which
+the paper ties to an observed result:
+
+* **pipelined execution**: consecutive operator groups are coupled by
+  bounded chunk queues instead of stage barriers (single-stage Tera
+  Sort timeline, Fig. 9 left; also the source of disk read/write
+  interference and run-to-run variance, §VI-C);
+* **sort-based combiner**: grouping collects records in a managed
+  buffer and sorts it when full — the anti-cyclic CPU/disk pattern of
+  Fig. 3 — implemented here as a blocking-free phase whose disk spills
+  alternate with CPU;
+* **native iterations**: bulk iterations re-run the pipeline body with
+  only a superstep barrier between rounds; delta iterations shrink the
+  workset per round (``workset_activity``), "the work in each iteration
+  decreases as the number of iterations goes on";
+* **managed memory**: operators spill instead of dying — except the
+  iteration CoGroup solution set (Table VII), checked before launch;
+* **mandatory resources**: the job fails up front when parallelism
+  exceeds task slots or the configured network buffers cannot hold the
+  shuffle fan-out, both reported verbatim in the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from ...cluster.topology import Cluster
+from ...config.parameters import FlinkConfig
+from ...hdfs.filesystem import HDFS
+from ..common.costs import DEFAULT_COSTS, CostModel
+from ..common.execution import (JobFailedError, JobResult, OperatorSpan,
+                                PhaseExecutor, PhaseSpec, uniform_resources)
+from ..common.operators import LogicalPlan, Op, OpKind
+from ..common.planning import (Segment, chain_key, chain_label,
+                               combined_output, split_segments)
+from ..common.result import EngineRunResult
+from ..common.serialization import Serializer, serializer_profile
+from ..common.stats import DataStats
+from .memory import FlinkMemoryModel
+
+__all__ = ["FlinkEngine"]
+
+
+class FlinkEngine:
+    """Simulated Flink 0.10.2 standalone deployment."""
+
+    name = "flink"
+
+    def __init__(self, cluster: Cluster, hdfs: HDFS, config: FlinkConfig,
+                 costs: CostModel = DEFAULT_COSTS,
+                 chunks_per_phase: int = 12) -> None:
+        self.cluster = cluster
+        self.hdfs = hdfs
+        self.config = config
+        self.costs = costs
+        self.memory = FlinkMemoryModel(config, costs, cluster.num_nodes)
+        self.executor = PhaseExecutor(
+            cluster, hdfs, chunks_per_phase=chunks_per_phase,
+            queue_depth=self._queue_depth(),
+            jitter_sigma=costs.jitter_sigma,
+            io_interference_sigma=costs.io_interference_sigma,
+            io_interference_penalty=costs.io_interference_penalty,
+        )
+        self.metrics = {"shuffle_wire_bytes": 0.0, "spill_bytes": 0.0,
+                        "supersteps": 0.0}
+        self.profile = serializer_profile(Serializer.FLINK_TYPED)
+
+    def _queue_depth(self) -> int:
+        """Pipeline depth sustained by the configured network buffers.
+
+        Plentiful buffers let more chunks be in flight between producer
+        and consumer; scarce (but sufficient) buffers throttle the
+        pipeline to lock-step.
+        """
+        per_link = self.config.network_buffers / max(
+            1, self.config.default_parallelism * 8)
+        return max(1, min(4, int(per_link)))
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def run(self, plan: LogicalPlan) -> EngineRunResult:
+        result = EngineRunResult(engine=self.name, workload=plan.name,
+                                 nodes=self.cluster.num_nodes, success=True,
+                                 start=self.cluster.now)
+        try:
+            self._preflight(plan)
+            self.cluster.run_process(self._job(plan, result))
+            result.end = self.cluster.now
+        except JobFailedError as err:
+            result.success = False
+            result.failure = str(err)
+            result.end = self.cluster.now
+        result.metrics.update(self.metrics)
+        return result
+
+    def explain(self, plan: LogicalPlan) -> str:
+        """Describe the pipelined job graph the optimizer would build,
+        without executing anything."""
+        from ..common.explain import explain_flink
+        return explain_flink(plan, self.config, self.cluster.num_nodes)
+
+    # ------------------------------------------------------------------
+    # pre-flight checks (Flink fails fast on misconfiguration)
+    # ------------------------------------------------------------------
+    def _preflight(self, plan: LogicalPlan) -> None:
+        n = self.cluster.num_nodes
+        slots_needed = math.ceil(self.config.default_parallelism / n)
+        if slots_needed > self.config.task_slots:
+            raise JobFailedError(
+                f"insufficient task slots: parallelism "
+                f"{self.config.default_parallelism} needs {slots_needed} "
+                f"slots/node but only {self.config.task_slots} configured")
+        shuffles = self._count_shuffles(plan)
+        if shuffles:
+            required = (self.slots_per_node * self.config.default_parallelism
+                        * shuffles)
+            if required > self.config.network_buffers:
+                raise JobFailedError(
+                    f"insufficient network buffers: job needs ~{required} "
+                    f"but taskmanager.network.numberOfBuffers={self.config.network_buffers}; "
+                    f"increase flink.nw.buffers (the paper had to)")
+        # Iteration solution-set residency (Table VII).
+        for op in plan.ops:
+            if op.is_iteration and op.side_input is not None and op.body \
+                    and any(b.kind is OpKind.CO_GROUP for b in op.body.ops):
+                state = (op.side_input.records *
+                         self.costs.flink_iteration_edge_state_bytes)
+                self.memory.check_iteration_state(
+                    state, self.slots_per_node,
+                    context=f"{plan.name}:{op.name}")
+
+    @property
+    def slots_per_node(self) -> int:
+        return max(1, math.ceil(self.config.default_parallelism /
+                                self.cluster.num_nodes))
+
+    @staticmethod
+    def _count_shuffles(plan: LogicalPlan) -> int:
+        count = sum(1 for op in plan.ops if op.wide)
+        for op in plan.ops:
+            if op.body is not None:
+                count += sum(1 for b in op.body.ops if b.wide)
+        return count
+
+    # ------------------------------------------------------------------
+    # job execution
+    # ------------------------------------------------------------------
+    def _job(self, plan: LogicalPlan, result: EngineRunResult):
+        yield self.cluster.sim.timeout(self.costs.flink_job_deploy)
+        segments = split_segments(plan)
+        job_start = self.cluster.now
+        spans: List[OperatorSpan] = []
+
+        # Split the pipeline at iteration operators: phases before an
+        # iteration pipeline together, the iteration runs its own loop,
+        # phases after pipeline together again.
+        groups: List[List[Segment]] = [[]]
+        for seg in segments:
+            if seg.head.is_iteration:
+                groups.append([seg])
+                groups.append([])
+            else:
+                groups[-1].append(seg)
+
+        for group in groups:
+            if not group:
+                continue
+            if group[0].head.is_iteration:
+                yield from self._run_iteration(group[0].head, spans)
+            else:
+                phases = self._compile_pipeline(group)
+                job = yield from self.executor.run_pipelined(
+                    plan.name, phases)
+                spans.extend(job.spans)
+        result.jobs.append(JobResult(name=plan.name, start=job_start,
+                                     end=self.cluster.now, spans=spans))
+
+    # ------------------------------------------------------------------
+    # pipeline compilation
+    # ------------------------------------------------------------------
+    def _compile_pipeline(self, segments: List[Segment],
+                          scale: float = 1.0,
+                          in_memory_input: bool = False) -> List[PhaseSpec]:
+        """Compile narrow-chain segments into coupled pipelined phases."""
+        phases: List[PhaseSpec] = []
+        for si, segment in enumerate(segments):
+            next_wide = None
+            if si + 1 < len(segments) and segments[si + 1].head.wide:
+                next_wide = segments[si + 1].head
+            subs = self._split_at_sort(segment)
+            for sub_i, sub in enumerate(subs):
+                phases.extend(self._compile_segment(
+                    sub, next_wide if sub_i == len(subs) - 1 else None,
+                    scale,
+                    in_memory_input=in_memory_input and si == 0
+                    and sub_i == 0))
+        return phases
+
+    @staticmethod
+    def _split_at_sort(segment: Segment) -> List[Segment]:
+        """A sortPartition is its own operator in Flink's plan (the
+        ``SM=Sort-Partition->Map`` span of Fig. 9): cut the chain there
+        so the sorter appears as a separate, pipelined-but-blocking
+        phase."""
+        cut = next((i for i, op in enumerate(segment.ops)
+                    if op.kind is OpKind.SORT_PARTITION and i > 0), None)
+        if cut is None:
+            return [segment]
+        first = Segment(ops=segment.ops[:cut],
+                        in_stats=segment.in_stats[:cut],
+                        out_stats=segment.in_stats[cut],
+                        starts_with_shuffle=segment.starts_with_shuffle)
+        second = Segment(ops=segment.ops[cut:],
+                         in_stats=segment.in_stats[cut:],
+                         out_stats=segment.out_stats,
+                         starts_with_shuffle=False)
+        return [first, second]
+
+    def _compile_segment(self, segment: Segment, next_wide: Optional[Op],
+                         scale: float, in_memory_input: bool = False
+                         ) -> List[PhaseSpec]:
+        n = self.cluster.num_nodes
+        slots = self.slots_per_node
+        cpu = 0.0
+        disk_read = 0.0
+        disk_write = 0.0
+        net_in = 0.0
+        net_out = 0.0
+        cyclic_disk = 0.0
+        working_per_node = 0.0
+
+        compute_ops = [op for op in segment.ops
+                       if op.kind is not OpKind.SINK and not op.is_action]
+        tail_ops = [op for op in segment.ops
+                    if op.kind is OpKind.SINK or op.is_action]
+
+        input_stats = segment.input_stats
+        input_bytes = input_stats.total_bytes * scale
+        head_bytes_override: Optional[float] = None
+        if segment.starts_with_shuffle:
+            # Pipelined repartitioning: data crosses the wire as it is
+            # produced; no shuffle files on disk (unlike Spark).
+            if segment.head.combinable:
+                # The chained GroupCombine upstream already shrank the
+                # stream; only combined pairs travel.
+                combined = combined_output(
+                    input_stats, self.config.default_parallelism,
+                    pair_bytes=input_stats.record_bytes *
+                    segment.head.bytes_ratio)
+                wire = combined.total_bytes * scale
+                head_bytes_override = wire
+            else:
+                wire = input_bytes
+            cross = wire * (1.0 - 1.0 / n)
+            net_in += cross
+            net_out += cross
+            cpu += 2 * wire / (self.costs.serialization_rate /
+                               self.profile.cpu_factor)
+            self.metrics["shuffle_wire_bytes"] += wire
+            # Receiving sorters/aggregators may spill.
+            if any(op.kind in (OpKind.GROUP_REDUCE, OpKind.JOIN,
+                               OpKind.CO_GROUP, OpKind.SORT_PARTITION)
+                   or op.combinable for op in compute_ops):
+                spill = self.memory.spill_bytes(wire / n) * n
+                disk_read += spill
+                disk_write += spill
+                self.metrics["spill_bytes"] += spill
+            working_per_node += min(wire / n,
+                                    self.memory.sort_budget_per_node())
+        elif in_memory_input:
+            cpu += input_bytes / (1200 * 2**20)
+        elif segment.head.kind is OpKind.SOURCE:
+            disk_read += input_bytes
+            # DataSource parallelism is bounded by the input splits:
+            # fewer HDFS blocks than slots leaves slots idle (same
+            # physics that throttles Spark's scan stages).
+            splits_per_node = (input_bytes / self.hdfs.block_size) / n
+            slots = max(1, min(slots, math.ceil(splits_per_node)))
+        elif segment.head.kind is OpKind.SORT_PARTITION:
+            # Piped into a sorter: overflow beyond the managed sort
+            # buffers spills to disk and is merged back.
+            spill = self.memory.spill_bytes(input_bytes / n) * n
+            disk_read += spill
+            disk_write += spill
+            self.metrics["spill_bytes"] += spill
+            working_per_node += min(input_bytes / n,
+                                    self.memory.sort_budget_per_node())
+
+        for oi, (op, op_in) in enumerate(zip(segment.ops, segment.in_stats)):
+            if op.kind in (OpKind.SOURCE, OpKind.SINK) or op.is_action:
+                continue
+            rate = self.costs.rate_for(op.kind, op.cpu_rate)
+            op_bytes = op_in.total_bytes * scale
+            if oi == 0 and head_bytes_override is not None:
+                op_bytes = head_bytes_override
+            cpu += op_bytes / rate
+            if op.side_input is not None and not op.is_iteration:
+                disk_read += op.side_input.total_bytes * scale
+                cpu += op.side_input.total_bytes * scale / rate
+
+        out_stats = segment.out_stats
+        assert out_stats is not None
+        combine_tail: Optional[str] = None
+        if next_wide is not None and next_wide.combinable:
+            # The optimizer chains a sort-based GroupCombine onto this
+            # segment (the "DC=DataSource->FlatMap->GroupCombine" chain).
+            combine_tail = "GroupCombine"
+            data_bytes = out_stats.total_bytes * scale
+            cpu += data_bytes / self.costs.rate_for(next_wide.kind,
+                                                    next_wide.cpu_rate)
+            # Anti-cyclic spill behaviour: the combiner sorts a managed
+            # buffer and drains it; spill I/O appears even when memory
+            # suffices because full buffers are flushed, and it strictly
+            # alternates with the sorting CPU (Fig. 3's signature).
+            cyclic_disk += data_bytes * 0.20
+            working_per_node += min(data_bytes / n,
+                                    self.memory.sort_budget_per_node())
+
+        cpu *= self.memory.gc_cpu_factor(working_per_node)
+        cpu *= self.costs.flink_pipeline_cpu_overhead
+
+        name = chain_label(compute_ops, extra_tail=combine_tail)
+        blocking = any(op.kind is OpKind.SORT_PARTITION
+                       for op in compute_ops)
+        phases = [PhaseSpec(
+            name=name or "chain",
+            key=chain_key(name) or "C",
+            per_node=uniform_resources(
+                n, cpu_core_seconds=cpu, cpu_slots=float(slots),
+                disk_read_bytes=disk_read, disk_write_bytes=disk_write,
+                net_in_bytes=net_in, net_out_bytes=net_out,
+                cyclic_disk_bytes=cyclic_disk,
+                memory_bytes=working_per_node),
+            blocking=blocking,
+            anti_cyclic=combine_tail is not None,
+        )]
+        for op in tail_ops:
+            idx = segment.ops.index(op)
+            phases.append(self._compile_tail(op, segment.in_stats[idx],
+                                             scale))
+        return phases
+
+    def _compile_tail(self, op: Op, in_stats: DataStats,
+                      scale: float) -> PhaseSpec:
+        """Sinks and actions become a DataSink phase.
+
+        Flink 0.10's ``count`` is not a cheap local fold: the records
+        funnel through a single-slot accumulator per node — the
+        "inefficient use of the resources in the latter phase" the
+        paper observes for Grep (§VI-B, Fig. 6).
+        """
+        n = self.cluster.num_nodes
+        in_bytes = in_stats.total_bytes * scale
+        if op.kind is OpKind.SINK:
+            cpu = in_bytes / self.costs.serialization_rate
+            return PhaseSpec(
+                name="DataSink", key="DS",
+                per_node=uniform_resources(
+                    n, cpu_core_seconds=cpu,
+                    cpu_slots=float(self.slots_per_node),
+                    hdfs_write_bytes=in_bytes,
+                    hdfs_replication=op.sink_replication))
+        if op.kind is OpKind.COUNT:
+            cpu = in_bytes / self.costs.flink_count_rate
+            return PhaseSpec(
+                name="DataSink", key="DS",
+                per_node=uniform_resources(
+                    n, cpu_core_seconds=cpu, cpu_slots=1.0,
+                    net_in_bytes=in_bytes * 0.5,
+                    net_out_bytes=in_bytes * 0.5))
+        cpu = in_bytes / self.costs.rate_for(op.kind, op.cpu_rate)
+        return PhaseSpec(
+            name="DataSink", key="DS",
+            per_node=uniform_resources(
+                n, cpu_core_seconds=cpu, cpu_slots=2.0,
+                net_out_bytes=in_bytes / max(n, 1)))
+
+    # ------------------------------------------------------------------
+    # native iterations
+    # ------------------------------------------------------------------
+    def _run_iteration(self, it_op: Op, spans: List[OperatorSpan]):
+        body = it_op.body
+        assert body is not None
+        delta = it_op.kind is OpKind.DELTA_ITERATION
+        # The solution set / adjacency stays resident in managed memory
+        # for the whole iteration ("the memory remains constant" during
+        # Flink's iterations, §VI-E).
+        if it_op.side_input is not None:
+            state_per_node = (it_op.side_input.records *
+                              self.costs.flink_iteration_edge_state_bytes /
+                              self.cluster.num_nodes)
+            for node in self.cluster.nodes:
+                node.memory.try_reserve(state_per_node)
+        body_segments = split_segments(body)
+        iter_start = self.cluster.now
+        merged: dict = {}
+        sync_total = 0.0
+        for i in range(1, it_op.iterations + 1):
+            activity = (it_op.workset_activity(i)
+                        if it_op.workset_activity else 1.0)
+            if delta and it_op.workset_activity is None:
+                activity = 1.0 / i  # generic shrinking workset
+            phases = self._compile_pipeline(body_segments, scale=activity,
+                                            in_memory_input=True)
+            job = yield from self.executor.run_pipelined(
+                f"superstep-{i}", phases)
+            self.metrics["supersteps"] += 1
+            for span in job.spans:
+                slot = merged.setdefault(
+                    span.key, OperatorSpan(span.key, span.name,
+                                           span.start, span.end))
+                slot.start = min(slot.start, span.start)
+                slot.end = max(slot.end, span.end)
+            yield self.cluster.sim.timeout(self.costs.flink_superstep_sync)
+            sync_total += self.costs.flink_superstep_sync
+        iter_end = self.cluster.now
+        head_name = ("Workset" if delta else "BulkPartialSolution")
+        head_key = "W" if delta else "B"
+        spans.append(OperatorSpan(head_key, head_name, iter_start, iter_end))
+        spans.extend(merged.values())
+        spans.append(OperatorSpan(
+            "SBI" if not delta else "DI",
+            "Sync Bulk Iteration" if not delta else "DeltaIterations",
+            iter_start, iter_start + (iter_end - iter_start)
+            if delta else iter_start + sync_total))

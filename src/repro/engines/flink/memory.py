@@ -1,0 +1,88 @@
+"""Flink's managed-memory model.
+
+Flink 0.10 allocates a fixed fraction of each task manager's memory as
+*managed memory* — binary pages used for sorting, hash tables and
+caching of intermediate results, optionally off-heap.  "Most of the
+operators are implemented so that they can survive with very little
+memory (spilling to disk when necessary)" (paper §VIII) — except the
+delta-iteration CoGroup, whose solution set is memory-resident and
+killed the Large-graph runs at 27 and 44 nodes (Table VII).
+
+:class:`FlinkMemoryModel` answers three questions per node:
+
+* how much sort/hash spill a given working set causes;
+* whether an iteration's solution set fits next to the per-slot
+  operator buffers (the reason reduced parallelism saved the 97-node
+  run);
+* the (small) GC factor — Flink keeps data as packed binary pages, so
+  heap-object pressure is low, lower still off-heap.
+"""
+
+from __future__ import annotations
+
+from ...config.parameters import FlinkConfig
+from ..common.costs import CostModel
+from ..common.execution import JobFailedError
+
+__all__ = ["FlinkMemoryModel"]
+
+
+class FlinkMemoryModel:
+    """Per-node view of one task manager's memory."""
+
+    def __init__(self, config: FlinkConfig, costs: CostModel,
+                 num_nodes: int) -> None:
+        self.config = config
+        self.costs = costs
+        self.num_nodes = num_nodes
+
+    # ------------------------------------------------------------------
+    @property
+    def managed_per_node(self) -> float:
+        return self.config.managed_memory
+
+    def sort_budget_per_node(self) -> float:
+        """Managed pages available to one node's sorters (half of the
+        managed pool; the rest serves hash tables and caching)."""
+        return self.managed_per_node * 0.5
+
+    def spill_bytes(self, working_set_per_node: float) -> float:
+        """Bytes written *and re-read* when a sort overflows memory."""
+        overflow = max(0.0, working_set_per_node - self.sort_budget_per_node())
+        return overflow
+
+    # ------------------------------------------------------------------
+    def check_iteration_state(self, state_bytes_total: float,
+                              slots_used_per_node: int,
+                              context: str) -> None:
+        """Fail like FLINK-2250 if the solution set cannot stay resident.
+
+        Every active slot pins a fraction of the managed pool for its
+        own sorter/hash buffers; the solution set must fit in what
+        remains.
+        """
+        reserved = (slots_used_per_node *
+                    self.costs.flink_per_slot_memory_fraction *
+                    self.managed_per_node)
+        available = self.managed_per_node - reserved
+        per_node = state_bytes_total / self.num_nodes
+        if per_node > available:
+            raise JobFailedError(
+                f"{context}: CoGroup solution set needs "
+                f"{per_node / 2**30:.1f} GiB per node but only "
+                f"{max(available, 0) / 2**30:.1f} GiB of managed memory "
+                f"remains beside {slots_used_per_node} slot buffers; "
+                f"the solution set is computed in memory and cannot "
+                f"spill (see FLINK-2250 discussion in the paper)")
+
+    # ------------------------------------------------------------------
+    def gc_cpu_factor(self, working_set_per_node: float) -> float:
+        """Flink stores data in its dedicated memory region, so the JVM
+        heap holds few objects; off-heap mode shrinks it further."""
+        heap = self.config.heap_memory
+        if heap <= 0:
+            return 1.0
+        object_share = 0.10 if self.config.off_heap else 0.30
+        occupancy = min(1.0, working_set_per_node * object_share / heap)
+        # Quarter of Spark's pressure curve: binary pages, not objects.
+        return 1.0 + 0.25 * self.costs.gc_pressure_coeff * occupancy ** 2

@@ -1,0 +1,8 @@
+"""The simulated Apache Spark 1.5 engine."""
+
+from .engine import SparkEngine
+from .memory import CachedRdd, SparkMemoryModel
+from .shuffle import ShuffleSpec, plan_shuffle
+
+__all__ = ["CachedRdd", "ShuffleSpec", "SparkEngine", "SparkMemoryModel",
+           "plan_shuffle"]

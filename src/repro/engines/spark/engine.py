@@ -1,0 +1,427 @@
+"""The Spark 1.5 execution model.
+
+Spark compiles a logical plan into *stages* cut at wide dependencies
+(the DAG scheduler) and executes them with a cluster-wide barrier after
+each stage; iterations are regular driver for-loops executed by *loop
+unrolling* — "for each iteration a new set of tasks/operators is
+scheduled and executed" (paper §II-C) — so every iteration pays the
+task-launch and stage-scheduling overheads again.  RDD persistence is
+explicit: operators marked ``cached=True`` land in the block manager
+and iterations read them from memory.
+
+The architectural levers the paper attributes to Spark all live here:
+
+* staged (materialising) shuffle with tungsten-sort + compression;
+* Java/Kryo serialization CPU on every shuffle boundary;
+* static heap fractions, GC pressure, job death on heap overflow;
+* per-iteration scheduling overhead and driver ``collect`` round-trips;
+* GraphX-style iteration behaviour (disk-materialised intermediate
+  ranks, lineage residue growing the heap every superstep).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ...cluster.topology import Cluster
+from ...config.parameters import SparkConfig
+from ...hdfs.filesystem import HDFS
+from ..common.costs import DEFAULT_COSTS, CostModel
+from ..common.execution import (JobFailedError, JobResult, OperatorSpan,
+                                PhaseExecutor, PhaseSpec,
+                                speed_weighted_resources)
+from ..common.operators import LogicalPlan, Op, OpKind
+from ..common.planning import (Segment, chain_key, chain_label,
+                               combined_output, split_segments)
+from ..common.result import EngineRunResult
+from ..common.serialization import serializer_profile
+from ..common.stats import DataStats
+from .memory import SparkMemoryModel
+from .shuffle import ShuffleSpec, plan_shuffle
+
+__all__ = ["SparkEngine"]
+
+
+@dataclass
+class _Stage:
+    """One compiled physical stage plus its driver-side bookkeeping."""
+
+    phase: PhaseSpec
+    #: Driver time after the stage barrier (collect/commit actions).
+    post_delay: float = 0.0
+    #: Fold this stage's span into the previous one (a bare wide op is
+    #: reported as part of its producing transformation, as the paper's
+    #: panels do for ``FlatMap->MapToPair->ReduceByKey``).
+    merge_span: bool = False
+
+
+class SparkEngine:
+    """Simulated Spark 1.5.3 standalone deployment."""
+
+    name = "spark"
+
+    def __init__(self, cluster: Cluster, hdfs: HDFS, config: SparkConfig,
+                 costs: CostModel = DEFAULT_COSTS,
+                 chunks_per_phase: int = 8) -> None:
+        self.cluster = cluster
+        self.hdfs = hdfs
+        self.config = config
+        self.costs = costs
+        self.memory = SparkMemoryModel(config, costs, cluster.num_nodes,
+                                       cluster=cluster)
+        self.executor = PhaseExecutor(
+            cluster, hdfs, chunks_per_phase=chunks_per_phase,
+            jitter_sigma=costs.jitter_sigma,
+            # Spark's staged execution mostly separates reads from
+            # writes; interference applies only when a stage does both.
+            io_interference_sigma=costs.io_interference_sigma * 0.5,
+            io_interference_penalty=costs.io_interference_penalty * 0.5,
+        )
+        self.metrics = {"shuffle_wire_bytes": 0.0, "spill_bytes": 0.0,
+                        "tasks_launched": 0.0, "stages": 0.0}
+        self._last_cached_name: Optional[str] = None
+        self._stage_windows: List[tuple] = []
+        #: Partition count of the cached (graph) RDD: GraphX iterations
+        #: inherit it — the reason ``spark.edge.partition`` tuning is so
+        #: sensitive (§VI-E).
+        self._cached_partitions: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def run(self, plan: LogicalPlan) -> EngineRunResult:
+        """Execute the plan to completion on the simulated cluster."""
+        result = EngineRunResult(engine=self.name, workload=plan.name,
+                                 nodes=self.cluster.num_nodes, success=True,
+                                 start=self.cluster.now)
+        self._stage_windows = []
+        try:
+            self.cluster.run_process(self._driver(plan, result))
+            result.end = self.cluster.now
+        except JobFailedError as err:
+            result.success = False
+            result.failure = str(err)
+            result.end = self.cluster.now
+        result.metrics.update(self.metrics)
+        result.stage_windows = list(self._stage_windows)
+        return result
+
+    def explain(self, plan: LogicalPlan) -> str:
+        """Describe the stages the DAG scheduler would build, without
+        executing anything (the paper's plan-plotting step, §V)."""
+        from ..common.explain import explain_spark
+        return explain_spark(plan, self.config, self.costs,
+                             self.cluster.num_nodes, self.hdfs.block_size)
+
+    # ------------------------------------------------------------------
+    # the driver program
+    # ------------------------------------------------------------------
+    def _driver(self, plan: LogicalPlan, result: EngineRunResult):
+        segments = split_segments(plan)
+        current_job: List[OperatorSpan] = []
+        job_name = "load" if any(s.head.is_iteration for s in segments) else "main"
+        job_start = self.cluster.now
+        pending_shuffle: Optional[Tuple[ShuffleSpec, DataStats]] = None
+
+        def close_job(name: str) -> None:
+            nonlocal current_job, job_start
+            result.jobs.append(JobResult(name=name, start=job_start,
+                                         end=self.cluster.now,
+                                         spans=list(current_job)))
+            current_job = []
+            job_start = self.cluster.now
+
+        for si, segment in enumerate(segments):
+            if segment.head.is_iteration:
+                close_job(job_name)
+                job_name = "post"
+                yield from self._run_iterations(segment.head, current_job)
+                close_job("iterations")
+                continue
+            next_wide = self._next_wide(segments, si)
+            stages, pending_shuffle = self._compile_segment(
+                segment, pending_shuffle, next_wide=next_wide)
+            for stage in stages:
+                yield from self._run_stage(stage, current_job)
+        close_job(job_name)
+
+    @staticmethod
+    def _next_wide(segments: List[Segment], index: int) -> Optional[Op]:
+        if index + 1 < len(segments):
+            head = segments[index + 1].head
+            if head.wide:
+                return head
+        return None
+
+    def _run_stage(self, stage: _Stage, spans: List[OperatorSpan],
+                   iteration: Optional[int] = None,
+                   result: Optional[EngineRunResult] = None):
+        self.metrics["stages"] += 1
+        stage_start = self.cluster.now
+        span = yield from self.executor.run_phase(stage.phase)
+        self._stage_windows.append((stage_start, self.cluster.now))
+        span.iteration = iteration
+        if stage.post_delay > 0:
+            # Driver-side commit/collect time belongs to the action's
+            # span (the paper's SaveAsTextFile bar includes it).
+            yield self.cluster.sim.timeout(stage.post_delay)
+            span.end = self.cluster.now
+            span.busy += stage.post_delay
+        if stage.merge_span and spans:
+            prev = spans[-1]
+            prev.name = f"{prev.name}->{span.name}" if span.name else prev.name
+            prev.key = "".join(p[0] for p in prev.name.split("->") if p)
+            prev.end = max(prev.end, span.end)
+        else:
+            spans.append(span)
+
+    # ------------------------------------------------------------------
+    # stage compilation
+    # ------------------------------------------------------------------
+    def _compile_segment(
+        self, segment: Segment,
+        pending_shuffle: Optional[Tuple[ShuffleSpec, DataStats]],
+        scale: float = 1.0,
+        input_cached_as: Optional[str] = None,
+        next_wide: Optional[Op] = None,
+    ) -> Tuple[List[_Stage], Optional[Tuple[ShuffleSpec, DataStats]]]:
+        """Compile one segment into stages (compute [+ sink/action])."""
+        n = self.cluster.num_nodes
+        cores_total = n * self.config.executor_cores
+        compute_ops = [op for op in segment.ops
+                       if op.kind is not OpKind.SINK and not op.is_action]
+        tail_ops = [op for op in segment.ops
+                    if op.kind is OpKind.SINK or op.is_action]
+
+        cpu = 0.0
+        disk_read = 0.0
+        disk_write = 0.0
+        net_in = 0.0
+        net_out = 0.0
+        working_per_node = 0.0
+
+        # ---- input side -------------------------------------------------
+        input_stats = segment.input_stats
+        input_bytes = input_stats.total_bytes * scale
+        head_bytes_override: Optional[float] = None
+        if segment.starts_with_shuffle:
+            if pending_shuffle is None:
+                raise JobFailedError(
+                    f"stage {segment.display_name()}: shuffle input missing")
+            spec, shuffled_stats = pending_shuffle
+            wire = spec.wire_bytes * scale
+            disk_read += (wire + spec.spill_bytes * scale)
+            cross = wire * (1.0 - 1.0 / n)
+            net_in += cross
+            net_out += cross
+            cpu += spec.read_cpu_core_seconds * scale
+            working_per_node += wire / n
+            head_bytes_override = shuffled_stats.total_bytes * scale
+            tasks = (segment.head.partitions or
+                     self.config.default_parallelism)
+        elif input_cached_as is not None:
+            # Blocks evicted from the cache are re-obtained every
+            # superstep: recomputed (MEMORY_ONLY) or re-read
+            # (MEMORY_AND_DISK).  The miss volume is the cached RDD's
+            # own spilled share, not the derived stream's size.
+            miss = self.memory.miss_costs(
+                input_cached_as,
+                self.memory.miss_bytes_per_iteration(input_cached_as))
+            disk_read += miss["disk_read_bytes"]
+            cpu += miss["cpu_core_seconds"]
+            cpu += input_bytes / (1200 * 2**20)       # memory scan is cheap
+            cached_parts = (self._cached_partitions
+                            if segment.head.use_cached_partitioning
+                            else None)
+            tasks = cached_parts or self.config.default_parallelism
+        else:
+            disk_read += input_bytes
+            tasks = max(1, int(math.ceil(input_bytes / self.hdfs.block_size)))
+
+        # ---- operator chain ---------------------------------------------
+        for oi, (op, op_in) in enumerate(zip(segment.ops, segment.in_stats)):
+            if op.kind in (OpKind.SOURCE, OpKind.SINK) or op.is_action:
+                continue
+            rate = self.costs.rate_for(op.kind, op.cpu_rate)
+            op_bytes = op_in.total_bytes * scale
+            if oi == 0 and head_bytes_override is not None:
+                op_bytes = head_bytes_override
+            cpu += op_bytes / rate
+            if op.side_input is not None:
+                disk_read += op.side_input.total_bytes * scale
+                cpu += op.side_input.total_bytes * scale / rate
+            if op.cached:
+                out = op.apply_stats(op_in)
+                self.memory.cache_rdd(op.name if op.name else "rdd",
+                                      out.total_bytes,
+                                      storage_level=op.storage_level,
+                                      recompute_rate=rate)
+                self._last_cached_name = op.name if op.name else "rdd"
+                self._cached_partitions = op.partitions or tasks
+            if op.materialize_to_disk:
+                out = op.apply_stats(op_in)
+                disk_write += out.total_bytes * scale
+                self.memory.add_iteration_residue(out.total_bytes / n)
+
+        out_stats = segment.out_stats
+        assert out_stats is not None
+
+        # ---- output side: does a wide op follow? -------------------------
+        next_shuffle: Optional[Tuple[ShuffleSpec, DataStats]] = None
+        if next_wide is not None:
+            wide_op: Op = next_wide
+            data = out_stats
+            if wide_op.combinable:
+                # Map-side combine runs inside this stage.
+                cpu += data.total_bytes * scale / self.costs.rate_for(
+                    wide_op.kind, wide_op.cpu_rate)
+                data = combined_output(
+                    data, max(tasks, 1),
+                    pair_bytes=data.record_bytes * wide_op.bytes_ratio)
+            scaled = DataStats(records=data.records * scale,
+                               record_bytes=data.record_bytes,
+                               key_cardinality=data.key_cardinality)
+            spec = plan_shuffle(scaled, self.config, self.costs, n,
+                                binary=wide_op.binary_format)
+            cpu += spec.write_cpu_core_seconds
+            disk_write += spec.wire_bytes + spec.spill_bytes
+            working_per_node += min(scaled.total_bytes / n,
+                                    self.config.shuffle_memory)
+            self.metrics["shuffle_wire_bytes"] += spec.wire_bytes
+            self.metrics["spill_bytes"] += spec.spill_bytes
+            next_shuffle = (spec, scaled)
+
+        # ---- scheduling overheads ----------------------------------------
+        # Operators that must hold whole object groups on the heap die
+        # when a partition outgrows the task budget (GraphX loads,
+        # joins); sort-based aggregations spill instead.
+        if segment.starts_with_shuffle and segment.head.kind in (
+                OpKind.PARTITION, OpKind.JOIN, OpKind.CO_GROUP):
+            self.memory.check_task_working_set(
+                input_bytes / max(tasks, 1),
+                context=f"stage {chain_label(compute_ops) or 'shuffle'}")
+        cpu += tasks * self.costs.spark_task_launch
+        self.metrics["tasks_launched"] += tasks
+        cpu *= 1.0 + self.costs.partition_imbalance_coeff * math.sqrt(
+            cores_total / max(tasks, 1))
+        cpu *= self.memory.gc_cpu_factor(working_per_node)
+        slots = min(self.config.executor_cores,
+                    max(1.0, tasks / n))
+
+        stages: List[_Stage] = []
+        name = chain_label(compute_ops)
+        merge = (name == "" or all(
+            op.wide or op.hidden or op.kind is OpKind.SOURCE
+            for op in compute_ops)) and bool(compute_ops)
+        phase = PhaseSpec(
+            name=name or "stage",
+            key=chain_key(name) or "S",
+            # Dynamic task scheduling: a slow executor just gets
+            # fewer tasks, so shares track per-node speed.
+            per_node=speed_weighted_resources(
+                self.cluster, cpu_core_seconds=cpu, cpu_slots=slots,
+                disk_read_bytes=disk_read, disk_write_bytes=disk_write,
+                net_in_bytes=net_in, net_out_bytes=net_out,
+                memory_bytes=working_per_node),
+            startup_delay=self.costs.spark_stage_overhead,
+        )
+        stages.append(_Stage(phase=phase, merge_span=merge))
+
+        # ---- sink / action stage ------------------------------------------
+        for op in tail_ops:
+            idx = segment.ops.index(op)
+            stages.append(self._compile_tail(op, segment.in_stats[idx],
+                                             scale, n))
+        return stages, next_shuffle
+
+    def _compile_tail(self, op: Op, in_stats: DataStats, scale: float,
+                      n: int) -> _Stage:
+        cpu = 0.0
+        hdfs_write = 0.0
+        net_in = 0.0
+        post = 0.0
+        out_bytes = op.apply_stats(in_stats).total_bytes * scale
+        if op.kind is OpKind.SINK:
+            out_bytes = in_stats.total_bytes * scale
+        profile = serializer_profile(self.config.serializer)
+        if op.kind is OpKind.SINK:
+            hdfs_write = out_bytes
+            cpu = out_bytes / (self.costs.serialization_rate /
+                               profile.cpu_factor)
+            # Commit cost saturates: the committer batches renames once
+            # enough part files exist.
+            post = (self.costs.spark_stage_overhead +
+                    min(self.config.default_parallelism, 1200) *
+                    self.costs.spark_output_commit_per_task)
+        elif op.kind is OpKind.COUNT:
+            post = self.costs.spark_collect_per_node * 0.2
+        else:  # collect / collectAsMap
+            net_in = out_bytes  # results stream to the driver
+            cpu = out_bytes / self.costs.rate_for(op.kind, op.cpu_rate)
+            post = self.costs.spark_collect_per_node * n / 16.0
+        phase = PhaseSpec(
+            name=op.name,
+            key=op.name[:1].upper() if op.name else "T",
+            per_node=speed_weighted_resources(
+                self.cluster, cpu_core_seconds=cpu,
+                cpu_slots=max(1.0, self.config.executor_cores / 2),
+                net_in_bytes=net_in, hdfs_write_bytes=hdfs_write,
+                hdfs_replication=op.sink_replication),
+            startup_delay=0.05,
+        )
+        return _Stage(phase=phase, post_delay=post,
+                      merge_span=op.hidden)
+
+    # ------------------------------------------------------------------
+    # iterations: loop unrolling
+    # ------------------------------------------------------------------
+    def _run_iterations(self, it_op: Op, spans: List[OperatorSpan]):
+        body = it_op.body
+        assert body is not None
+        # Loop-unrolled iterations keep each superstep's message volume
+        # live on the executor heaps; when it outgrows them the job dies
+        # (Table VII: Page Rank's fat messages fail at 27/44 nodes,
+        # Connected Components' thin ones survive).
+        per_node = body.input_stats.total_bytes / self.cluster.num_nodes
+        budget = (self.config.executor_memory *
+                  self.costs.graphx_task_budget_fraction)
+        if per_node > budget:
+            raise JobFailedError(
+                f"iteration working set {per_node / 2**30:.1f} GiB per node "
+                f"exceeds the executor budget {budget / 2**30:.1f} GiB "
+                f"(java.lang.OutOfMemoryError during message aggregation)")
+        cache_name = self._find_cache_name(body) or self._last_cached_name
+        body_segments = split_segments(body)
+        for i in range(1, it_op.iterations + 1):
+            activity = (it_op.workset_activity(i)
+                        if it_op.workset_activity else 1.0)
+            iter_spans: List[OperatorSpan] = []
+            pending = None
+            for bi, seg in enumerate(body_segments):
+                stages, pending = self._compile_segment(
+                    seg, pending, scale=activity,
+                    input_cached_as=cache_name if bi == 0 else None,
+                    next_wide=self._next_wide(body_segments, bi))
+                for stage in stages:
+                    yield from self._run_stage(stage, iter_spans, iteration=i)
+            merged = self._merge_iteration_spans(iter_spans, body, i)
+            spans.append(merged)
+
+    @staticmethod
+    def _find_cache_name(body: LogicalPlan) -> Optional[str]:
+        for op in body.ops:
+            if op.cached:
+                return op.name
+        return None
+
+    @staticmethod
+    def _merge_iteration_spans(iter_spans: List[OperatorSpan],
+                               body: LogicalPlan, i: int) -> OperatorSpan:
+        label = "->".join(op.name for op in body.ops if not op.hidden)
+        key = "".join(p[0] for p in label.split("->") if p)
+        start = min(s.start for s in iter_spans)
+        end = max(s.end for s in iter_spans)
+        return OperatorSpan(key=key, name=label, start=start, end=end,
+                            iteration=i)

@@ -1,0 +1,12 @@
+"""Experiment lifecycle and figure/table regeneration."""
+
+from . import figures
+from .runner import (Deployment, TrialStats, run_correlated, run_once,
+                     run_trials)
+from .faults import FaultRecoveryResult, run_with_failure
+from .sweep import best_row, sweep, sweep_rows_to_csv
+
+__all__ = ["Deployment", "FaultRecoveryResult", "TrialStats",
+           "best_row", "figures", "run_correlated", "run_once",
+           "run_trials", "run_with_failure", "sweep",
+           "sweep_rows_to_csv"]

@@ -1,0 +1,376 @@
+"""The experiment registry: one entry per figure/table of the paper.
+
+Each ``fig*``/``tab*`` function reproduces the corresponding artefact:
+it runs the published workload at the published scales and
+configurations on both engines and returns the series/frames/statuses
+the paper plots.  The benchmarks call these and assert the paper's
+qualitative claims; EXPERIMENTS.md records the numbers.
+
+All experiments honour ``trials`` (the paper averaged 5 runs) and a
+``seed`` for determinism.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..config.presets import (ExperimentConfig, kmeans_preset,
+                              large_graph_preset, medium_graph_preset,
+                              small_graph_preset, terasort_preset,
+                              wordcount_grep_preset)
+from ..core.correlate import CorrelatedRun
+from ..core.scalability import ScalingSeries
+from ..workloads import (ConnectedComponents, Grep, KMeans, PageRank,
+                         TeraSort, WordCount)
+from ..workloads.base import Workload
+from ..workloads.datagen.graphs import (LARGE_GRAPH, MEDIUM_GRAPH,
+                                        SMALL_GRAPH, GraphDatasetModel)
+from .runner import TrialStats, run_correlated, run_trials
+
+__all__ = [
+    "ScalingFigure", "ResourceFigure", "LargeGraphCell",
+    "fig01_wordcount_weak", "fig02_wordcount_strong",
+    "fig03_wordcount_resources", "fig04_grep_weak", "fig05_grep_strong",
+    "fig06_grep_resources", "fig07_terasort_weak", "fig08_terasort_strong",
+    "fig09_terasort_resources", "fig10_kmeans_resources",
+    "fig11_kmeans_scaling", "fig12_pagerank_small", "fig13_pagerank_medium",
+    "fig14_cc_small", "fig15_cc_medium", "fig16_pagerank_resources",
+    "fig17_cc_resources", "tab07_large_graph",
+]
+
+GiB = float(2**30)
+TiB = float(2**40)
+ENGINES = ("flink", "spark")
+
+
+@dataclass
+class ScalingFigure:
+    """An execution-time figure: one ScalingSeries per engine."""
+
+    figure_id: str
+    title: str
+    series: Dict[str, ScalingSeries]
+    #: x-axis values as published (node counts or GB/node).
+    xs: List[float]
+    trials_raw: Dict[str, List[TrialStats]] = field(default_factory=dict)
+
+    def flink(self) -> ScalingSeries:
+        return self.series["flink"]
+
+    def spark(self) -> ScalingSeries:
+        return self.series["spark"]
+
+
+@dataclass
+class ResourceFigure:
+    """A resource-usage figure: one correlated run per engine."""
+
+    figure_id: str
+    title: str
+    runs: Dict[str, CorrelatedRun]
+
+    def flink(self) -> CorrelatedRun:
+        return self.runs["flink"]
+
+    def spark(self) -> CorrelatedRun:
+        return self.runs["spark"]
+
+
+def _scaling(figure_id: str, title: str, xs: Sequence[float],
+             make_workload: Callable[[float], Workload],
+             make_config: Callable[[float], ExperimentConfig],
+             trials: int, seed: int) -> ScalingFigure:
+    series: Dict[str, ScalingSeries] = {}
+    raw: Dict[str, List[TrialStats]] = {}
+    for engine in ENGINES:
+        stats = [run_trials(engine, make_workload(x), make_config(x),
+                            trials=trials, base_seed=seed)
+                 for x in xs]
+        raw[engine] = stats
+        series[engine] = ScalingSeries(
+            engine=engine,
+            nodes=[int(x) for x in xs],
+            means=[s.mean for s in stats],
+            stds=[s.std for s in stats])
+    return ScalingFigure(figure_id=figure_id, title=title, series=series,
+                         xs=list(xs), trials_raw=raw)
+
+
+def _resources(figure_id: str, title: str, workload: Workload,
+               config: ExperimentConfig, seed: int) -> ResourceFigure:
+    runs = {engine: run_correlated(engine, workload, config, seed=seed)
+            for engine in ENGINES}
+    return ResourceFigure(figure_id=figure_id, title=title, runs=runs)
+
+
+# ----------------------------------------------------------------------
+# Word Count (Figs. 1-3)
+# ----------------------------------------------------------------------
+def fig01_wordcount_weak(trials: int = 3, seed: int = 0,
+                         nodes: Sequence[int] = (2, 4, 8, 16, 32)
+                         ) -> ScalingFigure:
+    """Word Count, fixed 24 GB per node."""
+    return _scaling(
+        "fig01", "Word Count - fixed problem size per node (24GB)",
+        nodes,
+        lambda n: WordCount(total_bytes=n * 24 * GiB),
+        lambda n: wordcount_grep_preset(int(n)),
+        trials, seed)
+
+
+def fig02_wordcount_strong(trials: int = 3, seed: int = 0,
+                           gb_per_node: Sequence[int] = (24, 27, 30, 33),
+                           nodes: int = 16) -> ScalingFigure:
+    """Word Count, 16 nodes, growing datasets."""
+    fig = _scaling(
+        "fig02", "Word Count - 16 nodes, different datasets",
+        gb_per_node,
+        lambda gb: WordCount(total_bytes=nodes * gb * GiB),
+        lambda gb: wordcount_grep_preset(nodes),
+        trials, seed)
+    return fig
+
+
+def fig03_wordcount_resources(seed: int = 0, nodes: int = 32
+                              ) -> ResourceFigure:
+    """Word Count resource usage, 32 nodes, 768 GB."""
+    return _resources("fig03",
+                      "Word Count resource usage (32 nodes, 768 GB)",
+                      WordCount(total_bytes=nodes * 24 * GiB),
+                      wordcount_grep_preset(nodes), seed)
+
+
+# ----------------------------------------------------------------------
+# Grep (Figs. 4-6)
+# ----------------------------------------------------------------------
+def fig04_grep_weak(trials: int = 3, seed: int = 0,
+                    nodes: Sequence[int] = (2, 4, 8, 16, 32)
+                    ) -> ScalingFigure:
+    return _scaling(
+        "fig04", "Grep - fixed problem size per node (24GB)",
+        nodes,
+        lambda n: Grep(total_bytes=n * 24 * GiB),
+        lambda n: wordcount_grep_preset(int(n)),
+        trials, seed)
+
+
+def fig05_grep_strong(trials: int = 3, seed: int = 0,
+                      gb_per_node: Sequence[int] = (24, 27, 30, 33),
+                      nodes: int = 16) -> ScalingFigure:
+    return _scaling(
+        "fig05", "Grep - 16 nodes, different datasets",
+        gb_per_node,
+        lambda gb: Grep(total_bytes=nodes * gb * GiB),
+        lambda gb: wordcount_grep_preset(nodes),
+        trials, seed)
+
+
+def fig06_grep_resources(seed: int = 0, nodes: int = 32) -> ResourceFigure:
+    return _resources("fig06", "Grep resource usage (32 nodes, 768 GB)",
+                      Grep(total_bytes=nodes * 24 * GiB),
+                      wordcount_grep_preset(nodes), seed)
+
+
+# ----------------------------------------------------------------------
+# Tera Sort (Figs. 7-9)
+# ----------------------------------------------------------------------
+def _terasort(nodes: int, total_bytes: float) -> TeraSort:
+    preset = terasort_preset(nodes)
+    return TeraSort(total_bytes,
+                    num_partitions=preset.flink.default_parallelism)
+
+
+def fig07_terasort_weak(trials: int = 3, seed: int = 0,
+                        nodes: Sequence[int] = (17, 34, 63)
+                        ) -> ScalingFigure:
+    return _scaling(
+        "fig07", "Tera Sort - fixed problem size per node (32 GB)",
+        nodes,
+        lambda n: _terasort(int(n), n * 32 * GiB),
+        lambda n: terasort_preset(int(n)),
+        trials, seed)
+
+
+def fig08_terasort_strong(trials: int = 3, seed: int = 0,
+                          nodes: Sequence[int] = (55, 73, 97)
+                          ) -> ScalingFigure:
+    return _scaling(
+        "fig08", "Tera Sort - adding nodes, same dataset (3.5TB)",
+        nodes,
+        lambda n: _terasort(int(n), 3.5 * TiB),
+        lambda n: terasort_preset(int(n)),
+        trials, seed)
+
+
+def fig09_terasort_resources(seed: int = 0, nodes: int = 55
+                             ) -> ResourceFigure:
+    return _resources("fig09",
+                      "Tera Sort resource usage (55 nodes, 3.5 TB)",
+                      _terasort(nodes, 3.5 * TiB),
+                      terasort_preset(nodes), seed)
+
+
+# ----------------------------------------------------------------------
+# K-Means (Figs. 10-11)
+# ----------------------------------------------------------------------
+def fig10_kmeans_resources(seed: int = 0, nodes: int = 24) -> ResourceFigure:
+    return _resources(
+        "fig10", "K-Means resource usage (24 nodes, 10 iterations)",
+        KMeans(total_bytes=51 * GiB, iterations=10),
+        kmeans_preset(nodes), seed)
+
+
+def fig11_kmeans_scaling(trials: int = 3, seed: int = 0,
+                         nodes: Sequence[int] = (8, 14, 20, 24)
+                         ) -> ScalingFigure:
+    return _scaling(
+        "fig11", "K-Means - increasing cluster size, same dataset",
+        nodes,
+        lambda n: KMeans(total_bytes=51 * GiB, iterations=10),
+        lambda n: kmeans_preset(int(n)),
+        trials, seed)
+
+
+# ----------------------------------------------------------------------
+# Graphs (Figs. 12-17, Table VII)
+# ----------------------------------------------------------------------
+def _pagerank(graph: GraphDatasetModel, cfg: ExperimentConfig,
+              iterations: int) -> PageRank:
+    return PageRank(graph, iterations=iterations,
+                    edge_partitions=cfg.spark.edge_partitions)
+
+
+def _cc(graph: GraphDatasetModel, cfg: ExperimentConfig,
+        iterations: int) -> ConnectedComponents:
+    return ConnectedComponents(graph, iterations=iterations,
+                               edge_partitions=cfg.spark.edge_partitions)
+
+
+def fig12_pagerank_small(trials: int = 3, seed: int = 0,
+                         nodes: Sequence[int] = (8, 14, 20, 27)
+                         ) -> ScalingFigure:
+    return _scaling(
+        "fig12", "Page Rank - Small Graph (increasing cluster size)",
+        nodes,
+        lambda n: _pagerank(SMALL_GRAPH, small_graph_preset(int(n)), 20),
+        lambda n: small_graph_preset(int(n)),
+        trials, seed)
+
+
+def fig13_pagerank_medium(trials: int = 3, seed: int = 0,
+                          nodes: Sequence[int] = (24, 27, 34, 55)
+                          ) -> ScalingFigure:
+    return _scaling(
+        "fig13", "Page Rank - Medium Graph (increasing cluster size)",
+        nodes,
+        lambda n: _pagerank(MEDIUM_GRAPH, medium_graph_preset(int(n)), 20),
+        lambda n: medium_graph_preset(int(n)),
+        trials, seed)
+
+
+def fig14_cc_small(trials: int = 3, seed: int = 0,
+                   nodes: Sequence[int] = (8, 14, 20, 27)) -> ScalingFigure:
+    return _scaling(
+        "fig14", "Connected Components - Small Graph",
+        nodes,
+        lambda n: _cc(SMALL_GRAPH, small_graph_preset(int(n)), 23),
+        lambda n: small_graph_preset(int(n)),
+        trials, seed)
+
+
+def fig15_cc_medium(trials: int = 3, seed: int = 0,
+                    nodes: Sequence[int] = (27, 34, 55)) -> ScalingFigure:
+    return _scaling(
+        "fig15", "Connected Components - Medium Graph",
+        nodes,
+        lambda n: _cc(MEDIUM_GRAPH, medium_graph_preset(int(n)), 23),
+        lambda n: medium_graph_preset(int(n)),
+        trials, seed)
+
+
+def fig16_pagerank_resources(seed: int = 0, nodes: int = 27
+                             ) -> ResourceFigure:
+    cfg = small_graph_preset(nodes)
+    return _resources("fig16",
+                      "Page Rank resource usage (27 nodes, Small Graph)",
+                      _pagerank(SMALL_GRAPH, cfg, 20), cfg, seed)
+
+
+def fig17_cc_resources(seed: int = 0, nodes: int = 27) -> ResourceFigure:
+    cfg = medium_graph_preset(nodes)
+    return _resources("fig17",
+                      "CC resource usage (27 nodes, Medium Graph)",
+                      _cc(MEDIUM_GRAPH, cfg, 23), cfg, seed)
+
+
+# ----------------------------------------------------------------------
+# Table VII — Large graph
+# ----------------------------------------------------------------------
+@dataclass
+class LargeGraphCell:
+    """One Table VII cell: engine x workload x nodes."""
+
+    engine: str
+    workload: str
+    nodes: int
+    success: bool
+    load_seconds: float = math.nan
+    iter_seconds: float = math.nan
+    failure: Optional[str] = None
+
+    @property
+    def total(self) -> float:
+        return self.load_seconds + self.iter_seconds
+
+
+def tab07_large_graph(seed: int = 0,
+                      node_counts: Sequence[int] = (27, 44, 97),
+                      double_edge_partitions: bool = True
+                      ) -> List[LargeGraphCell]:
+    """Run the Table VII grid; Flink's load includes the vertex count."""
+    from .runner import run_once
+    cells: List[LargeGraphCell] = []
+    for nodes in node_counts:
+        cfg = large_graph_preset(nodes,
+                                 double_edge_partitions=double_edge_partitions)
+        workloads = [
+            ("PR", _pagerank(LARGE_GRAPH, cfg, 5)),
+            ("CC", _cc(LARGE_GRAPH, cfg, 10)),
+        ]
+        for name, workload in workloads:
+            for engine in ENGINES:
+                result = run_once(engine, workload, cfg, seed=seed)
+                if not result.success:
+                    cells.append(LargeGraphCell(
+                        engine=engine, workload=name, nodes=nodes,
+                        success=False, failure=result.failure))
+                    continue
+                load, iters = _split_load_iter(result)
+                cells.append(LargeGraphCell(
+                    engine=engine, workload=name, nodes=nodes, success=True,
+                    load_seconds=load, iter_seconds=iters))
+    return cells
+
+
+def _split_load_iter(result) -> Tuple[float, float]:
+    """Split a run into Load vs Iter the way Table VII reports it."""
+    load = 0.0
+    iters = 0.0
+    for job in result.jobs:
+        if job.name in ("load", "count-vertices"):
+            load += job.duration
+        elif job.name == "iterations":
+            iters += job.duration
+        else:
+            # Flink's single pipelined job: split at the iteration-head
+            # span; its load stage includes the vertices count.
+            head = next((s for s in job.spans
+                         if s.key in ("B", "W")), None)
+            if head is None:
+                load += job.duration
+            else:
+                load += head.start - job.start
+                iters += job.end - head.start
+    return load, iters

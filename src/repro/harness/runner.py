@@ -1,0 +1,154 @@
+"""Experiment runner: the paper's per-experiment cycle (§V).
+
+"For every experiment we follow the same cycle.  We install Hadoop
+(HDFS) and we configure a standalone setup of Flink and Spark.  We
+import the analyzed dataset and we execute on average 5 runs for each
+experiment.  For each run we measure the time necessary to finish the
+execution excluding the time to start and stop the cluster ... We make
+sure to clear the OS buffer cache and temporary generated data or logs
+before a new execution starts."
+
+:func:`run_once` performs one such run on a freshly deployed simulated
+cluster (fresh cluster == cleared caches); :func:`run_trials` repeats
+it with distinct seeds and aggregates mean/std, which is what every
+figure plots.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..cluster.topology import Cluster
+from ..config.presets import ExperimentConfig
+from ..engines.common.result import EngineRunResult
+from ..engines.flink.engine import FlinkEngine
+from ..engines.spark.engine import SparkEngine
+from ..hdfs.filesystem import HDFS
+from ..workloads.base import Workload
+
+__all__ = ["Deployment", "TrialStats", "run_once", "run_trials"]
+
+
+@dataclass
+class Deployment:
+    """One standalone deployment: cluster + HDFS + engine + traces."""
+
+    cluster: Cluster
+    hdfs: HDFS
+    engine: object
+    result: EngineRunResult
+
+
+@dataclass
+class TrialStats:
+    """Mean/std over repeated runs — one figure data point."""
+
+    engine: str
+    workload: str
+    nodes: int
+    durations: List[float] = field(default_factory=list)
+    failures: List[str] = field(default_factory=list)
+    results: List[EngineRunResult] = field(default_factory=list)
+
+    @property
+    def trials(self) -> int:
+        return len(self.durations) + len(self.failures)
+
+    @property
+    def success(self) -> bool:
+        return bool(self.durations) and not self.failures
+
+    @property
+    def mean(self) -> float:
+        if not self.durations:
+            return math.nan
+        return float(np.mean(self.durations))
+
+    @property
+    def std(self) -> float:
+        if len(self.durations) < 2:
+            return 0.0
+        return float(np.std(self.durations, ddof=1))
+
+    def describe(self) -> str:
+        if not self.success:
+            return (f"{self.engine:5s} {self.workload} x{self.nodes}: FAILED "
+                    f"({self.failures[0] if self.failures else 'no runs'})")
+        return (f"{self.engine:5s} {self.workload} x{self.nodes}: "
+                f"{self.mean:8.1f}s +/- {self.std:.1f}")
+
+
+def run_once(engine_name: str, workload: Workload, config: ExperimentConfig,
+             seed: int = 0, keep_deployment: bool = False
+             ) -> EngineRunResult:
+    """Deploy, import the dataset, run every job of the workload."""
+    cluster = Cluster(config.nodes, seed=seed)
+    hdfs = HDFS(cluster, block_size=config.hdfs_block_size, seed=seed)
+    for path, size in workload.input_files():
+        hdfs.create_file(path, size)
+    if engine_name == "spark":
+        engine = SparkEngine(cluster, hdfs, config.spark)
+    elif engine_name == "flink":
+        engine = FlinkEngine(cluster, hdfs, config.flink)
+    else:
+        raise ValueError(f"unknown engine {engine_name!r}")
+
+    merged: Optional[EngineRunResult] = None
+    for plan in workload.jobs(engine_name):
+        result = engine.run(plan)
+        if merged is None:
+            merged = result
+            merged.workload = workload.name
+        else:
+            merged.jobs.extend(result.jobs)
+            merged.end = result.end
+            for key, value in result.metrics.items():
+                merged.metrics[key] = merged.metrics.get(key, 0.0) + value
+            if not result.success:
+                merged.success = False
+                merged.failure = result.failure
+        if not result.success:
+            break
+    assert merged is not None
+    if keep_deployment:
+        merged.metrics["_deployment"] = Deployment(  # type: ignore[assignment]
+            cluster=cluster, hdfs=hdfs, engine=engine, result=merged)
+    return merged
+
+
+def run_correlated(engine_name: str, workload: Workload,
+                   config: ExperimentConfig, seed: int = 0,
+                   step: float = 1.0):
+    """Run once and join the result with its resource traces.
+
+    Returns a :class:`~repro.core.correlate.CorrelatedRun` — the unit
+    the paper's resource figures are drawn from.
+    """
+    from ..core.correlate import correlate  # local import: avoid cycle
+    result = run_once(engine_name, workload, config, seed=seed,
+                      keep_deployment=True)
+    deployment: Deployment = result.metrics.pop("_deployment")
+    if not result.success:
+        raise RuntimeError(f"run failed, cannot correlate: {result.failure}")
+    return correlate(deployment.cluster, result, step=step)
+
+
+def run_trials(engine_name: str, workload: Workload,
+               config: ExperimentConfig, trials: int = 3,
+               base_seed: int = 0) -> TrialStats:
+    """Repeat :func:`run_once` with fresh deployments and varied seeds."""
+    stats = TrialStats(engine=engine_name, workload=workload.name,
+                       nodes=config.nodes)
+    for t in range(trials):
+        result = run_once(engine_name, workload, config,
+                          seed=base_seed + 1000 * t)
+        stats.results.append(result)
+        if result.success:
+            stats.durations.append(result.duration)
+        else:
+            stats.failures.append(result.failure or "unknown")
+    return stats

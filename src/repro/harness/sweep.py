@@ -1,0 +1,105 @@
+"""Parameter sweeps: grid exploration of the configuration space.
+
+The paper's §IV argument is that "for every workload, we found that
+different parameter settings were necessary to provide an optimal
+performance".  :func:`sweep` runs a workload under every combination of
+config overrides and returns flat rows (dicts) ready for CSV export or
+analysis — the tool a user needs to find their own optimum.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import itertools
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, TextIO
+
+from ..config.presets import ExperimentConfig
+from ..workloads.base import Workload
+from .runner import run_once
+
+__all__ = ["sweep", "sweep_rows_to_csv", "best_row"]
+
+
+def _apply_overrides(config: ExperimentConfig,
+                     overrides: Dict[str, object]) -> ExperimentConfig:
+    """Apply ``spark.*`` / ``flink.*`` / top-level override keys."""
+    spark = config.spark
+    flink = config.flink
+    top: Dict[str, object] = {}
+    for key, value in overrides.items():
+        if key.startswith("spark."):
+            spark = spark.with_(**{key[6:]: value})
+        elif key.startswith("flink."):
+            flink = flink.with_(**{key[6:]: value})
+        else:
+            top[key] = value
+    return ExperimentConfig(
+        spark=spark, flink=flink,
+        hdfs_block_size=top.get("hdfs_block_size",
+                                config.hdfs_block_size),
+        nodes=top.get("nodes", config.nodes))
+
+
+def sweep(engine: str, workload: Workload, base_config: ExperimentConfig,
+          grid: Dict[str, Sequence], trials: int = 1,
+          base_seed: int = 0) -> List[Dict[str, object]]:
+    """Run the cartesian product of ``grid`` values.
+
+    ``grid`` keys use dotted paths: ``"spark.default_parallelism"``,
+    ``"flink.network_buffers"``, or top-level ``"hdfs_block_size"``.
+    Returns one row per combination with the mean duration (NaN plus a
+    ``failure`` message for failed combinations).
+    """
+    if not grid:
+        raise ValueError("empty sweep grid")
+    keys = list(grid)
+    rows: List[Dict[str, object]] = []
+    for combo in itertools.product(*(grid[k] for k in keys)):
+        overrides = dict(zip(keys, combo))
+        config = _apply_overrides(base_config, overrides)
+        durations: List[float] = []
+        failure: Optional[str] = None
+        for t in range(trials):
+            result = run_once(engine, workload, config,
+                              seed=base_seed + 1000 * t)
+            if result.success:
+                durations.append(result.duration)
+            else:
+                failure = result.failure
+                break
+        row: Dict[str, object] = dict(overrides)
+        row["engine"] = engine
+        row["workload"] = workload.name
+        if durations and failure is None:
+            row["mean_seconds"] = sum(durations) / len(durations)
+            row["failure"] = ""
+        else:
+            row["mean_seconds"] = math.nan
+            row["failure"] = failure or "no runs"
+        rows.append(row)
+    return rows
+
+
+def best_row(rows: Iterable[Dict[str, object]]) -> Dict[str, object]:
+    """The fastest successful combination."""
+    candidates = [r for r in rows
+                  if not math.isnan(float(r["mean_seconds"]))]
+    if not candidates:
+        raise ValueError("every sweep combination failed")
+    return min(candidates, key=lambda r: float(r["mean_seconds"]))
+
+
+def sweep_rows_to_csv(rows: Sequence[Dict[str, object]],
+                      out: Optional[TextIO] = None) -> str:
+    """Write sweep rows as CSV (stable column order)."""
+    if not rows:
+        return ""
+    buf = out if out is not None else io.StringIO()
+    fields = list(rows[0].keys())
+    writer = csv.DictWriter(buf, fieldnames=fields)
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return buf.getvalue() if isinstance(buf, io.StringIO) else ""

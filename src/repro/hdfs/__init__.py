@@ -1,0 +1,9 @@
+"""Simulated HDFS 2.7: namespace, block placement and datanode I/O."""
+
+from .blocks import Block, HdfsFile
+from .filesystem import HDFS
+from .namenode import (FileExistsInNamespaceError,
+                       FileNotFoundInNamespaceError, NameNode)
+
+__all__ = ["Block", "HDFS", "HdfsFile", "NameNode",
+           "FileExistsInNamespaceError", "FileNotFoundInNamespaceError"]

@@ -1,0 +1,55 @@
+"""HDFS block and file metadata.
+
+A file is a sequence of fixed-size blocks (the last one may be short);
+each block has a list of replica locations (node indices).  Block size
+is a first-class experiment parameter in the paper (``HDFS.block.size``
+is 256 MB for Word Count / Grep and 1024 MB for Tera Sort).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+__all__ = ["Block", "HdfsFile"]
+
+
+@dataclass(frozen=True)
+class Block:
+    """One HDFS block: ``replicas[0]`` is the primary location."""
+
+    block_id: int
+    size: float
+    replicas: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError(f"block size must be >= 0, got {self.size}")
+        if not self.replicas:
+            raise ValueError("block must have at least one replica")
+        if len(set(self.replicas)) != len(self.replicas):
+            raise ValueError(f"duplicate replica nodes: {self.replicas}")
+
+    def is_local_to(self, node_index: int) -> bool:
+        return node_index in self.replicas
+
+
+@dataclass
+class HdfsFile:
+    """Metadata for one file in the simulated HDFS namespace."""
+
+    name: str
+    size: float
+    block_size: float
+    blocks: List[Block] = field(default_factory=list)
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.blocks)
+
+    def blocks_local_to(self, node_index: int) -> List[Block]:
+        return [b for b in self.blocks if b.is_local_to(node_index)]
+
+    def __repr__(self) -> str:
+        return (f"HdfsFile({self.name!r}, {self.size / 2**30:.2f} GiB, "
+                f"{self.num_blocks} blocks)")

@@ -1,0 +1,13 @@
+"""Really-executable mini-engines: a staged Spark-style RDD runtime and
+a pipelined Flink-style DataSet runtime, plus the six workloads
+implemented on both (with plain-Python oracles)."""
+
+from .local_flink import GroupedDataSet, LocalDataSet, LocalEnvironment
+from .local_spark import LocalRDD, LocalSparkContext
+from .partitions import (hash_partitioner, merge_sorted, range_partitioner,
+                         split_evenly)
+from . import algorithms
+
+__all__ = ["GroupedDataSet", "LocalDataSet", "LocalEnvironment", "LocalRDD",
+           "LocalSparkContext", "algorithms", "hash_partitioner",
+           "merge_sorted", "range_partitioner", "split_evenly"]

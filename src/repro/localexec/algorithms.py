@@ -1,0 +1,325 @@
+"""The paper's six workloads, really executed on both mini-engines.
+
+Each workload has a Spark-style and a Flink-style implementation using
+exactly the operator sequences of §III / Table I, plus a plain-Python
+oracle.  The test suite asserts all three agree, which validates that
+the two execution models (staged vs pipelined, loop-unrolled vs native
+iterations) are *semantically* equivalent — the performance difference
+studied by the paper is then purely architectural.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from .local_flink import LocalEnvironment
+from .local_spark import LocalSparkContext
+from .partitions import merge_sorted, range_partitioner
+
+__all__ = [
+    "wordcount_spark", "wordcount_flink", "wordcount_oracle",
+    "grep_spark", "grep_flink", "grep_oracle",
+    "terasort_spark", "terasort_flink", "terasort_oracle",
+    "kmeans_spark", "kmeans_flink", "kmeans_oracle",
+    "pagerank_spark", "pagerank_flink", "pagerank_oracle",
+    "connected_components_spark", "connected_components_flink",
+    "connected_components_oracle",
+]
+
+
+# ----------------------------------------------------------------------
+# Word Count: flatMap -> (pair) -> reduce -> save
+# ----------------------------------------------------------------------
+def wordcount_spark(ctx: LocalSparkContext, lines: Sequence[str]) -> Dict[str, int]:
+    rdd = (ctx.text_file(lines)
+           .flat_map(str.split)
+           .map_to_pair(lambda w: (w, 1))
+           .reduce_by_key(lambda a, b: a + b))
+    return rdd.collect_as_map()
+
+
+def wordcount_flink(env: LocalEnvironment, lines: Sequence[str]) -> Dict[str, int]:
+    ds = (env.read_text(lines)
+          .flat_map(lambda line: [(w, 1) for w in line.split()])
+          .group_by(lambda kv: kv[0])
+          .sum(lambda kv: kv[1], lambda k, total: (k, total)))
+    return dict(ds.collect())
+
+
+def wordcount_oracle(lines: Iterable[str]) -> Dict[str, int]:
+    return dict(Counter(w for line in lines for w in line.split()))
+
+
+# ----------------------------------------------------------------------
+# Grep: filter -> count
+# ----------------------------------------------------------------------
+def grep_spark(ctx: LocalSparkContext, lines: Sequence[str],
+               pattern: str) -> int:
+    return ctx.text_file(lines).filter(lambda l: pattern in l).count()
+
+
+def grep_flink(env: LocalEnvironment, lines: Sequence[str],
+               pattern: str) -> int:
+    return env.read_text(lines).filter(lambda l: pattern in l).count()
+
+
+def grep_oracle(lines: Iterable[str], pattern: str) -> int:
+    return sum(1 for l in lines if pattern in l)
+
+
+# ----------------------------------------------------------------------
+# Tera Sort: custom range partitioner + per-partition sort
+# ----------------------------------------------------------------------
+def terasort_spark(ctx: LocalSparkContext,
+                   records: Sequence[Tuple[bytes, bytes]],
+                   boundaries: Sequence[bytes]) -> List[Tuple[bytes, bytes]]:
+    part = range_partitioner(list(boundaries))
+    rdd = (ctx.parallelize(list(records))
+           .map_to_pair(lambda kv: kv)
+           .repartition_and_sort_within_partitions(
+               part, len(boundaries) + 1))
+    return merge_sorted(rdd.collect_partitions())
+
+
+def terasort_flink(env: LocalEnvironment,
+                   records: Sequence[Tuple[bytes, bytes]],
+                   boundaries: Sequence[bytes]) -> List[Tuple[bytes, bytes]]:
+    part = range_partitioner(list(boundaries))
+    ds = (env.from_collection(list(records))
+          .map(lambda kv: kv)  # OptimizedText tuple creation
+          .partition_custom(part, lambda kv: kv[0], len(boundaries) + 1)
+          .sort_partition(lambda kv: kv[0]))
+    parts = [list(src) for src in ds._sources()]
+    return merge_sorted(parts)
+
+
+def terasort_oracle(records: Iterable[Tuple[bytes, bytes]]
+                    ) -> List[Tuple[bytes, bytes]]:
+    return sorted(records, key=lambda kv: kv[0])
+
+
+# ----------------------------------------------------------------------
+# K-Means: cached points, per-iteration assign + recompute
+# ----------------------------------------------------------------------
+def _closest(point: Tuple[float, float],
+             centers: Sequence[Tuple[float, float]]) -> int:
+    best, best_d = 0, math.inf
+    for i, c in enumerate(centers):
+        d = (point[0] - c[0]) ** 2 + (point[1] - c[1]) ** 2
+        if d < best_d:
+            best, best_d = i, d
+    return best
+
+
+def kmeans_spark(ctx: LocalSparkContext,
+                 points: Sequence[Tuple[float, float]],
+                 initial_centers: Sequence[Tuple[float, float]],
+                 iterations: int) -> List[Tuple[float, float]]:
+    """Loop unrolling: a new job (map -> reduceByKey -> collectAsMap)
+    per iteration over the cached points (Fig. 10 right)."""
+    cached = ctx.parallelize(list(points)).cache()
+    centers = [tuple(c) for c in initial_centers]
+    for _ in range(iterations):
+        sums = (cached
+                .map_to_pair(lambda p: (_closest(p, centers),
+                                        (p[0], p[1], 1)))
+                .reduce_by_key(lambda a, b: (a[0] + b[0], a[1] + b[1],
+                                             a[2] + b[2]))
+                .collect_as_map())
+        centers = [(sx / n, sy / n) if n else centers[i]
+                   for i, (sx, sy, n) in
+                   ((i, sums.get(i, (0.0, 0.0, 0))) for i in
+                    range(len(centers)))]
+    return centers
+
+
+def kmeans_flink(env: LocalEnvironment,
+                 points: Sequence[Tuple[float, float]],
+                 initial_centers: Sequence[Tuple[float, float]],
+                 iterations: int) -> List[Tuple[float, float]]:
+    """Bulk iteration over the *centers* with the points broadcast —
+    Flink's canonical K-Means shape."""
+    pts = list(points)
+    k = len(initial_centers)
+
+    def step(centers_ds):
+        centers = sorted(centers_ds.collect(), key=lambda c: c[0])
+        cs = [c[1] for c in centers]
+        sums = defaultdict(lambda: (0.0, 0.0, 0))
+        for p in pts:
+            i = _closest(p, cs)
+            sx, sy, n = sums[i]
+            sums[i] = (sx + p[0], sy + p[1], n + 1)
+        new_centers = []
+        for i in range(k):
+            sx, sy, n = sums.get(i, (0.0, 0.0, 0))
+            new_centers.append((i, (sx / n, sy / n) if n else cs[i]))
+        return env.from_collection(new_centers)
+
+    indexed = [(i, tuple(c)) for i, c in enumerate(initial_centers)]
+    final = env.from_collection(indexed).iterate(iterations, step)
+    return [c for _i, c in sorted(final.collect(), key=lambda c: c[0])]
+
+
+def kmeans_oracle(points: Sequence[Tuple[float, float]],
+                  initial_centers: Sequence[Tuple[float, float]],
+                  iterations: int) -> List[Tuple[float, float]]:
+    pts = np.asarray(points, dtype=float)
+    centers = np.asarray(initial_centers, dtype=float)
+    for _ in range(iterations):
+        d = ((pts[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+        assign = d.argmin(axis=1)
+        for i in range(len(centers)):
+            mask = assign == i
+            if mask.any():
+                centers[i] = pts[mask].mean(axis=0)
+    return [tuple(c) for c in centers]
+
+
+# ----------------------------------------------------------------------
+# Page Rank
+# ----------------------------------------------------------------------
+def pagerank_spark(ctx: LocalSparkContext,
+                   edges: Sequence[Tuple[int, int]],
+                   iterations: int, damping: float = 0.85
+                   ) -> Dict[int, float]:
+    """GraphX-style: cached link structure, unrolled rank updates."""
+    vertices = sorted({v for e in edges for v in e})
+    links = ctx.parallelize(list(edges)).group_by_key().cache()
+    n = len(vertices)
+    ranks = {v: 1.0 / n for v in vertices}
+    out_neighbours = dict(links.collect())
+    for _ in range(iterations):
+        contribs = (links
+                    .flat_map(lambda kv: [
+                        (dst, ranks[kv[0]] / len(kv[1])) for dst in kv[1]])
+                    .reduce_by_key(lambda a, b: a + b)
+                    .collect_as_map())
+        ranks = {v: (1 - damping) / n + damping * contribs.get(v, 0.0)
+                 for v in vertices}
+    return ranks
+
+
+def pagerank_flink(env: LocalEnvironment,
+                   edges: Sequence[Tuple[int, int]],
+                   iterations: int, damping: float = 0.85
+                   ) -> Dict[int, float]:
+    """Gelly-style: vertex-centric bulk iteration over (vertex, rank)."""
+    vertices = sorted({v for e in edges for v in e})
+    n = len(vertices)
+    adjacency: Dict[int, List[int]] = defaultdict(list)
+    for s, d in edges:
+        adjacency[s].append(d)
+
+    def superstep(ranks_ds):
+        ranks = dict(ranks_ds.collect())
+        contribs: Dict[int, float] = defaultdict(float)
+        for v, out in adjacency.items():
+            share = ranks[v] / len(out)
+            for dst in out:
+                contribs[dst] += share
+        return env.from_collection(
+            [(v, (1 - damping) / n + damping * contribs.get(v, 0.0))
+             for v in vertices])
+
+    initial = env.from_collection([(v, 1.0 / n) for v in vertices])
+    return dict(initial.iterate(iterations, superstep).collect())
+
+
+def pagerank_oracle(edges: Sequence[Tuple[int, int]], iterations: int,
+                    damping: float = 0.85) -> Dict[int, float]:
+    vertices = sorted({v for e in edges for v in e})
+    n = len(vertices)
+    adjacency: Dict[int, List[int]] = defaultdict(list)
+    for s, d in edges:
+        adjacency[s].append(d)
+    ranks = {v: 1.0 / n for v in vertices}
+    for _ in range(iterations):
+        contribs: Dict[int, float] = defaultdict(float)
+        for v, out in adjacency.items():
+            share = ranks[v] / len(out)
+            for dst in out:
+                contribs[dst] += share
+        ranks = {v: (1 - damping) / n + damping * contribs.get(v, 0.0)
+                 for v in vertices}
+    return ranks
+
+
+# ----------------------------------------------------------------------
+# Connected Components (on the undirected view of the graph)
+# ----------------------------------------------------------------------
+def connected_components_spark(ctx: LocalSparkContext,
+                               edges: Sequence[Tuple[int, int]],
+                               max_iterations: int = 100) -> Dict[int, int]:
+    """GraphX-style label propagation with unrolled jobs."""
+    undirected = list(edges) + [(d, s) for s, d in edges]
+    links = ctx.parallelize(undirected).group_by_key().cache()
+    labels = {v: v for e in edges for v in e}
+    for _ in range(max_iterations):
+        candidates = (links
+                      .flat_map(lambda kv: [
+                          (dst, labels[kv[0]]) for dst in kv[1]])
+                      .reduce_by_key(min)
+                      .collect_as_map())
+        new_labels = {v: min(lbl, candidates.get(v, lbl))
+                      for v, lbl in labels.items()}
+        if new_labels == labels:
+            break
+        labels = new_labels
+    return labels
+
+
+def connected_components_flink(env: LocalEnvironment,
+                               edges: Sequence[Tuple[int, int]],
+                               max_iterations: int = 100) -> Dict[int, int]:
+    """Delta iteration: only vertices whose label changed stay in the
+    workset — the shrinking-work behaviour the paper credits."""
+    vertices = sorted({v for e in edges for v in e})
+    adjacency: Dict[int, List[int]] = defaultdict(list)
+    for s, d in edges:
+        adjacency[s].append(d)
+        adjacency[d].append(s)
+
+    solution = env.from_collection([(v, v) for v in vertices])
+    workset = env.from_collection([(v, v) for v in vertices])
+
+    def step(sol: Dict, work: List) -> List:
+        candidates: Dict[int, int] = {}
+        for v, label in work:
+            for nb in adjacency[v]:
+                if label < candidates.get(nb, sol[nb][1] if nb in sol
+                                          else nb):
+                    candidates[nb] = label
+        deltas = []
+        for v, label in candidates.items():
+            if label < sol[v][1]:
+                deltas.append((v, label))
+        return deltas
+
+    final = solution.iterate_delta(workset, max_iterations,
+                                   key_fn=lambda kv: kv[0], step=step)
+    return dict(final.collect())
+
+
+def connected_components_oracle(edges: Sequence[Tuple[int, int]]
+                                ) -> Dict[int, int]:
+    """Union-find; component id = smallest vertex id in the component."""
+    parent: Dict[int, int] = {}
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for s, d in edges:
+        parent.setdefault(s, s)
+        parent.setdefault(d, d)
+        rs, rd = find(s), find(d)
+        if rs != rd:
+            parent[max(rs, rd)] = min(rs, rd)
+    return {v: find(v) for v in parent}

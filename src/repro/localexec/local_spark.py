@@ -1,0 +1,366 @@
+"""A real, executable miniature of Spark's RDD model.
+
+This is not a simulation: :class:`LocalRDD` computes actual results on
+in-memory partitions, with the architectural traits the paper discusses
+implemented literally —
+
+* **lineage**: an RDD is a recipe (parent + transformation); it can be
+  recomputed at any time and counts recomputations;
+* **laziness**: nothing runs until an action;
+* **explicit persistence**: :meth:`LocalRDD.cache` materialises the
+  partitions, and iterative programs reuse them (the paper's §II-C);
+* **staged execution**: wide operations hash-partition their input to
+  real shuffle buckets, and the context counts stages and shuffled
+  records so tests can observe the execution structure.
+
+The driver-facing API mirrors the subset of Spark 1.5 the paper's
+workloads use (Table I).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .partitions import hash_partitioner, split_evenly
+
+__all__ = ["LocalSparkContext", "LocalRDD"]
+
+
+class Broadcast:
+    """A read-only value shipped once to every executor (``sc.broadcast``)."""
+
+    def __init__(self, value) -> None:
+        self._value = value
+
+    @property
+    def value(self):
+        return self._value
+
+
+class Accumulator:
+    """A write-only counter tasks add to and the driver reads
+    (``sc.accumulator``)."""
+
+    def __init__(self, initial=0) -> None:
+        self.value = initial
+
+    def add(self, amount) -> None:
+        self.value += amount
+
+    def __iadd__(self, amount) -> "Accumulator":
+        self.add(amount)
+        return self
+
+
+class LocalSparkContext:
+    """Driver entry point; owns execution counters."""
+
+    def __init__(self, default_parallelism: int = 4) -> None:
+        if default_parallelism < 1:
+            raise ValueError("default_parallelism must be >= 1")
+        self.default_parallelism = default_parallelism
+        self.stages_executed = 0
+        self.shuffled_records = 0
+        self.recomputations = 0
+
+    def broadcast(self, value) -> Broadcast:
+        return Broadcast(value)
+
+    def accumulator(self, initial=0) -> Accumulator:
+        return Accumulator(initial)
+
+    # ------------------------------------------------------------------
+    def parallelize(self, data: Sequence, num_partitions: Optional[int] = None
+                    ) -> "LocalRDD":
+        parts = split_evenly(list(data),
+                             num_partitions or self.default_parallelism)
+        return LocalRDD(self, lambda: [list(p) for p in parts], name="parallelize")
+
+    def text_file(self, lines: Sequence[str],
+                  num_partitions: Optional[int] = None) -> "LocalRDD":
+        """Stand-in for ``sc.textFile`` reading an in-memory 'file'."""
+        return self.parallelize(list(lines), num_partitions)
+
+
+class LocalRDD:
+    """A lazy, partitioned, recomputable collection."""
+
+    def __init__(self, ctx: LocalSparkContext,
+                 compute: Callable[[], List[List]], name: str = "rdd") -> None:
+        self.ctx = ctx
+        self._compute = compute
+        self.name = name
+        self._cached: Optional[List[List]] = None
+        self.is_cached = False
+
+    # ------------------------------------------------------------------
+    # materialisation
+    # ------------------------------------------------------------------
+    def _partitions(self) -> List[List]:
+        if self._cached is not None:
+            return self._cached
+        self.ctx.recomputations += 1
+        parts = self._compute()
+        if self.is_cached:
+            self._cached = parts
+        return parts
+
+    def cache(self) -> "LocalRDD":
+        """Mark persistent: materialised once, reused afterwards."""
+        self.is_cached = True
+        return self
+
+    def unpersist(self) -> "LocalRDD":
+        self.is_cached = False
+        self._cached = None
+        return self
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self._partitions())
+
+    # ------------------------------------------------------------------
+    # narrow transformations (no shuffle)
+    # ------------------------------------------------------------------
+    def _narrow(self, fn: Callable[[List], List], name: str) -> "LocalRDD":
+        parent = self
+
+        def compute() -> List[List]:
+            return [fn(p) for p in parent._partitions()]
+
+        return LocalRDD(self.ctx, compute, name=name)
+
+    def map(self, fn: Callable) -> "LocalRDD":
+        return self._narrow(lambda p: [fn(x) for x in p], "map")
+
+    def flat_map(self, fn: Callable) -> "LocalRDD":
+        return self._narrow(
+            lambda p: [y for x in p for y in fn(x)], "flatMap")
+
+    def filter(self, pred: Callable) -> "LocalRDD":
+        return self._narrow(lambda p: [x for x in p if pred(x)], "filter")
+
+    def map_to_pair(self, fn: Callable) -> "LocalRDD":
+        return self._narrow(lambda p: [fn(x) for x in p], "mapToPair")
+
+    def map_partitions(self, fn: Callable[[List], Iterable]) -> "LocalRDD":
+        return self._narrow(lambda p: list(fn(p)), "mapPartitions")
+
+    def map_values(self, fn: Callable) -> "LocalRDD":
+        return self._narrow(lambda p: [(k, fn(v)) for k, v in p], "mapValues")
+
+    def coalesce(self, num_partitions: int) -> "LocalRDD":
+        parent = self
+
+        def compute() -> List[List]:
+            flat = [x for p in parent._partitions() for x in p]
+            return split_evenly(flat, num_partitions)
+
+        return LocalRDD(self.ctx, compute, name="coalesce")
+
+    def union(self, other: "LocalRDD") -> "LocalRDD":
+        parent = self
+
+        def compute() -> List[List]:
+            return parent._partitions() + other._partitions()
+
+        return LocalRDD(self.ctx, compute, name="union")
+
+    def sample(self, fraction: float, seed: int = 0) -> "LocalRDD":
+        """Bernoulli sample without replacement (deterministic)."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        import random
+        parent = self
+
+        def compute() -> List[List]:
+            rng = random.Random(seed)
+            return [[x for x in p if rng.random() < fraction]
+                    for p in parent._partitions()]
+
+        return LocalRDD(self.ctx, compute, name="sample")
+
+    def keys(self) -> "LocalRDD":
+        return self._narrow(lambda p: [k for k, _v in p], "keys")
+
+    def values(self) -> "LocalRDD":
+        return self._narrow(lambda p: [v for _k, v in p], "values")
+
+    def sort_by(self, key_fn: Callable,
+                num_partitions: Optional[int] = None) -> "LocalRDD":
+        """Global sort: sample-based range partitioning + local sorts,
+        like ``rdd.sortBy``."""
+        parent = self
+        n = num_partitions or self.ctx.default_parallelism
+
+        def compute() -> List[List]:
+            parent.ctx.stages_executed += 1
+            items = [x for p in parent._partitions() for x in p]
+            items.sort(key=key_fn)
+            parent.ctx.shuffled_records += len(items)
+            return split_evenly(items, n)
+
+        return LocalRDD(self.ctx, compute, name="sortBy")
+
+    # ------------------------------------------------------------------
+    # wide transformations (stage boundary: real hash shuffle)
+    # ------------------------------------------------------------------
+    def _shuffle(self, pairs_parts: List[List[Tuple]],
+                 num_partitions: int) -> List[List[Tuple]]:
+        self.ctx.stages_executed += 1
+        part = hash_partitioner(num_partitions)
+        buckets: List[List[Tuple]] = [[] for _ in range(num_partitions)]
+        for p in pairs_parts:
+            for k, v in p:
+                buckets[part(k)].append((k, v))
+                self.ctx.shuffled_records += 1
+        return buckets
+
+    def reduce_by_key(self, fn: Callable,
+                      num_partitions: Optional[int] = None) -> "LocalRDD":
+        parent = self
+        n = num_partitions or self.ctx.default_parallelism
+
+        def compute() -> List[List]:
+            # Map-side combine first (both engines do; paper §III).
+            combined_parts: List[List[Tuple]] = []
+            for p in parent._partitions():
+                acc: Dict = {}
+                for k, v in p:
+                    acc[k] = fn(acc[k], v) if k in acc else v
+                combined_parts.append(list(acc.items()))
+            buckets = parent._shuffle(combined_parts, n)
+            out = []
+            for b in buckets:
+                acc: Dict = {}
+                for k, v in b:
+                    acc[k] = fn(acc[k], v) if k in acc else v
+                out.append(list(acc.items()))
+            return out
+
+        return LocalRDD(self.ctx, compute, name="reduceByKey")
+
+    def group_by_key(self, num_partitions: Optional[int] = None) -> "LocalRDD":
+        parent = self
+        n = num_partitions or self.ctx.default_parallelism
+
+        def compute() -> List[List]:
+            buckets = parent._shuffle(parent._partitions(), n)
+            out = []
+            for b in buckets:
+                acc: Dict = defaultdict(list)
+                for k, v in b:
+                    acc[k].append(v)
+                out.append(list(acc.items()))
+            return out
+
+        return LocalRDD(self.ctx, compute, name="groupByKey")
+
+    def distinct(self, num_partitions: Optional[int] = None) -> "LocalRDD":
+        parent = self
+        n = num_partitions or self.ctx.default_parallelism
+
+        def compute() -> List[List]:
+            pairs = [[(x, None) for x in p] for p in parent._partitions()]
+            buckets = parent._shuffle(pairs, n)
+            return [list({k for k, _ in b}) for b in buckets]
+
+        return LocalRDD(self.ctx, compute, name="distinct")
+
+    def join(self, other: "LocalRDD",
+             num_partitions: Optional[int] = None) -> "LocalRDD":
+        parent = self
+        n = num_partitions or self.ctx.default_parallelism
+
+        def compute() -> List[List]:
+            left = parent._shuffle(parent._partitions(), n)
+            right = parent._shuffle(other._partitions(), n)
+            out = []
+            for lb, rb in zip(left, right):
+                lmap: Dict = defaultdict(list)
+                for k, v in lb:
+                    lmap[k].append(v)
+                joined = []
+                for k, w in rb:
+                    for v in lmap.get(k, ()):
+                        joined.append((k, (v, w)))
+                out.append(joined)
+            return out
+
+        return LocalRDD(self.ctx, compute, name="join")
+
+    def repartition_and_sort_within_partitions(
+            self, partitioner: Callable[[object], int],
+            num_partitions: int) -> "LocalRDD":
+        """Tera Sort's shuffle: route by the custom (range) partitioner,
+        then sort each partition locally."""
+        parent = self
+
+        def compute() -> List[List]:
+            parent.ctx.stages_executed += 1
+            buckets: List[List[Tuple]] = [[] for _ in range(num_partitions)]
+            for p in parent._partitions():
+                for k, v in p:
+                    buckets[partitioner(k)].append((k, v))
+                    parent.ctx.shuffled_records += 1
+            return [sorted(b, key=lambda kv: kv[0]) for b in buckets]
+
+        return LocalRDD(self.ctx, compute, name="repartitionAndSortWithinPartitions")
+
+    # ------------------------------------------------------------------
+    # actions (trigger execution)
+    # ------------------------------------------------------------------
+    def collect(self) -> List:
+        self.ctx.stages_executed += 1
+        return [x for p in self._partitions() for x in p]
+
+    def collect_partitions(self) -> List[List]:
+        self.ctx.stages_executed += 1
+        return [list(p) for p in self._partitions()]
+
+    def count(self) -> int:
+        self.ctx.stages_executed += 1
+        return sum(len(p) for p in self._partitions())
+
+    def collect_as_map(self) -> Dict:
+        return dict(self.collect())
+
+    def reduce(self, fn: Callable):
+        items = self.collect()
+        if not items:
+            raise ValueError("reduce of empty RDD")
+        acc = items[0]
+        for x in items[1:]:
+            acc = fn(acc, x)
+        return acc
+
+    def take(self, n: int) -> List:
+        """First ``n`` elements in partition order (scans lazily)."""
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        out: List = []
+        for p in self._partitions():
+            for x in p:
+                if len(out) == n:
+                    return out
+                out.append(x)
+        return out
+
+    def first(self):
+        got = self.take(1)
+        if not got:
+            raise ValueError("first() of empty RDD")
+        return got[0]
+
+    def foreach(self, fn: Callable) -> None:
+        """Run ``fn`` for its side effects (e.g. accumulator adds)."""
+        for x in self.collect():
+            fn(x)
+
+    def save_as_text_file(self, sink: List[str]) -> None:
+        """Append one line per element to ``sink`` (an in-memory file)."""
+        sink.extend(str(x) for x in self.collect())
+
+    def __repr__(self) -> str:
+        return f"LocalRDD({self.name})"

@@ -1,0 +1,86 @@
+"""Partitioning primitives shared by the two local mini-engines.
+
+These are *real* (executable) counterparts of the partitioners the
+paper's workloads use: hash partitioning for keyed shuffles and a
+TotalOrderPartitioner-style range partitioner for Tera Sort.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Callable, Iterable, List, Sequence, TypeVar
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+__all__ = ["hash_partitioner", "range_partitioner", "split_evenly",
+           "merge_sorted"]
+
+
+def hash_partitioner(num_partitions: int) -> Callable[[object], int]:
+    """Deterministic hash partitioner (Python's hash is seeded per
+    process for str; use a stable fold instead)."""
+    if num_partitions < 1:
+        raise ValueError("num_partitions must be >= 1")
+
+    def part(key: object) -> int:
+        return _stable_hash(key) % num_partitions
+
+    return part
+
+
+def _stable_hash(key: object) -> int:
+    if isinstance(key, str):
+        h = 5381
+        for ch in key:
+            h = ((h * 33) ^ ord(ch)) & 0x7FFFFFFF
+        return h
+    if isinstance(key, bytes):
+        h = 5381
+        for b in key:
+            h = ((h * 33) ^ b) & 0x7FFFFFFF
+        return h
+    if isinstance(key, int):
+        return key & 0x7FFFFFFF
+    if isinstance(key, tuple):
+        h = 2166136261
+        for item in key:
+            h = (h ^ _stable_hash(item)) * 16777619 & 0x7FFFFFFF
+        return h
+    return hash(key) & 0x7FFFFFFF
+
+
+def range_partitioner(boundaries: Sequence) -> Callable[[object], int]:
+    """TotalOrderPartitioner: partition ``i`` gets keys in
+    ``(boundaries[i-1], boundaries[i]]``; ascending partition index
+    yields a globally sorted concatenation."""
+    bounds = list(boundaries)
+    if bounds != sorted(bounds):
+        raise ValueError("boundaries must be sorted")
+
+    def part(key: object) -> int:
+        return bisect.bisect_left(bounds, key)
+
+    return part
+
+
+def split_evenly(items: Sequence, num_partitions: int) -> List[List]:
+    """Deal a sequence into ``num_partitions`` contiguous slices."""
+    if num_partitions < 1:
+        raise ValueError("num_partitions must be >= 1")
+    n = len(items)
+    out = []
+    for i in range(num_partitions):
+        lo = i * n // num_partitions
+        hi = (i + 1) * n // num_partitions
+        out.append(list(items[lo:hi]))
+    return out
+
+
+def merge_sorted(partitions: Iterable[Sequence]) -> List:
+    """Concatenate partitions in index order (valid after a range
+    partition + per-partition sort)."""
+    out: List = []
+    for p in partitions:
+        out.extend(p)
+    return out

@@ -1,0 +1,7 @@
+"""Resource monitoring: metric frames and the cluster trace collector."""
+
+from .collector import ClusterMonitor
+from .metrics import RESOURCE_PANELS, Metric, MetricFrame, anti_correlation
+
+__all__ = ["ClusterMonitor", "Metric", "MetricFrame", "RESOURCE_PANELS",
+           "anti_correlation"]

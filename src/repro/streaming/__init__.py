@@ -1,0 +1,9 @@
+"""Streaming extension (the paper's declared future work, §VIII)."""
+
+from .model import (StreamingResult, StreamingWorkloadModel,
+                    max_stable_throughput, simulate_flink_streaming,
+                    simulate_spark_dstreams)
+
+__all__ = ["StreamingResult", "StreamingWorkloadModel",
+           "max_stable_throughput", "simulate_flink_streaming",
+           "simulate_spark_dstreams"]

@@ -1,0 +1,15 @@
+"""The paper's six benchmarks: three batch, three iterative."""
+
+from .base import Workload
+from .connected_components import ConnectedComponents
+from .grep import Grep
+from .kmeans import KMeans
+from .pagerank import PageRank
+from .terasort import TeraSort
+from .wordcount import WordCount
+
+ALL_WORKLOADS = [WordCount, Grep, TeraSort, KMeans, PageRank,
+                 ConnectedComponents]
+
+__all__ = ["ALL_WORKLOADS", "ConnectedComponents", "Grep", "KMeans",
+           "PageRank", "TeraSort", "WordCount", "Workload"]

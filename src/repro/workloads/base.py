@@ -1,0 +1,62 @@
+"""Workload abstraction: one benchmark, two engine plans, one oracle.
+
+A :class:`Workload` bundles everything the harness needs to run one of
+the paper's six benchmarks on either engine:
+
+* ``input_files()`` — the HDFS datasets to import before the run;
+* ``spark_jobs()`` / ``flink_jobs()`` — the logical plans each engine
+  executes (matching the operator sequences of §III and Table I);
+* ``spark_operators`` / ``flink_operators`` — the Table I inventory;
+* a local, really-executable implementation lives in
+  ``repro.localexec`` keyed by the same workload name.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Tuple
+
+from ..engines.common.operators import LogicalPlan
+
+__all__ = ["Workload"]
+
+
+class Workload(abc.ABC):
+    """One of the paper's six benchmarks."""
+
+    #: Short identifier ("wordcount", "grep", ...).
+    name: str = ""
+    #: Table I column header ("WC", "G", "TS", "KM", "PR", "CC").
+    table1_column: str = ""
+    #: "batch" or "iterative".
+    category: str = "batch"
+
+    @abc.abstractmethod
+    def input_files(self) -> List[Tuple[str, float]]:
+        """(hdfs path, size in bytes) datasets to import before runs."""
+
+    @abc.abstractmethod
+    def spark_jobs(self) -> List[LogicalPlan]:
+        """The Spark driver program as one plan per triggered job."""
+
+    @abc.abstractmethod
+    def flink_jobs(self) -> List[LogicalPlan]:
+        """The Flink program, one plan per executed job graph."""
+
+    def jobs(self, engine: str) -> List[LogicalPlan]:
+        if engine == "spark":
+            return self.spark_jobs()
+        if engine == "flink":
+            return self.flink_jobs()
+        raise ValueError(f"unknown engine {engine!r}")
+
+    # ------------------------------------------------------------------
+    # Table I inventory
+    # ------------------------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def operators(self) -> Dict[str, List[str]]:
+        """Table I rows: ``{"common": [...], "spark": [...], "flink": [...]}``."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

@@ -1,0 +1,20 @@
+"""Dataset models (for the simulator) and real generators (for the
+executable engines): text, TeraGen, K-Means points, power-law graphs."""
+
+from .graphs import (LARGE_GRAPH, MEDIUM_GRAPH, SMALL_GRAPH,
+                     GraphDatasetModel, cc_activity_profile,
+                     generate_power_law_edges)
+from .points import (DEFAULT_KMEANS_MODEL, KMeansDatasetModel,
+                     generate_points, true_centers)
+from .teragen import (KEY_BYTES, RECORD_BYTES, TeraSortDatasetModel,
+                      generate_records, range_partition_boundaries)
+from .text import DEFAULT_TEXT_MODEL, TextDatasetModel, generate_lines
+
+__all__ = [
+    "DEFAULT_KMEANS_MODEL", "DEFAULT_TEXT_MODEL", "GraphDatasetModel",
+    "KEY_BYTES", "KMeansDatasetModel", "LARGE_GRAPH", "MEDIUM_GRAPH",
+    "RECORD_BYTES", "SMALL_GRAPH", "TeraSortDatasetModel",
+    "TextDatasetModel", "cc_activity_profile", "generate_lines",
+    "generate_points", "generate_power_law_edges", "generate_records",
+    "range_partition_boundaries", "true_centers",
+]

@@ -1,0 +1,62 @@
+"""HiBench-style K-Means input (paper §III).
+
+"The input is generated using the HiBench suite (training records with
+2 dimensions)" — a Gaussian mixture around ``k`` true centers.  The
+paper's run uses a 51 GB dataset of 1.2 billion samples over 10
+iterations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...engines.common.stats import DataStats
+
+__all__ = ["KMeansDatasetModel", "generate_points", "DEFAULT_KMEANS_MODEL"]
+
+
+@dataclass(frozen=True)
+class KMeansDatasetModel:
+    """Statistical shape of the HiBench K-Means dataset."""
+
+    #: Text representation: "x,y\n" with ~double precision decimals.
+    record_bytes: float = 42.5   # 51 GB / 1.2e9 samples
+    #: Parsed in-memory point (two doubles + framing).
+    point_bytes: float = 24.0
+    dimensions: int = 2
+    num_centers: int = 16
+
+    def stats(self, total_bytes: float) -> DataStats:
+        return DataStats(records=total_bytes / self.record_bytes,
+                         record_bytes=self.record_bytes,
+                         key_cardinality=self.num_centers)
+
+    def parsed_stats(self, total_bytes: float) -> DataStats:
+        records = total_bytes / self.record_bytes
+        return DataStats(records=records, record_bytes=self.point_bytes,
+                         key_cardinality=self.num_centers)
+
+
+DEFAULT_KMEANS_MODEL = KMeansDatasetModel()
+
+
+def generate_points(num_points: int, num_centers: int = 4,
+                    spread: float = 0.05, seed: int = 0) -> np.ndarray:
+    """2-D Gaussian mixture samples (HiBench GenKMeansDataset shape)."""
+    if num_points < 0:
+        raise ValueError("num_points must be >= 0")
+    if num_centers < 1:
+        raise ValueError("num_centers must be >= 1")
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(-1.0, 1.0, size=(num_centers, 2))
+    assignment = rng.integers(0, num_centers, size=num_points)
+    noise = rng.normal(0.0, spread, size=(num_points, 2))
+    return centers[assignment] + noise
+
+
+def true_centers(num_centers: int = 4, seed: int = 0) -> np.ndarray:
+    """The mixture centers :func:`generate_points` drew from."""
+    rng = np.random.default_rng(seed)
+    return rng.uniform(-1.0, 1.0, size=(num_centers, 2))

@@ -1,0 +1,68 @@
+"""TeraGen: the Tera Sort input (paper §III).
+
+"100-byte records, with the first 10 bytes representing the sort key",
+generated "using the TeraGen program with Hadoop".  The simulator uses
+:class:`TeraSortDatasetModel`; the local engines sort real records from
+:func:`generate_records`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ...engines.common.stats import DataStats
+
+__all__ = ["TeraSortDatasetModel", "generate_records", "RECORD_BYTES",
+           "KEY_BYTES"]
+
+RECORD_BYTES = 100
+KEY_BYTES = 10
+
+
+@dataclass(frozen=True)
+class TeraSortDatasetModel:
+    """Statistical shape of a TeraGen dataset."""
+
+    record_bytes: float = float(RECORD_BYTES)
+    key_bytes: float = float(KEY_BYTES)
+
+    def stats(self, total_bytes: float) -> DataStats:
+        records = total_bytes / self.record_bytes
+        # Keys are effectively unique 10-byte random strings.
+        return DataStats(records=records, record_bytes=self.record_bytes,
+                         key_cardinality=records)
+
+
+def generate_records(num_records: int, seed: int = 0
+                     ) -> List[Tuple[bytes, bytes]]:
+    """Real (key, payload) records in TeraGen's format."""
+    if num_records < 0:
+        raise ValueError("num_records must be >= 0")
+    rng = np.random.default_rng(seed)
+    keys = rng.integers(32, 127, size=(num_records, KEY_BYTES),
+                        dtype=np.uint8)
+    payloads = rng.integers(32, 127,
+                            size=(num_records, RECORD_BYTES - KEY_BYTES),
+                            dtype=np.uint8)
+    return [(keys[i].tobytes(), payloads[i].tobytes())
+            for i in range(num_records)]
+
+
+def range_partition_boundaries(num_partitions: int) -> List[bytes]:
+    """Boundaries of Hadoop's TotalOrderPartitioner over the printable
+    ASCII key space (the paper uses "the same range partitioner ... based
+    on Hadoop's TotalOrderPartitioner" for both engines)."""
+    if num_partitions < 1:
+        raise ValueError("num_partitions must be >= 1")
+    lo, hi = 32, 127
+    bounds = []
+    for i in range(1, num_partitions):
+        x = lo + (hi - lo) * i / num_partitions
+        first = int(x)
+        frac = x - first
+        second = int(32 + 95 * frac)
+        bounds.append(bytes([first, second] + [32] * (KEY_BYTES - 2)))
+    return bounds

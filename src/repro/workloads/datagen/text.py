@@ -1,0 +1,100 @@
+"""Wikipedia-like text: the Word Count / Grep input.
+
+Two products, one distribution family:
+
+* :class:`TextDatasetModel` — the statistical descriptor the simulator
+  consumes (line/word sizes, Zipf vocabulary, match selectivity);
+* :func:`generate_lines` — a real generator producing Zipf-distributed
+  text lines for the executable mini-engines and the examples.
+
+The paper reads "Wikipedia text files from HDFS"; English Wikipedia has
+heavily Zipfian word frequencies, which is what makes map-side
+combining effective (each map partition sees far fewer distinct words
+than words).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ...engines.common.stats import DataStats
+
+__all__ = ["TextDatasetModel", "generate_lines", "DEFAULT_TEXT_MODEL"]
+
+
+@dataclass(frozen=True)
+class TextDatasetModel:
+    """Statistical shape of the text corpus."""
+
+    #: Mean line length in bytes (Wikipedia articles, one line ≈ one
+    #: sentence/paragraph chunk).
+    line_bytes: float = 120.0
+    #: Mean words per line.
+    words_per_line: float = 18.0
+    #: Effective vocabulary (distinct words that matter for combining;
+    #: Zipf weight concentrates practically all mass here).
+    vocabulary: float = 2.0e6
+    #: Mean bytes of one word record (word + framing).
+    word_bytes: float = 10.0
+    #: Bytes of one (word, count) pair.
+    pair_bytes: float = 16.0
+    #: Fraction of lines matching the Grep pattern.
+    grep_selectivity: float = 0.05
+
+    def lines_stats(self, total_bytes: float) -> DataStats:
+        return DataStats(records=total_bytes / self.line_bytes,
+                         record_bytes=self.line_bytes)
+
+    def words_stats(self, total_bytes: float) -> DataStats:
+        lines = total_bytes / self.line_bytes
+        return DataStats(records=lines * self.words_per_line,
+                         record_bytes=self.word_bytes,
+                         key_cardinality=self.vocabulary)
+
+    @property
+    def flatmap_selectivity(self) -> float:
+        return self.words_per_line
+
+    @property
+    def flatmap_bytes_ratio(self) -> float:
+        return self.word_bytes / self.line_bytes
+
+
+DEFAULT_TEXT_MODEL = TextDatasetModel()
+
+
+_WORD_CHARS = np.array(list("abcdefghijklmnopqrstuvwxyz"))
+
+
+def _make_vocabulary(size: int, rng: np.random.Generator) -> List[str]:
+    """Deterministic pseudo-words of realistic lengths."""
+    lengths = rng.integers(2, 12, size=size)
+    words = []
+    for i, ln in enumerate(lengths):
+        idx = rng.integers(0, 26, size=ln)
+        words.append("".join(_WORD_CHARS[idx]))
+    return words
+
+
+def generate_lines(num_lines: int, *, words_per_line: int = 12,
+                   vocabulary_size: int = 2000, zipf_a: float = 1.3,
+                   seed: int = 0) -> List[str]:
+    """Generate Zipf-distributed text lines (for the local engines)."""
+    if num_lines < 0:
+        raise ValueError("num_lines must be >= 0")
+    if vocabulary_size < 1:
+        raise ValueError("vocabulary_size must be >= 1")
+    rng = np.random.default_rng(seed)
+    vocab = _make_vocabulary(vocabulary_size, rng)
+    # Zipf ranks (1-based), clipped into the vocabulary.
+    total_words = num_lines * words_per_line
+    ranks = rng.zipf(zipf_a, size=total_words)
+    ranks = np.minimum(ranks, vocabulary_size) - 1
+    lines = []
+    for i in range(num_lines):
+        chunk = ranks[i * words_per_line:(i + 1) * words_per_line]
+        lines.append(" ".join(vocab[r] for r in chunk))
+    return lines

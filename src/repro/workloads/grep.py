@@ -1,0 +1,72 @@
+"""Grep (paper §III, §VI-B).
+
+"A common command for searching plain-text data sets. Here, we use it
+to evaluate the filter transformation and the count action.  Both Flink
+and Spark implement the following sequence of operators applied on
+their specific datasets: filter -> count."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..engines.common.operators import LogicalPlan, Op, OpKind
+from .base import Workload
+from .datagen.text import DEFAULT_TEXT_MODEL, TextDatasetModel
+
+__all__ = ["Grep"]
+
+
+class Grep(Workload):
+    name = "grep"
+    table1_column = "G"
+    category = "batch"
+
+    def __init__(self, total_bytes: float,
+                 model: TextDatasetModel = DEFAULT_TEXT_MODEL) -> None:
+        if total_bytes <= 0:
+            raise ValueError("total_bytes must be positive")
+        self.total_bytes = float(total_bytes)
+        self.model = model
+
+    def input_files(self) -> List[Tuple[str, float]]:
+        return [("/data/wikipedia.txt", self.total_bytes)]
+
+    def _filter_op(self, name: str = "Filter") -> Op:
+        return Op(OpKind.FILTER, name,
+                  selectivity=self.model.grep_selectivity)
+
+    def spark_jobs(self) -> List[LogicalPlan]:
+        plan = LogicalPlan(
+            name="grep",
+            input_stats=self.model.lines_stats(self.total_bytes),
+            ops=[
+                Op(OpKind.SOURCE, hidden=True),
+                self._filter_op(),
+                Op(OpKind.COUNT, "Count", hidden=True),
+            ])
+        return [plan]
+
+    def flink_jobs(self) -> List[LogicalPlan]:
+        # Flink 0.10's count() materialises the filtered DataSet through
+        # a FlatMap into a low-parallelism sink — the inefficiency the
+        # paper observes in Fig. 6.
+        plan = LogicalPlan(
+            name="grep",
+            input_stats=self.model.lines_stats(self.total_bytes),
+            ops=[
+                Op(OpKind.SOURCE, "DataSource"),
+                self._filter_op(),
+                Op(OpKind.FLAT_MAP, "FlatMap", selectivity=1.0,
+                   cpu_rate=200 * 2**20),
+                Op(OpKind.COUNT, "Count", hidden=True),
+            ])
+        return [plan]
+
+    @property
+    def operators(self) -> Dict[str, List[str]]:
+        return {
+            "common": ["filter->count", "save"],
+            "spark": [],
+            "flink": [],
+        }

@@ -1,0 +1,132 @@
+"""K-Means (paper §III, §VI-D).
+
+"In each iteration, a data point is assigned to its nearest cluster
+center, using a map function.  Data points are grouped to their center
+to further obtain a new cluster center at the end of each iteration.
+This workload evaluates the effectiveness of the caching mechanism and
+the basic transformations: map, reduceByKey (for Flink: groupBy ->
+reduce), and Flink's bulk iterate operator."
+
+Spark caches the parsed points and unrolls the loop:
+``map -> reduceByKey -> collectAsMap`` per iteration (Fig. 10 right).
+Flink expresses the loop as one bulk iteration scheduled once
+(Fig. 10 left).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..engines.common.operators import LogicalPlan, Op, OpKind
+from ..engines.common.stats import DataStats
+from .base import Workload
+from .datagen.points import DEFAULT_KMEANS_MODEL, KMeansDatasetModel
+
+__all__ = ["KMeans"]
+
+MiB = 2**20
+
+#: Distance computation to every center, per parsed point: calibrated
+#: to the paper's ~8 s per-iteration spans on 24 nodes (Fig. 10).
+ASSIGN_RATE = 24.0 * MiB
+#: Parsing decimal text into boxed doubles and building the cached RDD
+#: / DataSet: the dominant cost of the 200 s load span in Fig. 10.
+PARSE_RATE = 1.45 * MiB
+
+
+class KMeans(Workload):
+    name = "kmeans"
+    table1_column = "KM"
+    category = "iterative"
+
+    def __init__(self, total_bytes: float, iterations: int = 10,
+                 model: KMeansDatasetModel = DEFAULT_KMEANS_MODEL) -> None:
+        if total_bytes <= 0:
+            raise ValueError("total_bytes must be positive")
+        if iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        self.total_bytes = float(total_bytes)
+        self.iterations = iterations
+        self.model = model
+
+    def input_files(self) -> List[Tuple[str, float]]:
+        return [("/data/kmeans-samples", self.total_bytes)]
+
+    def _parsed(self) -> DataStats:
+        return self.model.parsed_stats(self.total_bytes)
+
+    def _centers(self) -> DataStats:
+        return DataStats(records=float(self.model.num_centers),
+                         record_bytes=64.0,
+                         key_cardinality=float(self.model.num_centers))
+
+    # ------------------------------------------------------------------
+    def spark_jobs(self) -> List[LogicalPlan]:
+        parsed = self._parsed()
+        body = LogicalPlan(
+            name="kmeans-step", body_plan=True, input_stats=parsed,
+            ops=[
+                Op(OpKind.MAP, "map", cpu_rate=ASSIGN_RATE,
+                   output_keys=float(self.model.num_centers)),
+                Op(OpKind.REDUCE_BY_KEY, "reduceByKey", hidden=True,
+                   cpu_rate=60 * MiB,
+                   output_keys=float(self.model.num_centers)),
+                Op(OpKind.COLLECT_AS_MAP, "collectAsMap"),
+            ])
+        centers_out = self._centers()
+        plan = LogicalPlan(
+            name="kmeans",
+            input_stats=self.model.stats(self.total_bytes),
+            ops=[
+                Op(OpKind.SOURCE, hidden=True),
+                Op(OpKind.MAP, "map", cached=True, cpu_rate=PARSE_RATE,
+                   bytes_ratio=self.model.point_bytes / self.model.record_bytes),
+                Op(OpKind.COLLECT_AS_MAP, "collectAsMap",
+                   selectivity=self.model.num_centers / parsed.records,
+                   bytes_ratio=64.0 / self.model.point_bytes),
+                Op(OpKind.BULK_ITERATION, "iterate", body=body,
+                   iterations=self.iterations,
+                   selectivity=centers_out.records / parsed.records,
+                   bytes_ratio=64.0 / self.model.point_bytes),
+                Op(OpKind.SINK, "saveAsTextFile", hidden=True),
+            ])
+        return [plan]
+
+    def flink_jobs(self) -> List[LogicalPlan]:
+        parsed = self._parsed()
+        body = LogicalPlan(
+            name="kmeans-step", body_plan=True, input_stats=parsed,
+            ops=[
+                Op(OpKind.MAP, "Map", cpu_rate=ASSIGN_RATE,
+                   output_keys=float(self.model.num_centers)),
+                Op(OpKind.MAP, "Map", cpu_rate=400 * MiB),
+                Op(OpKind.GROUP_REDUCE, "Reduce", cpu_rate=60 * MiB,
+                   output_keys=float(self.model.num_centers)),
+                Op(OpKind.MAP, "Map", cpu_rate=400 * MiB,
+                   side_input=self._centers()),  # withBroadcastSet
+            ])
+        centers_out = self._centers()
+        plan = LogicalPlan(
+            name="kmeans",
+            input_stats=self.model.stats(self.total_bytes),
+            ops=[
+                Op(OpKind.SOURCE, "DataSource"),
+                Op(OpKind.MAP, "Map", cpu_rate=PARSE_RATE,
+                   bytes_ratio=self.model.point_bytes / self.model.record_bytes),
+                Op(OpKind.BULK_ITERATION, "iterate", body=body,
+                   iterations=self.iterations,
+                   selectivity=centers_out.records / parsed.records,
+                   bytes_ratio=64.0 / self.model.point_bytes),
+                Op(OpKind.FLAT_MAP, "FlatMap", cpu_rate=400 * MiB),
+                Op(OpKind.SINK, "DataSink"),
+            ])
+        return [plan]
+
+    @property
+    def operators(self) -> Dict[str, List[str]]:
+        return {
+            "common": ["map", "save"],
+            "spark": ["reduceByKey", "collectAsMap"],
+            "flink": ["BulkIteration", "groupBy->reduce",
+                      "withBroadcastSet"],
+        }

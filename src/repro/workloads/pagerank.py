@@ -1,0 +1,158 @@
+"""Page Rank (paper §III, §VI-E).
+
+Spark runs GraphX's standalone implementation: the graph is loaded,
+partitioned into ``spark.edge.partition`` pieces and cached; every
+iteration is an unrolled ``mapPartitions -> foreachPartition`` job that
+aggregates messages and *materialises intermediate ranks to disk* — the
+disk usage during iterations in Fig. 16 (right).
+
+Flink runs Gelly's vertex-centric iteration: a first job counts the
+vertices (reading the dataset one more time — the paper found Flink's
+win "rather surprising" given this), then the main job loads the graph
+and iterates with CoGroup inside a bulk iteration, all pipelined and
+memory-resident (no disk during iterations, more network).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..engines.common.operators import LogicalPlan, Op, OpKind
+from .base import Workload
+from .datagen.graphs import GraphDatasetModel
+
+__all__ = ["PageRank"]
+
+MiB = 2**20
+
+#: A Page Rank message in object form: rank double + vertex ids +
+#: Tuple framing.  PR's fat messages are why its iterations die on the
+#: Large graph in Spark while Connected Components' thin ones survive.
+PR_MESSAGE_BYTES = 48.0
+#: Parsing an edge-list line and emitting (src, dst) tuples.
+GRAPH_PARSE_RATE = 11.0 * MiB
+#: Building the partitioned graph structures (GraphX EdgePartition /
+#: Gelly adjacency): ~600k edges per second per core at split-limited scan parallelism, per the paper's
+#: load-span timings on the Small and Medium graphs.
+GRAPH_BUILD_RATE = 11.0 * MiB
+
+
+class PageRank(Workload):
+    name = "pagerank"
+    table1_column = "PR"
+    category = "iterative"
+
+    def __init__(self, graph: GraphDatasetModel, iterations: int = 20,
+                 edge_partitions: Optional[int] = None) -> None:
+        if iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        self.graph = graph
+        self.iterations = iterations
+        self.edge_partitions = edge_partitions
+
+    def input_files(self) -> List[Tuple[str, float]]:
+        return [(f"/data/graph-{self.graph.name}", self.graph.size_bytes)]
+
+    # ------------------------------------------------------------------
+    def spark_jobs(self) -> List[LogicalPlan]:
+        edges = self.graph.edges_stats()
+        messages = self.graph.messages_stats(PR_MESSAGE_BYTES)
+        # Aggregated (vertexId, rank) pairs in GraphX's primitive
+        # arrays: ~12 B each on the wire.
+        ranks_bytes_ratio = 12.0 / PR_MESSAGE_BYTES
+        boost = self.graph.spark_iteration_rate_boost
+        body = LogicalPlan(
+            name="pagerank-step", body_plan=True, input_stats=messages,
+            ops=[
+                # PR iterates over the ranks/messages RDD, which is
+                # hash-partitioned at default parallelism (unlike CC's
+                # triplet view, which keeps the edge partitioning).
+                Op(OpKind.MAP_PARTITIONS, "mapPartitions",
+                   cpu_rate=22 * MiB * boost,
+                   use_cached_partitioning=False),
+                Op(OpKind.REDUCE_BY_KEY, "aggregateMessages", hidden=True,
+                   cpu_rate=50 * MiB * boost, binary_format=True,
+                   output_keys=self.graph.num_vertices,
+                   bytes_ratio=ranks_bytes_ratio),
+                Op(OpKind.MAP, "foreachPartition",
+                   materialize_to_disk=True, cpu_rate=120 * MiB),
+            ])
+        vertices = self.graph.vertices_stats()
+        plan = LogicalPlan(
+            name="pagerank",
+            input_stats=edges,
+            ops=[
+                Op(OpKind.SOURCE, hidden=True),
+                Op(OpKind.MAP, "Map", cpu_rate=GRAPH_BUILD_RATE),
+                Op(OpKind.COALESCE, "Coalesce"),
+                Op(OpKind.PARTITION, "Load Graph", cached=True,
+                   partitions=self.edge_partitions, cpu_rate=16 * MiB),
+                Op(OpKind.BULK_ITERATION, "iterate", body=body,
+                   iterations=self.iterations,
+                   selectivity=vertices.records / edges.records,
+                   bytes_ratio=self.graph.vertex_state_bytes /
+                   edges.record_bytes),
+                Op(OpKind.MAP_PARTITIONS, "mapPartitions",
+                   cpu_rate=200 * MiB),
+                Op(OpKind.SINK, "saveAsTextFile"),
+            ])
+        return [plan]
+
+    def flink_jobs(self) -> List[LogicalPlan]:
+        edges = self.graph.edges_stats()
+        messages = self.graph.messages_stats(PR_MESSAGE_BYTES)
+        vertices = self.graph.vertices_stats()
+        count_vertices = LogicalPlan(
+            name="count-vertices",
+            input_stats=edges,
+            ops=[
+                Op(OpKind.SOURCE, "DataSource"),
+                Op(OpKind.FLAT_MAP, "FlatMap", selectivity=2.0,
+                   bytes_ratio=0.5, cpu_rate=GRAPH_PARSE_RATE,
+                   output_keys=self.graph.num_vertices),
+                Op(OpKind.GROUP_REDUCE, "GroupReduce",
+                   output_keys=self.graph.num_vertices),
+                Op(OpKind.MAP, "Map", cpu_rate=400 * MiB),
+                Op(OpKind.FLAT_MAP, "FlatMap",
+                   selectivity=1.0 / max(vertices.records, 1.0),
+                   cpu_rate=400 * MiB),
+                Op(OpKind.SINK, "DataSink"),
+            ])
+        body = LogicalPlan(
+            name="pagerank-superstep", body_plan=True, input_stats=messages,
+            ops=[
+                Op(OpKind.CO_GROUP, "CoGroup", cpu_rate=30 * MiB,
+                   output_keys=self.graph.num_vertices),
+            ])
+        main = LogicalPlan(
+            name="pagerank",
+            input_stats=edges,
+            ops=[
+                Op(OpKind.SOURCE, "DataSource"),
+                Op(OpKind.FLAT_MAP, "FlatMap", cpu_rate=GRAPH_PARSE_RATE,
+                   output_keys=self.graph.num_vertices),
+                Op(OpKind.GROUP_REDUCE, "GroupReduce",
+                   output_keys=self.graph.num_vertices,
+                   bytes_ratio=2.0),
+                Op(OpKind.MAP, "Map", cpu_rate=200 * MiB),
+                Op(OpKind.CO_GROUP, "CoGroup", cpu_rate=14 * MiB),
+                Op(OpKind.BULK_ITERATION, "Iterations", body=body,
+                   iterations=self.iterations,
+                   side_input=edges,
+                   selectivity=vertices.records / edges.records,
+                   bytes_ratio=self.graph.vertex_state_bytes /
+                   edges.record_bytes),
+                Op(OpKind.SINK, "DataSink"),
+            ])
+        return [count_vertices, main]
+
+    @property
+    def operators(self) -> Dict[str, List[str]]:
+        return {
+            "common": ["graph-specific", "save"],
+            "spark": ["outerJoinVertices", "mapTriplets", "mapVertices",
+                      "joinVertices", "foreachPartition", "coalesce",
+                      "mapPartitionsWithIndex"],
+            "flink": ["outDegrees", "joinWithEdgesOnSource", "withEdges",
+                      "BulkIteration"],
+        }

@@ -1,0 +1,90 @@
+"""Tera Sort (paper §III, §VI-C).
+
+100-byte records with 10-byte keys, Hadoop's TotalOrderPartitioner for
+both engines so the comparison is fair.
+
+Spark: ``newAPIHadoopFile`` (read + local sort) then
+``repartitionAndSortWithinPartitions`` with the custom partitioner —
+two clearly separated stages ("RS=Read->Sort" and
+"SSW=Shuffling->Sort->Write" in Fig. 9).
+
+Flink: map to ``OptimizedText`` key/value tuples (binary comparisons
+without deserialisation), ``partitionCustom`` on the key, then
+``sortPartition`` and the Hadoop output sink — one pipelined stage
+("DM=DataSource->Map, P=Partition, SM=Sort-Partition->Map, DS=DataSink").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..engines.common.operators import LogicalPlan, Op, OpKind
+from .base import Workload
+from .datagen.teragen import TeraSortDatasetModel
+
+__all__ = ["TeraSort"]
+
+
+class TeraSort(Workload):
+    name = "terasort"
+    table1_column = "TS"
+    category = "batch"
+
+    def __init__(self, total_bytes: float, num_partitions: Optional[int] = None,
+                 model: TeraSortDatasetModel = TeraSortDatasetModel()) -> None:
+        if total_bytes <= 0:
+            raise ValueError("total_bytes must be positive")
+        self.total_bytes = float(total_bytes)
+        self.model = model
+        #: "The number of partitions is equal to the Flink parallelism
+        #: number" (Table III).
+        self.num_partitions = num_partitions
+
+    def input_files(self) -> List[Tuple[str, float]]:
+        return [("/data/teragen", self.total_bytes)]
+
+    def _stats(self):
+        return self.model.stats(self.total_bytes)
+
+    def spark_jobs(self) -> List[LogicalPlan]:
+        plan = LogicalPlan(
+            name="terasort",
+            input_stats=self._stats(),
+            ops=[
+                Op(OpKind.SOURCE, "Read"),
+                # newAPIHadoopFile parse + local sort of each block.
+                Op(OpKind.MAP, "Sort", cpu_rate=26 * 2**20),
+                # The repartition itself only routes records; the real
+                # sorting CPU is the SORT_PARTITION op below.
+                Op(OpKind.REPARTITION_SORT, "Shuffling",
+                   partitions=self.num_partitions, binary_format=True,
+                   cpu_rate=200 * 2**20),
+                Op(OpKind.SORT_PARTITION, "Sort"),
+                Op(OpKind.SINK, "Write", hidden=True, sink_replication=1),
+            ])
+        return [plan]
+
+    def flink_jobs(self) -> List[LogicalPlan]:
+        plan = LogicalPlan(
+            name="terasort",
+            input_stats=self._stats(),
+            ops=[
+                Op(OpKind.SOURCE, "DataSource"),
+                # Map to OptimizedText binary tuples: avoids
+                # deserialisation when comparing keys.
+                Op(OpKind.MAP, "Map", cpu_rate=40 * 2**20),
+                Op(OpKind.PARTITION, "Partition", binary_format=True,
+                   partitions=self.num_partitions, cpu_rate=200 * 2**20),
+                Op(OpKind.SORT_PARTITION, "Sort-Partition"),
+                Op(OpKind.MAP, "Map", cpu_rate=200 * 2**20),
+                Op(OpKind.SINK, "DataSink", sink_replication=1),
+            ])
+        return [plan]
+
+    @property
+    def operators(self) -> Dict[str, List[str]]:
+        return {
+            "common": ["map", "save"],
+            "spark": ["repartitionAndSortWithinPartitions"],
+            "flink": ["partitionCustom->sortPartition"],
+        }

@@ -1,0 +1,84 @@
+"""Word Count (paper §III, §VI-A).
+
+"A good fit for evaluating the aggregation component in each framework,
+since both Spark and Flink use a map side combiner to reduce the
+intermediate data."
+
+Flink:  flatMap -> groupBy -> sum -> writeAsText
+Spark:  flatMap -> mapToPair -> reduceByKey -> saveAsTextFile
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..engines.common.operators import LogicalPlan, Op, OpKind
+from .base import Workload
+from .datagen.text import DEFAULT_TEXT_MODEL, TextDatasetModel
+
+__all__ = ["WordCount"]
+
+
+class WordCount(Workload):
+    name = "wordcount"
+    table1_column = "WC"
+    category = "batch"
+
+    def __init__(self, total_bytes: float,
+                 model: TextDatasetModel = DEFAULT_TEXT_MODEL) -> None:
+        if total_bytes <= 0:
+            raise ValueError("total_bytes must be positive")
+        self.total_bytes = float(total_bytes)
+        self.model = model
+
+    # ------------------------------------------------------------------
+    def input_files(self) -> List[Tuple[str, float]]:
+        return [("/data/wikipedia.txt", self.total_bytes)]
+
+    def _stats(self):
+        return self.model.lines_stats(self.total_bytes)
+
+    def _flatmap_op(self, name: str) -> Op:
+        return Op(OpKind.FLAT_MAP, name,
+                  selectivity=self.model.flatmap_selectivity,
+                  bytes_ratio=self.model.flatmap_bytes_ratio,
+                  output_keys=self.model.vocabulary)
+
+    def spark_jobs(self) -> List[LogicalPlan]:
+        plan = LogicalPlan(
+            name="wordcount",
+            input_stats=self._stats(),
+            ops=[
+                Op(OpKind.SOURCE, hidden=True),
+                self._flatmap_op("FlatMap"),
+                # Pairing adds a count field; negligible in tungsten's
+                # binary form, so the byte volume is unchanged.
+                Op(OpKind.MAP_TO_PAIR, "MapToPair"),
+                Op(OpKind.REDUCE_BY_KEY, "ReduceByKey",
+                   selectivity=1.0, output_keys=self.model.vocabulary),
+                Op(OpKind.SINK, "SaveAsTextFile"),
+            ])
+        return [plan]
+
+    def flink_jobs(self) -> List[LogicalPlan]:
+        pair_ratio = self.model.pair_bytes / self.model.word_bytes
+        plan = LogicalPlan(
+            name="wordcount",
+            input_stats=self._stats(),
+            ops=[
+                Op(OpKind.SOURCE, "DataSource"),
+                self._flatmap_op("FlatMap"),
+                Op(OpKind.GROUP_REDUCE, "GroupReduce",
+                   bytes_ratio=pair_ratio,
+                   output_keys=self.model.vocabulary),
+                Op(OpKind.SINK, "DataSink"),
+            ])
+        return [plan]
+
+    @property
+    def operators(self) -> Dict[str, List[str]]:
+        return {
+            "common": ["flatMap", "save"],
+            "spark": ["mapToPair", "reduceByKey"],
+            "flink": ["groupBy->sum"],
+        }

@@ -1,0 +1,198 @@
+"""Tests for the max-min fair fluid-flow scheduler."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.fluid import Capacity, FluidScheduler
+from repro.cluster.simulation import Simulation
+
+
+def setup():
+    sim = Simulation()
+    return sim, FluidScheduler(sim)
+
+
+def run_transfers(bandwidth, sizes, starts=None):
+    """Run flows on one shared capacity; return dict flow->completion time."""
+    sim, fluid = setup()
+    cap = Capacity("link", bandwidth)
+    completions = {}
+
+    def starter(i, size, delay):
+        yield sim.timeout(delay)
+        yield fluid.transfer(size, [cap])
+        completions[i] = sim.now
+
+    starts = starts or [0.0] * len(sizes)
+    for i, (size, delay) in enumerate(zip(sizes, starts)):
+        sim.process(starter(i, size, delay))
+    sim.run()
+    return completions, cap, fluid
+
+
+def test_single_flow_exact_duration():
+    completions, _, fluid = run_transfers(100.0, [1000.0])
+    assert completions[0] == pytest.approx(10.0)
+    assert fluid.completed_count == 1
+    fluid.assert_quiescent()
+
+
+def test_two_equal_flows_share_fairly():
+    completions, _, _ = run_transfers(100.0, [500.0, 500.0])
+    # Each gets 50 B/s -> both finish at 10 s.
+    assert completions[0] == pytest.approx(10.0)
+    assert completions[1] == pytest.approx(10.0)
+
+
+def test_short_flow_finishes_then_long_flow_speeds_up():
+    completions, _, _ = run_transfers(100.0, [200.0, 1000.0])
+    # Phase 1: both at 50 B/s. Short (200B) done at t=4.
+    # Long has 800B left, now at 100 B/s -> done at t=12.
+    assert completions[0] == pytest.approx(4.0)
+    assert completions[1] == pytest.approx(12.0)
+
+
+def test_staggered_start():
+    completions, _, _ = run_transfers(100.0, [1000.0, 400.0], starts=[0.0, 5.0])
+    # t in [0,5): flow0 alone at 100B/s -> 500B done, 500 left.
+    # t >= 5: both at 50B/s. flow1 (400B) done at 5+8=13.
+    # flow0 then has 500-400=100B left at 100B/s -> done at 14.
+    assert completions[1] == pytest.approx(13.0)
+    assert completions[0] == pytest.approx(14.0)
+
+
+def test_zero_byte_transfer_completes_immediately():
+    sim, fluid = setup()
+    cap = Capacity("link", 10.0)
+    times = []
+
+    def proc():
+        yield fluid.transfer(0.0, [cap])
+        times.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    assert times == [0.0]
+
+
+def test_rate_cap_limits_single_flow():
+    sim, fluid = setup()
+    cap = Capacity("link", 100.0)
+    times = []
+
+    def proc():
+        yield fluid.transfer(100.0, [cap], rate_cap=10.0)
+        times.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    assert times[0] == pytest.approx(10.0)
+
+
+def test_rate_cap_frees_bandwidth_for_others():
+    sim, fluid = setup()
+    cap = Capacity("link", 100.0)
+    done = {}
+
+    def proc(name, size, rate_cap=None):
+        yield fluid.transfer(size, [cap], rate_cap=rate_cap)
+        done[name] = sim.now
+
+    sim.process(proc("capped", 100.0, rate_cap=10.0))
+    sim.process(proc("free", 450.0))
+    sim.run()
+    # Max-min: capped flow frozen at 10, free flow gets 90.
+    assert done["capped"] == pytest.approx(10.0)
+    assert done["free"] == pytest.approx(5.0)
+
+
+def test_multi_resource_flow_bottlenecked_by_slowest():
+    sim, fluid = setup()
+    fast = Capacity("fast", 1000.0)
+    slow = Capacity("slow", 10.0)
+    times = []
+
+    def proc():
+        yield fluid.transfer(100.0, [fast, slow])
+        times.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    assert times[0] == pytest.approx(10.0)
+
+
+def test_cross_resource_max_min():
+    # Flow A uses cap1 only; flow B uses cap1+cap2; flow C uses cap2 only.
+    # cap1 bw=100, cap2 bw=30. B is bottlenecked on cap2 at 15;
+    # then A gets the rest of cap1 (85), C gets 15 on cap2.
+    sim, fluid = setup()
+    cap1 = Capacity("c1", 100.0)
+    cap2 = Capacity("c2", 30.0)
+    rates = {}
+
+    def proc(name, size, caps):
+        yield fluid.transfer(size, caps)
+        rates[name] = sim.now
+
+    sim.process(proc("A", 850.0, [cap1]))
+    sim.process(proc("B", 150.0, [cap1, cap2]))
+    sim.process(proc("C", 150.0, [cap2]))
+    sim.run(until=9.99)
+    # During the first phase: A=85, B=15, C=15 (work-conserving max-min).
+    assert cap1.throughput.last_value == pytest.approx(100.0)
+    assert cap2.throughput.last_value == pytest.approx(30.0)
+    sim.run()
+    assert rates["A"] == pytest.approx(10.0)
+    assert rates["B"] == pytest.approx(10.0)
+    assert rates["C"] == pytest.approx(10.0)
+
+
+def test_utilisation_trace_records_busy_and_idle():
+    _, cap, _ = run_transfers(100.0, [1000.0])
+    assert cap.utilisation.value_at(5.0) == pytest.approx(100.0)
+    assert cap.utilisation.value_at(10.1) == pytest.approx(0.0)
+
+
+def test_throughput_trace_integral_equals_bytes():
+    _, cap, fluid = run_transfers(100.0, [300.0, 700.0])
+    moved = cap.throughput.integral(0.0, 50.0)
+    assert moved == pytest.approx(1000.0, rel=1e-6)
+    assert fluid.total_bytes_moved == pytest.approx(1000.0)
+
+
+def test_negative_flow_size_rejected():
+    sim, fluid = setup()
+    cap = Capacity("link", 10.0)
+    with pytest.raises(ValueError):
+        fluid.transfer(-5.0, [cap])
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        Capacity("bad", 0.0)
+
+
+@settings(deadline=None, max_examples=30)
+@given(st.lists(st.floats(1.0, 1e6), min_size=1, max_size=12),
+       st.floats(1.0, 1e4))
+def test_property_conservation_and_lower_bound(sizes, bandwidth):
+    """Total time >= sum(sizes)/bandwidth and all bytes are moved."""
+    completions, cap, fluid = run_transfers(bandwidth, sizes)
+    total = sum(sizes)
+    makespan = max(completions.values())
+    assert makespan >= total / bandwidth * (1 - 1e-9)
+    assert fluid.total_bytes_moved == pytest.approx(total, rel=1e-9)
+    # Work conservation: with all flows starting at 0, the link is 100%
+    # utilised until the last completion.
+    assert cap.throughput.integral(0, makespan) == pytest.approx(total, rel=1e-6)
+
+
+@settings(deadline=None, max_examples=20)
+@given(st.lists(st.floats(1.0, 1e5), min_size=2, max_size=8))
+def test_property_equal_flows_finish_together(size_pool):
+    size = size_pool[0]
+    n = len(size_pool)
+    completions, _, _ = run_transfers(100.0, [size] * n)
+    expected = size * n / 100.0
+    for t in completions.values():
+        assert t == pytest.approx(expected, rel=1e-6)

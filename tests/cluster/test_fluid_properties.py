@@ -1,0 +1,99 @@
+"""Hypothesis property tests for the fluid scheduler's invariants on
+random multi-resource flow sets."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.fluid import Capacity, FluidScheduler
+from repro.cluster.simulation import Simulation
+
+
+@st.composite
+def flow_sets(draw):
+    """Random capacities and flows crossing random subsets of them."""
+    n_caps = draw(st.integers(1, 4))
+    caps = [draw(st.floats(10.0, 1e4)) for _ in range(n_caps)]
+    n_flows = draw(st.integers(1, 10))
+    flows = []
+    for _ in range(n_flows):
+        member_idx = draw(st.sets(st.integers(0, n_caps - 1), min_size=1))
+        size = draw(st.floats(1.0, 1e5))
+        cap_rate = draw(st.one_of(st.none(), st.floats(1.0, 1e3)))
+        flows.append((sorted(member_idx), size, cap_rate))
+    return caps, flows
+
+
+def run_flow_set(caps_bw, flows):
+    sim = Simulation()
+    fluid = FluidScheduler(sim)
+    caps = [Capacity(f"c{i}", bw) for i, bw in enumerate(caps_bw)]
+    completions = {}
+
+    def proc(i, size, members, rate_cap):
+        yield fluid.transfer(size, [caps[m] for m in members],
+                             rate_cap=rate_cap)
+        completions[i] = sim.now
+
+    for i, (members, size, rate_cap) in enumerate(flows):
+        sim.process(proc(i, size, members, rate_cap))
+    sim.run()
+    return sim, fluid, caps, completions
+
+
+@settings(deadline=None, max_examples=40)
+@given(flow_sets())
+def test_property_all_flows_complete_and_bytes_conserved(data):
+    caps_bw, flows = data
+    sim, fluid, caps, completions = run_flow_set(caps_bw, flows)
+    assert len(completions) == len(flows)
+    fluid.assert_quiescent()
+    total = sum(size for _m, size, _c in flows)
+    assert fluid.total_bytes_moved == pytest.approx(total, rel=1e-9)
+
+
+@settings(deadline=None, max_examples=40)
+@given(flow_sets())
+def test_property_capacity_never_oversubscribed(data):
+    caps_bw, flows = data
+    sim, fluid, caps, completions = run_flow_set(caps_bw, flows)
+    for cap in caps:
+        for _t, rate in cap.throughput:
+            assert rate <= cap.bandwidth * (1 + 1e-6)
+
+
+@settings(deadline=None, max_examples=40)
+@given(flow_sets())
+def test_property_per_capacity_bytes_accounted(data):
+    """Integral of a capacity's throughput equals the bytes of the
+    flows that crossed it."""
+    caps_bw, flows = data
+    sim, fluid, caps, completions = run_flow_set(caps_bw, flows)
+    end = max(completions.values()) + 1.0 if completions else 1.0
+    for ci, cap in enumerate(caps):
+        expected = sum(size for members, size, _c in flows
+                       if ci in members)
+        assert cap.throughput.integral(0, end) == pytest.approx(
+            expected, rel=1e-6, abs=1e-6)
+
+
+@settings(deadline=None, max_examples=40)
+@given(flow_sets())
+def test_property_rate_caps_respected(data):
+    caps_bw, flows = data
+    lower_bound_times = {}
+    sim, fluid, caps, completions = run_flow_set(caps_bw, flows)
+    for i, (members, size, rate_cap) in enumerate(flows):
+        if rate_cap is not None:
+            # A capped flow cannot finish faster than size/rate_cap.
+            assert completions[i] >= size / rate_cap * (1 - 1e-9)
+
+
+@settings(deadline=None, max_examples=30)
+@given(flow_sets(), st.integers(0, 3))
+def test_property_determinism(data, _salt):
+    caps_bw, flows = data
+    _s1, _f1, _c1, first = run_flow_set(caps_bw, flows)
+    _s2, _f2, _c2, second = run_flow_set(caps_bw, flows)
+    assert first == second

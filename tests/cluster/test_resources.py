@@ -1,0 +1,208 @@
+"""Tests for CorePool, BufferPool and MemoryAccount."""
+
+import pytest
+
+from repro.cluster.memory import MemoryAccount, OutOfMemoryError
+from repro.cluster.resources import (BufferPool, CorePool,
+                                     InsufficientBuffersError)
+from repro.cluster.simulation import Simulation, SimulationError
+
+
+# ----------------------------------------------------------------------
+# CorePool
+# ----------------------------------------------------------------------
+def test_core_pool_limits_concurrency():
+    sim = Simulation()
+    pool = CorePool(sim, cores=2)
+    finish = []
+
+    def task(i):
+        yield from pool.run(10.0)
+        finish.append((i, sim.now))
+
+    for i in range(4):
+        sim.process(task(i))
+    sim.run()
+    # Two waves of two tasks each.
+    assert [t for _, t in finish] == [10.0, 10.0, 20.0, 20.0]
+    assert pool.busy == 0
+
+
+def test_core_pool_fifo_order():
+    sim = Simulation()
+    pool = CorePool(sim, cores=1)
+    order = []
+
+    def task(i):
+        yield from pool.run(1.0)
+        order.append(i)
+
+    for i in range(5):
+        sim.process(task(i))
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_core_pool_utilisation_trace():
+    sim = Simulation()
+    pool = CorePool(sim, cores=4)
+
+    def task():
+        yield from pool.run(10.0)
+
+    sim.process(task())
+    sim.process(task())
+    sim.run()
+    assert pool.utilisation.value_at(5.0) == pytest.approx(50.0)
+    assert pool.utilisation.value_at(10.5) == pytest.approx(0.0)
+    assert pool.busy_series.integral(0, 10) == pytest.approx(20.0)
+
+
+def test_core_pool_release_without_acquire():
+    sim = Simulation()
+    pool = CorePool(sim, cores=1)
+    with pytest.raises(SimulationError):
+        pool.release()
+
+
+def test_core_pool_validation():
+    with pytest.raises(ValueError):
+        CorePool(Simulation(), cores=0)
+
+
+# ----------------------------------------------------------------------
+# BufferPool
+# ----------------------------------------------------------------------
+def test_buffer_pool_fail_on_exhaustion():
+    sim = Simulation()
+    pool = BufferPool(sim, count=4, buffer_bytes=32 * 1024)
+    pool.acquire(3)
+    with pytest.raises(InsufficientBuffersError):
+        pool.acquire(2)
+
+
+def test_buffer_pool_request_larger_than_pool():
+    sim = Simulation()
+    pool = BufferPool(sim, count=4, buffer_bytes=1)
+    with pytest.raises(InsufficientBuffersError):
+        pool.acquire(5)
+
+
+def test_buffer_pool_blocking_mode():
+    sim = Simulation()
+    pool = BufferPool(sim, count=2, buffer_bytes=1, fail_on_exhaustion=False)
+    log = []
+
+    def holder():
+        yield pool.acquire(2)
+        yield sim.timeout(5.0)
+        pool.release(2)
+
+    def waiter():
+        yield sim.timeout(1.0)
+        yield pool.acquire(1)
+        log.append(sim.now)
+
+    sim.process(holder())
+    sim.process(waiter())
+    sim.run()
+    assert log == [5.0]
+    assert pool.peak_in_use == 2
+
+
+def test_buffer_pool_release_validation():
+    sim = Simulation()
+    pool = BufferPool(sim, count=2, buffer_bytes=1)
+    with pytest.raises(SimulationError):
+        pool.release(1)
+
+
+def test_buffer_pool_capacity_bytes():
+    pool = BufferPool(Simulation(), count=2048, buffer_bytes=32 * 1024)
+    assert pool.capacity_bytes == 2048 * 32 * 1024
+
+
+# ----------------------------------------------------------------------
+# MemoryAccount
+# ----------------------------------------------------------------------
+def test_memory_reserve_release_cycle():
+    sim = Simulation()
+    acct = MemoryAccount(sim, "ram", 100.0)
+    acct.reserve(40.0)
+    assert acct.used == 40.0
+    assert acct.free == 60.0
+    acct.release(40.0)
+    assert acct.used == 0.0
+
+
+def test_memory_oom_raises_with_context():
+    sim = Simulation()
+    acct = MemoryAccount(sim, "ram", 100.0)
+    acct.reserve(90.0)
+    with pytest.raises(OutOfMemoryError, match="ram"):
+        acct.reserve(20.0)
+    # Failed reservation must not change usage.
+    assert acct.used == 90.0
+
+
+def test_memory_hierarchy_charges_ancestors():
+    sim = Simulation()
+    ram = MemoryAccount(sim, "ram", 100.0)
+    heap = ram.sub_account("heap", 60.0)
+    heap.reserve(50.0)
+    assert ram.used == 50.0
+    assert heap.used == 50.0
+    with pytest.raises(OutOfMemoryError, match="heap"):
+        heap.reserve(20.0)
+
+
+def test_memory_parent_exhaustion_wins():
+    sim = Simulation()
+    ram = MemoryAccount(sim, "ram", 100.0)
+    a = ram.sub_account("a", 80.0)
+    b = ram.sub_account("b", 80.0)
+    a.reserve(70.0)
+    with pytest.raises(OutOfMemoryError, match="ram"):
+        b.reserve(50.0)
+
+
+def test_memory_try_reserve():
+    sim = Simulation()
+    acct = MemoryAccount(sim, "ram", 10.0)
+    assert acct.try_reserve(5.0)
+    assert not acct.try_reserve(6.0)
+    assert acct.used == 5.0
+
+
+def test_memory_occupancy_and_peak():
+    sim = Simulation()
+    acct = MemoryAccount(sim, "ram", 100.0)
+    acct.reserve(75.0)
+    assert acct.occupancy == pytest.approx(0.75)
+    acct.release(50.0)
+    assert acct.peak == 75.0
+    assert acct.occupancy == pytest.approx(0.25)
+
+
+def test_memory_release_too_much():
+    sim = Simulation()
+    acct = MemoryAccount(sim, "ram", 100.0)
+    acct.reserve(10.0)
+    with pytest.raises(SimulationError):
+        acct.release(20.0)
+
+
+def test_memory_usage_trace():
+    sim = Simulation()
+    acct = MemoryAccount(sim, "ram", 100.0)
+
+    def proc():
+        acct.reserve(50.0)
+        yield sim.timeout(10.0)
+        acct.release(50.0)
+
+    sim.process(proc())
+    sim.run()
+    pct = acct.occupancy_series_percent()
+    assert pct.value_at(5.0) == pytest.approx(50.0)
+    assert pct.value_at(10.5) == pytest.approx(0.0)

@@ -1,0 +1,261 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.cluster.simulation import (AllOf, AnyOf, Interrupt, Simulation,
+                                      SimulationError)
+
+
+def test_clock_starts_at_zero():
+    sim = Simulation()
+    assert sim.now == 0.0
+
+
+def test_timeout_advances_clock():
+    sim = Simulation()
+    done = []
+
+    def proc():
+        yield sim.timeout(5.0)
+        done.append(sim.now)
+        yield sim.timeout(2.5)
+        done.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    assert done == [5.0, 7.5]
+
+
+def test_negative_timeout_rejected():
+    sim = Simulation()
+    with pytest.raises(SimulationError):
+        sim.timeout(-1.0)
+
+
+def test_timeout_value_delivered():
+    sim = Simulation()
+    got = []
+
+    def proc():
+        value = yield sim.timeout(1.0, value="hello")
+        got.append(value)
+
+    sim.process(proc())
+    sim.run()
+    assert got == ["hello"]
+
+
+def test_process_return_value():
+    sim = Simulation()
+
+    def child():
+        yield sim.timeout(3.0)
+        return 42
+
+    results = []
+
+    def parent():
+        value = yield sim.process(child())
+        results.append((sim.now, value))
+
+    sim.process(parent())
+    sim.run()
+    assert results == [(3.0, 42)]
+
+
+def test_events_at_same_time_fire_in_schedule_order():
+    sim = Simulation()
+    order = []
+
+    def mk(tag):
+        def proc():
+            yield sim.timeout(1.0)
+            order.append(tag)
+        return proc
+
+    for tag in "abcde":
+        sim.process(mk(tag)())
+    sim.run()
+    assert order == list("abcde")
+
+
+def test_manual_event_succeed():
+    sim = Simulation()
+    evt = sim.event()
+    seen = []
+
+    def waiter():
+        value = yield evt
+        seen.append((sim.now, value))
+
+    def trigger():
+        yield sim.timeout(4.0)
+        evt.succeed("payload")
+
+    sim.process(waiter())
+    sim.process(trigger())
+    sim.run()
+    assert seen == [(4.0, "payload")]
+
+
+def test_event_cannot_trigger_twice():
+    sim = Simulation()
+    evt = sim.event()
+    evt.succeed(1)
+    with pytest.raises(SimulationError):
+        evt.succeed(2)
+
+
+def test_event_failure_raises_in_waiter():
+    sim = Simulation()
+    evt = sim.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield evt
+        except ValueError as err:
+            caught.append(str(err))
+
+    def trigger():
+        yield sim.timeout(1.0)
+        evt.fail(ValueError("boom"))
+
+    sim.process(waiter())
+    sim.process(trigger())
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_unhandled_process_exception_surfaces_from_run():
+    sim = Simulation()
+
+    def bad():
+        yield sim.timeout(1.0)
+        raise RuntimeError("crash")
+
+    sim.process(bad())
+    with pytest.raises(RuntimeError, match="crash"):
+        sim.run()
+
+
+def test_all_of_waits_for_slowest():
+    sim = Simulation()
+    results = []
+
+    def proc():
+        t1 = sim.timeout(2.0, value="fast")
+        t2 = sim.timeout(9.0, value="slow")
+        values = yield AllOf(sim, [t1, t2])
+        results.append((sim.now, values))
+
+    sim.process(proc())
+    sim.run()
+    assert results == [(9.0, ["fast", "slow"])]
+
+
+def test_all_of_empty_triggers_immediately():
+    sim = Simulation()
+    results = []
+
+    def proc():
+        yield sim.timeout(1.0)
+        values = yield AllOf(sim, [])
+        results.append((sim.now, values))
+
+    sim.process(proc())
+    sim.run()
+    assert results == [(1.0, [])]
+
+
+def test_any_of_fires_on_first():
+    sim = Simulation()
+    results = []
+
+    def proc():
+        t1 = sim.timeout(2.0, value="first")
+        t2 = sim.timeout(9.0, value="second")
+        value = yield AnyOf(sim, [t1, t2])
+        results.append((sim.now, value))
+
+    sim.process(proc())
+    sim.run()
+    assert results == [(2.0, "first")]
+    sim.run()  # drain the slower timeout; must not disturb anything
+    assert sim.now == 9.0
+
+
+def test_run_until_stops_clock():
+    sim = Simulation()
+
+    def proc():
+        yield sim.timeout(100.0)
+
+    sim.process(proc())
+    sim.run(until=10.0)
+    assert sim.now == 10.0
+
+
+def test_interrupt_raises_inside_process():
+    sim = Simulation()
+    log = []
+
+    def victim():
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt as intr:
+            log.append((sim.now, intr.cause))
+
+    def attacker(proc):
+        yield sim.timeout(5.0)
+        proc.interrupt("preempted")
+
+    victim_proc = sim.process(victim())
+    sim.process(attacker(victim_proc))
+    sim.run()
+    assert log == [(5.0, "preempted")]
+
+
+def test_process_yielding_garbage_is_an_error():
+    sim = Simulation()
+
+    def bad():
+        yield "not an event"
+
+    sim.process(bad())
+    with pytest.raises(SimulationError, match="non-event"):
+        sim.run()
+
+
+def test_waiting_on_already_triggered_event():
+    sim = Simulation()
+    evt = sim.event()
+    evt.succeed("early")
+    seen = []
+
+    def proc():
+        value = yield evt
+        seen.append(value)
+
+    sim.process(proc())
+    sim.run()
+    assert seen == ["early"]
+
+
+def test_determinism_two_runs_identical():
+    def build():
+        sim = Simulation()
+        trace = []
+
+        def worker(i):
+            yield sim.timeout(float(i % 3) + 0.5)
+            trace.append((sim.now, i))
+            yield sim.timeout(1.0)
+            trace.append((sim.now, -i))
+
+        for i in range(20):
+            sim.process(worker(i))
+        sim.run()
+        return trace
+
+    assert build() == build()

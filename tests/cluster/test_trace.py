@@ -1,0 +1,123 @@
+"""Unit + property tests for StepSeries."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cluster.trace import StepSeries, merge_step_series
+
+
+def make(points, initial=0.0):
+    s = StepSeries(initial)
+    for t, v in points:
+        s.append(t, v)
+    return s
+
+
+def test_empty_series_is_initial_everywhere():
+    s = StepSeries(initial=7.0)
+    assert s.value_at(0.0) == 7.0
+    assert s.value_at(100.0) == 7.0
+    assert s.integral(0, 10) == pytest.approx(70.0)
+
+
+def test_value_at_steps():
+    s = make([(0.0, 1.0), (5.0, 3.0), (10.0, 0.0)])
+    assert s.value_at(-1.0) == 0.0
+    assert s.value_at(0.0) == 1.0
+    assert s.value_at(4.999) == 1.0
+    assert s.value_at(5.0) == 3.0
+    assert s.value_at(9.0) == 3.0
+    assert s.value_at(10.0) == 0.0
+    assert s.value_at(1e9) == 0.0
+
+
+def test_non_monotone_append_rejected():
+    s = make([(5.0, 1.0)])
+    with pytest.raises(ValueError):
+        s.append(4.0, 2.0)
+
+
+def test_same_time_append_overwrites():
+    s = make([(5.0, 1.0), (5.0, 2.0)])
+    assert s.value_at(5.0) == 2.0
+    assert len(s) == 1
+
+
+def test_equal_value_runs_collapse():
+    s = make([(0.0, 1.0), (1.0, 1.0), (2.0, 1.0), (3.0, 2.0)])
+    assert len(s) == 2
+
+
+def test_integral_simple():
+    s = make([(0.0, 2.0), (10.0, 0.0)])
+    assert s.integral(0, 10) == pytest.approx(20.0)
+    assert s.integral(0, 20) == pytest.approx(20.0)
+    assert s.integral(5, 15) == pytest.approx(10.0)
+
+
+def test_integral_empty_interval():
+    s = make([(0.0, 2.0)])
+    assert s.integral(3.0, 3.0) == 0.0
+    with pytest.raises(ValueError):
+        s.integral(5.0, 4.0)
+
+
+def test_mean():
+    s = make([(0.0, 100.0), (5.0, 0.0)])
+    assert s.mean(0, 10) == pytest.approx(50.0)
+    assert s.mean(2, 2) == 0.0
+
+
+def test_maximum():
+    s = make([(0.0, 1.0), (2.0, 9.0), (4.0, 3.0)])
+    assert s.maximum(0, 10) == 9.0
+    assert s.maximum(3.9, 10) == pytest.approx(9.0)  # value at 3.9 is 9
+    assert s.maximum(4.0, 10) == 3.0
+
+
+def test_sample_grid():
+    s = make([(0.0, 4.0), (2.0, 0.0)])
+    times, means = s.sample(0.0, 4.0, 1.0)
+    assert times == [0.0, 1.0, 2.0, 3.0]
+    assert means == pytest.approx([4.0, 4.0, 0.0, 0.0])
+
+
+def test_sample_rejects_bad_step():
+    s = StepSeries()
+    with pytest.raises(ValueError):
+        s.sample(0, 1, 0)
+
+
+def test_merge_sums_across_series():
+    a = make([(0.0, 1.0)])
+    b = make([(0.0, 2.0)])
+    times, total = merge_step_series([a, b], 0.0, 2.0, 1.0)
+    assert total == pytest.approx([3.0, 3.0])
+
+
+def test_merge_empty():
+    assert merge_step_series([], 0, 1, 0.5) == ([], [])
+
+
+@given(st.lists(st.tuples(st.floats(0, 1000), st.floats(-100, 100)),
+                min_size=1, max_size=40))
+def test_property_integral_additive(points):
+    points = sorted(points, key=lambda p: p[0])
+    s = make(points)
+    lo, hi = 0.0, 1200.0
+    mid = 600.0
+    whole = s.integral(lo, hi)
+    split = s.integral(lo, mid) + s.integral(mid, hi)
+    assert math.isclose(whole, split, rel_tol=1e-9, abs_tol=1e-6)
+
+
+@given(st.lists(st.tuples(st.floats(0, 100), st.floats(0, 50)),
+                min_size=1, max_size=30))
+def test_property_mean_bounded_by_extremes(points):
+    points = sorted(points, key=lambda p: p[0])
+    s = make(points)
+    m = s.mean(0.0, 120.0)
+    values = [0.0] + [v for _, v in points]
+    assert min(values) - 1e-9 <= m <= max(values) + 1e-9

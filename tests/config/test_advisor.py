@@ -1,0 +1,152 @@
+"""Tests for the §IV configuration advisor."""
+
+import pytest
+
+from repro.config import (FlinkConfig, SparkConfig, advise_flink,
+                          advise_spark)
+from repro.config.presets import (large_graph_preset, small_graph_preset,
+                                  wordcount_grep_preset)
+from repro.engines.common.serialization import Serializer
+from repro.workloads import ConnectedComponents, PageRank, WordCount
+from repro.workloads.datagen.graphs import LARGE_GRAPH, SMALL_GRAPH
+
+GiB = 2**30
+
+
+def params(advice_list):
+    return {a.parameter for a in advice_list}
+
+
+def severities(advice_list):
+    return {a.severity for a in advice_list}
+
+
+# ----------------------------------------------------------------------
+# Spark advice
+# ----------------------------------------------------------------------
+def test_low_parallelism_warned():
+    cfg = SparkConfig(default_parallelism=16)  # 1x cores on 1 node
+    advice = advise_spark(cfg, nodes=1)
+    assert "spark.default.parallelism" in params(advice)
+
+
+def test_excessive_parallelism_hinted():
+    cfg = SparkConfig(default_parallelism=16 * 16 * 20)
+    advice = advise_spark(cfg, nodes=16)
+    hits = [a for a in advice if a.parameter == "spark.default.parallelism"]
+    assert hits and hits[0].severity == "hint"
+
+
+def test_java_serializer_hinted_kryo_not():
+    java = advise_spark(SparkConfig(default_parallelism=64), nodes=2)
+    assert "spark.serializer" in params(java)
+    kryo = advise_spark(SparkConfig(default_parallelism=64,
+                                    serializer=Serializer.KRYO), nodes=2)
+    assert "spark.serializer" not in params(kryo)
+
+
+def test_overcommitted_fractions_warned():
+    cfg = SparkConfig(default_parallelism=64, storage_fraction=0.7,
+                      shuffle_fraction=0.2)
+    advice = advise_spark(cfg, nodes=2)
+    assert any("memoryFraction" in a.parameter for a in advice)
+
+
+def test_uncached_iterative_plan_warned():
+    plan = WordCount(24 * GiB).spark_jobs()[0]  # batch: no warning
+    advice = advise_spark(SparkConfig(default_parallelism=128), 2,
+                          plan=plan)
+    assert "rdd.persist" not in params(advice)
+    # K-Means caches, PageRank caches: strip the cache flag to trigger.
+    pr = PageRank(SMALL_GRAPH, edge_partitions=64).spark_jobs()[0]
+    for op in pr.ops:
+        op.cached = False
+    advice = advise_spark(SparkConfig(default_parallelism=128,
+                                      edge_partitions=64), 2, plan=pr)
+    assert "rdd.persist" in params(advice)
+
+
+def test_missing_edge_partitions_warned():
+    pr = PageRank(SMALL_GRAPH).spark_jobs()[0]
+    advice = advise_spark(SparkConfig(default_parallelism=128), 8,
+                          plan=pr)
+    assert "spark.edge.partition" in params(advice)
+
+
+def test_fatal_edge_partition_overflow():
+    """The Table VII situation: Large graph, too few edge partitions."""
+    cfg = large_graph_preset(27, double_edge_partitions=False)
+    plan = PageRank(LARGE_GRAPH,
+                    edge_partitions=cfg.spark.edge_partitions
+                    ).spark_jobs()[0]
+    advice = advise_spark(cfg.spark, 27, plan=plan)
+    fatal = [a for a in advice if a.severity == "fatal"]
+    assert fatal and "edge.partition" in fatal[0].parameter
+    # Doubling fixes it.
+    cfg2 = large_graph_preset(27, double_edge_partitions=True)
+    plan2 = PageRank(LARGE_GRAPH,
+                     edge_partitions=cfg2.spark.edge_partitions
+                     ).spark_jobs()[0]
+    advice2 = advise_spark(cfg2.spark, 27, plan=plan2)
+    assert not [a for a in advice2 if a.severity == "fatal"]
+
+
+def test_good_spark_preset_is_clean_of_fatals():
+    cfg = wordcount_grep_preset(16)
+    plan = WordCount(16 * 24 * GiB).spark_jobs()[0]
+    advice = advise_spark(cfg.spark, 16, plan=plan)
+    assert "fatal" not in severities(advice)
+
+
+# ----------------------------------------------------------------------
+# Flink advice
+# ----------------------------------------------------------------------
+def test_flink_slot_overflow_fatal():
+    cfg = FlinkConfig(default_parallelism=2 * 16 * 4, task_slots=16)
+    advice = advise_flink(cfg, nodes=2)
+    assert any(a.severity == "fatal" and "parallelism" in a.parameter
+               for a in advice)
+
+
+def test_flink_buffer_shortfall_fatal():
+    cfg = FlinkConfig(default_parallelism=512, network_buffers=256)
+    plan = WordCount(24 * GiB).flink_jobs()[0]
+    advice = advise_flink(cfg, nodes=32, plan=plan)
+    assert any(a.severity == "fatal" and "Buffers" in a.parameter
+               for a in advice)
+
+
+def test_flink_buffer_headroom_warning():
+    cfg = FlinkConfig(default_parallelism=128,
+                      network_buffers=700)
+    plan = WordCount(24 * GiB).flink_jobs()[0]
+    advice = advise_flink(cfg, nodes=32, plan=plan)
+    assert any(a.severity == "warning" and "Buffers" in a.parameter
+               for a in advice)
+
+
+def test_flink_on_heap_hinted():
+    cfg = FlinkConfig(default_parallelism=32, off_heap=False,
+                      network_buffers=65536)
+    advice = advise_flink(cfg, nodes=2)
+    assert any("off-heap" in a.parameter for a in advice)
+
+
+def test_flink_cogroup_iteration_warned():
+    cfg = small_graph_preset(8)
+    plan = ConnectedComponents(SMALL_GRAPH).flink_jobs()[0]
+    advice = advise_flink(cfg.flink, 8, plan=plan)
+    assert any("solution set" in a.parameter for a in advice)
+
+
+def test_good_flink_preset_clean_of_fatals():
+    cfg = wordcount_grep_preset(16)
+    plan = WordCount(16 * 24 * GiB).flink_jobs()[0]
+    advice = advise_flink(cfg.flink, 16, plan=plan)
+    assert "fatal" not in severities(advice)
+
+
+def test_advice_str_renders():
+    cfg = FlinkConfig(default_parallelism=2 * 16 * 4, task_slots=16)
+    advice = advise_flink(cfg, nodes=2)
+    assert "[fatal]" in str(advice[0])

@@ -1,0 +1,148 @@
+"""Tests for framework configuration and the published presets."""
+
+import pytest
+
+from repro.config import (ConfigError, FlinkConfig, SparkConfig,
+                          kmeans_preset, large_graph_preset,
+                          medium_graph_preset, small_graph_preset,
+                          terasort_preset, wordcount_grep_preset)
+from repro.engines.common.serialization import Serializer
+
+KiB = 1024
+MiB = 2**20
+GiB = 2**30
+
+
+# ----------------------------------------------------------------------
+# SparkConfig
+# ----------------------------------------------------------------------
+def test_spark_defaults_valid():
+    cfg = SparkConfig()
+    assert cfg.serializer is Serializer.JAVA
+    assert cfg.shuffle_manager == "tungsten-sort"
+
+
+def test_spark_validation():
+    with pytest.raises(ConfigError):
+        SparkConfig(default_parallelism=0)
+    with pytest.raises(ConfigError):
+        SparkConfig(storage_fraction=0.0)
+    with pytest.raises(ConfigError):
+        SparkConfig(storage_fraction=0.7, shuffle_fraction=0.4)
+    with pytest.raises(ConfigError):
+        SparkConfig(shuffle_manager="bogus")
+    with pytest.raises(ConfigError):
+        SparkConfig(shuffle_file_buffer=100)
+    with pytest.raises(ConfigError):
+        SparkConfig(edge_partitions=0)
+
+
+def test_spark_memory_fractions():
+    cfg = SparkConfig(executor_memory=10 * GiB, storage_fraction=0.6,
+                      shuffle_fraction=0.2)
+    assert cfg.storage_memory == pytest.approx(6 * GiB)
+    assert cfg.shuffle_memory == pytest.approx(2 * GiB)
+
+
+def test_spark_with_override():
+    cfg = SparkConfig().with_(serializer=Serializer.KRYO)
+    assert cfg.serializer is Serializer.KRYO
+    assert SparkConfig().serializer is Serializer.JAVA
+
+
+# ----------------------------------------------------------------------
+# FlinkConfig
+# ----------------------------------------------------------------------
+def test_flink_validation():
+    with pytest.raises(ConfigError):
+        FlinkConfig(default_parallelism=0)
+    with pytest.raises(ConfigError):
+        FlinkConfig(memory_fraction=1.5)
+    with pytest.raises(ConfigError):
+        FlinkConfig(network_buffers=0)
+    with pytest.raises(ConfigError):
+        FlinkConfig(task_slots=0)
+
+
+def test_flink_memory_split():
+    cfg = FlinkConfig(taskmanager_memory=10 * GiB, memory_fraction=0.7)
+    assert cfg.managed_memory == pytest.approx(7 * GiB)
+    assert cfg.heap_memory == pytest.approx(3 * GiB)
+    assert cfg.network_buffer_memory == 2048 * 32 * KiB
+
+
+# ----------------------------------------------------------------------
+# Presets: the published tables
+# ----------------------------------------------------------------------
+def test_table2_values_verbatim():
+    """Table II: Word Count / Grep settings."""
+    expect = {2: (192, 32, 4), 4: (384, 64, 4), 8: (768, 128, 4),
+              16: (1536, 256, 4), 32: (1024, 512, 11)}
+    for nodes, (s_par, f_par, f_mem) in expect.items():
+        cfg = wordcount_grep_preset(nodes)
+        assert cfg.spark.default_parallelism == s_par
+        assert cfg.flink.default_parallelism == f_par
+        assert cfg.flink.taskmanager_memory == f_mem * GiB
+        assert cfg.spark.executor_memory == 22 * GiB
+        assert cfg.flink.network_buffers == nodes * 2048
+        assert cfg.flink.buffer_size == 64 * KiB
+        assert cfg.hdfs_block_size == 256 * MiB
+
+
+def test_table3_values_verbatim():
+    """Table III: Tera Sort settings."""
+    expect = {17: (544, 134), 34: (1088, 270), 63: (1984, 500),
+              55: (1760, 475), 73: (2336, 580), 97: (3104, 750)}
+    for nodes, (s_par, f_par) in expect.items():
+        cfg = terasort_preset(nodes)
+        assert cfg.spark.default_parallelism == s_par
+        assert cfg.flink.default_parallelism == f_par
+        assert cfg.spark.executor_memory == 62 * GiB
+        assert cfg.flink.taskmanager_memory == 62 * GiB
+        assert cfg.hdfs_block_size == 1024 * MiB
+        assert cfg.flink.network_buffers == nodes * 1024
+        assert cfg.flink.buffer_size == 128 * KiB
+
+
+def test_table5_formulas():
+    """Table V: Small graph formulas."""
+    for nodes in (8, 14, 20, 27):
+        cfg = small_graph_preset(nodes)
+        assert cfg.spark.default_parallelism == nodes * 16 * 6
+        assert cfg.flink.default_parallelism == nodes * 16
+        assert cfg.spark.edge_partitions == nodes * 16
+        assert cfg.flink.network_buffers == 16 * 16 * nodes * 16
+
+
+def test_table6_values_verbatim():
+    """Table VI: Medium graph settings."""
+    expect = {24: (1440, 288, 22, 18, 1440), 27: (1620, 297, 96, 18, 256),
+              34: (1632, 442, 62, 62, 320), 55: (2640, 715, 62, 62, 480)}
+    for nodes, (s_par, f_par, s_mem, f_mem, edge) in expect.items():
+        cfg = medium_graph_preset(nodes)
+        assert cfg.spark.default_parallelism == s_par
+        assert cfg.flink.default_parallelism == f_par
+        assert cfg.spark.executor_memory == s_mem * GiB
+        assert cfg.flink.taskmanager_memory == f_mem * GiB
+        assert cfg.spark.edge_partitions == edge
+
+
+def test_table6_rejects_unknown_nodes():
+    with pytest.raises(ConfigError):
+        medium_graph_preset(99)
+
+
+def test_large_graph_preset_options():
+    base = large_graph_preset(27)
+    doubled = large_graph_preset(27, double_edge_partitions=True)
+    assert doubled.spark.edge_partitions == 2 * base.spark.edge_partitions
+    full = large_graph_preset(97, flink_reduced_parallelism=False)
+    reduced = large_graph_preset(97, flink_reduced_parallelism=True)
+    assert reduced.flink.default_parallelism == \
+        full.flink.default_parallelism * 3 // 4
+
+
+def test_kmeans_preset_shape():
+    cfg = kmeans_preset(24)
+    assert cfg.flink.default_parallelism == 24 * 16
+    assert cfg.spark.default_parallelism == 24 * 16 * 2

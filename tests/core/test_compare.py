@@ -1,0 +1,64 @@
+"""Tests for the side-by-side run comparison."""
+
+import pytest
+
+from repro.config.presets import wordcount_grep_preset
+from repro.core.compare import compare_runs
+from repro.harness.runner import run_correlated
+from repro.workloads import Grep, WordCount
+
+GiB = 2**30
+
+
+@pytest.fixture(scope="module")
+def wc_runs():
+    cfg = wordcount_grep_preset(4)
+    wl = WordCount(4 * 24 * GiB)
+    return {e: run_correlated(e, wl, cfg, seed=6)
+            for e in ("flink", "spark")}
+
+
+def test_compare_identifies_winner(wc_runs):
+    cmp = compare_runs(wc_runs["flink"], wc_runs["spark"])
+    assert cmp.winner == "flink"
+    assert cmp.advantage > 1.0
+    assert cmp.workload == "wordcount"
+
+
+def test_compare_detects_anti_cyclic_asymmetry(wc_runs):
+    cmp = compare_runs(wc_runs["flink"], wc_runs["spark"])
+    assert cmp.anti_cyclic["flink"]
+    assert not cmp.anti_cyclic["spark"]
+
+
+def test_compare_narrative_content(wc_runs):
+    cmp = compare_runs(wc_runs["flink"], wc_runs["spark"])
+    text = cmp.describe()
+    assert "flink wins" in text
+    assert "cpu" in text
+    assert "sort-based combining" in text
+
+
+def test_compare_longest_spans(wc_runs):
+    cmp = compare_runs(wc_runs["flink"], wc_runs["spark"])
+    assert "GroupCombine" in cmp.longest_span["flink"]
+    assert "ReduceByKey" in cmp.longest_span["spark"]
+
+
+def test_compare_argument_order_irrelevant(wc_runs):
+    a = compare_runs(wc_runs["flink"], wc_runs["spark"])
+    b = compare_runs(wc_runs["spark"], wc_runs["flink"])
+    assert a.winner == b.winner
+    assert a.advantage == b.advantage
+
+
+def test_compare_rejects_mismatched_workloads(wc_runs):
+    cfg = wordcount_grep_preset(2)
+    grep = run_correlated("spark", Grep(2 * 24 * GiB), cfg, seed=6)
+    with pytest.raises(ValueError, match="different workloads"):
+        compare_runs(wc_runs["flink"], grep)
+
+
+def test_compare_rejects_same_engine(wc_runs):
+    with pytest.raises(ValueError, match="distinct engines"):
+        compare_runs(wc_runs["flink"], wc_runs["flink"])

@@ -1,0 +1,174 @@
+"""Tests for the methodology layer: correlation, scalability, insights,
+reporting."""
+
+import math
+
+import pytest
+
+from repro.config.presets import wordcount_grep_preset
+from repro.core import (ComparisonPoint, ScalingSeries, compare_engines,
+                        detect_anti_cyclic, no_single_winner,
+                        render_bar_table, render_metric_panel, render_run,
+                        render_span_gantt, strong_scaling_speedup,
+                        summarize_comparison, weak_scaling_efficiency)
+from repro.core.insights import bottleneck_insight
+from repro.core.scalability import strong_scaling_efficiency
+from repro.engines.common.execution import OperatorSpan
+from repro.harness.runner import TrialStats, run_correlated
+from repro.monitoring import Metric, MetricFrame
+from repro.workloads import WordCount
+
+GiB = 2**30
+
+
+# ----------------------------------------------------------------------
+# ScalingSeries + analysis
+# ----------------------------------------------------------------------
+def test_series_validation():
+    with pytest.raises(ValueError):
+        ScalingSeries("flink", [1, 2], [1.0])
+    with pytest.raises(ValueError):
+        ScalingSeries("flink", [4, 2], [1.0, 2.0])
+
+
+def test_series_from_trials():
+    trials = [TrialStats("flink", "wc", 8, durations=[10.0, 12.0]),
+              TrialStats("flink", "wc", 2, durations=[30.0, 34.0])]
+    s = ScalingSeries.from_trials(trials)
+    assert s.nodes == [2, 8]
+    assert s.means == [32.0, 11.0]
+
+
+def test_strong_scaling_speedup_and_efficiency():
+    s = ScalingSeries("spark", [2, 4, 8], [100.0, 60.0, 40.0])
+    speedup = strong_scaling_speedup(s)
+    assert speedup == pytest.approx([1.0, 100 / 60, 2.5])
+    eff = strong_scaling_efficiency(s)
+    assert eff[0] == pytest.approx(1.0)
+    assert eff[2] == pytest.approx(2.5 / 4)
+
+
+def test_weak_scaling_efficiency():
+    s = ScalingSeries("flink", [2, 4], [100.0, 110.0])
+    assert weak_scaling_efficiency(s) == pytest.approx([1.0, 100 / 110])
+
+
+def test_series_variability():
+    s = ScalingSeries("flink", [2, 4], [100.0, 100.0], stds=[10.0, 30.0])
+    assert s.variability() == pytest.approx(0.2)
+
+
+def test_compare_engines_and_winner():
+    flink = ScalingSeries("flink", [2, 4], [90.0, 85.0])
+    spark = ScalingSeries("spark", [2, 4], [100.0, 80.0])
+    points = compare_engines(flink, spark)
+    assert points[0].winner == "flink"
+    assert points[1].winner == "spark"
+    assert points[0].advantage == pytest.approx(100 / 90)
+
+
+def test_compare_engines_failed_runs():
+    p = ComparisonPoint(nodes=27, flink=math.nan, spark=500.0)
+    assert p.winner == "spark"
+    assert math.isnan(p.advantage)
+
+
+def test_compare_requires_common_nodes():
+    with pytest.raises(ValueError):
+        compare_engines(ScalingSeries("flink", [2], [1.0]),
+                        ScalingSeries("spark", [4], [1.0]))
+
+
+# ----------------------------------------------------------------------
+# Insights
+# ----------------------------------------------------------------------
+def test_summarize_single_winner():
+    points = [ComparisonPoint(2, 90.0, 100.0), ComparisonPoint(4, 80.0, 95.0)]
+    insight = summarize_comparison("wordcount", points)
+    assert "Flink wins" in insight.statement
+
+
+def test_summarize_crossover():
+    points = [ComparisonPoint(2, 90.0, 100.0), ComparisonPoint(4, 95.0, 85.0)]
+    insight = summarize_comparison("grep", points)
+    assert "flips" in insight.statement
+
+
+def test_no_single_winner_key_finding():
+    per = {
+        "wordcount": [ComparisonPoint(2, 90.0, 100.0)],
+        "grep": [ComparisonPoint(2, 110.0, 100.0)],
+    }
+    insight = no_single_winner(per)
+    assert "no single framework" in insight.statement
+
+
+def test_no_single_winner_degenerate():
+    per = {"wc": [ComparisonPoint(2, 90.0, 100.0)],
+           "grep": [ComparisonPoint(2, 90.0, 100.0)]}
+    insight = no_single_winner(per)
+    assert "flink won every" in insight.statement
+
+
+# ----------------------------------------------------------------------
+# correlation + rendering on a real (small) run
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def wc_run():
+    return run_correlated("flink", WordCount(2 * 24 * GiB),
+                          wordcount_grep_preset(2), seed=5)
+
+
+def test_correlated_run_profiles(wc_run):
+    profiles = wc_run.profiles()
+    assert profiles
+    main = max(profiles, key=lambda p: p.span.duration)
+    assert "cpu" in main.dominant_resources()
+    assert 0 <= main.cpu_percent <= 100
+
+
+def test_correlated_bottleneck(wc_run):
+    assert "cpu" in wc_run.bottleneck()
+
+
+def test_detect_anti_cyclic_on_run(wc_run):
+    cpu = wc_run.frame(Metric.CPU_PERCENT).mean
+    disk = wc_run.frame(Metric.DISK_UTIL_PERCENT).mean
+    assert detect_anti_cyclic(cpu, disk)
+
+
+def test_detect_anti_cyclic_short_series():
+    assert not detect_anti_cyclic([1, 2], [2, 1])
+
+
+def test_render_gantt(wc_run):
+    out = render_span_gantt(wc_run.result.spans, wc_run.result.start,
+                            wc_run.result.end)
+    assert "#" in out
+    assert "DFG" in out
+
+
+def test_render_metric_panel(wc_run):
+    out = render_metric_panel(wc_run.frame(Metric.CPU_PERCENT))
+    assert "cpu_percent" in out
+    assert "#" in out
+
+
+def test_render_full_run(wc_run):
+    out = render_run(wc_run)
+    assert "flink wordcount" in out
+    assert "disk_util_percent" in out
+
+
+def test_render_bar_table():
+    series = [ScalingSeries("flink", [2, 4], [90.0, 85.0], [1.0, 2.0]),
+              ScalingSeries("spark", [2, 4], [100.0, float("nan")])]
+    out = render_bar_table(series, title="demo")
+    assert "demo" in out
+    assert "FAILED" in out
+    assert "90.0" in out
+
+
+def test_bottleneck_insight(wc_run):
+    insight = bottleneck_insight(wc_run)
+    assert "cpu" in insight.statement

@@ -1,0 +1,51 @@
+"""Tests for CSV export of reproduced artefacts."""
+
+import csv
+import io
+
+from repro.config.presets import wordcount_grep_preset
+from repro.core import (ScalingSeries, frames_to_csv, run_to_csv,
+                        scaling_to_csv, spans_to_csv)
+from repro.engines.common.execution import OperatorSpan
+from repro.harness.runner import run_correlated
+from repro.workloads import Grep
+
+GiB = 2**30
+
+
+def parse(text):
+    return list(csv.reader(io.StringIO(text)))
+
+
+def test_scaling_to_csv_rows():
+    series = [ScalingSeries("flink", [2, 4], [10.0, 9.0], [0.1, 0.2]),
+              ScalingSeries("spark", [2], [12.0])]
+    rows = parse(scaling_to_csv(series))
+    assert rows[0] == ["engine", "nodes", "mean_seconds", "std_seconds"]
+    assert rows[1] == ["flink", "2", "10.000", "0.100"]
+    assert len(rows) == 4
+
+
+def test_spans_to_csv():
+    spans = [OperatorSpan("DC", "DataSource->Combine", 0.0, 10.0, busy=9.5),
+             OperatorSpan("mc", "map->collect", 10.0, 12.0, iteration=3)]
+    rows = parse(spans_to_csv(spans))
+    assert rows[1][0] == "DC"
+    assert rows[2][6] == "3"
+
+
+def test_run_to_csv_roundtrip():
+    run = run_correlated("flink", Grep(2 * 24 * GiB),
+                         wordcount_grep_preset(2), seed=4)
+    text = run_to_csv(run)
+    assert text.startswith("# flink grep 2 nodes")
+    assert "cpu_percent" in text
+    assert "DS" in text or "DFF" in text
+
+
+def test_frames_to_csv_long_format():
+    run = run_correlated("flink", Grep(2 * 24 * GiB),
+                         wordcount_grep_preset(2), seed=4)
+    rows = parse(frames_to_csv(run.frames.values()))
+    metrics = {r[0] for r in rows[1:]}
+    assert "cpu_percent" in metrics and "network_mibs" in metrics

@@ -1,0 +1,53 @@
+"""Tests for the blocked-time / what-if analysis."""
+
+import pytest
+
+from repro.config.presets import terasort_preset, wordcount_grep_preset
+from repro.core.whatif import (RESOURCES, blocked_time_report, what_if)
+from repro.workloads import Grep, TeraSort, WordCount
+
+GiB = 2**30
+
+
+def test_unknown_resource_rejected():
+    with pytest.raises(ValueError):
+        what_if("flink", Grep(2 * 24 * GiB), wordcount_grep_preset(2),
+                "gpu")
+
+
+def test_idealised_run_never_slower():
+    cfg = wordcount_grep_preset(2)
+    wl = Grep(2 * 24 * GiB)
+    for resource in RESOURCES:
+        r = what_if("spark", wl, cfg, resource, seed=2)
+        assert r.speedup >= 0.95  # jitter tolerance
+        assert 0.0 <= r.blocked_fraction < 1.0
+
+
+def test_grep_is_compute_limited_not_network():
+    """Grep barely touches the network: idealising it buys nothing,
+    while an infinitely fast disk helps a little (the scan)."""
+    cfg = wordcount_grep_preset(2)
+    wl = Grep(2 * 24 * GiB)
+    disk = what_if("spark", wl, cfg, "disk", seed=2)
+    net = what_if("spark", wl, cfg, "network", seed=2)
+    assert disk.speedup >= net.speedup
+    assert net.speedup < 1.1
+
+
+def test_terasort_blocked_on_disk():
+    """The paper's Tera Sort is I/O-bound: removing the disk is the
+    biggest win, for both engines."""
+    cfg = terasort_preset(17)
+    wl = TeraSort(17 * 8 * GiB, num_partitions=134)
+    for engine in ("flink", "spark"):
+        report = blocked_time_report(engine, wl, cfg, seed=2)
+        assert report["disk"].speedup > report["network"].speedup
+        assert report["disk"].speedup > 1.2
+
+
+def test_describe_renders():
+    cfg = wordcount_grep_preset(2)
+    r = what_if("flink", WordCount(2 * 24 * GiB), cfg, "disk", seed=2)
+    text = r.describe()
+    assert "flink/wordcount" in text and "disk" in text

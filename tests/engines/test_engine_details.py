@@ -1,0 +1,131 @@
+"""Focused tests for engine mechanisms not covered elsewhere:
+queue depth derivation, shuffle-buffer penalty, job deploy latency,
+span merging, result accessors."""
+
+import math
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.config.parameters import FlinkConfig, SparkConfig
+from repro.engines.common.costs import DEFAULT_COSTS
+from repro.engines.common.execution import JobResult, OperatorSpan
+from repro.engines.common.result import EngineRunResult
+from repro.engines.flink.engine import FlinkEngine
+from repro.engines.spark.engine import SparkEngine
+from repro.engines.spark.shuffle import plan_shuffle
+from repro.engines.common.stats import DataStats
+from repro.hdfs import HDFS
+
+KiB = 1024
+MiB = 2**20
+GiB = 2**30
+
+
+# ----------------------------------------------------------------------
+# EngineRunResult accessors
+# ----------------------------------------------------------------------
+def make_result():
+    spans = [OperatorSpan("DC", "chain", 0.0, 10.0),
+             OperatorSpan("DS", "sink", 9.0, 12.0)]
+    return EngineRunResult(
+        engine="flink", workload="wc", nodes=4, success=True,
+        start=0.0, end=12.0,
+        jobs=[JobResult("main", 0.0, 12.0, spans)])
+
+
+def test_result_span_lookup():
+    result = make_result()
+    assert result.span("DC").duration == 10.0
+    with pytest.raises(KeyError):
+        result.span("XX")
+
+
+def test_result_job_duration():
+    result = make_result()
+    assert result.job_duration("main") == 12.0
+    with pytest.raises(KeyError):
+        result.job_duration("none")
+
+
+def test_result_failed_duration_is_nan():
+    result = EngineRunResult(engine="spark", workload="wc", nodes=1,
+                             success=False, failure="OOM")
+    assert math.isnan(result.duration)
+    assert "FAILED" in result.describe()
+
+
+def test_result_describe_success():
+    assert "flink wc on 4 nodes" in make_result().describe()
+
+
+# ----------------------------------------------------------------------
+# Flink queue depth from network buffers
+# ----------------------------------------------------------------------
+def flink_engine(buffers, parallelism=64, nodes=4):
+    cluster = Cluster(nodes)
+    hdfs = HDFS(cluster)
+    cfg = FlinkConfig(default_parallelism=parallelism,
+                      taskmanager_memory=8 * GiB,
+                      network_buffers=buffers)
+    return FlinkEngine(cluster, hdfs, cfg)
+
+
+def test_queue_depth_scales_with_buffers():
+    scarce = flink_engine(buffers=600)
+    plenty = flink_engine(buffers=64 * 4096)
+    assert scarce.executor.queue_depth <= plenty.executor.queue_depth
+    assert scarce.executor.queue_depth >= 1
+    assert plenty.executor.queue_depth <= 4
+
+
+def test_flink_job_deploy_latency_once():
+    """The job-graph deployment is paid once per job, not per phase."""
+    engine = flink_engine(buffers=64 * 4096)
+    from repro.workloads import WordCount
+    wl = WordCount(4 * GiB)
+    result = engine.run(wl.flink_jobs()[0])
+    first_span = min(result.spans, key=lambda s: s.start)
+    assert first_span.start == pytest.approx(
+        DEFAULT_COSTS.flink_job_deploy, abs=0.2)
+
+
+# ----------------------------------------------------------------------
+# Spark shuffle-buffer penalty + span merge labels
+# ----------------------------------------------------------------------
+def test_small_shuffle_file_buffer_amplifies_spill():
+    data = DataStats.from_bytes(200 * GiB, 16, key_cardinality=1e6)
+    small = SparkConfig(default_parallelism=64, executor_memory=8 * GiB,
+                        shuffle_file_buffer=32 * KiB)
+    large = small.with_(shuffle_file_buffer=128 * KiB)
+    s_small = plan_shuffle(data, small, DEFAULT_COSTS, 4)
+    s_large = plan_shuffle(data, large, DEFAULT_COSTS, 4)
+    assert s_small.spill_bytes > s_large.spill_bytes
+
+
+def test_spark_span_merge_builds_paper_label():
+    cluster = Cluster(2)
+    hdfs = HDFS(cluster)
+    engine = SparkEngine(cluster, hdfs,
+                         SparkConfig(default_parallelism=64,
+                                     executor_memory=22 * GiB))
+    from repro.workloads import WordCount
+    result = engine.run(WordCount(4 * GiB).spark_jobs()[0])
+    names = [s.name for s in result.spans]
+    assert "FlatMap->MapToPair->ReduceByKey" in names
+    keys = [s.key for s in result.spans]
+    assert "FMR" in keys
+
+
+def test_spark_metrics_accumulate_across_jobs():
+    cluster = Cluster(2)
+    hdfs = HDFS(cluster)
+    engine = SparkEngine(cluster, hdfs,
+                         SparkConfig(default_parallelism=64,
+                                     executor_memory=22 * GiB))
+    from repro.workloads import WordCount
+    wl = WordCount(4 * GiB)
+    engine.run(wl.spark_jobs()[0])
+    first = engine.metrics["stages"]
+    engine.run(wl.spark_jobs()[0])
+    assert engine.metrics["stages"] == 2 * first

@@ -1,0 +1,251 @@
+"""Tests for the shared phase executor: staged vs pipelined discipline."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.engines.common.execution import (ChunkQueue, JobFailedError,
+                                            PhaseExecutor, PhaseResources,
+                                            PhaseSpec, uniform_resources)
+
+MiB = 2**20
+GiB = 2**30
+
+
+def make_cluster(nodes=2):
+    return Cluster(nodes)
+
+
+def cpu_phase(cluster, key, core_seconds, slots=16.0, **extra):
+    """``core_seconds`` is per node (uniform_resources takes totals)."""
+    n = cluster.num_nodes
+    return PhaseSpec(
+        name=f"phase-{key}", key=key,
+        per_node=uniform_resources(n, cpu_core_seconds=core_seconds * n,
+                                   cpu_slots=slots, **extra))
+
+
+# ----------------------------------------------------------------------
+# PhaseResources
+# ----------------------------------------------------------------------
+def test_resources_validation():
+    with pytest.raises(ValueError):
+        PhaseResources(cpu_core_seconds=-1).validate()
+    with pytest.raises(ValueError):
+        PhaseResources(cpu_core_seconds=1, cpu_slots=0).validate()
+    PhaseResources(cpu_core_seconds=1, cpu_slots=2).validate()
+
+
+def test_resources_scaled():
+    r = PhaseResources(cpu_core_seconds=10, cpu_slots=4,
+                       disk_read_bytes=100, memory_bytes=50)
+    half = r.scaled(0.5)
+    assert half.cpu_core_seconds == 5
+    assert half.disk_read_bytes == 50
+    assert half.cpu_slots == 4       # slots are not work
+    assert half.memory_bytes == 50   # reservations are not work
+
+
+def test_uniform_resources_splits_totals():
+    rs = uniform_resources(4, cpu_core_seconds=100, cpu_slots=8)
+    assert len(rs) == 4
+    assert all(r.cpu_core_seconds == 25 for r in rs)
+    assert all(r.cpu_slots == 8 for r in rs)
+
+
+# ----------------------------------------------------------------------
+# staged execution
+# ----------------------------------------------------------------------
+def test_staged_cpu_duration():
+    cluster = make_cluster(2)
+    ex = PhaseExecutor(cluster, chunks_per_phase=4)
+    # 160 core-seconds per node on 16 slots -> 10 s.
+    phase = cpu_phase(cluster, "A", core_seconds=160)
+    proc = cluster.sim.process(ex.run_staged("job", [phase]))
+    cluster.run()
+    result = proc.value
+    assert result.duration == pytest.approx(10.0, rel=1e-6)
+    assert result.span("A").duration == pytest.approx(10.0, rel=1e-6)
+
+
+def test_staged_phases_do_not_overlap():
+    cluster = make_cluster(2)
+    ex = PhaseExecutor(cluster, chunks_per_phase=4)
+    phases = [cpu_phase(cluster, "A", 160), cpu_phase(cluster, "B", 160)]
+    proc = cluster.sim.process(ex.run_staged("job", phases))
+    cluster.run()
+    a, b = proc.value.spans
+    assert a.end <= b.start + 1e-9
+    assert proc.value.duration == pytest.approx(20.0, rel=1e-6)
+
+
+def test_cpu_slots_cap_rate():
+    cluster = make_cluster(1)
+    ex = PhaseExecutor(cluster, chunks_per_phase=2)
+    # 80 core-seconds but only 4 slots -> 20 s even with 16 cores.
+    phase = cpu_phase(cluster, "A", 80, slots=4.0)
+    proc = cluster.sim.process(ex.run_staged("job", [phase]))
+    cluster.run()
+    assert proc.value.duration == pytest.approx(20.0, rel=1e-6)
+
+
+def test_startup_delay_applies():
+    cluster = make_cluster(1)
+    ex = PhaseExecutor(cluster, chunks_per_phase=1)
+    phase = PhaseSpec(name="p", key="P", startup_delay=2.5,
+                      per_node=uniform_resources(1, cpu_core_seconds=16,
+                                                 cpu_slots=16))
+    proc = cluster.sim.process(ex.run_staged("job", [phase]))
+    cluster.run()
+    assert proc.value.duration == pytest.approx(3.5, rel=1e-6)
+
+
+def test_disk_phase_uses_disk():
+    cluster = make_cluster(1)
+    ex = PhaseExecutor(cluster, chunks_per_phase=4)
+    phase = PhaseSpec(name="io", key="IO", per_node=[
+        PhaseResources(disk_read_bytes=150 * MiB)])
+    proc = cluster.sim.process(ex.run_staged("job", [phase]))
+    cluster.run()
+    assert proc.value.duration == pytest.approx(1.0, rel=1e-6)
+    node = cluster.node(0)
+    assert node.disk.throughput.integral(0, 2) == pytest.approx(150 * MiB,
+                                                                rel=1e-6)
+
+
+# ----------------------------------------------------------------------
+# pipelined execution
+# ----------------------------------------------------------------------
+def test_pipelined_phases_overlap():
+    cluster = make_cluster(2)
+    ex = PhaseExecutor(cluster, chunks_per_phase=8, queue_depth=2)
+    phases = [cpu_phase(cluster, "A", 160, slots=8.0),
+              cpu_phase(cluster, "B", 160, slots=8.0)]
+    proc = cluster.sim.process(ex.run_pipelined("job", phases))
+    cluster.run()
+    a, b = proc.value.spans
+    assert a.overlaps(b), "pipelined phases must overlap in time"
+    # Far faster than the 40 s a staged run would take at 8 slots each;
+    # both phases share 16 cores, so ~20 s + pipeline fill.
+    assert proc.value.duration < 30.0
+
+
+def test_blocking_phase_defers_downstream():
+    cluster = make_cluster(1)
+    ex = PhaseExecutor(cluster, chunks_per_phase=4, queue_depth=2)
+    blocking = PhaseSpec(
+        name="sort", key="S", blocking=True,
+        per_node=uniform_resources(1, cpu_core_seconds=32, cpu_slots=16))
+    sink = cpu_phase(cluster, "D", 16)
+    proc = cluster.sim.process(ex.run_pipelined("job", [blocking, sink]))
+    cluster.run()
+    s, d = proc.value.spans
+    # The sink's first chunk cannot start before the sort finished.
+    assert d.start >= s.end - 1e-6
+
+
+def test_pipelined_single_phase():
+    cluster = make_cluster(1)
+    ex = PhaseExecutor(cluster, chunks_per_phase=4)
+    proc = cluster.sim.process(
+        ex.run_pipelined("job", [cpu_phase(cluster, "A", 16)]))
+    cluster.run()
+    assert proc.value.duration == pytest.approx(1.0, rel=1e-6)
+
+
+def test_anti_cyclic_serialises_spill_io():
+    cluster = make_cluster(1)
+    ex = PhaseExecutor(cluster, chunks_per_phase=4)
+    phase = PhaseSpec(
+        name="combine", key="C", anti_cyclic=True,
+        per_node=[PhaseResources(cpu_core_seconds=160, cpu_slots=16,
+                                 cyclic_disk_bytes=150 * MiB)])
+    proc = cluster.sim.process(ex.run_staged("job", [phase]))
+    cluster.run()
+    # 10 s CPU + 1 s spill, strictly sequential.
+    assert proc.value.duration == pytest.approx(11.0, rel=1e-6)
+
+
+# ----------------------------------------------------------------------
+# memory behaviour
+# ----------------------------------------------------------------------
+def test_phase_memory_reserved_and_released():
+    cluster = make_cluster(1)
+    ex = PhaseExecutor(cluster, chunks_per_phase=2)
+    phase = PhaseSpec(name="m", key="M", per_node=[
+        PhaseResources(cpu_core_seconds=16, cpu_slots=16,
+                       memory_bytes=10 * GiB)])
+    proc = cluster.sim.process(ex.run_staged("job", [phase]))
+    cluster.run()
+    node = cluster.node(0)
+    assert node.memory.used == 0.0
+    assert node.memory.peak == pytest.approx(10 * GiB)
+
+
+def test_phase_memory_overflow_fails_job():
+    cluster = make_cluster(1)
+    ex = PhaseExecutor(cluster, chunks_per_phase=2)
+    phase = PhaseSpec(name="m", key="M", per_node=[
+        PhaseResources(cpu_core_seconds=16, cpu_slots=16,
+                       memory_bytes=2000 * GiB)])
+    proc = cluster.sim.process(ex.run_staged("job", [phase]))
+    with pytest.raises(JobFailedError):
+        cluster.run()
+
+
+# ----------------------------------------------------------------------
+# ChunkQueue
+# ----------------------------------------------------------------------
+def test_chunk_queue_backpressure():
+    cluster = make_cluster(1)
+    q = ChunkQueue(cluster, capacity=2)
+    sim = cluster.sim
+    produced = []
+
+    def producer():
+        for i in range(5):
+            yield q.put()
+            produced.append((i, sim.now))
+
+    def consumer():
+        for _ in range(5):
+            yield sim.timeout(1.0)
+            yield q.get()
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    # First two puts are immediate; the rest wait for consumption.
+    assert produced[0][1] == 0.0 and produced[1][1] == 0.0
+    assert produced[2][1] >= 1.0
+
+
+def test_chunk_queue_close_unblocks_getters():
+    cluster = make_cluster(1)
+    q = ChunkQueue(cluster, capacity=1)
+    sim = cluster.sim
+    got = []
+
+    def consumer():
+        yield q.get()
+        got.append(sim.now)
+
+    def closer():
+        yield sim.timeout(3.0)
+        q.close()
+
+    sim.process(consumer())
+    sim.process(closer())
+    sim.run()
+    assert got == [3.0]
+
+
+def test_chunk_queue_validation():
+    with pytest.raises(ValueError):
+        ChunkQueue(make_cluster(1), capacity=0)
+
+
+def test_executor_validation():
+    with pytest.raises(ValueError):
+        PhaseExecutor(make_cluster(1), chunks_per_phase=0)
+    with pytest.raises(ValueError):
+        PhaseSpec(name="x", key="X", per_node=[])

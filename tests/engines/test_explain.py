@@ -1,0 +1,67 @@
+"""Tests for the dry-run plan explanation."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.config.presets import small_graph_preset, wordcount_grep_preset
+from repro.engines.flink.engine import FlinkEngine
+from repro.engines.spark.engine import SparkEngine
+from repro.hdfs import HDFS
+from repro.workloads import ConnectedComponents, TeraSort, WordCount
+from repro.workloads.datagen.graphs import SMALL_GRAPH
+
+GiB = 2**30
+
+
+def engines(nodes=4, preset=None):
+    cfg = preset or wordcount_grep_preset(nodes)
+    cluster = Cluster(nodes)
+    hdfs = HDFS(cluster, block_size=cfg.hdfs_block_size)
+    return (SparkEngine(cluster, hdfs, cfg.spark),
+            FlinkEngine(cluster, hdfs, cfg.flink))
+
+
+def test_explain_wordcount_spark():
+    spark, _ = engines()
+    text = spark.explain(WordCount(4 * 24 * GiB).spark_jobs()[0])
+    assert "stage 1: FlatMap->MapToPair" in text
+    assert "map-side combine" in text
+    assert "barrier" in text
+    assert "action: save" in text
+
+
+def test_explain_wordcount_flink():
+    _, flink = engines()
+    text = flink.explain(WordCount(4 * 24 * GiB).flink_jobs()[0])
+    assert "DataSource->FlatMap->GroupCombine" in text
+    assert "pipelined over network buffers" in text
+    assert "DataSink" in text
+
+
+def test_explain_iterations():
+    cfg = small_graph_preset(4)
+    spark, flink = engines(4, cfg)
+    cc = ConnectedComponents(SMALL_GRAPH, iterations=23,
+                             edge_partitions=64)
+    s_text = spark.explain(cc.spark_jobs()[0])
+    assert "loop x23 (unrolled" in s_text
+    assert "persist: Load Graph" in s_text
+    f_text = flink.explain(cc.flink_jobs()[0])
+    assert "delta iteration (shrinking workset) x23" in f_text
+    assert "scheduled once" in f_text
+
+
+def test_explain_does_not_execute():
+    spark, flink = engines()
+    wl = WordCount(4 * 24 * GiB)
+    spark.explain(wl.spark_jobs()[0])
+    flink.explain(wl.flink_jobs()[0])
+    assert spark.cluster.now == 0.0
+    assert spark.metrics["stages"] == 0
+
+
+def test_explain_terasort_shows_both_disciplines():
+    spark, flink = engines()
+    ts = TeraSort(4 * 32 * GiB, num_partitions=64)
+    assert "barrier" in spark.explain(ts.spark_jobs()[0])
+    assert "chained" in flink.explain(ts.flink_jobs()[0])

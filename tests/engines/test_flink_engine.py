@@ -1,0 +1,215 @@
+"""Behavioural tests of the Flink 0.10 model."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.config.parameters import FlinkConfig
+from repro.engines.common.costs import DEFAULT_COSTS
+from repro.engines.common.operators import LogicalPlan, Op, OpKind
+from repro.engines.common.stats import DataStats
+from repro.engines.flink.engine import FlinkEngine
+from repro.engines.flink.memory import FlinkMemoryModel
+from repro.hdfs import HDFS
+
+MiB = 2**20
+GiB = 2**30
+
+
+def deploy(nodes=2, **cfg):
+    cluster = Cluster(nodes)
+    hdfs = HDFS(cluster, block_size=256 * MiB)
+    defaults = dict(default_parallelism=nodes * 16,
+                    taskmanager_memory=8 * GiB,
+                    network_buffers=nodes * 4096, task_slots=16)
+    defaults.update(cfg)
+    config = FlinkConfig(**defaults)
+    return cluster, hdfs, FlinkEngine(cluster, hdfs, config)
+
+
+def wc_plan(total_bytes=4 * GiB, keys=1e5):
+    stats = DataStats.from_bytes(total_bytes, 120, key_cardinality=keys)
+    return LogicalPlan(stats, [
+        Op(OpKind.SOURCE, "DataSource"),
+        Op(OpKind.FLAT_MAP, "FlatMap", selectivity=18, bytes_ratio=0.083,
+           output_keys=keys),
+        Op(OpKind.GROUP_REDUCE, "GroupReduce", output_keys=keys),
+        Op(OpKind.SINK, "DataSink"),
+    ], name="wc")
+
+
+# ----------------------------------------------------------------------
+# execution structure
+# ----------------------------------------------------------------------
+def test_run_succeeds():
+    _c, hdfs, engine = deploy()
+    result = engine.run(wc_plan())
+    assert result.success and result.engine == "flink"
+
+
+def test_combiner_chained_into_source_segment():
+    _c, _h, engine = deploy()
+    result = engine.run(wc_plan())
+    names = [s.name for s in result.spans]
+    assert "DataSource->FlatMap->GroupCombine" in names
+    assert "GroupReduce" in names
+    assert "DataSink" in names
+
+
+def test_pipelined_spans_overlap():
+    _c, _h, engine = deploy()
+    result = engine.run(wc_plan())
+    dc = result.span("DFG")
+    gr = result.span("G")
+    assert dc.overlaps(gr), "Flink phases must be pipelined"
+
+
+def test_single_job_reported():
+    _c, _h, engine = deploy()
+    result = engine.run(wc_plan())
+    assert len(result.jobs) == 1
+
+
+# ----------------------------------------------------------------------
+# fail-fast preflight (the paper's configuration pitfalls)
+# ----------------------------------------------------------------------
+def test_insufficient_task_slots_fails():
+    _c, _h, engine = deploy(default_parallelism=2 * 16 * 4, task_slots=16)
+    result = engine.run(wc_plan())
+    assert not result.success
+    assert "task slots" in result.failure
+
+
+def test_insufficient_network_buffers_fails():
+    _c, _h, engine = deploy(network_buffers=64)
+    result = engine.run(wc_plan())
+    assert not result.success
+    assert "network buffers" in result.failure
+
+
+def test_generous_buffers_pass():
+    _c, _h, engine = deploy(network_buffers=2 * 2048 * 16)
+    assert engine.run(wc_plan()).success
+
+
+# ----------------------------------------------------------------------
+# iterations
+# ----------------------------------------------------------------------
+def iterative_plan(kind=OpKind.BULK_ITERATION, iterations=4,
+                   activity=None, with_cogroup=False,
+                   edges_records=1e6):
+    points = DataStats.from_bytes(2 * GiB, 40, key_cardinality=16)
+    body_ops = [Op(OpKind.MAP, "Map", cpu_rate=20 * MiB, output_keys=16),
+                Op(OpKind.GROUP_REDUCE, "Reduce", output_keys=16)]
+    if with_cogroup:
+        body_ops.append(Op(OpKind.CO_GROUP, "CoGroup"))
+    body = LogicalPlan(points, body_ops, body_plan=True)
+    edges = DataStats(records=edges_records, record_bytes=17,
+                      key_cardinality=edges_records / 30)
+    return LogicalPlan(points, [
+        Op(OpKind.SOURCE, "DataSource"),
+        Op(OpKind.MAP, "Map"),
+        Op(kind, "iterate", body=body, iterations=iterations,
+           workset_activity=activity,
+           side_input=edges if with_cogroup else None,
+           selectivity=16 / points.records),
+        Op(OpKind.SINK, "DataSink"),
+    ], name="iter")
+
+
+def test_bulk_iteration_emits_head_and_sync_spans():
+    _c, _h, engine = deploy()
+    result = engine.run(iterative_plan())
+    keys = {s.key for s in result.spans}
+    assert "B" in keys      # BulkPartialSolution
+    assert "SBI" in keys    # Sync Bulk Iteration
+    assert engine.metrics["supersteps"] == 4
+
+
+def test_delta_iteration_emits_workset_spans():
+    _c, _h, engine = deploy()
+    result = engine.run(iterative_plan(OpKind.DELTA_ITERATION))
+    keys = {s.key for s in result.spans}
+    assert "W" in keys and "DI" in keys
+
+
+def test_delta_cheaper_than_bulk():
+    """Delta iterations shrink the workset: the paper's CC advantage."""
+    decay = lambda i: 0.5 ** (i - 1)
+    _c1, _h1, bulk_engine = deploy()
+    bulk = bulk_engine.run(iterative_plan(OpKind.BULK_ITERATION, 6))
+    _c2, _h2, delta_engine = deploy()
+    delta = delta_engine.run(
+        iterative_plan(OpKind.DELTA_ITERATION, 6, activity=decay))
+    assert delta.duration < bulk.duration
+
+
+def test_scheduled_once_no_per_iteration_deploy():
+    """Doubling iterations should roughly double iteration time without
+    adding per-round scheduling overhead beyond the superstep sync."""
+    _c1, _h1, e1 = deploy()
+    r4 = e1.run(iterative_plan(iterations=4))
+    _c2, _h2, e2 = deploy()
+    r8 = e2.run(iterative_plan(iterations=8))
+    head4 = r4.span("B").duration
+    head8 = r8.span("B").duration
+    assert head8 == pytest.approx(2 * head4, rel=0.12)
+
+
+def test_cogroup_solution_set_oom():
+    _c, _h, engine = deploy(taskmanager_memory=2 * GiB)
+    # 2 GiB TM, managed ~1.4 GiB; state = records * 40 B.
+    result = engine.run(iterative_plan(with_cogroup=True,
+                                       edges_records=2e9))
+    assert not result.success
+    assert "solution set" in result.failure
+
+
+def test_cogroup_fits_with_fewer_slots():
+    """Reducing parallelism frees managed memory for the CoGroup —
+    the paper's 97-node workaround."""
+    state_records = 4.6e8  # ~8.6 GiB of state per node (2 nodes)
+    _c1, _h1, full = deploy(taskmanager_memory=16 * GiB,
+                            default_parallelism=32, task_slots=16)
+    r_full = full.run(iterative_plan(with_cogroup=True,
+                                     edges_records=state_records))
+    _c2, _h2, reduced = deploy(taskmanager_memory=16 * GiB,
+                               default_parallelism=8, task_slots=16)
+    r_reduced = reduced.run(iterative_plan(with_cogroup=True,
+                                           edges_records=state_records))
+    assert not r_full.success
+    assert r_reduced.success
+
+
+# ----------------------------------------------------------------------
+# memory model
+# ----------------------------------------------------------------------
+def test_sorter_spills_beyond_budget():
+    config = FlinkConfig(default_parallelism=16,
+                         taskmanager_memory=4 * GiB)
+    mem = FlinkMemoryModel(config, DEFAULT_COSTS, num_nodes=1)
+    assert mem.spill_bytes(1 * GiB) == 0.0
+    assert mem.spill_bytes(10 * GiB) > 0.0
+
+
+def test_off_heap_lowers_gc():
+    on = FlinkConfig(default_parallelism=16, taskmanager_memory=8 * GiB,
+                     off_heap=False)
+    off = on.with_(off_heap=True)
+    m_on = FlinkMemoryModel(on, DEFAULT_COSTS, 1)
+    m_off = FlinkMemoryModel(off, DEFAULT_COSTS, 1)
+    ws = 2 * GiB
+    assert m_off.gc_cpu_factor(ws) <= m_on.gc_cpu_factor(ws)
+
+
+def test_flink_count_tail_is_slow():
+    """Grep's Flink count() funnel: tail phase with low parallelism."""
+    stats = DataStats.from_bytes(8 * GiB, 120)
+    plan = LogicalPlan(stats, [
+        Op(OpKind.SOURCE, "DataSource"),
+        Op(OpKind.FILTER, "Filter", selectivity=0.2),
+        Op(OpKind.COUNT, "Count", hidden=True),
+    ], name="grep")
+    _c, _h, engine = deploy()
+    result = engine.run(plan)
+    sink = result.span("DS")
+    assert sink.busy > 1.0  # the inefficient latter phase exists

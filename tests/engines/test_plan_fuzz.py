@@ -1,0 +1,111 @@
+"""Fuzz: randomly generated logical plans must compile and run on both
+engines without crashing the simulator, and produce consistent results.
+
+This is the robustness guarantee for users writing their own workloads
+against the public plan API.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import Cluster
+from repro.config.parameters import FlinkConfig, SparkConfig
+from repro.engines.common.operators import LogicalPlan, Op, OpKind
+from repro.engines.common.stats import DataStats
+from repro.engines.flink.engine import FlinkEngine
+from repro.engines.spark.engine import SparkEngine
+from repro.hdfs import HDFS
+
+MiB = 2**20
+GiB = 2**30
+
+NARROW_KINDS = [OpKind.MAP, OpKind.FLAT_MAP, OpKind.FILTER,
+                OpKind.MAP_TO_PAIR, OpKind.MAP_PARTITIONS]
+WIDE_KINDS = [OpKind.REDUCE_BY_KEY, OpKind.GROUP_REDUCE, OpKind.DISTINCT,
+              OpKind.PARTITION]
+TERMINALS = [OpKind.SINK, OpKind.COUNT, OpKind.COLLECT]
+
+
+@st.composite
+def random_plans(draw):
+    n_ops = draw(st.integers(1, 6))
+    ops = [Op(OpKind.SOURCE, "DataSource")]
+    for i in range(n_ops):
+        wide = draw(st.booleans())
+        kind = draw(st.sampled_from(WIDE_KINDS if wide else NARROW_KINDS))
+        ops.append(Op(kind, f"op{i}",
+                      selectivity=draw(st.floats(0.05, 4.0)),
+                      bytes_ratio=draw(st.floats(0.2, 3.0)),
+                      output_keys=draw(st.sampled_from(
+                          [0.0, 1e3, 1e6, 1e8]))))
+    ops.append(Op(draw(st.sampled_from(TERMINALS)), "End"))
+    total_gib = draw(st.floats(0.5, 64.0))
+    stats = DataStats.from_bytes(total_gib * GiB,
+                                 draw(st.floats(10.0, 500.0)),
+                                 key_cardinality=draw(
+                                     st.sampled_from([0.0, 1e4, 1e7])))
+    return LogicalPlan(stats, ops, name="fuzz")
+
+
+def deploy(engine_name: str, nodes: int):
+    cluster = Cluster(nodes, seed=7)
+    hdfs = HDFS(cluster, block_size=256 * MiB)
+    if engine_name == "spark":
+        return SparkEngine(cluster, hdfs,
+                           SparkConfig(default_parallelism=nodes * 32,
+                                       executor_memory=64 * GiB))
+    return FlinkEngine(cluster, hdfs,
+                       FlinkConfig(default_parallelism=nodes * 16,
+                                   taskmanager_memory=64 * GiB,
+                                   network_buffers=nodes * 65536))
+
+
+@settings(deadline=None, max_examples=25)
+@given(plan=random_plans(), nodes=st.integers(1, 6))
+def test_fuzz_plans_run_on_both_engines(plan, nodes):
+    for engine_name in ("spark", "flink"):
+        engine = deploy(engine_name, nodes)
+        result = engine.run(plan)
+        # A run either succeeds with a positive finite duration, or
+        # fails with an explained memory/config error — never crashes.
+        if result.success:
+            assert result.duration > 0
+            assert math.isfinite(result.duration)
+            assert result.spans, "successful runs report spans"
+        else:
+            assert result.failure
+
+
+@settings(deadline=None, max_examples=10)
+@given(plan=random_plans())
+def test_fuzz_explain_never_crashes(plan):
+    for engine_name in ("spark", "flink"):
+        engine = deploy(engine_name, 2)
+        text = engine.explain(plan)
+        assert plan.name in text
+
+
+@settings(deadline=None, max_examples=10)
+@given(plan=random_plans(), seed=st.integers(0, 100))
+def test_fuzz_determinism(plan, seed):
+    def run_once(engine_name):
+        cluster = Cluster(2, seed=seed)
+        hdfs = HDFS(cluster, block_size=256 * MiB)
+        engine = (SparkEngine(cluster, hdfs,
+                              SparkConfig(default_parallelism=64,
+                                          executor_memory=64 * GiB))
+                  if engine_name == "spark" else
+                  FlinkEngine(cluster, hdfs,
+                              FlinkConfig(default_parallelism=32,
+                                          taskmanager_memory=64 * GiB,
+                                          network_buffers=65536)))
+        return engine.run(plan)
+
+    for engine_name in ("spark", "flink"):
+        a = run_once(engine_name)
+        b = run_once(engine_name)
+        assert a.success == b.success
+        if a.success:
+            assert a.duration == b.duration

@@ -1,0 +1,265 @@
+"""Behavioural tests of the Spark 1.5 model."""
+
+import math
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.config.parameters import SparkConfig
+from repro.engines.common.operators import LogicalPlan, Op, OpKind
+from repro.engines.common.serialization import Serializer
+from repro.engines.common.stats import DataStats
+from repro.engines.spark.engine import SparkEngine
+from repro.engines.spark.memory import SparkMemoryModel
+from repro.engines.spark.shuffle import plan_shuffle
+from repro.engines.common.costs import DEFAULT_COSTS
+from repro.hdfs import HDFS
+
+MiB = 2**20
+GiB = 2**30
+
+
+def deploy(nodes=2, **cfg):
+    cluster = Cluster(nodes)
+    hdfs = HDFS(cluster, block_size=256 * MiB)
+    config = SparkConfig(default_parallelism=nodes * 32,
+                         executor_memory=22 * GiB, **cfg)
+    return cluster, hdfs, SparkEngine(cluster, hdfs, config)
+
+
+def simple_plan(total_bytes=4 * GiB, keys=1e5):
+    stats = DataStats.from_bytes(total_bytes, 120, key_cardinality=keys)
+    return LogicalPlan(stats, [
+        Op(OpKind.SOURCE, hidden=True),
+        Op(OpKind.FLAT_MAP, "FlatMap", selectivity=18, bytes_ratio=0.083,
+           output_keys=keys),
+        Op(OpKind.REDUCE_BY_KEY, "ReduceByKey", output_keys=keys),
+        Op(OpKind.SINK, "SaveAsTextFile"),
+    ], name="wc")
+
+
+# ----------------------------------------------------------------------
+# execution structure
+# ----------------------------------------------------------------------
+def test_run_succeeds_and_reports_duration():
+    cluster, hdfs, engine = deploy()
+    hdfs.create_file("/in", 4 * GiB)
+    result = engine.run(simple_plan())
+    assert result.success
+    assert result.duration > 0
+    assert result.engine == "spark"
+
+
+def test_wide_op_span_merges_into_producer():
+    cluster, hdfs, engine = deploy()
+    result = engine.run(simple_plan())
+    keys = [s.key for s in result.spans]
+    # ReduceByKey merged into the map stage's span; sink separate.
+    assert any("FlatMap->ReduceByKey" in s.name for s in result.spans)
+    assert any(s.name == "SaveAsTextFile" for s in result.spans)
+
+
+def test_stage_count_and_shuffle_metrics():
+    cluster, hdfs, engine = deploy()
+    result = engine.run(simple_plan())
+    assert result.metrics["stages"] >= 2
+    assert result.metrics["shuffle_wire_bytes"] > 0
+    assert result.metrics["tasks_launched"] > 0
+
+
+def test_stages_are_barriered():
+    cluster, hdfs, engine = deploy()
+    result = engine.run(simple_plan())
+    spans = sorted(result.spans, key=lambda s: s.start)
+    for a, b in zip(spans, spans[1:]):
+        assert b.start >= a.start  # ordered; barrier inside merged span
+
+
+def test_kryo_faster_than_java():
+    durations = {}
+    for ser in (Serializer.JAVA, Serializer.KRYO):
+        cluster, hdfs, engine = deploy(serializer=ser)
+        durations[ser] = engine.run(simple_plan(total_bytes=8 * GiB)).duration
+    assert durations[Serializer.KRYO] < durations[Serializer.JAVA]
+
+
+def test_higher_parallelism_beats_two_per_core():
+    """The paper: decreasing parallelism to 2 x cores cost ~10% on a
+    shuffle-heavy stage (partition imbalance grows with fewer, larger
+    partitions)."""
+    times = {}
+    for factor in (2, 6):
+        cluster = Cluster(4)
+        hdfs = HDFS(cluster, block_size=256 * MiB)
+        config = SparkConfig(default_parallelism=4 * 16 * factor,
+                             executor_memory=22 * GiB)
+        engine = SparkEngine(cluster, hdfs, config)
+        stats = DataStats.from_bytes(16 * GiB, 100, key_cardinality=1e9)
+        plan = LogicalPlan(stats, [
+            Op(OpKind.SOURCE, hidden=True),
+            Op(OpKind.MAP, "Map"),
+            # CPU-heavy sort so the imbalance term, not the disk,
+            # dominates the stage.
+            Op(OpKind.REPARTITION_SORT, "Shuffling", binary_format=True,
+               cpu_rate=2 * MiB),
+            Op(OpKind.SINK, "Write", sink_replication=1),
+        ], name="sort")
+        times[factor] = engine.run(plan).duration
+    assert times[6] < times[2]
+    assert times[2] / times[6] < 1.35  # a penalty, not a blow-up
+
+
+# ----------------------------------------------------------------------
+# iterations (loop unrolling)
+# ----------------------------------------------------------------------
+def iterative_plan(iterations=4, activity=None):
+    points = DataStats.from_bytes(2 * GiB, 40, key_cardinality=16)
+    body = LogicalPlan(points, [
+        Op(OpKind.MAP, "map", cpu_rate=20 * MiB, output_keys=16),
+        Op(OpKind.REDUCE_BY_KEY, "reduce", output_keys=16),
+    ], body_plan=True)
+    return LogicalPlan(points, [
+        Op(OpKind.SOURCE, hidden=True),
+        Op(OpKind.MAP, "map", cached=True),
+        Op(OpKind.BULK_ITERATION, "iterate", body=body,
+           iterations=iterations, workset_activity=activity,
+           selectivity=16 / points.records),
+        Op(OpKind.SINK, "save", hidden=True),
+    ], name="iter")
+
+
+def test_iterations_produce_per_iteration_spans():
+    cluster, hdfs, engine = deploy()
+    result = engine.run(iterative_plan(iterations=4))
+    iter_spans = [s for s in result.spans if s.iteration is not None]
+    assert [s.iteration for s in iter_spans] == [1, 2, 3, 4]
+    assert all(s.name == "map->reduce" for s in iter_spans)
+
+
+def test_iteration_jobs_reported_separately():
+    cluster, hdfs, engine = deploy()
+    result = engine.run(iterative_plan())
+    names = [j.name for j in result.jobs]
+    assert "load" in names and "iterations" in names
+
+
+def test_each_iteration_pays_scheduling_overhead():
+    """Loop unrolling: 8 iterations cost ~2x the iteration time of 4."""
+    cluster, hdfs, engine = deploy()
+    t4 = engine.run(iterative_plan(4)).job_duration("iterations")
+    cluster2, hdfs2, engine2 = deploy()
+    t8 = engine2.run(iterative_plan(8)).job_duration("iterations")
+    assert t8 == pytest.approx(2 * t4, rel=0.15)
+
+
+def test_workset_activity_shrinks_iterations():
+    decay = lambda i: 0.5 ** (i - 1)
+    cluster, hdfs, engine = deploy()
+    shrinking = engine.run(iterative_plan(4, activity=decay))
+    cluster2, hdfs2, engine2 = deploy()
+    constant = engine2.run(iterative_plan(4))
+    assert (shrinking.job_duration("iterations") <
+            constant.job_duration("iterations"))
+    spans = [s for s in shrinking.spans if s.iteration]
+    assert spans[0].duration > spans[-1].duration
+
+
+def test_cached_rdd_read_from_memory_not_disk():
+    cluster, hdfs, engine = deploy()
+    result = engine.run(iterative_plan(4))
+    assert result.success
+    assert engine.memory.cached_fraction(
+        "map", 2 * GiB * 24 / 40) > 0  # something was cached
+
+
+# ----------------------------------------------------------------------
+# heap-death checks
+# ----------------------------------------------------------------------
+def test_graphx_partition_overflow_kills_job():
+    cluster, hdfs, engine = deploy()
+    edges = DataStats.from_bytes(512 * GiB, 17, key_cardinality=1e7)
+    plan = LogicalPlan(edges, [
+        Op(OpKind.SOURCE, hidden=True),
+        Op(OpKind.MAP, "Map"),
+        Op(OpKind.PARTITION, "Load Graph", partitions=8),
+        Op(OpKind.SINK, "save"),
+    ], name="load")
+    result = engine.run(plan)
+    assert not result.success
+    assert "working set" in result.failure
+
+
+def test_iteration_message_overflow_kills_job():
+    cluster, hdfs, engine = deploy()
+    messages = DataStats.from_bytes(600 * GiB, 48, key_cardinality=1e7)
+    body = LogicalPlan(messages, [
+        Op(OpKind.MAP, "map"),
+        Op(OpKind.REDUCE_BY_KEY, "reduce"),
+    ], body_plan=True)
+    plan = LogicalPlan(DataStats.from_bytes(GiB, 17), [
+        Op(OpKind.SOURCE, hidden=True),
+        Op(OpKind.MAP, "Map", cached=True),
+        Op(OpKind.BULK_ITERATION, "it", body=body, iterations=2),
+        Op(OpKind.SINK, "save"),
+    ], name="pr")
+    result = engine.run(plan)
+    assert not result.success
+    assert "OutOfMemoryError" in result.failure
+
+
+# ----------------------------------------------------------------------
+# shuffle model
+# ----------------------------------------------------------------------
+def test_shuffle_compression_shrinks_wire_bytes():
+    data = DataStats.from_bytes(10 * GiB, 16, key_cardinality=1e6)
+    config = SparkConfig(default_parallelism=64, shuffle_compress=True)
+    with_c = plan_shuffle(data, config, DEFAULT_COSTS, 4)
+    without = plan_shuffle(data, config.with_(shuffle_compress=False),
+                           DEFAULT_COSTS, 4)
+    assert with_c.wire_bytes < without.wire_bytes
+    assert with_c.write_cpu_core_seconds > without.write_cpu_core_seconds
+
+
+def test_shuffle_spills_when_memory_tight():
+    data = DataStats.from_bytes(100 * GiB, 16, key_cardinality=1e6)
+    config = SparkConfig(default_parallelism=64,
+                         executor_memory=4 * GiB)
+    spec = plan_shuffle(data, config, DEFAULT_COSTS, 2)
+    assert spec.spill_bytes > 0
+
+
+def test_shuffle_binary_records_skip_inflation():
+    data = DataStats.from_bytes(10 * GiB, 100, key_cardinality=1e8)
+    config = SparkConfig(default_parallelism=64)
+    generic = plan_shuffle(data, config, DEFAULT_COSTS, 4)
+    binary = plan_shuffle(data, config, DEFAULT_COSTS, 4, binary=True)
+    assert binary.wire_bytes < generic.wire_bytes
+
+
+# ----------------------------------------------------------------------
+# memory model
+# ----------------------------------------------------------------------
+def test_cache_eviction_when_storage_full():
+    config = SparkConfig(default_parallelism=16, executor_memory=2 * GiB)
+    mem = SparkMemoryModel(config, DEFAULT_COSTS, num_nodes=1)
+    mem.cache_rdd("big", 100 * GiB)
+    assert mem.cached_fraction("big", 100 * GiB) < 0.05
+
+
+def test_gc_factor_grows_with_occupancy():
+    config = SparkConfig(default_parallelism=16, executor_memory=10 * GiB)
+    mem = SparkMemoryModel(config, DEFAULT_COSTS, num_nodes=1)
+    low = mem.gc_cpu_factor(0.0)
+    high = mem.gc_cpu_factor(9 * GiB)
+    assert low < high
+
+
+def test_iteration_residue_accumulates():
+    config = SparkConfig(default_parallelism=16)
+    mem = SparkMemoryModel(config, DEFAULT_COSTS, num_nodes=1)
+    base = mem.gc_cpu_factor(0)
+    mem.add_iteration_residue(5 * GiB)
+    mem.add_iteration_residue(5 * GiB)
+    assert mem.gc_cpu_factor(0) > base
+    mem.clear_iteration_residue()
+    assert mem.gc_cpu_factor(0) == base

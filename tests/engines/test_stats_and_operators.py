@@ -1,0 +1,209 @@
+"""Tests for DataStats, the operator algebra and plan analysis."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.engines.common.operators import (LogicalPlan, Op, OpKind,
+                                            PlanValidationError)
+from repro.engines.common.planning import (chain_key, chain_label,
+                                           combined_output, expected_distinct,
+                                           split_segments)
+from repro.engines.common.serialization import (Serializer,
+                                                serializer_profile)
+from repro.engines.common.stats import DataStats
+
+
+# ----------------------------------------------------------------------
+# DataStats
+# ----------------------------------------------------------------------
+def test_stats_total_bytes():
+    s = DataStats(records=100, record_bytes=10)
+    assert s.total_bytes == 1000
+
+
+def test_stats_validation():
+    with pytest.raises(ValueError):
+        DataStats(records=-1, record_bytes=1)
+    with pytest.raises(ValueError):
+        DataStats(records=1, record_bytes=-1)
+
+
+def test_stats_from_bytes():
+    s = DataStats.from_bytes(1000, 10, key_cardinality=5)
+    assert s.records == 100
+    assert s.key_cardinality == 5
+
+
+def test_stats_scaled():
+    s = DataStats(records=100, record_bytes=10, key_cardinality=50)
+    t = s.scaled(record_factor=2.0, bytes_factor=0.5)
+    assert t.records == 200
+    assert t.record_bytes == 5
+    assert t.key_cardinality == 50  # capped at records
+
+
+def test_stats_combined_to_keys():
+    s = DataStats(records=1000, record_bytes=10, key_cardinality=7)
+    assert s.combined_to_keys().records == 7
+    # no keys known: no collapse
+    u = DataStats(records=1000, record_bytes=10)
+    assert u.combined_to_keys().records == 1000
+
+
+# ----------------------------------------------------------------------
+# Op semantics
+# ----------------------------------------------------------------------
+def test_op_defaults_and_flags():
+    op = Op(OpKind.REDUCE_BY_KEY)
+    assert op.wide and op.combinable and not op.is_action
+    assert Op(OpKind.COUNT).is_action
+    assert Op(OpKind.MAP).name == "map"
+
+
+def test_op_validation():
+    with pytest.raises(PlanValidationError):
+        Op(OpKind.MAP, selectivity=-1)
+    with pytest.raises(PlanValidationError):
+        Op(OpKind.MAP, bytes_ratio=0)
+    with pytest.raises(PlanValidationError):
+        Op(OpKind.BULK_ITERATION)  # body required
+    body = LogicalPlan(DataStats(1, 1), [Op(OpKind.MAP)], body_plan=True)
+    with pytest.raises(PlanValidationError):
+        Op(OpKind.MAP, body=body)  # only iterations carry bodies
+
+
+def test_aggregation_collapses_records():
+    op = Op(OpKind.GROUP_REDUCE, output_keys=10)
+    out = op.apply_stats(DataStats(records=1000, record_bytes=8))
+    assert out.records == 10
+
+
+def test_count_emits_single_record():
+    out = Op(OpKind.COUNT).apply_stats(DataStats(records=1e9, record_bytes=100))
+    assert out.records == 1.0
+
+
+# ----------------------------------------------------------------------
+# LogicalPlan validation
+# ----------------------------------------------------------------------
+def src():
+    return Op(OpKind.SOURCE)
+
+
+def test_plan_requires_source_first():
+    with pytest.raises(PlanValidationError):
+        LogicalPlan(DataStats(1, 1), [Op(OpKind.MAP), Op(OpKind.SINK)])
+
+
+def test_plan_requires_terminal_sink_or_action():
+    with pytest.raises(PlanValidationError):
+        LogicalPlan(DataStats(1, 1), [src(), Op(OpKind.MAP)])
+
+
+def test_plan_rejects_mid_source():
+    with pytest.raises(PlanValidationError):
+        LogicalPlan(DataStats(1, 1),
+                    [src(), Op(OpKind.SOURCE), Op(OpKind.SINK)])
+
+
+def test_body_plan_relaxed():
+    plan = LogicalPlan(DataStats(1, 1), [Op(OpKind.MAP)], body_plan=True)
+    assert plan.ops[0].kind is OpKind.MAP
+
+
+def test_stats_through_edges():
+    plan = LogicalPlan(
+        DataStats(records=100, record_bytes=10),
+        [src(), Op(OpKind.FLAT_MAP, selectivity=3.0), Op(OpKind.SINK)])
+    edges = plan.stats_through()
+    assert edges[0].records == 100
+    assert edges[-1].records == 300
+
+
+# ----------------------------------------------------------------------
+# Segments
+# ----------------------------------------------------------------------
+def test_split_segments_at_wide_ops():
+    plan = LogicalPlan(
+        DataStats(100, 10, key_cardinality=5),
+        [src(), Op(OpKind.FLAT_MAP, "FlatMap"),
+         Op(OpKind.GROUP_REDUCE, "GroupReduce", output_keys=5),
+         Op(OpKind.SINK, "DataSink")])
+    segments = split_segments(plan)
+    assert len(segments) == 2
+    assert not segments[0].starts_with_shuffle
+    assert segments[1].starts_with_shuffle
+    assert segments[1].head.kind is OpKind.GROUP_REDUCE
+
+
+def test_split_segments_iteration_isolated():
+    body = LogicalPlan(DataStats(1, 1), [Op(OpKind.MAP)], body_plan=True)
+    plan = LogicalPlan(
+        DataStats(100, 10),
+        [src(), Op(OpKind.MAP),
+         Op(OpKind.BULK_ITERATION, body=body, iterations=3),
+         Op(OpKind.SINK)])
+    segments = split_segments(plan)
+    assert len(segments) == 3
+    assert segments[1].head.is_iteration
+
+
+def test_chain_label_skips_hidden():
+    ops = [Op(OpKind.SOURCE, hidden=True), Op(OpKind.FILTER, "Filter"),
+           Op(OpKind.COUNT, "Count")]
+    assert chain_label(ops) == "Filter->Count"
+    assert chain_key("Filter->Count") == "FC"
+
+
+# ----------------------------------------------------------------------
+# Combiner statistics
+# ----------------------------------------------------------------------
+def test_expected_distinct_limits():
+    assert expected_distinct(0, 100) == 0
+    assert expected_distinct(100, 0) == 0
+    # many records, few keys -> all keys seen
+    assert expected_distinct(1e6, 10) == pytest.approx(10)
+    # few records, many keys -> nearly every record distinct
+    assert expected_distinct(10, 1e9) == pytest.approx(10, rel=1e-3)
+
+
+@given(st.floats(1, 1e9), st.floats(1, 1e9))
+def test_property_expected_distinct_bounded(records, keys):
+    d = expected_distinct(records, keys)
+    assert 0 <= d <= min(records, keys) * (1 + 1e-9)
+
+
+def test_combined_output_shrinks_skewed_data():
+    stats = DataStats(records=1e9, record_bytes=10, key_cardinality=1e4)
+    combined = combined_output(stats, partitions=100, pair_bytes=16)
+    # 1e7 records per partition over 1e4 keys: every partition sees all
+    # keys -> 1e6 combined records total.
+    assert combined.records == pytest.approx(1e6, rel=1e-2)
+    assert combined.record_bytes == 16
+
+
+def test_combined_output_no_keys_is_identity():
+    stats = DataStats(records=1000, record_bytes=10)
+    assert combined_output(stats, 10, 16) is stats
+
+
+@given(st.floats(1, 1e8), st.floats(1, 1e7), st.integers(1, 1000))
+def test_property_combiner_never_grows(records, keys, partitions):
+    stats = DataStats(records=records, record_bytes=10,
+                      key_cardinality=keys)
+    combined = combined_output(stats, partitions, 10)
+    assert combined.records <= records * (1 + 1e-9)
+
+
+# ----------------------------------------------------------------------
+# Serializers
+# ----------------------------------------------------------------------
+def test_serializer_ordering():
+    flink = serializer_profile(Serializer.FLINK_TYPED)
+    kryo = serializer_profile(Serializer.KRYO)
+    java = serializer_profile(Serializer.JAVA)
+    assert flink.cpu_factor < kryo.cpu_factor < java.cpu_factor
+    assert flink.bytes_factor < kryo.bytes_factor < java.bytes_factor
+    assert flink.cpu_factor == 1.0

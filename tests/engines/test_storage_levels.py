@@ -1,0 +1,101 @@
+"""Tests for Spark persistence levels (MEMORY_ONLY vs MEMORY_AND_DISK).
+
+The paper (§II-C, §VI-B): Spark's users control "the persistence (i.e.
+in memory or disk based)" of RDDs, which "proves to be very useful for
+applications with varying I/O requirements".
+"""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.config.parameters import SparkConfig
+from repro.engines.common.costs import DEFAULT_COSTS
+from repro.engines.common.operators import LogicalPlan, Op, OpKind
+from repro.engines.common.stats import DataStats
+from repro.engines.spark.engine import SparkEngine
+from repro.engines.spark.memory import SparkMemoryModel
+from repro.hdfs import HDFS
+
+MiB = 2**20
+GiB = 2**30
+
+
+def small_heap_model():
+    config = SparkConfig(default_parallelism=16, executor_memory=2 * GiB)
+    return SparkMemoryModel(config, DEFAULT_COSTS, num_nodes=1)
+
+
+def test_unknown_level_rejected():
+    mem = small_heap_model()
+    with pytest.raises(ValueError):
+        mem.cache_rdd("x", GiB, storage_level="TACHYON")
+
+
+def test_memory_only_miss_recomputes():
+    mem = small_heap_model()
+    mem.cache_rdd("pts", 100 * GiB, storage_level="MEMORY_ONLY",
+                  recompute_rate=2 * MiB)
+    miss = mem.miss_costs("pts", 10 * GiB)
+    assert miss["cpu_core_seconds"] == pytest.approx(
+        10 * GiB / (2 * MiB))
+    assert miss["disk_read_bytes"] == 10 * GiB
+
+
+def test_memory_and_disk_miss_rereads_only():
+    mem = small_heap_model()
+    mem.cache_rdd("pts", 100 * GiB, storage_level="MEMORY_AND_DISK",
+                  recompute_rate=2 * MiB)
+    miss = mem.miss_costs("pts", 10 * GiB)
+    assert miss["cpu_core_seconds"] == 0.0
+    assert miss["disk_read_bytes"] == 10 * GiB
+
+
+def test_uncached_miss_defaults_to_read():
+    mem = small_heap_model()
+    miss = mem.miss_costs("never-cached", 5 * GiB)
+    assert miss["cpu_core_seconds"] == 0.0
+
+
+def _iterative_plan(storage_level: str):
+    """Big cached dataset on a tiny heap: every iteration pays misses."""
+    points = DataStats.from_bytes(24 * GiB, 40, key_cardinality=16)
+    body = LogicalPlan(points, [
+        Op(OpKind.MAP, "map", cpu_rate=4 * MiB, output_keys=16),
+        Op(OpKind.REDUCE_BY_KEY, "reduce", cpu_rate=60 * MiB,
+           output_keys=16),
+    ], body_plan=True)
+    return LogicalPlan(points, [
+        Op(OpKind.SOURCE, hidden=True),
+        Op(OpKind.MAP, "parse", cached=True, cpu_rate=4 * MiB,
+           storage_level=storage_level),
+        Op(OpKind.BULK_ITERATION, "iterate", body=body, iterations=4,
+           selectivity=16 / points.records),
+        Op(OpKind.SINK, "save", hidden=True),
+    ], name=f"persist-{storage_level}")
+
+
+@pytest.mark.parametrize("level", ["MEMORY_ONLY", "MEMORY_AND_DISK"])
+def test_engine_runs_both_levels(level):
+    cluster = Cluster(2)
+    hdfs = HDFS(cluster, block_size=256 * MiB)
+    engine = SparkEngine(cluster, hdfs, SparkConfig(
+        default_parallelism=64, executor_memory=22 * GiB))
+    result = engine.run(_iterative_plan(level))
+    assert result.success, result.failure
+    # The cached RDD does not fully fit: every iteration pays misses.
+    assert engine.memory.cached_fraction("parse", 24 * GiB * 24 / 40) < 1.0
+
+
+def test_disk_persistence_beats_recompute_when_evicted():
+    """With the working set far beyond the heap, spilling to disk is
+    cheaper than recomputing an expensive parse every iteration."""
+    durations = {}
+    for level in ("MEMORY_ONLY", "MEMORY_AND_DISK"):
+        cluster = Cluster(2)
+        hdfs = HDFS(cluster, block_size=256 * MiB)
+        engine = SparkEngine(cluster, hdfs, SparkConfig(
+            default_parallelism=64, executor_memory=22 * GiB))
+        result = engine.run(_iterative_plan(level))
+        assert result.success, result.failure
+        durations[level] = result.duration
+    assert durations["MEMORY_AND_DISK"] < durations["MEMORY_ONLY"]

@@ -1,0 +1,61 @@
+"""Tests for the failure-recovery analysis."""
+
+import pytest
+
+from repro.config.presets import wordcount_grep_preset
+from repro.harness.faults import run_with_failure
+from repro.workloads import WordCount
+
+GiB = 2**30
+
+
+@pytest.fixture(scope="module")
+def results():
+    cfg = wordcount_grep_preset(4)
+    wl = WordCount(4 * 24 * GiB)
+    return {engine: run_with_failure(engine, wl, cfg,
+                                     fail_at_fraction=0.5, seed=3)
+            for engine in ("flink", "spark")}
+
+
+def test_validation():
+    cfg = wordcount_grep_preset(2)
+    with pytest.raises(ValueError):
+        run_with_failure("flink", WordCount(2 * GiB), cfg,
+                         fail_at_fraction=0.0)
+    with pytest.raises(ValueError):
+        run_with_failure("hadoop", WordCount(2 * GiB), cfg)
+
+
+def test_failure_always_costs_time(results):
+    for r in results.values():
+        assert r.total_seconds > r.baseline_seconds
+        assert 0.0 < r.overhead_fraction < 1.2
+
+
+def test_flink_restart_costs_the_failed_fraction(results):
+    """Flink 0.10 restarts: a failure at 50% costs ~50% extra."""
+    flink = results["flink"]
+    assert flink.overhead_fraction == pytest.approx(0.5, abs=0.02)
+
+
+def test_spark_lineage_recovery_cheaper_than_restart(results):
+    """Spark's materialised stages make mid-run failures cheaper than
+    Flink's whole-job restart — the §VIII fault-tolerance trade-off."""
+    assert results["spark"].overhead_fraction < \
+        results["flink"].overhead_fraction
+
+
+def test_late_failures_hurt_flink_more():
+    cfg = wordcount_grep_preset(4)
+    wl = WordCount(4 * 24 * GiB)
+    early = run_with_failure("flink", wl, cfg, fail_at_fraction=0.1,
+                             seed=3)
+    late = run_with_failure("flink", wl, cfg, fail_at_fraction=0.9,
+                            seed=3)
+    assert late.recovery_overhead > early.recovery_overhead
+
+
+def test_describe(results):
+    text = results["spark"].describe()
+    assert "node failure" in text and "spark/wordcount" in text

@@ -1,0 +1,81 @@
+"""Tests for the figure registry (fast variants at reduced scale)."""
+
+import math
+
+import pytest
+
+from repro.harness import figures
+
+
+def test_fig01_structure():
+    fig = figures.fig01_wordcount_weak(trials=2, nodes=(2, 4))
+    assert fig.figure_id == "fig01"
+    assert set(fig.series) == {"flink", "spark"}
+    assert fig.flink().nodes == [2, 4]
+    assert all(m > 0 for m in fig.flink().means)
+
+
+def test_fig02_uses_gb_axis():
+    fig = figures.fig02_wordcount_strong(trials=1, gb_per_node=(24, 27),
+                                         nodes=2)
+    assert fig.xs == [24, 27]
+    # Larger dataset on the same cluster takes longer.
+    assert fig.flink().means[1] > fig.flink().means[0]
+    assert fig.spark().means[1] > fig.spark().means[0]
+
+
+def test_fig03_resource_runs():
+    fig = figures.fig03_wordcount_resources(nodes=4)
+    for engine in ("flink", "spark"):
+        run = fig.runs[engine]
+        assert run.result.success
+        assert run.spans
+
+
+def test_fig04_grep():
+    fig = figures.fig04_grep_weak(trials=1, nodes=(2, 4))
+    assert all(not math.isnan(m) for m in fig.spark().means)
+
+
+def test_fig07_terasort_small_scale():
+    fig = figures.fig07_terasort_weak(trials=1, nodes=(4,))
+    assert fig.flink().means[0] > 0
+
+
+def test_fig11_kmeans():
+    fig = figures.fig11_kmeans_scaling(trials=1, nodes=(4, 8))
+    # More nodes, same dataset: faster.
+    assert fig.flink().means[1] < fig.flink().means[0]
+
+
+def test_fig12_pagerank_small_scale():
+    # 8 nodes is the smallest scale the paper ran (and the smallest at
+    # which the small graph fits Flink's in-memory solution set).
+    fig = figures.fig12_pagerank_small(trials=1, nodes=(8,))
+    assert fig.flink().means[0] > 0
+    assert fig.spark().means[0] > 0
+
+
+def test_tab07_cells_structure():
+    cells = figures.tab07_large_graph(node_counts=(97,))
+    assert len(cells) == 4  # PR/CC x flink/spark
+    for cell in cells:
+        assert cell.nodes == 97
+        if cell.success:
+            assert cell.load_seconds > 0
+            assert cell.iter_seconds > 0
+        else:
+            assert cell.failure
+
+
+def test_tab07_failures_at_27_nodes():
+    cells = figures.tab07_large_graph(node_counts=(27,))
+    flink_cells = [c for c in cells if c.engine == "flink"]
+    assert all(not c.success for c in flink_cells), \
+        "Flink fails at 27 nodes (CoGroup solution set)"
+    spark_pr = next(c for c in cells
+                    if c.engine == "spark" and c.workload == "PR")
+    spark_cc = next(c for c in cells
+                    if c.engine == "spark" and c.workload == "CC")
+    assert not spark_pr.success  # PR iterations die
+    assert spark_cc.success      # CC survives

@@ -1,0 +1,72 @@
+"""Fast-variant coverage for the remaining figure-registry entries."""
+
+import pytest
+
+from repro.harness import figures
+from repro.monitoring import Metric
+
+
+def test_fig05_grep_strong_small():
+    fig = figures.fig05_grep_strong(trials=1, gb_per_node=(24, 30),
+                                    nodes=4)
+    for engine in ("flink", "spark"):
+        means = fig.series[engine].means
+        assert means[1] > means[0], "more data, more time"
+
+
+def test_fig06_grep_resources_small():
+    fig = figures.fig06_grep_resources(nodes=4)
+    flink = fig.flink()
+    sink = flink.result.span("DS")
+    assert sink.busy > 0.5, "the count tail does real work"
+
+
+def test_fig08_terasort_strong_small():
+    fig = figures.fig08_terasort_strong(trials=1, nodes=(17, 34))
+    for engine in ("flink", "spark"):
+        means = fig.series[engine].means
+        assert means[1] < means[0], "more nodes, same data, less time"
+
+
+def test_fig13_pagerank_medium_small():
+    fig = figures.fig13_pagerank_medium(trials=1, nodes=(27,))
+    assert fig.flink().means[0] < fig.spark().means[0]
+
+
+def test_fig15_cc_medium_small():
+    fig = figures.fig15_cc_medium(trials=1, nodes=(27,))
+    assert fig.flink().means[0] < fig.spark().means[0]
+
+
+def test_fig17_cc_resources_small():
+    fig = figures.fig17_cc_resources(nodes=27)
+    spark = fig.spark()
+    iters = [s for s in spark.result.spans if s.iteration is not None]
+    assert len(iters) == 23
+    assert iters[0].duration > iters[-1].duration
+
+
+def test_fig16_two_stage_structure():
+    fig = figures.fig16_pagerank_resources(nodes=27)
+    flink = fig.flink()
+    # Iterations are network-active, load is disk-active.
+    head = next(s for s in flink.result.spans if s.key == "B")
+    net = flink.frame(Metric.NETWORK_MIBS)
+    io = flink.frame(Metric.DISK_IO_MIBS)
+    assert net.average_between(head.start, head.end) > 1.0
+    assert io.average_between(flink.result.start, head.start) > 1.0
+
+
+def test_wordcount_shuffle_volume_flink_smaller():
+    """Flink's typed serialization moves fewer shuffle bytes than
+    Spark's Java-serialized, though compressed, map output."""
+    from repro.config.presets import wordcount_grep_preset
+    from repro.harness.runner import run_once
+    from repro.workloads import WordCount
+    GiB = 2**30
+    cfg = wordcount_grep_preset(4)
+    wl = WordCount(4 * 24 * GiB)
+    flink = run_once("flink", wl, cfg, seed=1)
+    spark = run_once("spark", wl, cfg, seed=1)
+    assert flink.metrics["shuffle_wire_bytes"] > 0
+    assert spark.metrics["shuffle_wire_bytes"] > 0

@@ -1,0 +1,131 @@
+"""Tests for the extended mini-engine API surface: broadcasts,
+accumulators, union/sample/sortBy/take (Spark side) and
+union/reduce/first/withBroadcastSet (Flink side)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.localexec import LocalEnvironment, LocalSparkContext
+
+
+# ----------------------------------------------------------------------
+# Spark side
+# ----------------------------------------------------------------------
+def test_broadcast_value_visible_in_tasks():
+    ctx = LocalSparkContext()
+    centers = ctx.broadcast([1, 10, 100])
+    out = (ctx.parallelize([5, 80])
+           .map(lambda x: min(centers.value, key=lambda c: abs(c - x)))
+           .collect())
+    assert out == [1, 100]
+
+
+def test_accumulator_collects_task_side_counts():
+    ctx = LocalSparkContext()
+    bad_lines = ctx.accumulator(0)
+
+    def check(line):
+        if "bad" in line:
+            bad_lines.add(1)
+        return line
+
+    ctx.parallelize(["ok", "bad", "bad"]).map(check).foreach(lambda _: None)
+    assert bad_lines.value == 2
+
+
+def test_union():
+    ctx = LocalSparkContext()
+    a = ctx.parallelize([1, 2])
+    b = ctx.parallelize([3])
+    assert sorted(a.union(b).collect()) == [1, 2, 3]
+
+
+def test_sample_fraction_and_determinism():
+    ctx = LocalSparkContext()
+    rdd = ctx.parallelize(range(1000))
+    s1 = rdd.sample(0.1, seed=1).collect()
+    s2 = rdd.sample(0.1, seed=1).collect()
+    assert s1 == s2
+    assert 40 < len(s1) < 200
+    with pytest.raises(ValueError):
+        rdd.sample(1.5)
+
+
+def test_sort_by_global_order():
+    ctx = LocalSparkContext(3)
+    out = ctx.parallelize([5, 1, 9, 3]).sort_by(lambda x: x).collect()
+    assert out == [1, 3, 5, 9]
+
+
+def test_keys_values():
+    ctx = LocalSparkContext()
+    rdd = ctx.parallelize([("a", 1), ("b", 2)])
+    assert sorted(rdd.keys().collect()) == ["a", "b"]
+    assert sorted(rdd.values().collect()) == [1, 2]
+
+
+def test_take_and_first():
+    ctx = LocalSparkContext(2)
+    rdd = ctx.parallelize([7, 8, 9, 10])
+    assert rdd.take(2) == [7, 8]
+    assert rdd.take(0) == []
+    assert rdd.first() == 7
+    with pytest.raises(ValueError):
+        ctx.parallelize([]).first()
+    with pytest.raises(ValueError):
+        rdd.take(-1)
+
+
+# ----------------------------------------------------------------------
+# Flink side
+# ----------------------------------------------------------------------
+def test_flink_union():
+    env = LocalEnvironment()
+    a = env.from_collection([1, 2])
+    b = env.from_collection([3])
+    assert sorted(a.union(b).collect()) == [1, 2, 3]
+
+
+def test_flink_full_reduce():
+    env = LocalEnvironment(3)
+    out = env.from_collection(range(10)).reduce(lambda a, b: a + b)
+    assert out.collect() == [45]
+    assert env.from_collection([]).reduce(lambda a, b: a + b).collect() == []
+
+
+def test_flink_first_n():
+    env = LocalEnvironment(2)
+    assert env.from_collection([4, 5, 6]).first(2).collect() == [4, 5]
+    with pytest.raises(ValueError):
+        env.from_collection([1]).first(-1)
+
+
+def test_flink_broadcast_set():
+    env = LocalEnvironment()
+    points = env.from_collection([0.4, 2.6])
+    centers = env.from_collection([0.0, 3.0])
+    assigned = (points
+                .with_broadcast_set("centers", centers)
+                .map_with_context(
+                    lambda p, ctx: min(ctx["centers"],
+                                       key=lambda c: abs(c - p))))
+    assert assigned.collect() == [0.0, 3.0]
+
+
+@settings(deadline=None, max_examples=20)
+@given(st.lists(st.integers(-1000, 1000), max_size=60), st.integers(1, 6))
+def test_property_sort_by_matches_sorted(xs, parallelism):
+    ctx = LocalSparkContext(parallelism)
+    assert ctx.parallelize(xs).sort_by(lambda x: x).collect() == sorted(xs)
+
+
+@settings(deadline=None, max_examples=20)
+@given(st.lists(st.integers(), max_size=40),
+       st.lists(st.integers(), max_size=40))
+def test_property_union_is_multiset_sum(xs, ys):
+    ctx = LocalSparkContext(3)
+    got = ctx.parallelize(xs).union(ctx.parallelize(ys)).collect()
+    assert sorted(got) == sorted(xs + ys)
+    env = LocalEnvironment(3)
+    got_f = env.from_collection(xs).union(env.from_collection(ys)).collect()
+    assert sorted(got_f) == sorted(xs + ys)

@@ -1,0 +1,186 @@
+"""Tests for the executable Flink-style mini-engine."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.localexec import LocalEnvironment
+
+
+def env(par=4):
+    return LocalEnvironment(parallelism=par)
+
+
+# ----------------------------------------------------------------------
+# pipelining semantics
+# ----------------------------------------------------------------------
+def test_chained_operators_do_not_materialise():
+    e = env()
+    ds = (e.from_collection(range(100))
+          .map(lambda x: x + 1)
+          .filter(lambda x: x % 2 == 0)
+          .flat_map(lambda x: [x]))
+    assert e.materializations == 0  # nothing ran yet; nothing buffered
+    out = ds.collect()
+    # collect() is the only materialisation of the whole chain.
+    assert e.materializations == 1
+    assert sorted(out) == sorted(
+        x + 1 for x in range(100) if (x + 1) % 2 == 0)
+
+
+def test_pipeline_is_lazy():
+    e = env()
+    ds = e.from_collection([1]).map(lambda x: 1 / 0)
+    with pytest.raises(ZeroDivisionError):
+        ds.collect()
+
+
+def test_sort_partition_buffers_input():
+    e = env()
+    ds = e.from_collection([3, 1, 2], num_partitions=1).sort_partition(
+        lambda x: x)
+    out = ds.collect()
+    assert out == [1, 2, 3]
+    assert e.materializations >= 2  # the sort plus the collect
+
+
+# ----------------------------------------------------------------------
+# grouping
+# ----------------------------------------------------------------------
+def test_group_by_sum():
+    e = env()
+    pairs = [("a", 1), ("b", 2), ("a", 3)]
+    out = dict(e.from_collection(pairs)
+               .group_by(lambda kv: kv[0])
+               .sum(lambda kv: kv[1], lambda k, t: (k, t))
+               .collect())
+    assert out == {"a": 4, "b": 2}
+
+
+def test_group_by_reduce():
+    e = env()
+    pairs = [("a", 1), ("a", 5), ("b", 7)]
+    out = dict(e.from_collection(pairs)
+               .group_by(lambda kv: kv[0])
+               .reduce(lambda x, y: (x[0], max(x[1], y[1])))
+               .collect())
+    assert out == {"a": 5, "b": 7}
+
+
+def test_distinct():
+    e = env()
+    out = e.from_collection([1, 1, 2, 3, 3]).distinct().collect()
+    assert sorted(out) == [1, 2, 3]
+
+
+def test_join():
+    e = env()
+    left = e.from_collection([("a", 1), ("b", 2)])
+    right = e.from_collection([("a", 9)])
+    out = (left.join(right, lambda kv: kv[0], lambda kv: kv[0])
+           .collect())
+    assert out == [(("a", 1), ("a", 9))]
+
+
+def test_co_group():
+    e = env()
+    left = e.from_collection([("a", 1), ("a", 2)])
+    right = e.from_collection([("a", 10), ("b", 20)])
+
+    def merge(ls, rs):
+        yield (sum(v for _, v in ls), sum(v for _, v in rs))
+
+    out = (left.co_group(right, lambda kv: kv[0], lambda kv: kv[0], merge)
+           .collect())
+    assert sorted(out) == [(0, 20), (3, 10)]
+
+
+# ----------------------------------------------------------------------
+# iterations
+# ----------------------------------------------------------------------
+def test_bulk_iterate_applies_step_n_times():
+    e = env()
+    final = e.from_collection([1]).iterate(
+        5, lambda ds: ds.map(lambda x: x * 2))
+    assert final.collect() == [32]
+    assert e.supersteps == 5
+
+
+def test_bulk_iterate_zero_iterations():
+    e = env()
+    assert e.from_collection([7]).iterate(0, lambda ds: ds).collect() == [7]
+    with pytest.raises(ValueError):
+        e.from_collection([7]).iterate(-1, lambda ds: ds)
+
+
+def test_delta_iterate_workset_shrinks():
+    e = env()
+    # Propagate min label along a chain 0-1-2-3-4: converges in a few
+    # supersteps with ever-smaller worksets.
+    vertices = [(v, v) for v in range(5)]
+    edges = {v: [v - 1, v + 1] for v in range(5)}
+    edges[0] = [1]
+    edges[4] = [3]
+
+    def step(solution, work):
+        deltas = []
+        for v, label in work:
+            for nb in edges[v]:
+                if label < solution[nb][1]:
+                    deltas.append((nb, label))
+        return deltas
+
+    sol = e.from_collection(vertices)
+    work = e.from_collection(vertices)
+    final = sol.iterate_delta(work, 50, lambda kv: kv[0], step)
+    assert dict(final.collect()) == {v: 0 for v in range(5)}
+    # The workset must shrink and the loop must terminate early.
+    assert e.workset_sizes[0] == 5
+    assert e.workset_sizes == sorted(e.workset_sizes, reverse=True)
+    assert e.supersteps < 50
+
+
+def test_count_funnels_records():
+    e = env()
+    assert e.from_collection(range(42)).count() == 42
+
+
+def test_write_as_text():
+    e = env()
+    sink = []
+    e.from_collection([1, 2]).write_as_text(sink)
+    assert sorted(sink) == ["1", "2"]
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        LocalEnvironment(parallelism=0)
+
+
+@settings(deadline=None, max_examples=25)
+@given(st.lists(st.tuples(st.text(min_size=1, max_size=3),
+                          st.integers(-50, 50)), max_size=60),
+       st.integers(1, 8))
+def test_property_group_sum_matches_dict(pairs, parallelism):
+    e = LocalEnvironment(parallelism)
+    expected = {}
+    for k, v in pairs:
+        expected[k] = expected.get(k, 0) + v
+    got = dict(e.from_collection(pairs)
+               .group_by(lambda kv: kv[0])
+               .sum(lambda kv: kv[1], lambda k, t: (k, t))
+               .collect())
+    assert got == expected
+
+
+@settings(deadline=None, max_examples=25)
+@given(st.lists(st.integers(0, 1000), max_size=100))
+def test_property_partition_sort_is_total_sort(xs):
+    """partitionCustom(range) + sortPartition == global sort."""
+    from repro.localexec.partitions import range_partitioner
+    e = LocalEnvironment(4)
+    bounds = [250, 500, 750]
+    ds = (e.from_collection(xs)
+          .partition_custom(range_partitioner(bounds), lambda x: x, 4)
+          .sort_partition(lambda x: x))
+    flat = [x for src in ds._sources() for x in src]
+    assert flat == sorted(xs)

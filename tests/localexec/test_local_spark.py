@@ -1,0 +1,188 @@
+"""Tests for the executable Spark-style mini-engine."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.localexec import LocalSparkContext
+from repro.localexec.partitions import (hash_partitioner, range_partitioner,
+                                        split_evenly)
+
+
+def ctx(par=4):
+    return LocalSparkContext(default_parallelism=par)
+
+
+# ----------------------------------------------------------------------
+# partitions helpers
+# ----------------------------------------------------------------------
+def test_split_evenly_covers_everything():
+    parts = split_evenly(list(range(10)), 3)
+    assert len(parts) == 3
+    assert sorted(x for p in parts for x in p) == list(range(10))
+
+
+def test_hash_partitioner_stable_and_in_range():
+    part = hash_partitioner(7)
+    for key in ["alpha", b"bytes", 42, ("a", 1)]:
+        assert 0 <= part(key) < 7
+        assert part(key) == part(key)
+
+
+def test_range_partitioner_order():
+    part = range_partitioner([10, 20])
+    assert part(5) == 0 and part(15) == 1 and part(25) == 2
+    with pytest.raises(ValueError):
+        range_partitioner([20, 10])
+
+
+# ----------------------------------------------------------------------
+# laziness & lineage
+# ----------------------------------------------------------------------
+def test_transformations_are_lazy():
+    c = ctx()
+    evil = c.parallelize([1, 2, 3]).map(lambda x: 1 / 0)
+    # No action yet: no failure, no computation.
+    assert c.recomputations == 0
+    with pytest.raises(ZeroDivisionError):
+        evil.collect()
+
+
+def test_lineage_recomputes_without_cache():
+    c = ctx()
+    rdd = c.parallelize(range(100)).map(lambda x: x + 1)
+    before = c.recomputations
+    rdd.collect()
+    rdd.collect()
+    assert c.recomputations >= before + 2  # recomputed each action
+
+
+def test_cache_avoids_recomputation():
+    c = ctx()
+    rdd = c.parallelize(range(100)).map(lambda x: x + 1).cache()
+    rdd.collect()
+    after_first = c.recomputations
+    rdd.collect()
+    assert c.recomputations == after_first  # served from cache
+
+
+def test_unpersist_restores_recompute():
+    c = ctx()
+    rdd = c.parallelize(range(10)).cache()
+    rdd.collect()
+    rdd.unpersist()
+    n = c.recomputations
+    rdd.collect()
+    assert c.recomputations > n
+
+
+# ----------------------------------------------------------------------
+# transformations & actions
+# ----------------------------------------------------------------------
+def test_map_filter_flatmap():
+    c = ctx()
+    out = (c.parallelize(range(10))
+           .map(lambda x: x * 2)
+           .filter(lambda x: x % 4 == 0)
+           .flat_map(lambda x: [x, x + 1])
+           .collect())
+    assert sorted(out) == sorted(
+        y for x in range(10) if (x * 2) % 4 == 0 for y in (2 * x, 2 * x + 1))
+
+
+def test_reduce_by_key_counts_stages_and_shuffles():
+    c = ctx()
+    pairs = [("a", 1), ("b", 2), ("a", 3)] * 10
+    out = (c.parallelize(pairs)
+           .reduce_by_key(lambda a, b: a + b)
+           .collect_as_map())
+    assert out == {"a": 40, "b": 20}
+    assert c.stages_executed >= 1
+    # Map-side combine: at most distinct-keys x partitions records move.
+    assert c.shuffled_records <= 2 * 4
+
+
+def test_group_by_key():
+    c = ctx()
+    out = dict(c.parallelize([("x", 1), ("x", 2), ("y", 3)])
+               .group_by_key().collect())
+    assert sorted(out["x"]) == [1, 2]
+    assert out["y"] == [3]
+
+
+def test_distinct():
+    c = ctx()
+    out = c.parallelize([1, 2, 2, 3, 3, 3]).distinct().collect()
+    assert sorted(out) == [1, 2, 3]
+
+
+def test_join():
+    c = ctx()
+    left = c.parallelize([("a", 1), ("b", 2)])
+    right = c.parallelize([("a", "x"), ("a", "y"), ("c", "z")])
+    out = sorted(left.join(right).collect())
+    assert out == [("a", (1, "x")), ("a", (1, "y"))]
+
+
+def test_coalesce_changes_partitions():
+    c = ctx(8)
+    rdd = c.parallelize(range(100)).coalesce(2)
+    assert rdd.num_partitions == 2
+    assert sorted(rdd.collect()) == list(range(100))
+
+
+def test_map_values_and_map_partitions():
+    c = ctx()
+    out = dict(c.parallelize([("a", 1)]).map_values(lambda v: v * 10)
+               .collect())
+    assert out == {"a": 10}
+    sums = c.parallelize(range(10), 2).map_partitions(
+        lambda p: [sum(p)]).collect()
+    assert sum(sums) == 45
+
+
+def test_count_and_reduce():
+    c = ctx()
+    assert c.parallelize(range(7)).count() == 7
+    assert c.parallelize(range(5)).reduce(lambda a, b: a + b) == 10
+    with pytest.raises(ValueError):
+        c.parallelize([]).reduce(lambda a, b: a + b)
+
+
+def test_save_as_text_file():
+    c = ctx()
+    sink = []
+    c.parallelize([1, 2]).save_as_text_file(sink)
+    assert sink == ["1", "2"]
+
+
+def test_repartition_sort_produces_global_order():
+    c = ctx()
+    data = [(k, None) for k in [5, 3, 9, 1, 7, 2, 8]]
+    part = range_partitioner([4, 8])
+    parts = (c.parallelize(data)
+             .repartition_and_sort_within_partitions(part, 3)
+             .collect_partitions())
+    flat = [k for p in parts for k, _ in p]
+    assert flat == sorted(k for k, _ in data)
+
+
+@settings(deadline=None, max_examples=25)
+@given(st.lists(st.tuples(st.text(min_size=1, max_size=3),
+                          st.integers(-100, 100)), max_size=60),
+       st.integers(1, 8))
+def test_property_reduce_by_key_matches_dict(pairs, parallelism):
+    c = LocalSparkContext(parallelism)
+    expected = {}
+    for k, v in pairs:
+        expected[k] = expected.get(k, 0) + v
+    got = (c.parallelize(pairs).reduce_by_key(lambda a, b: a + b)
+           .collect_as_map())
+    assert got == expected
+
+
+@settings(deadline=None, max_examples=25)
+@given(st.lists(st.integers(), max_size=80), st.integers(1, 6))
+def test_property_narrow_chains_preserve_multiset(xs, parallelism):
+    c = LocalSparkContext(parallelism)
+    out = c.parallelize(xs).map(lambda x: x).filter(lambda x: True).collect()
+    assert sorted(out) == sorted(xs)

@@ -1,0 +1,115 @@
+"""Tests for the streaming future-work extension."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.streaming import (StreamingResult, StreamingWorkloadModel,
+                             max_stable_throughput,
+                             simulate_flink_streaming,
+                             simulate_spark_dstreams)
+
+MODEL = StreamingWorkloadModel()
+NODES = 8
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        simulate_flink_streaming(MODEL, -1, 10, NODES)
+    with pytest.raises(ValueError):
+        simulate_flink_streaming(MODEL, 1000, 0, NODES)
+    with pytest.raises(ValueError):
+        simulate_spark_dstreams(MODEL, 1000, 10, NODES, batch_interval=0)
+    with pytest.raises(ValueError):
+        max_stable_throughput(MODEL, NODES, "storm")
+
+
+def test_flink_latency_millisecond_scale():
+    r = simulate_flink_streaming(MODEL, 100_000, 60, NODES, seed=1)
+    assert r.stable
+    assert r.mean_latency < 0.05, "true streaming is ms-scale"
+
+
+def test_spark_latency_dominated_by_batch_interval():
+    r = simulate_spark_dstreams(MODEL, 100_000, 60, NODES,
+                                batch_interval=1.0, seed=1)
+    assert r.stable
+    assert r.mean_latency > 0.5, "a record waits ~interval/2 + batch time"
+
+
+def test_flink_latency_below_spark_at_equal_load():
+    """The headline of the future-work question: record-at-a-time
+    streaming beats micro-batching on latency."""
+    flink = simulate_flink_streaming(MODEL, 200_000, 60, NODES, seed=2)
+    spark = simulate_spark_dstreams(MODEL, 200_000, 60, NODES, seed=2)
+    assert flink.mean_latency < spark.mean_latency / 10
+
+
+def test_flink_overload_is_unstable():
+    cap = max_stable_throughput(MODEL, NODES, "flink")
+    r = simulate_flink_streaming(MODEL, cap * 1.2, 30, NODES)
+    assert not r.stable
+    assert math.isnan(r.mean_latency)
+    assert "UNSTABLE" in r.describe()
+
+
+def test_spark_overload_is_unstable():
+    cap = max_stable_throughput(MODEL, NODES, "spark", batch_interval=1.0)
+    r = simulate_spark_dstreams(MODEL, cap * 1.2, 30, NODES)
+    assert not r.stable
+
+
+def test_latency_grows_with_utilisation():
+    low = simulate_flink_streaming(MODEL, 50_000, 30, NODES, seed=3)
+    high = simulate_flink_streaming(
+        MODEL, 0.9 * max_stable_throughput(MODEL, NODES, "flink"),
+        30, NODES, seed=3)
+    assert high.mean_latency > low.mean_latency
+
+
+def test_spark_backlog_latency_grows_near_capacity():
+    cap = max_stable_throughput(MODEL, NODES, "spark", batch_interval=1.0)
+    near = simulate_spark_dstreams(MODEL, 0.97 * cap, 120, NODES, seed=4)
+    far = simulate_spark_dstreams(MODEL, 0.5 * cap, 120, NODES, seed=4)
+    assert near.percentile(99) > far.percentile(99)
+
+
+def test_micro_batch_throughput_penalty_shrinks_with_interval():
+    """Longer intervals amortise the fixed per-batch overhead - the
+    latency/throughput trade-off of D-Streams."""
+    t_short = max_stable_throughput(MODEL, NODES, "spark",
+                                    batch_interval=0.5)
+    t_long = max_stable_throughput(MODEL, NODES, "spark",
+                                   batch_interval=5.0)
+    assert t_long > t_short
+
+
+def test_tiny_interval_supports_nothing():
+    assert max_stable_throughput(MODEL, NODES, "spark",
+                                 batch_interval=0.1) == 0.0
+
+
+def test_streaming_vs_batching_throughput_crossover():
+    """Does treating batches as bounded streams pay off?  On raw
+    sustainable throughput micro-batching (no per-record overhead) can
+    exceed record-at-a-time streaming with long intervals."""
+    flink_cap = max_stable_throughput(MODEL, NODES, "flink")
+    spark_cap = max_stable_throughput(MODEL, NODES, "spark",
+                                      batch_interval=10.0)
+    assert spark_cap > flink_cap  # throughput: micro-batch wins
+    # ... but only by giving up three orders of magnitude of latency
+    # (asserted in test_flink_latency_below_spark_at_equal_load).
+
+
+def test_percentiles_ordered():
+    r = simulate_flink_streaming(MODEL, 100_000, 60, NODES, seed=5)
+    assert r.percentile(50) <= r.percentile(95) <= r.percentile(99)
+
+
+@settings(deadline=None, max_examples=25)
+@given(rate=st.floats(1e3, 3e5), seed=st.integers(0, 50))
+def test_property_stability_matches_capacity(rate, seed):
+    cap = max_stable_throughput(MODEL, NODES, "flink")
+    r = simulate_flink_streaming(MODEL, rate, 10, NODES, seed=seed)
+    assert r.stable == (rate < cap)

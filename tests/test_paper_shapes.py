@@ -1,0 +1,135 @@
+"""Integration tests: the paper's qualitative findings, end to end.
+
+These run the real experiment configurations (full published scales —
+the simulator makes them cheap) and assert §VIII's take-aways.  The
+benchmarks in ``benchmarks/`` regenerate the full figures; these tests
+pin the headline directions so a cost-model regression is caught by
+``pytest`` alone.
+"""
+
+import pytest
+
+from repro.config.presets import (kmeans_preset, medium_graph_preset,
+                                  small_graph_preset, terasort_preset,
+                                  wordcount_grep_preset)
+from repro.core import compare_engines, no_single_winner
+from repro.core.scalability import ScalingSeries
+from repro.harness.runner import run_once
+from repro.workloads import (ConnectedComponents, Grep, KMeans, PageRank,
+                             TeraSort, WordCount)
+from repro.workloads.datagen.graphs import MEDIUM_GRAPH, SMALL_GRAPH
+
+GiB = 2**30
+
+
+def duration(engine, workload, config, seed=1):
+    result = run_once(engine, workload, config, seed=seed)
+    assert result.success, result.failure
+    return result.duration
+
+
+@pytest.fixture(scope="module")
+def wc32():
+    cfg = wordcount_grep_preset(32)
+    wl = WordCount(32 * 24 * GiB)
+    return {e: duration(e, wl, cfg) for e in ("flink", "spark")}
+
+
+def test_wordcount_flink_wins_at_scale(wc32):
+    """§VI-A: Flink outperforms Spark by ~10% for Word Count."""
+    assert wc32["flink"] < wc32["spark"]
+    assert wc32["spark"] / wc32["flink"] < 1.25
+
+
+def test_wordcount_absolute_magnitude(wc32):
+    """Fig. 3's totals: 543 s (Flink) and 572 s (Spark), within 25%."""
+    assert wc32["flink"] == pytest.approx(543, rel=0.25)
+    assert wc32["spark"] == pytest.approx(572, rel=0.25)
+
+
+def test_grep_spark_wins_at_scale():
+    """§VI-B: Spark up to 20% faster for Grep at 16-32 nodes."""
+    cfg = wordcount_grep_preset(32)
+    wl = Grep(32 * 24 * GiB)
+    flink = duration("flink", wl, cfg)
+    spark = duration("spark", wl, cfg)
+    assert spark < flink
+    assert 1.02 < flink / spark < 1.45
+
+
+def test_terasort_flink_wins_with_variance():
+    """§VI-C: Flink faster on average, with higher run variance."""
+    cfg = terasort_preset(17)
+    wl = TeraSort(17 * 32 * GiB, num_partitions=134)
+    flink = duration("flink", wl, cfg)
+    spark = duration("spark", wl, cfg)
+    assert flink < spark
+
+
+def test_kmeans_flink_bulk_iteration_wins():
+    """§VI-D: Flink's bulk iterate outperforms loop unrolling by >10%."""
+    cfg = kmeans_preset(24)
+    wl = KMeans(51 * GiB, iterations=10)
+    flink = duration("flink", wl, cfg)
+    spark = duration("spark", wl, cfg)
+    assert flink < spark
+
+
+def test_pagerank_small_graph_flink_wins():
+    """§VI-E: slightly better Flink performance for the Small graph,
+    despite the extra vertex-count job."""
+    cfg = small_graph_preset(27)
+    wl = PageRank(SMALL_GRAPH, iterations=20,
+                  edge_partitions=cfg.spark.edge_partitions)
+    flink = duration("flink", wl, cfg)
+    spark = duration("spark", wl, cfg)
+    assert flink < spark
+
+
+def test_cc_medium_graph_flink_delta_wins():
+    """§VI-E: Flink's delta iterations win by a larger factor on the
+    Medium graph (up to ~30%)."""
+    cfg = medium_graph_preset(27)
+    wl = ConnectedComponents(MEDIUM_GRAPH, iterations=23,
+                             edge_partitions=cfg.spark.edge_partitions)
+    flink = duration("flink", wl, cfg)
+    spark = duration("spark", wl, cfg)
+    assert flink < spark
+    assert spark / flink > 1.1
+
+
+def test_key_finding_no_single_winner():
+    """§VIII: "there is not a single framework for all data types,
+    sizes and job patterns"."""
+    per_workload = {}
+    wc_cfg = wordcount_grep_preset(16)
+    for name, wl, cfg in (
+            ("wordcount", WordCount(16 * 24 * GiB), wc_cfg),
+            ("grep", Grep(16 * 24 * GiB), wc_cfg)):
+        flink = ScalingSeries("flink", [16], [duration("flink", wl, cfg)])
+        spark = ScalingSeries("spark", [16], [duration("spark", wl, cfg)])
+        per_workload[name] = compare_engines(flink, spark)
+    insight = no_single_winner(per_workload)
+    assert "no single framework" in insight.statement
+
+
+def test_weak_scaling_holds_for_batch():
+    """Fig. 1/4: both frameworks scale well when adding nodes (weak
+    scaling efficiency stays high)."""
+    for wl_cls in (WordCount, Grep):
+        times = {}
+        for nodes in (4, 16):
+            cfg = wordcount_grep_preset(nodes)
+            times[nodes] = duration("flink", wl_cls(nodes * 24 * GiB), cfg)
+        assert times[16] < times[4] * 1.30, \
+            f"{wl_cls.__name__} weak scaling degraded too much"
+
+
+def test_determinism_across_engines_and_seeds():
+    cfg = wordcount_grep_preset(4)
+    wl = WordCount(4 * 24 * GiB)
+    a = duration("flink", wl, cfg, seed=9)
+    b = duration("flink", wl, cfg, seed=9)
+    assert a == b
+    c = duration("flink", wl, cfg, seed=10)
+    assert a != c  # jitter responds to the seed

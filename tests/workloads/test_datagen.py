@@ -1,0 +1,207 @@
+"""Tests for dataset models and the real data generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.datagen import (LARGE_GRAPH, MEDIUM_GRAPH, SMALL_GRAPH,
+                                     DEFAULT_KMEANS_MODEL,
+                                     DEFAULT_TEXT_MODEL, cc_activity_profile,
+                                     generate_lines, generate_points,
+                                     generate_power_law_edges,
+                                     generate_records,
+                                     range_partition_boundaries)
+from repro.workloads.datagen.teragen import (KEY_BYTES, RECORD_BYTES,
+                                             TeraSortDatasetModel)
+
+GiB = 2**30
+TiB = 2**40
+
+
+# ----------------------------------------------------------------------
+# Table IV: graph characteristics
+# ----------------------------------------------------------------------
+def test_table4_small_graph():
+    assert SMALL_GRAPH.num_vertices == pytest.approx(24.7e6)
+    assert SMALL_GRAPH.num_edges == pytest.approx(0.8e9)
+    assert SMALL_GRAPH.size_bytes == pytest.approx(13.7 * GiB)
+
+
+def test_table4_medium_graph():
+    assert MEDIUM_GRAPH.num_vertices == pytest.approx(65.6e6)
+    assert MEDIUM_GRAPH.num_edges == pytest.approx(1.8e9)
+    assert MEDIUM_GRAPH.size_bytes == pytest.approx(30.1 * GiB)
+
+
+def test_table4_large_graph():
+    assert LARGE_GRAPH.num_vertices == pytest.approx(1.7e9)
+    assert LARGE_GRAPH.num_edges == pytest.approx(64e9)
+    assert LARGE_GRAPH.size_bytes == pytest.approx(1.2 * TiB)
+
+
+def test_graph_stats_derivation():
+    edges = MEDIUM_GRAPH.edges_stats()
+    assert edges.records == MEDIUM_GRAPH.num_edges
+    assert edges.total_bytes == pytest.approx(MEDIUM_GRAPH.size_bytes)
+    msgs = MEDIUM_GRAPH.messages_stats(48.0)
+    assert msgs.record_bytes == 48.0
+    assert msgs.records == MEDIUM_GRAPH.num_edges
+
+
+def test_hub_concentration_shrinks_message_keys():
+    assert LARGE_GRAPH.messages_stats().key_cardinality < \
+        LARGE_GRAPH.num_vertices
+
+
+def test_cc_activity_profile():
+    act = cc_activity_profile(decay=0.5, floor=0.1)
+    assert act(1) == 1.0
+    assert act(2) == 0.5
+    assert act(10) == 0.1
+    with pytest.raises(ValueError):
+        cc_activity_profile(decay=0.0)
+
+
+# ----------------------------------------------------------------------
+# text generator
+# ----------------------------------------------------------------------
+def test_generate_lines_shape():
+    lines = generate_lines(50, words_per_line=7, seed=1)
+    assert len(lines) == 50
+    assert all(len(l.split()) == 7 for l in lines)
+
+
+def test_generate_lines_deterministic():
+    assert generate_lines(20, seed=3) == generate_lines(20, seed=3)
+    assert generate_lines(20, seed=3) != generate_lines(20, seed=4)
+
+
+def test_generate_lines_zipfian():
+    lines = generate_lines(500, vocabulary_size=1000, seed=5)
+    from collections import Counter
+    counts = Counter(w for l in lines for w in l.split())
+    top = counts.most_common(1)[0][1]
+    # Heavy head: the most frequent word appears far more often than
+    # the mean frequency.
+    assert top > 5 * (sum(counts.values()) / len(counts))
+
+
+def test_text_model_stats():
+    m = DEFAULT_TEXT_MODEL
+    stats = m.words_stats(24 * GiB)
+    assert stats.key_cardinality == m.vocabulary
+    assert stats.records == pytest.approx(
+        24 * GiB / m.line_bytes * m.words_per_line)
+
+
+def test_generate_lines_validation():
+    with pytest.raises(ValueError):
+        generate_lines(-1)
+    with pytest.raises(ValueError):
+        generate_lines(1, vocabulary_size=0)
+
+
+# ----------------------------------------------------------------------
+# TeraGen
+# ----------------------------------------------------------------------
+def test_generate_records_format():
+    recs = generate_records(20, seed=1)
+    assert len(recs) == 20
+    for key, payload in recs:
+        assert len(key) == KEY_BYTES
+        assert len(key) + len(payload) == RECORD_BYTES
+        assert all(32 <= b < 127 for b in key)
+
+
+def test_teragen_model_stats():
+    stats = TeraSortDatasetModel().stats(1 * GiB)
+    assert stats.records == pytest.approx(GiB / 100)
+    assert stats.key_cardinality == stats.records  # keys ~ unique
+
+
+def test_range_boundaries_sorted_and_sized():
+    bounds = range_partition_boundaries(10)
+    assert len(bounds) == 9
+    assert bounds == sorted(bounds)
+    with pytest.raises(ValueError):
+        range_partition_boundaries(0)
+
+
+@settings(deadline=None, max_examples=20)
+@given(st.integers(1, 64))
+def test_property_range_partitioner_balances(parts):
+    from repro.localexec.partitions import range_partitioner
+    bounds = range_partition_boundaries(parts)
+    part = range_partitioner(bounds)
+    recs = generate_records(500, seed=9)
+    assignments = [part(k) for k, _ in recs]
+    assert all(0 <= a < parts for a in assignments)
+
+
+# ----------------------------------------------------------------------
+# K-Means points
+# ----------------------------------------------------------------------
+def test_generate_points_shape():
+    pts = generate_points(100, num_centers=3, seed=2)
+    assert pts.shape == (100, 2)
+
+
+def test_generate_points_clusters_are_tight():
+    pts = generate_points(3000, num_centers=2, spread=0.01, seed=7)
+    # With tiny spread, points concentrate around 2 locations: the
+    # pairwise distance distribution is bimodal (near 0 or near the
+    # center distance) -> very few mid-range distances.
+    d = np.linalg.norm(pts[:100, None] - pts[None, :100], axis=2)
+    near = (d < 0.1).sum()
+    far = (d > 0.3).sum()
+    assert near + far > 0.95 * d.size
+
+
+def test_points_validation():
+    with pytest.raises(ValueError):
+        generate_points(-1)
+    with pytest.raises(ValueError):
+        generate_points(10, num_centers=0)
+
+
+def test_kmeans_model_stats():
+    stats = DEFAULT_KMEANS_MODEL.stats(51 * GiB)
+    # ~1.2 billion samples, as the paper states.
+    assert stats.records == pytest.approx(1.2e9, rel=0.1)
+
+
+# ----------------------------------------------------------------------
+# graph generator
+# ----------------------------------------------------------------------
+def test_power_law_edges_shape():
+    edges = generate_power_law_edges(100, 500, seed=1)
+    assert len(edges) == 500
+    assert all(0 <= s < 100 and 0 <= d < 100 for s, d in edges)
+    assert all(s != d for s, d in edges)  # no self loops
+
+
+def test_power_law_degree_skew():
+    edges = generate_power_law_edges(1000, 20000, alpha=0.7, seed=3)
+    from collections import Counter
+    deg = Counter(s for s, _ in edges)
+    degrees = sorted(deg.values(), reverse=True)
+    top10 = sum(degrees[:10])
+    assert top10 > 0.2 * len(edges), "degree distribution must be heavy-tailed"
+
+
+def test_power_law_validation():
+    with pytest.raises(ValueError):
+        generate_power_law_edges(0, 10)
+    with pytest.raises(ValueError):
+        generate_power_law_edges(10, -1)
+    with pytest.raises(ValueError):
+        generate_power_law_edges(10, 10, alpha=1.5)
+
+
+@settings(deadline=None, max_examples=15)
+@given(st.integers(2, 500), st.integers(0, 2000), st.integers(0, 100))
+def test_property_power_law_edges_in_range(n, m, seed):
+    edges = generate_power_law_edges(n, m, seed=seed)
+    assert len(edges) == m
+    for s, d in edges:
+        assert 0 <= s < n and 0 <= d < n

@@ -1,0 +1,185 @@
+"""Tests for the six workload definitions (plans + Table I inventory)."""
+
+import pytest
+
+from repro.workloads import (ALL_WORKLOADS, ConnectedComponents, Grep,
+                             KMeans, PageRank, TeraSort, WordCount)
+from repro.workloads.datagen.graphs import (LARGE_GRAPH, MEDIUM_GRAPH,
+                                            SMALL_GRAPH)
+from repro.engines.common.operators import OpKind
+
+GiB = 2**30
+TiB = 2**40
+
+
+def instances():
+    return [
+        WordCount(24 * GiB),
+        Grep(24 * GiB),
+        TeraSort(100 * GiB, num_partitions=64),
+        KMeans(51 * GiB),
+        PageRank(SMALL_GRAPH, iterations=5, edge_partitions=64),
+        ConnectedComponents(SMALL_GRAPH, iterations=5, edge_partitions=64),
+    ]
+
+
+def test_all_workloads_registered():
+    assert len(ALL_WORKLOADS) == 6
+    columns = [w.table1_column for w in ALL_WORKLOADS]
+    assert columns == ["WC", "G", "TS", "KM", "PR", "CC"]
+
+
+def test_categories():
+    cats = {w.name: w.category for w in instances()}
+    assert cats["wordcount"] == cats["grep"] == cats["terasort"] == "batch"
+    assert cats["kmeans"] == cats["pagerank"] == \
+        cats["connected-components"] == "iterative"
+
+
+@pytest.mark.parametrize("engine", ["spark", "flink"])
+def test_every_workload_produces_valid_plans(engine):
+    for wl in instances():
+        jobs = wl.jobs(engine)
+        assert jobs, f"{wl.name} has no {engine} jobs"
+        for plan in jobs:
+            assert plan.ops  # validation ran in the constructor
+            assert plan.input_stats.total_bytes > 0
+
+
+def test_unknown_engine_rejected():
+    with pytest.raises(ValueError):
+        WordCount(GiB).jobs("hadoop")
+
+
+def test_input_files_sized():
+    for wl in instances():
+        files = wl.input_files()
+        assert files
+        for _path, size in files:
+            assert size > 0
+
+
+def test_validation_rejects_bad_args():
+    with pytest.raises(ValueError):
+        WordCount(0)
+    with pytest.raises(ValueError):
+        KMeans(GiB, iterations=0)
+    with pytest.raises(ValueError):
+        PageRank(SMALL_GRAPH, iterations=0)
+    with pytest.raises(ValueError):
+        ConnectedComponents(SMALL_GRAPH, mode="sideways")
+
+
+# ----------------------------------------------------------------------
+# Table I operator matrix
+# ----------------------------------------------------------------------
+def test_table1_wordcount_row():
+    ops = WordCount(GiB).operators
+    assert "mapToPair" in ops["spark"]
+    assert "reduceByKey" in ops["spark"]
+    assert "groupBy->sum" in ops["flink"]
+    assert "flatMap" in ops["common"]
+
+
+def test_table1_terasort_row():
+    ops = TeraSort(GiB).operators
+    assert "repartitionAndSortWithinPartitions" in ops["spark"]
+    assert "partitionCustom->sortPartition" in ops["flink"]
+
+
+def test_table1_iterative_rows():
+    km = KMeans(GiB).operators
+    assert "BulkIteration" in km["flink"]
+    assert "withBroadcastSet" in km["flink"]
+    assert "collectAsMap" in km["spark"]
+    cc = ConnectedComponents(SMALL_GRAPH).operators
+    assert "DeltaIteration" in cc["flink"]
+
+
+# ----------------------------------------------------------------------
+# plan structure matches the paper's operator sequences (§III)
+# ----------------------------------------------------------------------
+def test_wordcount_flink_sequence():
+    plan = WordCount(GiB).flink_jobs()[0]
+    kinds = [op.kind for op in plan.ops]
+    assert kinds == [OpKind.SOURCE, OpKind.FLAT_MAP, OpKind.GROUP_REDUCE,
+                     OpKind.SINK]
+
+
+def test_wordcount_spark_sequence():
+    plan = WordCount(GiB).spark_jobs()[0]
+    kinds = [op.kind for op in plan.ops]
+    assert kinds == [OpKind.SOURCE, OpKind.FLAT_MAP, OpKind.MAP_TO_PAIR,
+                     OpKind.REDUCE_BY_KEY, OpKind.SINK]
+
+
+def test_grep_sequence_filter_count():
+    for engine in ("spark", "flink"):
+        plan = Grep(GiB).jobs(engine)[0]
+        kinds = {op.kind for op in plan.ops}
+        assert OpKind.FILTER in kinds and OpKind.COUNT in kinds
+
+
+def test_terasort_uses_custom_partitioner_both():
+    spark = TeraSort(GiB, num_partitions=32).spark_jobs()[0]
+    flink = TeraSort(GiB, num_partitions=32).flink_jobs()[0]
+    s_part = next(op for op in spark.ops
+                  if op.kind is OpKind.REPARTITION_SORT)
+    f_part = next(op for op in flink.ops if op.kind is OpKind.PARTITION)
+    # "the same range partitioner has been used in order to provide a
+    # fair comparison"
+    assert s_part.partitions == f_part.partitions == 32
+
+
+def test_terasort_output_replication_one():
+    for engine in ("spark", "flink"):
+        plan = TeraSort(GiB).jobs(engine)[0]
+        sink = plan.ops[-1]
+        assert sink.kind is OpKind.SINK and sink.sink_replication == 1
+
+
+def test_pagerank_flink_has_vertex_count_job():
+    jobs = PageRank(SMALL_GRAPH).flink_jobs()
+    assert len(jobs) == 2
+    assert jobs[0].name == "count-vertices"
+    # It reads the edges dataset again (the paper's remark).
+    assert jobs[0].input_stats.total_bytes == \
+        jobs[1].input_stats.total_bytes
+
+
+def test_pagerank_spark_materialises_ranks():
+    plan = PageRank(SMALL_GRAPH).spark_jobs()[0]
+    it = next(op for op in plan.ops if op.is_iteration)
+    assert any(op.materialize_to_disk for op in it.body.ops)
+
+
+def test_pagerank_spark_caches_graph():
+    plan = PageRank(SMALL_GRAPH, edge_partitions=64).spark_jobs()[0]
+    cached = [op for op in plan.ops if op.cached]
+    assert cached and cached[0].partitions == 64
+
+
+def test_cc_flink_delta_vs_bulk_modes():
+    delta = ConnectedComponents(SMALL_GRAPH, mode="delta").flink_jobs()[0]
+    bulk = ConnectedComponents(SMALL_GRAPH, mode="bulk").flink_jobs()[0]
+    d_it = next(op for op in delta.ops if op.is_iteration)
+    b_it = next(op for op in bulk.ops if op.is_iteration)
+    assert d_it.kind is OpKind.DELTA_ITERATION
+    assert b_it.kind is OpKind.BULK_ITERATION
+
+
+def test_cc_activity_decreases():
+    wl = ConnectedComponents(SMALL_GRAPH)
+    acts = [wl.activity(i) for i in range(1, 10)]
+    assert all(a >= b for a, b in zip(acts, acts[1:]))
+    assert acts[0] == 1.0
+    # Delta workset shrinks faster than the bulk activity.
+    assert wl.delta_activity(5) < wl.activity(5)
+
+
+def test_kmeans_iterations_parameter():
+    wl = KMeans(GiB, iterations=7)
+    for engine in ("spark", "flink"):
+        plan = wl.jobs(engine)[0]
+        it = next(op for op in plan.ops if op.is_iteration)
+        assert it.iterations == 7
