@@ -13,13 +13,21 @@ Commands
     Regenerate Table VII (the Large-graph grid).
 ``explain``
     Print both engines' physical plans for a workload without running.
+``validate``
+    Self-check the simulator: run the replay scenarios under strict
+    invariant checking; with ``--replay``, also compare their trace
+    digests against the goldens in ``tests/golden/``.
+
+``run``, ``figure`` and ``table7`` accept ``--strict``: the run attaches
+an invariant checker and fails loudly on any violation.
 
 Examples
 --------
 python -m repro run --engine flink --workload wordcount --nodes 8
-python -m repro figure fig04 --trials 3
+python -m repro figure fig04 --trials 3 --strict
 python -m repro explain --workload terasort --nodes 17
 python -m repro table7 --nodes 97
+python -m repro validate --replay
 """
 
 from __future__ import annotations
@@ -126,7 +134,8 @@ def cmd_run(args) -> int:
     workload = build_workload(args.workload, args.nodes, graph=args.graph,
                               iterations=args.iterations)
     config = build_config(args.workload, args.nodes)
-    run = run_correlated(args.engine, workload, config, seed=args.seed)
+    run = run_correlated(args.engine, workload, config, seed=args.seed,
+                         strict=args.strict or None)
     print(render_run(run))
     print()
     print(f"bottleneck: {', '.join(run.bottleneck(threshold=40))}")
@@ -135,12 +144,14 @@ def cmd_run(args) -> int:
 
 def cmd_figure(args) -> int:
     fig_id = args.id
+    strict = args.strict or None
     if fig_id in FIGURES:
-        fig = FIGURES[fig_id](trials=args.trials, seed=args.seed)
+        fig = FIGURES[fig_id](trials=args.trials, seed=args.seed,
+                              strict=strict)
         print(render_bar_table(fig.series.values(), title=fig.title))
         return 0
     if fig_id in RESOURCE_FIGURES:
-        fig = RESOURCE_FIGURES[fig_id](seed=args.seed)
+        fig = RESOURCE_FIGURES[fig_id](seed=args.seed, strict=strict)
         for run in fig.runs.values():
             print(render_run(run))
             print()
@@ -152,7 +163,8 @@ def cmd_figure(args) -> int:
 
 def cmd_table7(args) -> int:
     cells = figure_registry.tab07_large_graph(
-        seed=args.seed, node_counts=tuple(args.nodes))
+        seed=args.seed, node_counts=tuple(args.nodes),
+        strict=args.strict or None)
     print("Table VII - Large graph (Load / Iter seconds; 'no' = failed)")
     for cell in cells:
         status = (f"load {cell.load_seconds:7.0f}s  iter "
@@ -181,6 +193,40 @@ def cmd_explain(args) -> int:
     return 0
 
 
+def cmd_validate(args) -> int:
+    from .validation import replay
+    names = args.scenarios or sorted(replay.SCENARIOS)
+    unknown = sorted(set(names) - set(replay.SCENARIOS))
+    if unknown:
+        print(f"error: unknown scenario(s) {', '.join(unknown)}; "
+              f"available: {', '.join(sorted(replay.SCENARIOS))}",
+              file=sys.stderr)
+        return 2
+    if args.update_golden:
+        digests = replay.compute_digests(names, seed=args.seed, strict=True)
+        path = replay.save_golden(digests, path=args.golden, seed=args.seed)
+        for name in sorted(digests):
+            print(f"  {name}: {digests[name]}")
+        print(f"golden digests written to {path}")
+        return 0
+    if args.replay:
+        problems = replay.verify_replay(names, seed=args.seed, strict=True,
+                                        path=args.golden)
+        if problems:
+            for problem in problems:
+                print(f"REPLAY MISMATCH {problem}", file=sys.stderr)
+            return 1
+        print(f"replay ok: {len(names)} scenario(s) reproduce their "
+              f"golden digests under strict invariant checking")
+        return 0
+    # No --replay: just run the scenarios with invariant checking on.
+    for name in names:
+        replay.SCENARIOS[name].run(args.seed, True)
+        print(f"  {name}: invariants ok")
+    print(f"validated {len(names)} scenario(s), zero invariant violations")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -198,29 +244,48 @@ def build_parser() -> argparse.ArgumentParser:
                        default="small")
     p_run.add_argument("--iterations", type=int, default=None)
     p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--strict", action="store_true",
+                       help="audit simulator invariants during the run")
 
     p_fig = sub.add_parser("figure", help="regenerate a paper figure")
     p_fig.add_argument("id", help="fig01..fig17")
     p_fig.add_argument("--trials", type=int, default=3)
     p_fig.add_argument("--seed", type=int, default=0)
+    p_fig.add_argument("--strict", action="store_true",
+                       help="audit simulator invariants during the runs")
 
     p_t7 = sub.add_parser("table7", help="regenerate Table VII")
     p_t7.add_argument("--nodes", type=int, nargs="+",
                       default=[27, 44, 97])
     p_t7.add_argument("--seed", type=int, default=0)
+    p_t7.add_argument("--strict", action="store_true",
+                      help="audit simulator invariants during the runs")
 
     p_ex = sub.add_parser("explain", help="print both physical plans")
     p_ex.add_argument("--workload", choices=WORKLOADS, required=True)
     p_ex.add_argument("--nodes", type=int, default=8)
     p_ex.add_argument("--graph", choices=("small", "medium", "large"),
                       default="small")
+
+    p_val = sub.add_parser(
+        "validate", help="strict invariant self-check / golden replay")
+    p_val.add_argument("--replay", action="store_true",
+                       help="compare trace digests against tests/golden/")
+    p_val.add_argument("--update-golden", action="store_true",
+                       help="re-record the golden digests")
+    p_val.add_argument("--scenarios", nargs="+", default=None,
+                       help="subset of scenarios (default: all)")
+    p_val.add_argument("--golden", default=None,
+                       help="path to the golden digest file")
+    p_val.add_argument("--seed", type=int, default=0)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"list": cmd_list, "run": cmd_run, "figure": cmd_figure,
-                "table7": cmd_table7, "explain": cmd_explain}
+                "table7": cmd_table7, "explain": cmd_explain,
+                "validate": cmd_validate}
     return handlers[args.command](args)
 
 

@@ -130,6 +130,11 @@ class FluidScheduler:
         self._wakeup_time = math.inf
         self.completed_count = 0
         self.total_bytes_moved = 0.0
+        #: Completed bytes per capacity name (conservation ledger).
+        self.bytes_by_capacity: Dict[str, float] = {}
+        #: Optional :class:`repro.validation.InvariantChecker`; when set,
+        #: every max–min reallocation is audited for fairness on the spot.
+        self.checker = None
 
     # ------------------------------------------------------------------
     # public API
@@ -234,6 +239,8 @@ class FluidScheduler:
         component = self._component_of(seed)
         self._advance(component)
         self._max_min_rates(component)
+        if self.checker is not None:
+            self.checker.check_max_min(self, component)
 
         touched: Set[Capacity] = set()
         for flow in component:
@@ -307,6 +314,9 @@ class FluidScheduler:
                 neighbours.update(cap.flows)
             self.completed_count += 1
             self.total_bytes_moved += flow.size
+            for cap in flow.capacities:
+                self.bytes_by_capacity[cap.name] = (
+                    self.bytes_by_capacity.get(cap.name, 0.0) + flow.size)
         # Reallocate the neighbourhoods that lost a competitor.
         seen: Set[Flow] = set()
         for flow in neighbours:
@@ -322,6 +332,28 @@ class FluidScheduler:
         for flow in finished:
             flow.done.succeed(now - flow.started_at)
         self._refresh_wakeup()
+
+    def moved_bytes_by_capacity(self) -> Dict[str, float]:
+        """Bytes moved across each capacity, including in-flight progress.
+
+        For a completed flow every capacity it traversed carried all of
+        ``flow.size`` bytes; active flows contribute the bytes drained so
+        far, advanced to the current simulation time.  The result is what
+        the integral of each capacity's throughput trace must equal —
+        the flow byte-conservation invariant.
+        """
+        moved = dict(self.bytes_by_capacity)
+        now = self.sim.now
+        for flow in self._flows:
+            progress = flow.size - flow.remaining
+            dt = now - flow.last_update
+            if dt > 0:
+                progress = min(flow.size, progress + flow.rate * dt)
+            if progress <= 0:
+                continue
+            for cap in flow.capacities:
+                moved[cap.name] = moved.get(cap.name, 0.0) + progress
+        return moved
 
     def assert_quiescent(self) -> None:
         """Raise if any flow is still active (used by tests)."""

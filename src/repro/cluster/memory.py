@@ -105,8 +105,12 @@ class MemoryAccount:
             raise ValueError(f"release amount must be >= 0, got {amount}")
         for acct in self._chain():
             # Accumulated float drift across many reserve/release pairs
-            # can leave `used` a few ULPs short of the exact sum.
-            tolerance = max(1e-6, acct.used * 1e-9)
+            # can leave `used` a few ULPs short of the exact sum.  The
+            # drift scales with the *largest* value the account has held
+            # (one ULP of 128 GiB is ~2e-5 bytes), not the current one,
+            # and grows with the number of operations — a ppm of the
+            # release is still far below any real accounting bug.
+            tolerance = max(1e-6, acct.peak * 1e-9, amount * 1e-6)
             if amount > acct.used + tolerance:
                 raise SimulationError(
                     f"{acct.path}: releasing {amount} > {acct.used} used")
@@ -130,6 +134,44 @@ class MemoryAccount:
         self.used = max(0.0, self.used + delta)
         self.peak = max(self.peak, self.used)
         self.usage.append(self.sim.now, self.used)
+
+    def audit(self, tolerance: float = 1.0) -> List[str]:
+        """Check accounting invariants on this subtree.
+
+        Returns a list of human-readable violation strings (empty when
+        the subtree is consistent):
+
+        * ``0 <= used <= capacity`` (within ``tolerance`` bytes);
+        * ``used`` never exceeded ``peak``;
+        * the parent charge covers the direct children: because every
+          reservation is charged to the whole ancestor chain, a parent's
+          ``used`` must be at least the sum of its children's.
+        * the usage trace never went negative or above capacity.
+        """
+        problems: List[str] = []
+        if self.used < -tolerance:
+            problems.append(f"{self.path}: used {self.used} < 0")
+        if self.used > self.capacity + tolerance:
+            problems.append(
+                f"{self.path}: used {self.used} > capacity {self.capacity}")
+        if self.used > self.peak + tolerance:
+            problems.append(
+                f"{self.path}: used {self.used} > peak {self.peak}")
+        if self.children:
+            child_sum = sum(c.used for c in self.children)
+            if child_sum > self.used + tolerance + 1e-9 * max(self.peak, 1.0):
+                problems.append(
+                    f"{self.path}: children hold {child_sum} > {self.used} "
+                    f"charged to parent")
+        for _t, v in self.usage:
+            if v < -tolerance or v > self.capacity + tolerance:
+                problems.append(
+                    f"{self.path}: usage trace value {v} outside "
+                    f"[0, {self.capacity}]")
+                break
+        for child in self.children:
+            problems.extend(child.audit(tolerance))
+        return problems
 
     def occupancy_series_percent(self) -> StepSeries:
         """Usage as percent-of-capacity (for "Memory %" figure panels)."""

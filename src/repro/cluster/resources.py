@@ -96,6 +96,24 @@ class CorePool:
     def queued(self) -> int:
         return len(self._waiters)
 
+    def audit(self) -> list:
+        """Return invariant-violation strings (empty when consistent)."""
+        problems = []
+        if not 0 <= self.busy <= self.cores:
+            problems.append(
+                f"{self.name}: busy {self.busy} outside [0, {self.cores}]")
+        if self.busy and self._waiters and self.busy < self.cores:
+            problems.append(
+                f"{self.name}: {len(self._waiters)} tasks queued while "
+                f"{self.available} cores idle (not work-conserving)")
+        for _t, v in self.busy_series:
+            if not 0 <= v <= self.cores:
+                problems.append(
+                    f"{self.name}: busy trace value {v} outside "
+                    f"[0, {self.cores}]")
+                break
+        return problems
+
     def __repr__(self) -> str:
         return f"CorePool({self.name!r}, {self.busy}/{self.cores} busy)"
 
@@ -153,6 +171,23 @@ class BufferPool:
         self.in_use += n
         self.peak_in_use = max(self.peak_in_use, self.in_use)
         self.usage.append(self.sim.now, self.in_use)
+
+    def audit(self) -> list:
+        """Return invariant-violation strings (empty when consistent)."""
+        problems = []
+        if not 0 <= self.in_use <= self.count:
+            problems.append(
+                f"{self.name}: in_use {self.in_use} outside [0, {self.count}]")
+        if self.peak_in_use > self.count:
+            problems.append(
+                f"{self.name}: peak_in_use {self.peak_in_use} > {self.count}")
+        for _t, v in self.usage:
+            if not 0 <= v <= self.count:
+                problems.append(
+                    f"{self.name}: usage trace value {v} outside "
+                    f"[0, {self.count}]")
+                break
+        return problems
 
     def __repr__(self) -> str:
         return f"BufferPool({self.name!r}, {self.in_use}/{self.count})"

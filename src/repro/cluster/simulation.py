@@ -249,6 +249,13 @@ class Simulation:
         self._heap: List = []
         self._seq = 0
         self._crashed: List = []
+        #: Total events dispatched (cancelled pops excluded).
+        self.steps_executed = 0
+        #: Kernel observers (e.g. :class:`repro.validation.InvariantChecker`
+        #: or a trace recorder): objects with an
+        #: ``on_kernel_step(sim, time, event, pre_triggered, cancelled)``
+        #: method, called on every heap pop.  Empty by default.
+        self.observers: List = []
 
     # ------------------------------------------------------------------
     # scheduling primitives
@@ -295,14 +302,15 @@ class Simulation:
         if time < self.now:  # pragma: no cover - guarded by _schedule
             raise SimulationError("event heap time went backwards")
         self.now = time
-        if event.callbacks is None:
+        cancelled = event.callbacks is None
+        if self.observers:
+            for obs in self.observers:
+                obs.on_kernel_step(self, time, event, pre_triggered, cancelled)
+        if cancelled:
             return  # cancelled / already dispatched
-        if pre_triggered or event.triggered:
-            event.triggered = True
-            self._dispatch(event)
-        else:
-            event.triggered = True
-            self._dispatch(event)
+        event.triggered = True
+        self.steps_executed += 1
+        self._dispatch(event)
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the heap drains or the clock passes ``until``.

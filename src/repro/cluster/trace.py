@@ -19,7 +19,7 @@ import bisect
 import math
 from typing import Iterable, Iterator, List, Sequence, Tuple
 
-__all__ = ["StepSeries", "merge_step_series"]
+__all__ = ["StepSeries", "merge_step_series", "check_series_bounds"]
 
 
 class StepSeries:
@@ -134,6 +134,37 @@ class StepSeries:
         grid = [start + i * step for i in range(n)]
         means = [self.mean(t, min(t + step, end)) for t in grid]
         return grid, means
+
+
+def check_series_bounds(
+    series: StepSeries,
+    name: str,
+    lower: float = 0.0,
+    upper: float = math.inf,
+    tolerance: float = 1e-9,
+) -> List[str]:
+    """Check every point of ``series`` lies in ``[lower, upper]``.
+
+    Returns violation strings (at most one per bound) rather than
+    raising, so callers can aggregate them across many resources.
+    Timestamps are also checked for monotonicity — :meth:`StepSeries.append`
+    enforces it, but direct list manipulation could break it.
+    """
+    problems: List[str] = []
+    span = max(abs(lower), abs(upper)) if math.isfinite(upper) else abs(lower)
+    slack = tolerance * max(1.0, span)
+    low_hit = next((v for v in series.values if v < lower - slack), None)
+    if low_hit is not None:
+        problems.append(f"{name}: value {low_hit} < lower bound {lower}")
+    if math.isfinite(upper):
+        high_hit = next((v for v in series.values if v > upper + slack), None)
+        if high_hit is not None:
+            problems.append(f"{name}: value {high_hit} > upper bound {upper}")
+    for i in range(1, len(series.times)):
+        if series.times[i] < series.times[i - 1]:
+            problems.append(f"{name}: timestamps not monotone at index {i}")
+            break
+    return problems
 
 
 def merge_step_series(

@@ -75,6 +75,29 @@ class FlinkMemoryModel:
                 f"the solution set is computed in memory and cannot "
                 f"spill (see FLINK-2250 discussion in the paper)")
 
+    def audit(self) -> list:
+        """Return invariant-violation strings (empty when consistent).
+
+        Flink's model is stateless, so the audit checks configuration
+        consistency: the managed pool and sort budget are non-negative,
+        the sort budget fits inside the managed pool, and spill volume
+        is zero for working sets within budget.
+        """
+        problems = []
+        if self.managed_per_node < 0:
+            problems.append(
+                f"flink managed memory negative: {self.managed_per_node}")
+        budget = self.sort_budget_per_node()
+        if budget < 0 or budget > self.managed_per_node * (1.0 + 1e-9):
+            problems.append(
+                f"flink sort budget {budget} outside "
+                f"[0, {self.managed_per_node}]")
+        if self.spill_bytes(budget) > 1e-6:
+            problems.append(
+                "flink spill model: in-budget working set reports "
+                f"{self.spill_bytes(budget)} spilled bytes")
+        return problems
+
     # ------------------------------------------------------------------
     def gc_cpu_factor(self, working_set_per_node: float) -> float:
         """Flink stores data in its dedicated memory region, so the JVM

@@ -177,6 +177,38 @@ class SparkMemoryModel:
         return self.costs.gc_factor(
             self.heap_occupancy(stage_working_bytes_per_node))
 
+    def audit(self) -> list:
+        """Return invariant-violation strings (empty when consistent).
+
+        Checked: the storage pool never oversubscribes its configured
+        fraction, cached blocks never claim more logical bytes than were
+        requested, hit fractions stay in [0, 1], and iteration residue
+        is non-negative.
+        """
+        problems = []
+        tol = 1.0 + 1e-9
+        if self.storage_used > self.config.storage_memory * tol:
+            problems.append(
+                f"spark storage pool: {self.storage_used} bytes cached > "
+                f"storage fraction {self.config.storage_memory}")
+        if self.iteration_residue_bytes < 0:
+            problems.append(
+                f"spark iteration residue negative: "
+                f"{self.iteration_residue_bytes}")
+        for name, rdd in self.cached.items():
+            if rdd.heap_bytes < 0 or rdd.logical_bytes < 0:
+                problems.append(f"cached rdd {name}: negative size")
+            if rdd.requested_logical_bytes > 0 and \
+                    rdd.logical_bytes > rdd.requested_logical_bytes * tol:
+                problems.append(
+                    f"cached rdd {name}: holds {rdd.logical_bytes} logical "
+                    f"bytes > requested {rdd.requested_logical_bytes}")
+            if not 0.0 <= rdd.hit_fraction <= 1.0:
+                problems.append(
+                    f"cached rdd {name}: hit fraction {rdd.hit_fraction} "
+                    f"outside [0, 1]")
+        return problems
+
     def add_iteration_residue(self, bytes_per_node: float) -> None:
         """GraphX keeps lineage of intermediate ranks across supersteps
         ("the memory increases from one iteration to another", §VI-E)."""

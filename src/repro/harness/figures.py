@@ -81,12 +81,13 @@ class ResourceFigure:
 def _scaling(figure_id: str, title: str, xs: Sequence[float],
              make_workload: Callable[[float], Workload],
              make_config: Callable[[float], ExperimentConfig],
-             trials: int, seed: int) -> ScalingFigure:
+             trials: int, seed: int,
+             strict: Optional[bool] = None) -> ScalingFigure:
     series: Dict[str, ScalingSeries] = {}
     raw: Dict[str, List[TrialStats]] = {}
     for engine in ENGINES:
         stats = [run_trials(engine, make_workload(x), make_config(x),
-                            trials=trials, base_seed=seed)
+                            trials=trials, base_seed=seed, strict=strict)
                  for x in xs]
         raw[engine] = stats
         series[engine] = ScalingSeries(
@@ -99,8 +100,10 @@ def _scaling(figure_id: str, title: str, xs: Sequence[float],
 
 
 def _resources(figure_id: str, title: str, workload: Workload,
-               config: ExperimentConfig, seed: int) -> ResourceFigure:
-    runs = {engine: run_correlated(engine, workload, config, seed=seed)
+               config: ExperimentConfig, seed: int,
+               strict: Optional[bool] = None) -> ResourceFigure:
+    runs = {engine: run_correlated(engine, workload, config, seed=seed,
+                                   strict=strict)
             for engine in ENGINES}
     return ResourceFigure(figure_id=figure_id, title=title, runs=runs)
 
@@ -109,68 +112,73 @@ def _resources(figure_id: str, title: str, workload: Workload,
 # Word Count (Figs. 1-3)
 # ----------------------------------------------------------------------
 def fig01_wordcount_weak(trials: int = 3, seed: int = 0,
-                         nodes: Sequence[int] = (2, 4, 8, 16, 32)
-                         ) -> ScalingFigure:
+                         nodes: Sequence[int] = (2, 4, 8, 16, 32),
+                         strict: Optional[bool] = None) -> ScalingFigure:
     """Word Count, fixed 24 GB per node."""
     return _scaling(
         "fig01", "Word Count - fixed problem size per node (24GB)",
         nodes,
         lambda n: WordCount(total_bytes=n * 24 * GiB),
         lambda n: wordcount_grep_preset(int(n)),
-        trials, seed)
+        trials, seed, strict=strict)
 
 
 def fig02_wordcount_strong(trials: int = 3, seed: int = 0,
                            gb_per_node: Sequence[int] = (24, 27, 30, 33),
-                           nodes: int = 16) -> ScalingFigure:
+                           nodes: int = 16,
+                           strict: Optional[bool] = None) -> ScalingFigure:
     """Word Count, 16 nodes, growing datasets."""
     fig = _scaling(
         "fig02", "Word Count - 16 nodes, different datasets",
         gb_per_node,
         lambda gb: WordCount(total_bytes=nodes * gb * GiB),
         lambda gb: wordcount_grep_preset(nodes),
-        trials, seed)
+        trials, seed, strict=strict)
     return fig
 
 
-def fig03_wordcount_resources(seed: int = 0, nodes: int = 32
-                              ) -> ResourceFigure:
+def fig03_wordcount_resources(seed: int = 0, nodes: int = 32,
+        strict: Optional[bool] = None
+        ) -> ResourceFigure:
     """Word Count resource usage, 32 nodes, 768 GB."""
     return _resources("fig03",
                       "Word Count resource usage (32 nodes, 768 GB)",
                       WordCount(total_bytes=nodes * 24 * GiB),
-                      wordcount_grep_preset(nodes), seed)
+                      wordcount_grep_preset(nodes), seed, strict=strict)
 
 
 # ----------------------------------------------------------------------
 # Grep (Figs. 4-6)
 # ----------------------------------------------------------------------
 def fig04_grep_weak(trials: int = 3, seed: int = 0,
-                    nodes: Sequence[int] = (2, 4, 8, 16, 32)
-                    ) -> ScalingFigure:
+                    nodes: Sequence[int] = (2, 4, 8, 16, 32),
+                    strict: Optional[bool] = None) -> ScalingFigure:
     return _scaling(
         "fig04", "Grep - fixed problem size per node (24GB)",
         nodes,
         lambda n: Grep(total_bytes=n * 24 * GiB),
         lambda n: wordcount_grep_preset(int(n)),
-        trials, seed)
+        trials, seed, strict=strict)
 
 
 def fig05_grep_strong(trials: int = 3, seed: int = 0,
                       gb_per_node: Sequence[int] = (24, 27, 30, 33),
-                      nodes: int = 16) -> ScalingFigure:
+                      nodes: int = 16,
+                      strict: Optional[bool] = None) -> ScalingFigure:
     return _scaling(
         "fig05", "Grep - 16 nodes, different datasets",
         gb_per_node,
         lambda gb: Grep(total_bytes=nodes * gb * GiB),
         lambda gb: wordcount_grep_preset(nodes),
-        trials, seed)
+        trials, seed, strict=strict)
 
 
-def fig06_grep_resources(seed: int = 0, nodes: int = 32) -> ResourceFigure:
+def fig06_grep_resources(seed: int = 0, nodes: int = 32,
+        strict: Optional[bool] = None
+        ) -> ResourceFigure:
     return _resources("fig06", "Grep resource usage (32 nodes, 768 GB)",
                       Grep(total_bytes=nodes * 24 * GiB),
-                      wordcount_grep_preset(nodes), seed)
+                      wordcount_grep_preset(nodes), seed, strict=strict)
 
 
 # ----------------------------------------------------------------------
@@ -183,54 +191,57 @@ def _terasort(nodes: int, total_bytes: float) -> TeraSort:
 
 
 def fig07_terasort_weak(trials: int = 3, seed: int = 0,
-                        nodes: Sequence[int] = (17, 34, 63)
-                        ) -> ScalingFigure:
+                        nodes: Sequence[int] = (17, 34, 63),
+                        strict: Optional[bool] = None) -> ScalingFigure:
     return _scaling(
         "fig07", "Tera Sort - fixed problem size per node (32 GB)",
         nodes,
         lambda n: _terasort(int(n), n * 32 * GiB),
         lambda n: terasort_preset(int(n)),
-        trials, seed)
+        trials, seed, strict=strict)
 
 
 def fig08_terasort_strong(trials: int = 3, seed: int = 0,
-                          nodes: Sequence[int] = (55, 73, 97)
-                          ) -> ScalingFigure:
+                          nodes: Sequence[int] = (55, 73, 97),
+                          strict: Optional[bool] = None) -> ScalingFigure:
     return _scaling(
         "fig08", "Tera Sort - adding nodes, same dataset (3.5TB)",
         nodes,
         lambda n: _terasort(int(n), 3.5 * TiB),
         lambda n: terasort_preset(int(n)),
-        trials, seed)
+        trials, seed, strict=strict)
 
 
-def fig09_terasort_resources(seed: int = 0, nodes: int = 55
-                             ) -> ResourceFigure:
+def fig09_terasort_resources(seed: int = 0, nodes: int = 55,
+        strict: Optional[bool] = None
+        ) -> ResourceFigure:
     return _resources("fig09",
                       "Tera Sort resource usage (55 nodes, 3.5 TB)",
                       _terasort(nodes, 3.5 * TiB),
-                      terasort_preset(nodes), seed)
+                      terasort_preset(nodes), seed, strict=strict)
 
 
 # ----------------------------------------------------------------------
 # K-Means (Figs. 10-11)
 # ----------------------------------------------------------------------
-def fig10_kmeans_resources(seed: int = 0, nodes: int = 24) -> ResourceFigure:
+def fig10_kmeans_resources(seed: int = 0, nodes: int = 24,
+        strict: Optional[bool] = None
+        ) -> ResourceFigure:
     return _resources(
         "fig10", "K-Means resource usage (24 nodes, 10 iterations)",
         KMeans(total_bytes=51 * GiB, iterations=10),
-        kmeans_preset(nodes), seed)
+        kmeans_preset(nodes), seed, strict=strict)
 
 
 def fig11_kmeans_scaling(trials: int = 3, seed: int = 0,
-                         nodes: Sequence[int] = (8, 14, 20, 24)
-                         ) -> ScalingFigure:
+                         nodes: Sequence[int] = (8, 14, 20, 24),
+                         strict: Optional[bool] = None) -> ScalingFigure:
     return _scaling(
         "fig11", "K-Means - increasing cluster size, same dataset",
         nodes,
         lambda n: KMeans(total_bytes=51 * GiB, iterations=10),
         lambda n: kmeans_preset(int(n)),
-        trials, seed)
+        trials, seed, strict=strict)
 
 
 # ----------------------------------------------------------------------
@@ -249,60 +260,65 @@ def _cc(graph: GraphDatasetModel, cfg: ExperimentConfig,
 
 
 def fig12_pagerank_small(trials: int = 3, seed: int = 0,
-                         nodes: Sequence[int] = (8, 14, 20, 27)
-                         ) -> ScalingFigure:
+                         nodes: Sequence[int] = (8, 14, 20, 27),
+                         strict: Optional[bool] = None) -> ScalingFigure:
     return _scaling(
         "fig12", "Page Rank - Small Graph (increasing cluster size)",
         nodes,
         lambda n: _pagerank(SMALL_GRAPH, small_graph_preset(int(n)), 20),
         lambda n: small_graph_preset(int(n)),
-        trials, seed)
+        trials, seed, strict=strict)
 
 
 def fig13_pagerank_medium(trials: int = 3, seed: int = 0,
-                          nodes: Sequence[int] = (24, 27, 34, 55)
-                          ) -> ScalingFigure:
+                          nodes: Sequence[int] = (24, 27, 34, 55),
+                          strict: Optional[bool] = None) -> ScalingFigure:
     return _scaling(
         "fig13", "Page Rank - Medium Graph (increasing cluster size)",
         nodes,
         lambda n: _pagerank(MEDIUM_GRAPH, medium_graph_preset(int(n)), 20),
         lambda n: medium_graph_preset(int(n)),
-        trials, seed)
+        trials, seed, strict=strict)
 
 
 def fig14_cc_small(trials: int = 3, seed: int = 0,
-                   nodes: Sequence[int] = (8, 14, 20, 27)) -> ScalingFigure:
+                   nodes: Sequence[int] = (8, 14, 20, 27),
+                   strict: Optional[bool] = None) -> ScalingFigure:
     return _scaling(
         "fig14", "Connected Components - Small Graph",
         nodes,
         lambda n: _cc(SMALL_GRAPH, small_graph_preset(int(n)), 23),
         lambda n: small_graph_preset(int(n)),
-        trials, seed)
+        trials, seed, strict=strict)
 
 
 def fig15_cc_medium(trials: int = 3, seed: int = 0,
-                    nodes: Sequence[int] = (27, 34, 55)) -> ScalingFigure:
+                    nodes: Sequence[int] = (27, 34, 55),
+                    strict: Optional[bool] = None) -> ScalingFigure:
     return _scaling(
         "fig15", "Connected Components - Medium Graph",
         nodes,
         lambda n: _cc(MEDIUM_GRAPH, medium_graph_preset(int(n)), 23),
         lambda n: medium_graph_preset(int(n)),
-        trials, seed)
+        trials, seed, strict=strict)
 
 
-def fig16_pagerank_resources(seed: int = 0, nodes: int = 27
-                             ) -> ResourceFigure:
+def fig16_pagerank_resources(seed: int = 0, nodes: int = 27,
+        strict: Optional[bool] = None
+        ) -> ResourceFigure:
     cfg = small_graph_preset(nodes)
     return _resources("fig16",
                       "Page Rank resource usage (27 nodes, Small Graph)",
-                      _pagerank(SMALL_GRAPH, cfg, 20), cfg, seed)
+                      _pagerank(SMALL_GRAPH, cfg, 20), cfg, seed, strict=strict)
 
 
-def fig17_cc_resources(seed: int = 0, nodes: int = 27) -> ResourceFigure:
+def fig17_cc_resources(seed: int = 0, nodes: int = 27,
+        strict: Optional[bool] = None
+        ) -> ResourceFigure:
     cfg = medium_graph_preset(nodes)
     return _resources("fig17",
                       "CC resource usage (27 nodes, Medium Graph)",
-                      _cc(MEDIUM_GRAPH, cfg, 23), cfg, seed)
+                      _cc(MEDIUM_GRAPH, cfg, 23), cfg, seed, strict=strict)
 
 
 # ----------------------------------------------------------------------
@@ -327,7 +343,8 @@ class LargeGraphCell:
 
 def tab07_large_graph(seed: int = 0,
                       node_counts: Sequence[int] = (27, 44, 97),
-                      double_edge_partitions: bool = True
+                      double_edge_partitions: bool = True,
+                      strict: Optional[bool] = None
                       ) -> List[LargeGraphCell]:
     """Run the Table VII grid; Flink's load includes the vertex count."""
     from .runner import run_once
@@ -341,7 +358,8 @@ def tab07_large_graph(seed: int = 0,
         ]
         for name, workload in workloads:
             for engine in ENGINES:
-                result = run_once(engine, workload, cfg, seed=seed)
+                result = run_once(engine, workload, cfg, seed=seed,
+                                  strict=strict)
                 if not result.success:
                     cells.append(LargeGraphCell(
                         engine=engine, workload=name, nodes=nodes,

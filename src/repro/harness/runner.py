@@ -28,6 +28,7 @@ from ..engines.common.result import EngineRunResult
 from ..engines.flink.engine import FlinkEngine
 from ..engines.spark.engine import SparkEngine
 from ..hdfs.filesystem import HDFS
+from ..validation.invariants import InvariantChecker, strict_enabled
 from ..workloads.base import Workload
 
 __all__ = ["Deployment", "TrialStats", "run_once", "run_trials"]
@@ -83,10 +84,20 @@ class TrialStats:
 
 
 def run_once(engine_name: str, workload: Workload, config: ExperimentConfig,
-             seed: int = 0, keep_deployment: bool = False
-             ) -> EngineRunResult:
-    """Deploy, import the dataset, run every job of the workload."""
+             seed: int = 0, keep_deployment: bool = False,
+             strict: Optional[bool] = None) -> EngineRunResult:
+    """Deploy, import the dataset, run every job of the workload.
+
+    ``strict`` attaches an :class:`~repro.validation.InvariantChecker`
+    to the deployment: the kernel and fluid scheduler are audited online
+    and the whole cluster post-run; any violation raises
+    :class:`~repro.validation.InvariantViolation`.  ``None`` defers to
+    :func:`repro.validation.set_strict_default`.
+    """
+    checker = InvariantChecker() if strict_enabled(strict) else None
     cluster = Cluster(config.nodes, seed=seed)
+    if checker is not None:
+        checker.attach(cluster)
     hdfs = HDFS(cluster, block_size=config.hdfs_block_size, seed=seed)
     for path, size in workload.input_files():
         hdfs.create_file(path, size)
@@ -114,6 +125,13 @@ def run_once(engine_name: str, workload: Workload, config: ExperimentConfig,
         if not result.success:
             break
     assert merged is not None
+    if checker is not None:
+        checker.audit_cluster(cluster)
+        checker.audit_engine(engine)
+        checker.audit_result(merged)
+        checker.require_clean(
+            f"{engine_name}/{workload.name} x{config.nodes} seed={seed}")
+        checker.detach(cluster)
     if keep_deployment:
         merged.metrics["_deployment"] = Deployment(  # type: ignore[assignment]
             cluster=cluster, hdfs=hdfs, engine=engine, result=merged)
@@ -122,30 +140,38 @@ def run_once(engine_name: str, workload: Workload, config: ExperimentConfig,
 
 def run_correlated(engine_name: str, workload: Workload,
                    config: ExperimentConfig, seed: int = 0,
-                   step: float = 1.0):
+                   step: float = 1.0, strict: Optional[bool] = None):
     """Run once and join the result with its resource traces.
 
     Returns a :class:`~repro.core.correlate.CorrelatedRun` — the unit
-    the paper's resource figures are drawn from.
+    the paper's resource figures are drawn from.  In strict mode the
+    resampled panels are bounds-checked on top of the run audits.
     """
     from ..core.correlate import correlate  # local import: avoid cycle
     result = run_once(engine_name, workload, config, seed=seed,
-                      keep_deployment=True)
+                      keep_deployment=True, strict=strict)
     deployment: Deployment = result.metrics.pop("_deployment")
     if not result.success:
         raise RuntimeError(f"run failed, cannot correlate: {result.failure}")
-    return correlate(deployment.cluster, result, step=step)
+    run = correlate(deployment.cluster, result, step=step)
+    if strict_enabled(strict):
+        checker = InvariantChecker()
+        checker.audit_frames(run.frames)
+        checker.require_clean(
+            f"{engine_name}/{workload.name} x{config.nodes} frames")
+    return run
 
 
 def run_trials(engine_name: str, workload: Workload,
                config: ExperimentConfig, trials: int = 3,
-               base_seed: int = 0) -> TrialStats:
+               base_seed: int = 0, strict: Optional[bool] = None
+               ) -> TrialStats:
     """Repeat :func:`run_once` with fresh deployments and varied seeds."""
     stats = TrialStats(engine=engine_name, workload=workload.name,
                        nodes=config.nodes)
     for t in range(trials):
         result = run_once(engine_name, workload, config,
-                          seed=base_seed + 1000 * t)
+                          seed=base_seed + 1000 * t, strict=strict)
         stats.results.append(result)
         if result.success:
             stats.durations.append(result.duration)

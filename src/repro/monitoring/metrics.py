@@ -17,7 +17,8 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
-__all__ = ["Metric", "MetricFrame", "RESOURCE_PANELS"]
+__all__ = ["Metric", "MetricFrame", "RESOURCE_PANELS", "PERCENT_METRICS",
+           "validate_frame"]
 
 MiB = float(2**20)
 
@@ -104,6 +105,44 @@ class MetricFrame:
         window — the paper's "CPU and disk-bound" style statements."""
         return self.average_between(max(start, self.times[0] if self.times else 0.0),
                                     min(end, math.inf)) >= threshold
+
+
+#: Panels expressed as a percentage (bounded by 100 per node).
+PERCENT_METRICS = frozenset({
+    Metric.CPU_PERCENT,
+    Metric.MEMORY_PERCENT,
+    Metric.DISK_UTIL_PERCENT,
+})
+
+
+def validate_frame(frame: MetricFrame, tolerance: float = 1e-6) -> List[str]:
+    """Check physical bounds on one resampled panel.
+
+    Every panel must be non-negative; percentage panels must keep their
+    across-node mean at or below 100 and their cluster total at or below
+    ``100 * num_nodes``.  Returns violation strings (empty when clean).
+    """
+    problems: List[str] = []
+    name = frame.metric.value
+    neg = next((v for v in frame.mean if v < -tolerance), None)
+    if neg is not None:
+        problems.append(f"{name}: negative mean sample {neg}")
+    neg_total = next((v for v in frame.total if v < -tolerance), None)
+    if neg_total is not None:
+        problems.append(f"{name}: negative total sample {neg_total}")
+    if frame.metric in PERCENT_METRICS:
+        slack = 100.0 * tolerance + tolerance
+        high = next((v for v in frame.mean if v > 100.0 + slack), None)
+        if high is not None:
+            problems.append(f"{name}: mean sample {high} > 100%")
+        cap = 100.0 * frame.num_nodes
+        high_total = next((v for v in frame.total if v > cap + cap * tolerance),
+                          None)
+        if high_total is not None:
+            problems.append(
+                f"{name}: total sample {high_total} > {cap} "
+                f"({frame.num_nodes} nodes)")
+    return problems
 
 
 def anti_correlation(a: Sequence[float], b: Sequence[float]) -> float:

@@ -1,0 +1,293 @@
+"""Runtime invariant checking for the cluster simulator.
+
+An :class:`InvariantChecker` hooks into a running simulation at two
+levels:
+
+* **online** — as a kernel observer it checks causal event ordering on
+  every heap pop, and as the fluid scheduler's ``checker`` it audits
+  every max–min reallocation for fairness, work conservation and rate
+  caps *at the moment the rates are computed*;
+* **post-hoc** — after a run, :meth:`audit_cluster` verifies flow byte
+  conservation against each capacity's throughput trace, bounded
+  utilisation, memory-account balance and core-pool sanity, while
+  :meth:`audit_engine` and :meth:`audit_frames` cover the framework
+  memory models and the resampled monitoring panels.
+
+Violations are *collected*, not raised, so one run reports everything
+wrong with it; callers end with :meth:`require_clean`, which raises
+:class:`InvariantViolation` listing every recorded problem.
+
+The max–min fairness test uses the classical characterisation: an
+allocation is max–min fair iff every flow is either at its own rate cap
+or crosses a **saturated bottleneck** capacity on which its rate is
+maximal.  Progressive filling (what :class:`~repro.cluster.fluid.
+FluidScheduler` implements) provably produces such an allocation, so
+any violation indicates a scheduler bug, not model noise.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, List, Optional
+
+from ..cluster.simulation import SimulationError
+from ..cluster.trace import check_series_bounds
+
+__all__ = [
+    "InvariantChecker",
+    "InvariantViolation",
+    "set_strict_default",
+    "strict_checking",
+    "strict_enabled",
+]
+
+
+class InvariantViolation(SimulationError):
+    """One or more simulator invariants were broken during a run."""
+
+    def __init__(self, context: str, violations: List[str]) -> None:
+        listing = "\n  - ".join(violations)
+        super().__init__(
+            f"{len(violations)} invariant violation(s) in {context}:\n"
+            f"  - {listing}")
+        self.context = context
+        self.violations = list(violations)
+
+
+# ----------------------------------------------------------------------
+# strict-mode default (what `strict=None` resolves to)
+# ----------------------------------------------------------------------
+_STRICT_DEFAULT = False
+
+
+def set_strict_default(value: bool) -> bool:
+    """Set the process-wide default for ``strict=None``; returns the
+    previous default."""
+    global _STRICT_DEFAULT
+    previous = _STRICT_DEFAULT
+    _STRICT_DEFAULT = bool(value)
+    return previous
+
+
+def strict_enabled(explicit: Optional[bool] = None) -> bool:
+    """Resolve an explicit ``strict`` argument against the default."""
+    if explicit is None:
+        return _STRICT_DEFAULT
+    return bool(explicit)
+
+
+@contextmanager
+def strict_checking(value: bool = True):
+    """Context manager: every run inside audits itself.
+
+    >>> with strict_checking():
+    ...     fig01_wordcount_weak(trials=1, nodes=(2,))
+    """
+    previous = set_strict_default(value)
+    try:
+        yield
+    finally:
+        set_strict_default(previous)
+
+
+class InvariantChecker:
+    """Collects invariant violations from a simulated run.
+
+    ``tolerance`` is a *relative* slack applied to every floating-point
+    comparison; rate and byte comparisons additionally scale it by the
+    magnitude of the quantities involved, so a violation always means a
+    modelling error, never float noise.
+    """
+
+    #: Stop recording after this many violations (a broken allocator
+    #: would otherwise produce one per event).
+    MAX_RECORDED = 64
+
+    def __init__(self, tolerance: float = 1e-6) -> None:
+        self.tolerance = tolerance
+        self.violations: List[str] = []
+        self.suppressed = 0
+        #: How many times each check ran (observability + tests).
+        self.checks: Dict[str, int] = {
+            "kernel_step": 0,
+            "max_min": 0,
+            "cluster_audit": 0,
+            "engine_audit": 0,
+            "frame_audit": 0,
+        }
+        self._last_pop_time = 0.0
+
+    # ------------------------------------------------------------------
+    def _record(self, message: str) -> None:
+        if len(self.violations) < self.MAX_RECORDED:
+            self.violations.append(message)
+        else:
+            self.suppressed += 1
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations and not self.suppressed
+
+    def require_clean(self, context: str) -> None:
+        """Raise :class:`InvariantViolation` if anything was recorded."""
+        if not self.clean:
+            violations = list(self.violations)
+            if self.suppressed:
+                violations.append(
+                    f"... and {self.suppressed} further violation(s) "
+                    f"suppressed")
+            raise InvariantViolation(context, violations)
+
+    # ------------------------------------------------------------------
+    # online hooks
+    # ------------------------------------------------------------------
+    def attach(self, cluster) -> "InvariantChecker":
+        """Wire this checker into a cluster's kernel and fluid scheduler."""
+        cluster.sim.observers.append(self)
+        cluster.fluid.checker = self
+        return self
+
+    def detach(self, cluster) -> None:
+        if self in cluster.sim.observers:
+            cluster.sim.observers.remove(self)
+        if cluster.fluid.checker is self:
+            cluster.fluid.checker = None
+
+    def on_kernel_step(self, sim, time: float, event, pre_triggered: bool,
+                       cancelled: bool) -> None:
+        """Causal ordering: the clock never runs backwards, and a live
+        event is dispatched exactly once."""
+        self.checks["kernel_step"] += 1
+        if time < self._last_pop_time:
+            self._record(
+                f"kernel: event at t={time} popped after t="
+                f"{self._last_pop_time} (clock ran backwards)")
+        self._last_pop_time = time
+        if not cancelled and event.triggered:
+            self._record(
+                f"kernel: event {event!r} dispatched twice at t={time}")
+
+    def check_max_min(self, scheduler, component) -> None:
+        """Audit one freshly computed allocation over a component.
+
+        Checks, in order: non-negative rates, per-flow rate caps, no
+        oversubscribed capacity, and the max–min characterisation (every
+        flow is capped or bottlenecked at a saturated capacity where its
+        rate is maximal — which also implies work conservation).
+        """
+        self.checks["max_min"] += 1
+        tol = self.tolerance
+        caps = set()
+        for flow in component:
+            caps.update(flow.capacities)
+
+        cap_rate = {}
+        saturated = {}
+        max_rate_on = {}
+        for cap in caps:
+            total = sum(f.rate for f in cap.flows)
+            eff = cap.effective_bandwidth()
+            slack = tol * max(1.0, eff)
+            cap_rate[cap] = total
+            saturated[cap] = total >= eff - slack
+            max_rate_on[cap] = max((f.rate for f in cap.flows), default=0.0)
+            if total > eff + slack:
+                self._record(
+                    f"fluid: capacity {cap.name} oversubscribed: "
+                    f"{total} > effective bandwidth {eff}")
+
+        for flow in component:
+            rate_slack = tol * max(1.0, flow.rate)
+            if flow.rate < -rate_slack:
+                self._record(f"fluid: flow #{flow.id} has negative rate "
+                             f"{flow.rate}")
+                continue
+            if flow.rate_cap is not None:
+                cap_slack = tol * max(1.0, flow.rate_cap)
+                if flow.rate > flow.rate_cap + cap_slack:
+                    self._record(
+                        f"fluid: flow #{flow.id} rate {flow.rate} exceeds "
+                        f"its cap {flow.rate_cap}")
+                if flow.rate >= flow.rate_cap - cap_slack:
+                    continue  # frozen at its own cap: max-min satisfied
+            bottlenecked = any(
+                saturated[cap] and
+                flow.rate >= max_rate_on[cap] - tol * max(1.0, max_rate_on[cap])
+                for cap in flow.capacities)
+            if not bottlenecked:
+                self._record(
+                    f"fluid: flow #{flow.id} (rate {flow.rate}, cap "
+                    f"{flow.rate_cap}) is neither capped nor bottlenecked "
+                    f"— allocation is not max-min fair / work-conserving")
+
+    # ------------------------------------------------------------------
+    # post-run audits
+    # ------------------------------------------------------------------
+    def audit_cluster(self, cluster) -> None:
+        """Byte conservation, bounded traces, memory balance, core sanity."""
+        self.checks["cluster_audit"] += 1
+        now = cluster.sim.now
+        moved = cluster.fluid.moved_bytes_by_capacity()
+        for node in cluster.nodes:
+            for cap in (node.cpu, node.disk, node.nic_in, node.nic_out):
+                integral = cap.throughput.integral(0.0, now) if now > 0 else 0.0
+                expected = moved.get(cap.name, 0.0)
+                scale = max(integral, expected, 1.0)
+                # Completions may settle up to 1ns early (the wakeup
+                # heap's coalescing window), each leaving < bandwidth*1e-9
+                # bytes of slack; 4 KiB + 1e-6 relative covers any run.
+                slack = max(4096.0, self.tolerance * scale)
+                if abs(integral - expected) > slack:
+                    self._record(
+                        f"fluid: {cap.name} moved {expected} bytes but its "
+                        f"throughput trace integrates to {integral} "
+                        f"(byte conservation broken)")
+                for problem in check_series_bounds(
+                        cap.utilisation, f"{cap.name}.utilisation",
+                        0.0, 100.0, tolerance=self.tolerance):
+                    self._record(problem)
+                for problem in check_series_bounds(
+                        cap.throughput, f"{cap.name}.throughput",
+                        0.0, cap.bandwidth, tolerance=self.tolerance):
+                    self._record(problem)
+            mem_tol = max(1.0, node.memory.peak * 1e-9)
+            for problem in node.memory.audit(tolerance=mem_tol):
+                self._record(f"memory: {problem}")
+            for problem in node.cores.audit():
+                self._record(f"cores: {problem}")
+
+    def audit_engine(self, engine) -> None:
+        """Audit a framework's memory model (and buffer pools, if any)."""
+        self.checks["engine_audit"] += 1
+        memory = getattr(engine, "memory", None)
+        if memory is not None and hasattr(memory, "audit"):
+            for problem in memory.audit():
+                self._record(f"engine memory: {problem}")
+        buffers = getattr(engine, "buffers", None)
+        if buffers is not None and hasattr(buffers, "audit"):
+            for problem in buffers.audit():
+                self._record(f"engine buffers: {problem}")
+
+    def audit_result(self, result) -> None:
+        """Structural sanity of a finished run's timeline."""
+        if result.end < result.start:
+            self._record(
+                f"result: run ends at {result.end} before it starts at "
+                f"{result.start}")
+        for job in result.jobs:
+            if job.end < job.start:
+                self._record(
+                    f"result: job {job.name!r} ends at {job.end} before "
+                    f"it starts at {job.start}")
+
+    def audit_frames(self, frames) -> None:
+        """Physical bounds on resampled monitoring panels."""
+        from ..monitoring.metrics import validate_frame
+        self.checks["frame_audit"] += 1
+        for frame in frames.values():
+            for problem in validate_frame(frame, tolerance=self.tolerance):
+                self._record(f"monitoring: {problem}")
+
+    def __repr__(self) -> str:
+        state = "clean" if self.clean else f"{len(self.violations)} violations"
+        return f"InvariantChecker({state}, checks={self.checks})"

@@ -1,0 +1,175 @@
+"""Deterministic-replay harness: golden digests for paper scenarios.
+
+Each :class:`ReplayScenario` runs one paper artefact at a reduced (but
+still multi-node, multi-stage) scale and reduces its full observable
+trace to one SHA-256 digest via :mod:`repro.validation.digest`.  The
+golden digests live in ``tests/golden/digests.json``; replaying a
+scenario and getting a different digest means the simulator's event
+trace changed — either an intended model change (regenerate the
+goldens) or a determinism regression (fix it).
+
+Workflow::
+
+    repro validate                    # strict invariant pass only
+    repro validate --replay           # ...plus digest comparison
+    repro validate --replay --update-golden   # re-record after a change
+
+The golden file path resolves, in order: the ``REPRO_GOLDEN_PATH``
+environment variable, ``tests/golden/digests.json`` upward from this
+module (the in-repo layout), then the current working directory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..harness import figures
+from .digest import (digest_payload, resource_payload, scaling_payload,
+                     table_payload)
+
+__all__ = [
+    "ReplayScenario",
+    "SCENARIOS",
+    "GOLDEN_ENV",
+    "golden_path",
+    "load_golden",
+    "save_golden",
+    "compute_digests",
+    "verify_replay",
+]
+
+GOLDEN_ENV = "REPRO_GOLDEN_PATH"
+GOLDEN_RELPATH = Path("tests") / "golden" / "digests.json"
+
+
+@dataclass(frozen=True)
+class ReplayScenario:
+    """One replayable paper artefact at regression-test scale."""
+
+    name: str
+    description: str
+    run: Callable[[int, Optional[bool]], Any]
+
+    def digest(self, seed: int = 0, strict: Optional[bool] = None) -> str:
+        return digest_payload(self.run(seed, strict))
+
+
+def _fig01(seed: int, strict: Optional[bool]) -> Any:
+    fig = figures.fig01_wordcount_weak(trials=1, seed=seed, nodes=(2, 4),
+                                       strict=strict)
+    return scaling_payload(fig)
+
+
+def _fig10(seed: int, strict: Optional[bool]) -> Any:
+    fig = figures.fig10_kmeans_resources(seed=seed, nodes=8, strict=strict)
+    return resource_payload(fig)
+
+
+def _tab07(seed: int, strict: Optional[bool]) -> Any:
+    cells = figures.tab07_large_graph(seed=seed, node_counts=(27,),
+                                      strict=strict)
+    return table_payload(cells)
+
+
+#: The replay suite: the ISSUE's minimum bar (Fig. 1, Fig. 10, Tab. 7).
+SCENARIOS: Dict[str, ReplayScenario] = {
+    "fig01": ReplayScenario(
+        "fig01", "Word Count weak scaling (2 and 4 nodes, 1 trial)", _fig01),
+    "fig10": ReplayScenario(
+        "fig10", "K-Means resource panels (8 nodes, 10 iterations)", _fig10),
+    "tab07": ReplayScenario(
+        "tab07", "Table VII Large-graph grid (27 nodes)", _tab07),
+}
+
+
+# ----------------------------------------------------------------------
+# golden file handling
+# ----------------------------------------------------------------------
+def golden_path() -> Path:
+    """Locate the golden digest file (see module docstring for order)."""
+    env = os.environ.get(GOLDEN_ENV)
+    if env:
+        return Path(env)
+    here = Path(__file__).resolve()
+    for parent in here.parents:
+        candidate = parent / GOLDEN_RELPATH
+        if candidate.exists():
+            return candidate
+    return Path.cwd() / GOLDEN_RELPATH
+
+
+def load_golden(path: Optional[Path] = None) -> Dict[str, str]:
+    path = Path(path) if path is not None else golden_path()
+    if not path.exists():
+        return {}
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    return dict(data.get("digests", {}))
+
+
+def save_golden(digests: Dict[str, str], path: Optional[Path] = None,
+                seed: int = 0) -> Path:
+    path = Path(path) if path is not None else golden_path()
+    path.parent.mkdir(parents=True, exist_ok=True)
+    existing = load_golden(path)
+    existing.update(digests)
+    payload = {
+        "comment": "Golden trace digests; regenerate with "
+                   "`repro validate --replay --update-golden`.",
+        "seed": seed,
+        "digests": {k: existing[k] for k in sorted(existing)},
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+# ----------------------------------------------------------------------
+# running
+# ----------------------------------------------------------------------
+def _select(names: Optional[Sequence[str]]) -> List[ReplayScenario]:
+    if not names:
+        return list(SCENARIOS.values())
+    missing = [n for n in names if n not in SCENARIOS]
+    if missing:
+        raise KeyError(
+            f"unknown replay scenario(s) {missing}; available: "
+            f"{sorted(SCENARIOS)}")
+    return [SCENARIOS[n] for n in names]
+
+
+def compute_digests(names: Optional[Sequence[str]] = None, seed: int = 0,
+                    strict: Optional[bool] = True) -> Dict[str, str]:
+    """Run the selected scenarios and return their digests."""
+    return {sc.name: sc.digest(seed=seed, strict=strict)
+            for sc in _select(names)}
+
+
+def verify_replay(names: Optional[Sequence[str]] = None, seed: int = 0,
+                  strict: Optional[bool] = True,
+                  path: Optional[Path] = None) -> List[str]:
+    """Replay scenarios against the golden digests.
+
+    Returns mismatch descriptions (empty when everything reproduces).
+    Scenarios with no recorded golden are reported too — an unrecorded
+    scenario silently passing would defeat the regression.
+    """
+    golden = load_golden(path)
+    problems: List[str] = []
+    for scenario in _select(names):
+        digest = scenario.digest(seed=seed, strict=strict)
+        expected = golden.get(scenario.name)
+        if expected is None:
+            problems.append(
+                f"{scenario.name}: no golden digest recorded (got {digest}); "
+                f"run with --update-golden")
+        elif digest != expected:
+            problems.append(
+                f"{scenario.name}: digest {digest} != golden {expected} "
+                f"(trace changed)")
+    return problems

@@ -1,0 +1,189 @@
+"""Kernel edge cases: the paths the collapsed ``Simulation.step`` must
+still handle — cancellation, pre-triggered children, late interrupts —
+plus the new observer hook and dispatch-exactly-once accounting."""
+
+import pytest
+
+from repro.cluster.simulation import (Interrupt, Simulation,
+                                      SimulationError)
+
+
+class RecordingObserver:
+    """Collects every kernel pop for assertions."""
+
+    def __init__(self):
+        self.steps = []
+
+    def on_kernel_step(self, sim, time, event, pre_triggered, cancelled):
+        self.steps.append((time, event, pre_triggered, cancelled))
+
+
+# ----------------------------------------------------------------------
+# cancel-then-dispatch
+# ----------------------------------------------------------------------
+def test_cancelled_event_is_skipped_not_dispatched():
+    sim = Simulation()
+    evt = sim.event()
+    fired = []
+    evt.callbacks.append(lambda e: fired.append(e))
+    sim._schedule(evt, 1.0)
+    # Cancel the way FluidScheduler._set_wakeup does: clear callbacks.
+    evt.callbacks = None
+    sim.run()
+    assert fired == []
+    assert sim.now == 1.0  # the pop still advances the clock
+    assert sim.steps_executed == 0
+
+
+def test_succeed_then_heap_pop_dispatches_exactly_once():
+    sim = Simulation()
+    evt = sim.event()
+    fired = []
+    evt.callbacks.append(lambda e: fired.append(e.value))
+    sim._schedule(evt, 2.0)
+    evt.succeed("early")  # dispatches immediately, heap entry goes stale
+    assert fired == ["early"]
+    sim.run()
+    assert fired == ["early"]  # the stale pop must not re-dispatch
+    assert sim.steps_executed == 0
+
+
+def test_double_trigger_raises():
+    sim = Simulation()
+    evt = sim.event()
+    evt.succeed(1)
+    with pytest.raises(SimulationError):
+        evt.succeed(2)
+    with pytest.raises(SimulationError):
+        evt.fail(RuntimeError("x"))
+
+
+# ----------------------------------------------------------------------
+# interrupt after trigger
+# ----------------------------------------------------------------------
+def test_interrupt_after_process_completed_is_a_noop():
+    sim = Simulation()
+
+    def worker():
+        yield sim.timeout(1.0)
+        return "done"
+
+    proc = sim.process(worker())
+    sim.run()
+    assert proc.triggered and proc.ok and proc.value == "done"
+    proc.interrupt("too late")  # must not schedule anything
+    assert sim.peek() == float("inf")
+    sim.run()
+    assert proc.ok and proc.value == "done"
+
+
+def test_interrupt_mid_wait_delivers_cause_and_removes_waiter():
+    sim = Simulation()
+    outcome = []
+
+    def worker():
+        try:
+            yield sim.timeout(10.0)
+        except Interrupt as intr:
+            outcome.append(intr.cause)
+            return "interrupted"
+        return "ran to completion"
+
+    proc = sim.process(worker())
+
+    def killer():
+        yield sim.timeout(1.0)
+        proc.interrupt("straggler")
+
+    sim.process(killer())
+    sim.run()
+    assert outcome == ["straggler"]
+    assert proc.value == "interrupted"
+    # The interrupted wait's timeout still pops later but is a no-op.
+    assert sim.now == 10.0
+
+
+# ----------------------------------------------------------------------
+# AllOf / AnyOf with pre-triggered and pre-failed children
+# ----------------------------------------------------------------------
+def test_allof_with_prefailed_child_fails_waiter():
+    sim = Simulation()
+    bad = sim.event()
+    bad.fail(RuntimeError("boom"))
+    pending = sim.timeout(1.0, value=7)
+
+    def waiter():
+        try:
+            yield sim.all_of([pending, bad])
+        except RuntimeError as err:
+            return f"failed: {err}"
+        return "succeeded"
+
+    proc = sim.process(waiter())
+    sim.run()
+    assert proc.value == "failed: boom"
+    # The failure is delivered before the pending child fires.
+    assert sim.now == 1.0
+
+
+def test_allof_with_all_children_pretriggered():
+    sim = Simulation()
+    first = sim.event()
+    first.succeed("a")
+    second = sim.event()
+    second.succeed("b")
+
+    def waiter():
+        values = yield sim.all_of([first, second])
+        return values
+
+    proc = sim.process(waiter())
+    sim.run()
+    assert proc.value == ["a", "b"]
+    assert sim.now == 0.0
+
+
+def test_anyof_pretriggered_child_wins_without_waiting():
+    sim = Simulation()
+    slow = sim.timeout(100.0, value="slow")
+    instant = sim.event()
+    instant.succeed("instant")
+
+    def waiter():
+        value = yield sim.any_of([slow, instant])
+        return value
+
+    proc = sim.process(waiter())
+    sim.run(until=0.5)
+    assert proc.triggered and proc.value == "instant"
+    assert slow.triggered is False
+
+
+# ----------------------------------------------------------------------
+# observer hook
+# ----------------------------------------------------------------------
+def test_observers_see_every_pop_including_cancellations():
+    sim = Simulation()
+    obs = RecordingObserver()
+    sim.observers.append(obs)
+    sim.timeout(1.0)
+    stale = sim.event()
+    stale.callbacks.append(lambda e: None)
+    sim._schedule(stale, 2.0)
+    stale.callbacks = None  # cancelled
+    sim.run()
+    assert [(t, c) for t, _e, _p, c in obs.steps] == [(1.0, False),
+                                                      (2.0, True)]
+    assert sim.steps_executed == 1
+
+
+def test_observer_exceptions_propagate():
+    class Exploding:
+        def on_kernel_step(self, *args):
+            raise ValueError("observer bug")
+
+    sim = Simulation()
+    sim.observers.append(Exploding())
+    sim.timeout(1.0)
+    with pytest.raises(ValueError, match="observer bug"):
+        sim.run()

@@ -1,0 +1,286 @@
+"""Differential tests: real mini-engine execution vs simulated plans.
+
+The repo carries two independent descriptions of each paper workload:
+the *executable* implementations in :mod:`repro.localexec` (which
+really compute word counts, sorted records, page ranks, ...) and the
+*statistical* operator plans in :mod:`repro.workloads` that the
+simulator prices.  For every one of the six workloads, this suite
+generates a small real dataset, measures its exact shape, parameterises
+the statistical model with those measurements, and asserts that the
+plan's record counts, key cardinalities and shuffle byte totals agree
+with what the mini-engines actually observed while executing.
+
+A drift between the two descriptions — a plan claiming a combiner the
+real dataflow does not have, a wrong selectivity, a shuffle counted on
+the wrong edge — fails exactly one workload's comparison here.
+"""
+
+import pytest
+
+from repro.engines.common.operators import OpKind
+from repro.engines.common.planning import combined_output
+from repro.localexec.algorithms import (
+    connected_components_flink, connected_components_oracle,
+    connected_components_spark, grep_flink, grep_oracle, grep_spark,
+    kmeans_flink, kmeans_oracle, kmeans_spark, pagerank_flink,
+    pagerank_oracle, pagerank_spark, terasort_flink, terasort_oracle,
+    terasort_spark, wordcount_flink, wordcount_oracle, wordcount_spark)
+from repro.localexec.local_flink import LocalEnvironment
+from repro.localexec.local_spark import LocalSparkContext
+from repro.workloads import (ConnectedComponents, Grep, KMeans, PageRank,
+                             TeraSort, WordCount)
+from repro.workloads.datagen.graphs import (GraphDatasetModel,
+                                            generate_power_law_edges)
+from repro.workloads.datagen.points import generate_points
+from repro.workloads.datagen.teragen import (RECORD_BYTES, generate_records,
+                                             range_partition_boundaries)
+from repro.workloads.datagen.text import TextDatasetModel, generate_lines
+
+PARALLELISM = 4
+approx = pytest.approx
+
+
+def op_input_stats(plan, kind, name=None):
+    """Stats on the edge *entering* the first matching operator."""
+    edges = plan.stats_through()
+    for i, op in enumerate(plan.ops):
+        if op.kind is kind and (name is None or op.name == name):
+            return edges[i]
+    raise AssertionError(f"{plan.name}: no {kind} operator")
+
+
+def find_op(plan, kind):
+    for op in plan.ops:
+        if op.kind is kind:
+            return op
+    raise AssertionError(f"{plan.name}: no {kind} operator")
+
+
+# ----------------------------------------------------------------------
+# shared datasets, measured once
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def text():
+    lines = generate_lines(300, words_per_line=12, vocabulary_size=500,
+                           seed=11)
+    words = [w for line in lines for w in line.split()]
+    total_bytes = float(sum(len(line) for line in lines))
+    model = TextDatasetModel(
+        line_bytes=total_bytes / len(lines),
+        words_per_line=len(words) / len(lines),
+        vocabulary=float(len(set(words))),
+        word_bytes=sum(len(w) for w in words) / len(words))
+    return {"lines": lines, "words": words, "total_bytes": total_bytes,
+            "distinct": len(set(words)), "model": model}
+
+
+@pytest.fixture(scope="module")
+def graph():
+    edges = generate_power_law_edges(60, 400, seed=9)
+    vertices = {v for e in edges for v in e}
+    model = GraphDatasetModel("tiny", num_vertices=float(len(vertices)),
+                              num_edges=float(len(edges)),
+                              size_bytes=10.0 * len(edges))
+    return {"edges": edges, "V": len(vertices), "E": len(edges),
+            "vertices": vertices, "model": model}
+
+
+# ----------------------------------------------------------------------
+# Word Count
+# ----------------------------------------------------------------------
+def test_wordcount_all_implementations_agree(text):
+    oracle = wordcount_oracle(text["lines"])
+    assert wordcount_spark(LocalSparkContext(PARALLELISM),
+                           text["lines"]) == oracle
+    assert wordcount_flink(LocalEnvironment(PARALLELISM),
+                           text["lines"]) == oracle
+    assert len(oracle) == text["distinct"]
+
+
+def test_wordcount_plan_counts_match_real_execution(text):
+    wl = WordCount(total_bytes=text["total_bytes"], model=text["model"])
+    for plan in (wl.spark_jobs()[0], wl.flink_jobs()[0]):
+        assert plan.input_stats.records == approx(len(text["lines"]))
+        final = plan.stats_through()[-1]
+        # One output record per distinct word, with the key cardinality
+        # the real run observed.
+        assert final.records == approx(text["distinct"])
+        assert final.key_cardinality == approx(text["distinct"])
+
+
+def test_wordcount_flink_shuffle_records_and_bytes_match_plan(text):
+    """Flink's groupBy shuffles every (word, 1) pair — no map-side
+    combine in the mini-engine — so the plan edge entering GroupReduce
+    must match the shuffle counter exactly, in records and bytes."""
+    env = LocalEnvironment(PARALLELISM)
+    wordcount_flink(env, text["lines"])
+    wl = WordCount(total_bytes=text["total_bytes"], model=text["model"])
+    shuffle_in = op_input_stats(wl.flink_jobs()[0], OpKind.GROUP_REDUCE)
+    assert env.shuffled_records == approx(shuffle_in.records)
+    real_bytes = sum(len(w) for w in text["words"])
+    assert shuffle_in.total_bytes == approx(real_bytes)
+
+
+def test_wordcount_spark_combiner_is_bracketed_by_the_model(text):
+    """Spark's mini-engine combines map-side, so it shuffles one record
+    per (partition, distinct word) pair.  The plan's occupancy formula
+    assumes uniform keys and is documented as a conservative (upper)
+    estimate for Zipf data; the global distinct count bounds it below."""
+    ctx = LocalSparkContext(PARALLELISM)
+    wordcount_spark(ctx, text["lines"])
+    wl = WordCount(total_bytes=text["total_bytes"], model=text["model"])
+    plan = wl.spark_jobs()[0]
+    shuffle_in = op_input_stats(plan, OpKind.REDUCE_BY_KEY)
+    predicted = combined_output(shuffle_in, PARALLELISM,
+                                text["model"].pair_bytes).records
+    assert text["distinct"] <= ctx.shuffled_records
+    assert ctx.shuffled_records <= predicted * (1 + 1e-9)
+    assert predicted <= min(shuffle_in.records,
+                            PARALLELISM * text["distinct"]) * (1 + 1e-9)
+
+
+# ----------------------------------------------------------------------
+# Grep
+# ----------------------------------------------------------------------
+def test_grep_count_matches_plan_filter_selectivity(text):
+    pattern = "ab"
+    matches = grep_oracle(text["lines"], pattern)
+    assert 0 < matches < len(text["lines"])  # the pattern discriminates
+    assert grep_spark(LocalSparkContext(PARALLELISM), text["lines"],
+                      pattern) == matches
+    assert grep_flink(LocalEnvironment(PARALLELISM), text["lines"],
+                      pattern) == matches
+
+    model = TextDatasetModel(line_bytes=text["total_bytes"] /
+                             len(text["lines"]),
+                             grep_selectivity=matches / len(text["lines"]))
+    wl = Grep(total_bytes=text["total_bytes"], model=model)
+    for plan in (wl.spark_jobs()[0], wl.flink_jobs()[0]):
+        assert op_input_stats(plan, OpKind.COUNT).records == approx(matches)
+        assert plan.stats_through()[-1].records == 1.0  # a count is scalar
+
+
+# ----------------------------------------------------------------------
+# Tera Sort
+# ----------------------------------------------------------------------
+def test_terasort_shuffles_every_record_exactly_once():
+    records = generate_records(500, seed=3)
+    boundaries = range_partition_boundaries(PARALLELISM)
+    expected = terasort_oracle(records)
+
+    ctx = LocalSparkContext(PARALLELISM)
+    assert terasort_spark(ctx, records, boundaries) == expected
+    env = LocalEnvironment(PARALLELISM)
+    assert terasort_flink(env, records, boundaries) == expected
+    assert ctx.shuffled_records == len(records)
+    assert env.shuffled_records == len(records)
+
+    wl = TeraSort(total_bytes=float(RECORD_BYTES * len(records)))
+    spark_in = op_input_stats(wl.spark_jobs()[0], OpKind.REPARTITION_SORT)
+    flink_in = op_input_stats(wl.flink_jobs()[0], OpKind.PARTITION)
+    real_bytes = sum(len(k) + len(v) for k, v in records)
+    for shuffle_in in (spark_in, flink_in):
+        assert shuffle_in.records == approx(len(records))
+        assert shuffle_in.total_bytes == approx(real_bytes)
+        # TeraGen keys are effectively unique, and really are here.
+        assert shuffle_in.key_cardinality == approx(
+            len({k for k, _ in records}))
+
+
+# ----------------------------------------------------------------------
+# K-Means
+# ----------------------------------------------------------------------
+def test_kmeans_per_iteration_shuffle_matches_combiner_model():
+    points = [tuple(map(float, p))
+              for p in generate_points(600, num_centers=4, seed=5)]
+    initial = points[:4]
+    iterations, k = 5, 4
+
+    ctx = LocalSparkContext(PARALLELISM)
+    spark_centers = kmeans_spark(ctx, points, initial, iterations)
+    env = LocalEnvironment(PARALLELISM)
+    flink_centers = kmeans_flink(env, points, initial, iterations)
+    oracle = kmeans_oracle(points, initial, iterations)
+    for got in (spark_centers, flink_centers):
+        for (gx, gy), (ox, oy) in zip(got, oracle):
+            assert gx == approx(ox, abs=1e-12)
+            assert gy == approx(oy, abs=1e-12)
+
+    # Every partition sees all k centers, so the map-side combine emits
+    # exactly partitions*k records per iteration; Flink's native
+    # iteration runs one superstep per round.
+    assert ctx.shuffled_records == iterations * PARALLELISM * k
+    assert env.supersteps == iterations
+
+    from repro.workloads.datagen.points import KMeansDatasetModel
+    model = KMeansDatasetModel(record_bytes=20.0, num_centers=k)
+    wl = KMeans(total_bytes=20.0 * len(points), iterations=iterations,
+                model=model)
+    body = find_op(wl.spark_jobs()[0], OpKind.BULK_ITERATION).body
+    assert body.input_stats.records == approx(len(points))
+    shuffle_in = op_input_stats(body, OpKind.REDUCE_BY_KEY)
+    predicted = combined_output(shuffle_in, PARALLELISM, 16.0).records
+    assert iterations * predicted == approx(ctx.shuffled_records, rel=1e-6)
+
+
+# ----------------------------------------------------------------------
+# Page Rank
+# ----------------------------------------------------------------------
+def test_pagerank_output_and_message_stats_match_plan(graph):
+    iterations = 8
+    oracle = pagerank_oracle(graph["edges"], iterations)
+    spark_ranks = pagerank_spark(LocalSparkContext(PARALLELISM),
+                                 graph["edges"], iterations)
+    env = LocalEnvironment(PARALLELISM)
+    flink_ranks = pagerank_flink(env, graph["edges"], iterations)
+    for ranks in (spark_ranks, flink_ranks):
+        assert set(ranks) == graph["vertices"]
+        for v, r in oracle.items():
+            assert ranks[v] == approx(r, abs=1e-12)
+    assert env.supersteps == iterations
+    assert sum(oracle.values()) == approx(1.0, abs=0.2)  # rank mass
+
+    wl = PageRank(graph["model"], iterations=iterations)
+    # One message per edge per superstep, addressed to vertices.
+    messages = graph["model"].messages_stats()
+    assert messages.records == approx(graph["E"])
+    assert messages.key_cardinality == approx(graph["V"])
+    # GraphX writes one rank per vertex at the end.
+    final = wl.spark_jobs()[0].stats_through()[-1]
+    assert final.records == approx(graph["V"])
+
+
+def test_pagerank_flink_vertex_set_matches_plan(graph):
+    wl = PageRank(graph["model"], iterations=8)
+    main = wl.flink_jobs()[-1]
+    built = op_input_stats(main, OpKind.MAP)  # after GroupReduce
+    assert built.records == approx(graph["V"])
+    assert built.key_cardinality == approx(graph["V"])
+
+
+# ----------------------------------------------------------------------
+# Connected Components
+# ----------------------------------------------------------------------
+def test_connected_components_labels_and_workset_match_plan(graph):
+    oracle = connected_components_oracle(graph["edges"])
+    assert connected_components_spark(LocalSparkContext(PARALLELISM),
+                                      graph["edges"]) == oracle
+    env = LocalEnvironment(PARALLELISM)
+    assert connected_components_flink(env, graph["edges"]) == oracle
+    assert len(oracle) == graph["V"]
+
+    # The delta iteration's workset starts at |V| and shrinks every
+    # superstep — the behaviour the plan's workset_activity models.
+    assert env.workset_sizes[0] == graph["V"]
+    assert all(a > b for a, b in zip(env.workset_sizes,
+                                     env.workset_sizes[1:]))
+    assert env.supersteps == len(env.workset_sizes) <= 100
+
+    wl = ConnectedComponents(graph["model"], iterations=env.supersteps)
+    delta = find_op(wl.flink_jobs()[0], OpKind.DELTA_ITERATION)
+    activities = [delta.workset_activity(i)
+                  for i in range(1, delta.iterations + 1)]
+    assert all(a >= b for a, b in zip(activities, activities[1:]))
+    # GraphX writes one label per vertex at the end.
+    final = wl.spark_jobs()[0].stats_through()[-1]
+    assert final.records == approx(graph["V"])

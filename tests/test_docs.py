@@ -14,7 +14,8 @@ ROOT = pathlib.Path(__file__).resolve().parent.parent
                                   "docs/architecture.md",
                                   "docs/cost-model.md",
                                   "docs/extending.md",
-                                  "docs/methodology-walkthrough.md"])
+                                  "docs/methodology-walkthrough.md",
+                                  "docs/validation.md"])
 def test_doc_exists_and_nonempty(name):
     path = ROOT / name
     assert path.exists(), f"{name} missing"

@@ -1,0 +1,75 @@
+"""Determinism regression: same seed → identical trace digest.
+
+Every paper figure (and Table VII) is run **twice with the same seed**
+at its smallest published scale, under strict invariant checking, and
+the two full-trace digests must be byte-identical.  This is the kernel
+docstring's determinism promise ("two runs with the same seed produce
+bit-identical traces") promoted to a tested guarantee — any nondeterminism
+sneaking into the simulator (set iteration, unseeded RNG, wall-clock
+leakage) changes a digest and fails exactly the figure it affects.
+
+A by-product: every figure passing here has also passed a full strict
+invariant audit (byte conservation, max–min fairness, memory balance,
+causal ordering) twice.
+"""
+
+import pytest
+
+from repro.harness import figures as F
+from repro.validation.digest import (digest_payload, resource_payload,
+                                     scaling_payload, table_payload)
+
+SEED = 20160913  # the paper's CLUSTER 2016 presentation date
+
+
+def _scaling_digest(fn, **kwargs):
+    return digest_payload(scaling_payload(
+        fn(trials=1, seed=SEED, strict=True, **kwargs)))
+
+
+def _resource_digest(fn, **kwargs):
+    return digest_payload(resource_payload(
+        fn(seed=SEED, strict=True, **kwargs)))
+
+
+FIGURES = [
+    ("fig01", lambda: _scaling_digest(F.fig01_wordcount_weak, nodes=(2, 4))),
+    ("fig02", lambda: _scaling_digest(F.fig02_wordcount_strong,
+                                      gb_per_node=(24,), nodes=2)),
+    ("fig03", lambda: _resource_digest(F.fig03_wordcount_resources, nodes=2)),
+    ("fig04", lambda: _scaling_digest(F.fig04_grep_weak, nodes=(2, 4))),
+    ("fig05", lambda: _scaling_digest(F.fig05_grep_strong,
+                                      gb_per_node=(24,), nodes=2)),
+    ("fig06", lambda: _resource_digest(F.fig06_grep_resources, nodes=2)),
+    ("fig07", lambda: _scaling_digest(F.fig07_terasort_weak, nodes=(17,))),
+    ("fig08", lambda: _scaling_digest(F.fig08_terasort_strong, nodes=(17,))),
+    ("fig09", lambda: _resource_digest(F.fig09_terasort_resources, nodes=17)),
+    ("fig10", lambda: _resource_digest(F.fig10_kmeans_resources, nodes=8)),
+    ("fig11", lambda: _scaling_digest(F.fig11_kmeans_scaling, nodes=(8,))),
+    ("fig12", lambda: _scaling_digest(F.fig12_pagerank_small, nodes=(8,))),
+    ("fig13", lambda: _scaling_digest(F.fig13_pagerank_medium, nodes=(24,))),
+    ("fig14", lambda: _scaling_digest(F.fig14_cc_small, nodes=(8,))),
+    ("fig15", lambda: _scaling_digest(F.fig15_cc_medium, nodes=(24,))),
+    ("fig16", lambda: _resource_digest(F.fig16_pagerank_resources, nodes=8)),
+    ("fig17", lambda: _resource_digest(F.fig17_cc_resources, nodes=24)),
+    ("tab07", lambda: digest_payload(table_payload(
+        F.tab07_large_graph(seed=SEED, node_counts=(27,), strict=True)))),
+]
+
+
+@pytest.mark.parametrize("name,run", FIGURES, ids=[n for n, _ in FIGURES])
+def test_figure_is_deterministic_and_invariant_clean(name, run):
+    first = run()
+    second = run()
+    assert first == second, (
+        f"{name}: same-seed replays produced different trace digests "
+        f"({first} vs {second}) — the simulator is nondeterministic")
+
+
+def test_different_seeds_produce_different_traces():
+    """The digest actually captures the trace (it is not a constant)."""
+    a = digest_payload(scaling_payload(F.fig01_wordcount_weak(
+        trials=1, seed=1, nodes=(2,), strict=True)))
+    b = digest_payload(scaling_payload(F.fig01_wordcount_weak(
+        trials=1, seed=2, nodes=(2,), strict=True)))
+    assert a != b

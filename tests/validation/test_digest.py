@@ -1,0 +1,51 @@
+"""Canonical serialisation and digest stability."""
+
+import numpy as np
+import pytest
+
+from repro.validation.digest import canonical, digest_payload
+
+
+def test_canonical_sorts_mapping_keys():
+    assert canonical({"b": 1, "a": 2}) == canonical({"a": 2, "b": 1})
+
+
+def test_canonical_distinguishes_types_and_structure():
+    assert canonical([1, 2]) != canonical([2, 1])
+    assert canonical({"a": 1}) != canonical({"a": "1"})
+    assert canonical(1.0) != canonical(1)  # repr(1.0) == '1.0'
+    assert canonical(None) == "null"
+    assert canonical(True) == "true"
+
+
+def test_canonical_floats_use_shortest_roundtrip_repr():
+    assert canonical(0.1) == repr(0.1)
+    assert canonical(float("nan")) == "nan"
+    assert canonical(1e-300) == repr(1e-300)
+
+
+def test_numpy_scalars_normalise_to_python_scalars():
+    assert canonical(np.float64(3.5)) == canonical(3.5)
+    assert canonical(np.int64(7)) == canonical(7)
+    assert canonical([np.float64(0.25)]) == canonical([0.25])
+
+
+def test_non_jsonish_payloads_are_rejected():
+    class Opaque:
+        pass
+
+    with pytest.raises(TypeError, match="cannot canonicalise"):
+        canonical(Opaque())
+    with pytest.raises(TypeError):
+        digest_payload({"x": object()})
+
+
+def test_digest_is_stable_and_sensitive():
+    payload = {"series": {"spark": [1.5, 2.5]}, "xs": [2, 4]}
+    first = digest_payload(payload)
+    second = digest_payload({"xs": [2, 4], "series": {"spark": [1.5, 2.5]}})
+    assert first == second
+    assert len(first) == 64  # sha256 hex
+    perturbed = digest_payload({"series": {"spark": [1.5, 2.5000000001]},
+                                "xs": [2, 4]})
+    assert perturbed != first

@@ -1,0 +1,227 @@
+"""The invariant checker must pass clean runs and catch seeded bugs."""
+
+import pytest
+
+from repro.cluster.fluid import Capacity, FluidScheduler
+from repro.cluster.memory import MemoryAccount
+from repro.cluster.resources import BufferPool, CorePool
+from repro.cluster.simulation import Simulation
+from repro.cluster.topology import Cluster
+from repro.cluster.trace import StepSeries, check_series_bounds
+from repro.monitoring.metrics import Metric, MetricFrame, validate_frame
+from repro.validation import (InvariantChecker, InvariantViolation,
+                              set_strict_default, strict_checking,
+                              strict_enabled)
+
+MiB = float(2**20)
+
+
+# ----------------------------------------------------------------------
+# clean runs stay clean
+# ----------------------------------------------------------------------
+def test_clean_cluster_run_produces_no_violations():
+    cluster = Cluster(3, seed=1)
+    checker = InvariantChecker().attach(cluster)
+    events = [cluster.disk_read(cluster.node(0), 512 * MiB),
+              cluster.transfer(cluster.node(0), cluster.node(1), 256 * MiB),
+              cluster.remote_disk_read(cluster.node(2), cluster.node(0),
+                                       128 * MiB)]
+    cluster.run()
+    assert all(e.triggered for e in events)
+    checker.audit_cluster(cluster)
+    checker.require_clean("clean run")  # must not raise
+    assert checker.checks["kernel_step"] > 0
+    assert checker.checks["max_min"] > 0
+
+
+def test_detach_stops_observation():
+    cluster = Cluster(1, seed=0)
+    checker = InvariantChecker().attach(cluster)
+    checker.detach(cluster)
+    assert checker not in cluster.sim.observers
+    assert cluster.fluid.checker is None
+    cluster.disk_read(cluster.node(0), MiB)
+    cluster.run()
+    assert checker.checks["kernel_step"] == 0
+
+
+# ----------------------------------------------------------------------
+# seeded bugs are caught
+# ----------------------------------------------------------------------
+def test_unfair_allocation_is_flagged():
+    """Manually corrupt rates after an allocation: checker must object."""
+    sim = Simulation()
+    sched = FluidScheduler(sim)
+    cap = Capacity("c", 100.0)
+    sched.transfer(1e12, [cap])
+    sched.transfer(1e12, [cap])
+    flows = list(sched._flows)
+    # Starve one flow and give its share to the other: still feasible,
+    # no longer max-min fair.
+    flows[0].rate = 0.0
+    flows[1].rate = 100.0
+    checker = InvariantChecker()
+    checker.check_max_min(sched, set(flows))
+    assert any("neither capped nor bottlenecked" in v
+               for v in checker.violations)
+
+
+def test_oversubscribed_capacity_is_flagged():
+    sim = Simulation()
+    sched = FluidScheduler(sim)
+    cap = Capacity("c", 100.0)
+    sched.transfer(1e12, [cap])
+    (flow,) = sched._flows
+    flow.rate = 150.0  # beyond the bandwidth
+    checker = InvariantChecker()
+    checker.check_max_min(sched, {flow})
+    assert any("oversubscribed" in v for v in checker.violations)
+
+
+def test_rate_cap_violation_is_flagged():
+    sim = Simulation()
+    sched = FluidScheduler(sim)
+    cap = Capacity("c", 100.0)
+    sched.transfer(1e12, [cap], rate_cap=10.0)
+    (flow,) = sched._flows
+    flow.rate = 50.0
+    checker = InvariantChecker()
+    checker.check_max_min(sched, {flow})
+    assert any("exceeds its cap" in v for v in checker.violations)
+
+
+def test_byte_conservation_break_is_flagged():
+    cluster = Cluster(1, seed=0)
+    checker = InvariantChecker().attach(cluster)
+    cluster.disk_read(cluster.node(0), 512 * MiB)
+    cluster.run()
+    # Corrupt the ledger: claim more bytes moved than the trace shows.
+    cluster.fluid.bytes_by_capacity["node-000.disk"] += 64 * MiB
+    checker.audit_cluster(cluster)
+    assert any("byte conservation" in v for v in checker.violations)
+    with pytest.raises(InvariantViolation, match="byte conservation"):
+        checker.require_clean("corrupted ledger")
+
+
+def test_double_dispatch_is_flagged():
+    sim = Simulation()
+    checker = InvariantChecker()
+    sim.observers.append(checker)
+    evt = sim.event()
+    evt.callbacks.append(lambda e: None)
+    sim._schedule(evt, 1.0)
+    evt.triggered = True  # simulate a kernel bug: live event pre-marked
+    sim.run()
+    assert any("dispatched twice" in v for v in checker.violations)
+
+
+def test_violation_recording_is_bounded():
+    checker = InvariantChecker()
+    for i in range(InvariantChecker.MAX_RECORDED + 10):
+        checker._record(f"violation {i}")
+    assert len(checker.violations) == InvariantChecker.MAX_RECORDED
+    assert checker.suppressed == 10
+    with pytest.raises(InvariantViolation, match="suppressed"):
+        checker.require_clean("flood")
+
+
+# ----------------------------------------------------------------------
+# component audits
+# ----------------------------------------------------------------------
+def test_memory_account_audit_catches_child_imbalance():
+    sim = Simulation()
+    root = MemoryAccount(sim, "ram", 1024.0)
+    child = root.sub_account("heap", 512.0)
+    child.reserve(100.0)
+    assert root.audit() == []
+    # Break the chain invariant: children hold more than the parent.
+    root.used = 10.0
+    problems = root.audit()
+    assert any("children hold" in p for p in problems)
+
+
+def test_memory_account_audit_catches_overcommit():
+    sim = Simulation()
+    acct = MemoryAccount(sim, "ram", 100.0)
+    acct.used = 200.0  # corrupt directly; reserve() would refuse
+    assert any("> capacity" in p for p in acct.audit())
+
+
+def test_core_pool_audit_catches_corruption():
+    sim = Simulation()
+    pool = CorePool(sim, 4)
+    sim.run()
+    assert pool.audit() == []
+    pool.busy = 7
+    assert any("outside [0, 4]" in p for p in pool.audit())
+
+
+def test_buffer_pool_audit_catches_corruption():
+    sim = Simulation()
+    pool = BufferPool(sim, 8, 32768)
+    pool.acquire(4)
+    sim.run()
+    assert pool.audit() == []
+    pool.in_use = 20
+    assert any("outside [0, 8]" in p for p in pool.audit())
+
+
+def test_step_series_bounds_checker():
+    series = StepSeries()
+    series.append(0.0, 50.0)
+    series.append(1.0, 100.0)
+    assert check_series_bounds(series, "s", 0.0, 100.0) == []
+    series.append(2.0, 130.0)
+    assert any("upper bound" in p
+               for p in check_series_bounds(series, "s", 0.0, 100.0))
+    neg = StepSeries()
+    neg.append(0.0, -5.0)
+    assert any("lower bound" in p
+               for p in check_series_bounds(neg, "s", 0.0, 100.0))
+
+
+def test_metric_frame_validation():
+    good = MetricFrame(metric=Metric.CPU_PERCENT, times=[0.0, 1.0],
+                       mean=[10.0, 99.0], total=[20.0, 198.0], num_nodes=2)
+    assert validate_frame(good) == []
+    bad = MetricFrame(metric=Metric.CPU_PERCENT, times=[0.0, 1.0],
+                      mean=[10.0, 140.0], total=[20.0, 280.0], num_nodes=2)
+    assert any("> 100%" in p for p in validate_frame(bad))
+    negative = MetricFrame(metric=Metric.DISK_IO_MIBS, times=[0.0],
+                           mean=[-3.0], total=[-3.0], num_nodes=1)
+    assert any("negative" in p for p in validate_frame(negative))
+
+
+# ----------------------------------------------------------------------
+# strict-mode plumbing
+# ----------------------------------------------------------------------
+def test_strict_default_resolution():
+    assert strict_enabled(None) is False
+    assert strict_enabled(True) is True
+    assert strict_enabled(False) is False
+    previous = set_strict_default(True)
+    try:
+        assert strict_enabled(None) is True
+        assert strict_enabled(False) is False
+    finally:
+        set_strict_default(previous)
+
+
+def test_strict_checking_context_manager_restores_default():
+    assert strict_enabled(None) is False
+    with strict_checking():
+        assert strict_enabled(None) is True
+        with strict_checking(False):
+            assert strict_enabled(None) is False
+        assert strict_enabled(None) is True
+    assert strict_enabled(None) is False
+
+
+def test_runner_strict_mode_runs_clean():
+    from repro.config.presets import wordcount_grep_preset
+    from repro.harness.runner import run_once
+    from repro.workloads import WordCount
+    GiB = float(2**30)
+    result = run_once("spark", WordCount(total_bytes=2 * GiB),
+                      wordcount_grep_preset(2), seed=3, strict=True)
+    assert result.success
