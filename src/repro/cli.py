@@ -13,6 +13,12 @@ Commands
     Regenerate Table VII (the Large-graph grid).
 ``explain``
     Print both engines' physical plans for a workload without running.
+``faults``
+    Inject a node crash mid-run and report each engine's recovery cost:
+    ``--mode simulate`` replays the failure inside the simulation
+    (task re-execution for Spark, full pipeline restart for Flink),
+    ``--mode estimate`` uses the fast analytic lineage/restart model,
+    ``--mode both`` prints them side by side.
 ``validate``
     Self-check the simulator: run the replay scenarios under strict
     invariant checking; with ``--replay``, also compare their trace
@@ -27,6 +33,8 @@ python -m repro run --engine flink --workload wordcount --nodes 8
 python -m repro figure fig04 --trials 3 --strict
 python -m repro explain --workload terasort --nodes 17
 python -m repro table7 --nodes 97
+python -m repro faults --workload wordcount --nodes 4 --fail-at 0.5
+python -m repro faults --workload terasort --nodes 4 --mode both --strict
 python -m repro validate --replay
 """
 
@@ -126,6 +134,7 @@ def cmd_list(_args) -> int:
     print("workloads:", ", ".join(WORKLOADS))
     print("scaling figures:", ", ".join(sorted(FIGURES)))
     print("resource figures:", ", ".join(sorted(RESOURCE_FIGURES)))
+    print("fault figures: fig18")
     print("tables: table7")
     return 0
 
@@ -156,9 +165,60 @@ def cmd_figure(args) -> int:
             print(render_run(run))
             print()
         return 0
+    if fig_id == "fig18":
+        fig = figure_registry.fig18_fault_recovery(seed=args.seed,
+                                                   strict=strict)
+        print(fig.title)
+        for c in fig.cells:
+            if not c.success:
+                print(f"  {c.engine:5s} {c.workload:10s} "
+                      f"fail@{c.fail_at_fraction:.2f}: FAILED ({c.failure})")
+                continue
+            print(f"  {c.engine:5s} {c.workload:10s} "
+                  f"fail@{c.fail_at_fraction:.2f}: "
+                  f"{c.baseline_seconds:6.1f}s -> sim "
+                  f"{c.simulated_seconds:6.1f}s / analytic "
+                  f"{c.analytic_seconds:6.1f}s "
+                  f"({c.retries} retries, {c.restarts} restarts)")
+        return 0
     print(f"unknown figure {fig_id!r}; try one of "
-          f"{sorted(FIGURES) + sorted(RESOURCE_FIGURES)}", file=sys.stderr)
+          f"{sorted(FIGURES) + sorted(RESOURCE_FIGURES) + ['fig18']}",
+          file=sys.stderr)
     return 2
+
+
+def cmd_faults(args) -> int:
+    from .faults import (FaultPlan, FlinkRestartPolicy, RetryPolicy,
+                         run_with_faults)
+    from .harness.faults import run_with_failure
+    from .harness.runner import run_once
+    workload = build_workload(args.workload, args.nodes, graph=args.graph)
+    config = build_config(args.workload, args.nodes)
+    strict = args.strict or None
+    status = 0
+    for engine in args.engines:
+        if args.mode in ("estimate", "both"):
+            estimate = run_with_failure(engine, workload, config,
+                                        fail_at_fraction=args.fail_at,
+                                        seed=args.seed)
+            print(f"estimate  {estimate.describe()}")
+        if args.mode in ("simulate", "both"):
+            restart_after = (None if args.restart_after < 0
+                             else args.restart_after)
+            plan = FaultPlan.single_crash(args.fail_at, node=args.crash_node,
+                                          restart_after=restart_after)
+            faulted = run_with_faults(
+                engine, workload, config, plan, seed=args.seed,
+                retry_policy=RetryPolicy(backoff=args.backoff),
+                restart_policy=FlinkRestartPolicy(
+                    restart_delay=args.restart_delay),
+                strict=strict)
+            print(f"simulated {faulted.describe()}")
+            if args.timeline:
+                print(faulted.timeline.describe())
+            if not faulted.success:
+                status = 1
+    return status
 
 
 def cmd_table7(args) -> int:
@@ -248,7 +308,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="audit simulator invariants during the run")
 
     p_fig = sub.add_parser("figure", help="regenerate a paper figure")
-    p_fig.add_argument("id", help="fig01..fig17")
+    p_fig.add_argument("id", help="fig01..fig18")
     p_fig.add_argument("--trials", type=int, default=3)
     p_fig.add_argument("--seed", type=int, default=0)
     p_fig.add_argument("--strict", action="store_true",
@@ -260,6 +320,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_t7.add_argument("--seed", type=int, default=0)
     p_t7.add_argument("--strict", action="store_true",
                       help="audit simulator invariants during the runs")
+
+    p_flt = sub.add_parser(
+        "faults", help="inject a node crash and measure recovery")
+    p_flt.add_argument("--workload", choices=WORKLOADS, required=True)
+    p_flt.add_argument("--engines", nargs="+",
+                       choices=("spark", "flink"),
+                       default=["flink", "spark"])
+    p_flt.add_argument("--nodes", type=int, default=4)
+    p_flt.add_argument("--graph", choices=("small", "medium", "large"),
+                       default="small")
+    p_flt.add_argument("--mode", choices=("simulate", "estimate", "both"),
+                       default="simulate",
+                       help="in-simulation recovery, fast analytic "
+                            "estimate, or both")
+    p_flt.add_argument("--fail-at", type=float, default=0.5,
+                       help="crash point as a fraction of the baseline "
+                            "duration (0, 1)")
+    p_flt.add_argument("--crash-node", type=int, default=1,
+                       help="node index to crash")
+    p_flt.add_argument("--restart-after", type=float, default=0.0,
+                       help="seconds (fraction of baseline) until the "
+                            "machine rejoins; negative = never",)
+    p_flt.add_argument("--backoff", type=float, default=3.0,
+                       help="Spark task re-execution backoff seconds")
+    p_flt.add_argument("--restart-delay", type=float, default=10.0,
+                       help="Flink fixed-delay restart seconds")
+    p_flt.add_argument("--timeline", action="store_true",
+                       help="print the full fault/recovery timeline")
+    p_flt.add_argument("--seed", type=int, default=0)
+    p_flt.add_argument("--strict", action="store_true",
+                       help="audit simulator + fault invariants")
 
     p_ex = sub.add_parser("explain", help="print both physical plans")
     p_ex.add_argument("--workload", choices=WORKLOADS, required=True)
@@ -285,7 +376,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"list": cmd_list, "run": cmd_run, "figure": cmd_figure,
                 "table7": cmd_table7, "explain": cmd_explain,
-                "validate": cmd_validate}
+                "faults": cmd_faults, "validate": cmd_validate}
     return handlers[args.command](args)
 
 

@@ -47,7 +47,7 @@ class Capacity:
     """
 
     __slots__ = ("name", "bandwidth", "flows", "throughput", "utilisation",
-                 "contention_alpha")
+                 "contention_alpha", "bw_high_water")
 
     def __init__(self, name: str, bandwidth: float,
                  contention_alpha: float = 0.0) -> None:
@@ -57,6 +57,11 @@ class Capacity:
             raise ValueError("contention_alpha must be >= 0")
         self.name = name
         self.bandwidth = float(bandwidth)  # bytes / second
+        #: Largest bandwidth this capacity ever had.  Fault injection
+        #: rescales ``bandwidth`` mid-run; post-run trace audits bound
+        #: throughput by the high-water mark, not the (possibly still
+        #: degraded) final value.
+        self.bw_high_water = float(bandwidth)
         self.contention_alpha = contention_alpha
         self.flows: Set["Flow"] = set()
         self.throughput = StepSeries()   # bytes/s allocated
@@ -129,6 +134,7 @@ class FluidScheduler:
         self._wakeup: Optional[Event] = None
         self._wakeup_time = math.inf
         self.completed_count = 0
+        self.aborted_count = 0
         self.total_bytes_moved = 0.0
         #: Completed bytes per capacity name (conservation ledger).
         self.bytes_by_capacity: Dict[str, float] = {}
@@ -160,6 +166,75 @@ class FluidScheduler:
     @property
     def active_flows(self) -> int:
         return len(self._flows)
+
+    def flows_on(self, capacities: Sequence[Capacity]) -> List[Flow]:
+        """Active flows crossing any of the given capacities (id order)."""
+        hit = {f for cap in capacities for f in cap.flows}
+        return sorted(hit, key=lambda f: f.id)
+
+    def rescale_capacity(self, cap: Capacity, bandwidth: float) -> None:
+        """Change a capacity's bandwidth *mid-run* (fault injection).
+
+        Active flows crossing the capacity are immediately re-allocated
+        at the new bandwidth — the fluid equivalent of a disk entering a
+        degraded mode or a NIC being throttled.  Restoration is the same
+        call with the original bandwidth.
+        """
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+        cap.bandwidth = float(bandwidth)
+        cap.bw_high_water = max(cap.bw_high_water, cap.bandwidth)
+        if cap.flows:
+            self._reallocate_component(next(iter(cap.flows)))
+        else:
+            cap._record(self.sim.now)
+
+    def abort_flows(self, flows: Sequence[Flow],
+                    error: BaseException) -> int:
+        """Abort active flows: their ``done`` events *fail* with ``error``.
+
+        Bytes already drained stay on the conservation ledger (the work
+        physically happened before the fault); the remaining bytes are
+        dropped.  Survivor flows sharing a capacity are re-allocated.
+        Returns the number of flows actually aborted.
+        """
+        now = self.sim.now
+        aborted: List[Flow] = []
+        for flow in flows:
+            if flow not in self._flows:
+                continue
+            dt = now - flow.last_update
+            if dt > 0:
+                flow.remaining = max(0.0, flow.remaining - flow.rate * dt)
+            flow.last_update = now
+            self._flows.discard(flow)
+            progress = flow.size - flow.remaining
+            for cap in flow.capacities:
+                cap.flows.discard(flow)
+                if progress > 0:
+                    self.bytes_by_capacity[cap.name] = (
+                        self.bytes_by_capacity.get(cap.name, 0.0) + progress)
+            self.aborted_count += 1
+            aborted.append(flow)
+        # Survivors in the released neighbourhoods pick up the freed
+        # bandwidth.
+        seen: Set[Flow] = set()
+        for flow in aborted:
+            for cap in flow.capacities:
+                for other in list(cap.flows):
+                    if other in seen or other not in self._flows:
+                        continue
+                    seen.update(self._component_of(other))
+                    self._reallocate_component(other)
+        for flow in aborted:
+            for cap in flow.capacities:
+                if not cap.flows:
+                    cap._record(now)
+        for flow in aborted:
+            if not flow.done.triggered:
+                flow.done.fail(error)
+        self._refresh_wakeup()
+        return len(aborted)
 
     # ------------------------------------------------------------------
     # internals

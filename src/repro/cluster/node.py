@@ -89,6 +89,28 @@ class Node:
         # files, spills); capacity enforcement is advisory.
         self.disk_used_bytes = 0.0
 
+    def capacity_for(self, resource: str) -> Capacity:
+        """Map a resource kind (``cpu``/``disk``/``nic_in``/``nic_out``)
+        to its :class:`~repro.cluster.fluid.Capacity` — the hook fault
+        injection uses to rescale bandwidths by name."""
+        caps = {"cpu": self.cpu, "disk": self.disk,
+                "nic_in": self.nic_in, "nic_out": self.nic_out}
+        try:
+            return caps[resource]
+        except KeyError:
+            raise ValueError(
+                f"unknown resource {resource!r}; one of {sorted(caps)}"
+            ) from None
+
+    def baseline_bandwidth(self, resource: str) -> float:
+        """The undegraded bandwidth of a resource, from the hardware spec."""
+        return {
+            "cpu": float(self.spec.cores),
+            "disk": min(self.spec.disk_read_bw, self.spec.disk_write_bw),
+            "nic_in": self.spec.nic_bw,
+            "nic_out": self.spec.nic_bw,
+        }[resource]
+
     def slow_down(self, factor: float) -> None:
         """Turn this node into a straggler: CPU and disk deliver only
         ``1/factor`` of their bandwidth.  Call before running work (the

@@ -131,6 +131,11 @@ class Process(Event):
         self.sim._schedule_failure(evt)
 
     def _resume(self, event: Event) -> None:
+        if self.triggered:
+            # A late interrupt (or a stale pre-triggered resume) can race
+            # with normal completion; resuming a finished generator would
+            # re-raise into dead code and corrupt the event state.
+            return
         self._target = None
         gen = self.generator
         try:
@@ -312,12 +317,19 @@ class Simulation:
         self.steps_executed += 1
         self._dispatch(event)
 
-    def run(self, until: Optional[float] = None) -> None:
+    def run(self, until: Optional[float] = None,
+            until_event: Optional[Event] = None) -> None:
         """Run until the heap drains or the clock passes ``until``.
+
+        ``until_event`` stops the loop as soon as that event has
+        triggered, leaving any later-scheduled events (e.g. pending
+        fault-injection timers) un-dispatched on the heap.
 
         Raises the first unhandled exception from a crashed process.
         """
         while self._heap:
+            if until_event is not None and until_event.triggered:
+                return
             if until is not None and self._heap[0][0] > until:
                 self.now = until
                 break

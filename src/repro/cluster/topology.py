@@ -42,6 +42,10 @@ class Cluster:
         self.nodes: List[Node] = [Node(self.sim, i, spec) for i in range(num_nodes)]
         self.seed = seed
         self.rng = np.random.default_rng(seed)
+        #: Set by :mod:`repro.faults` for fault-injected runs: a
+        #: ``FaultState`` tracking node liveness, blacklists and degraded
+        #: capacities.  ``None`` for ordinary (fault-free) deployments.
+        self.fault_state = None
 
     # ------------------------------------------------------------------
     @property
@@ -103,9 +107,18 @@ class Cluster:
         self.sim.run(until=until)
 
     def run_process(self, generator) -> "Event":
-        """Spawn the generator as a process, run to completion, return it."""
+        """Spawn the generator as a process, run to completion, return it.
+
+        Fault-injected runs stop the event loop the moment the process
+        completes: fault timers scheduled beyond the end of the job must
+        not advance the clock (they stay pending on the heap and fire
+        during the next job, if any).
+        """
         proc = self.sim.process(generator)
-        self.sim.run()
+        if self.fault_state is not None:
+            self.sim.run(until_event=proc)
+        else:
+            self.sim.run()
         if not proc.triggered:
             raise RuntimeError("cluster simulation stalled before the "
                                "process completed (deadlock?)")

@@ -35,22 +35,57 @@ import numpy as np
 
 from ...cluster.memory import OutOfMemoryError
 from ...cluster.node import Node
-from ...cluster.simulation import Event
+from ...cluster.simulation import Event, Interrupt
 from ...cluster.topology import Cluster
 from ...hdfs.filesystem import HDFS
 
 __all__ = [
     "PhaseResources", "PhaseSpec", "OperatorSpan", "JobResult",
-    "JobFailedError", "PhaseExecutor", "ChunkQueue", "uniform_resources",
+    "JobFailedError", "TaskLostError", "PhaseExecutor", "ChunkQueue",
+    "uniform_resources",
 ]
 
 
 class JobFailedError(RuntimeError):
     """A job died (OOM, insufficient buffers/slots, ...)."""
 
+    #: Whether the failure was caused by an injected fault (and is
+    #: therefore retryable by the recovery machinery) rather than a
+    #: modelling error such as OOM.  Checked duck-typed via
+    #: ``getattr(err, "is_fault", False)`` so :mod:`repro.faults` never
+    #: becomes an import dependency of the engines.
+    is_fault = False
+
     def __init__(self, message: str, cause: Optional[BaseException] = None) -> None:
         super().__init__(message)
         self.cause = cause
+
+
+class TaskLostError(JobFailedError):
+    """Work was lost to an injected fault (node crash, partition, ...).
+
+    Unlike its base class this is *retryable*: Spark's recovery runtime
+    re-executes the lost tasks, Flink 0.10 restarts the whole pipeline.
+    """
+
+    is_fault = True
+
+
+def _fault_failure(context: str, err: BaseException) -> JobFailedError:
+    """Normalise a fault-caused error to a :class:`TaskLostError`.
+
+    Injected interrupts carry their cause (usually already a
+    :class:`TaskLostError`) in ``err.cause``; aborted flows raise the
+    error directly.
+    """
+    if isinstance(err, Interrupt):
+        cause = err.cause
+        if isinstance(cause, JobFailedError):
+            return cause
+        return TaskLostError(f"{context}: interrupted by fault {cause!r}")
+    if isinstance(err, JobFailedError):
+        return err
+    return TaskLostError(f"{context}: {err!r}", err)
 
 
 @dataclass
@@ -332,10 +367,17 @@ class PhaseExecutor:
             for ni in range(num_nodes):
                 in_q = queues[pi - 1][ni] if pi > 0 else None
                 out_q = queues[pi][ni] if pi < len(phases) - 1 else None
-                procs.append(self.cluster.sim.process(
+                proc = self.cluster.sim.process(
                     self._node_phase_proc(phase, ni, in_q, out_q,
-                                          span_state[pi])))
-        yield self.cluster.sim.all_of(procs)
+                                          span_state[pi]))
+                self._register_fault_proc(ni, proc)
+                procs.append(proc)
+        try:
+            yield self.cluster.sim.all_of(procs)
+        except Interrupt as err:
+            # Flink 0.10 has no task-level recovery: any lost task
+            # fails the whole pipelined job (the harness may restart it).
+            raise _fault_failure(f"pipelined job {name!r}", err) from err
         spans = [OperatorSpan(p.key, p.name, st["start"], st["end"],
                               busy=max(st["busy"].values(), default=0.0))
                  for p, st in zip(phases, span_state)]
@@ -351,17 +393,74 @@ class PhaseExecutor:
     # ------------------------------------------------------------------
     @staticmethod
     def _new_span_state(phase: PhaseSpec) -> Dict:
-        return {"start": math.inf, "end": -math.inf, "busy": {}}
+        return {"start": math.inf, "end": -math.inf, "busy": {}, "chunks": {}}
+
+    def _register_fault_proc(self, node_index: int, proc) -> None:
+        state = self.cluster.fault_state
+        if state is not None:
+            state.register(node_index, proc)
 
     def _run_phase_all_nodes(self, phase: PhaseSpec, in_qs, out_qs):
         state = self._new_span_state(phase)
-        procs = [self.cluster.sim.process(
-            self._node_phase_proc(phase, ni, None, None, state))
-            for ni in range(self.cluster.num_nodes)]
-        yield self.cluster.sim.all_of(procs)
+        procs = []
+        for ni in range(self.cluster.num_nodes):
+            proc = self.cluster.sim.process(
+                self._node_phase_proc(phase, ni, None, None, state))
+            self._register_fault_proc(ni, proc)
+            procs.append(proc)
+        try:
+            yield self.cluster.sim.all_of(procs)
+        except Interrupt as err:
+            raise _fault_failure(f"phase {phase.key!r}", err) from err
         return OperatorSpan(phase.key, phase.name, state["start"],
                             state["end"],
                             busy=max(state["busy"].values(), default=0.0))
+
+    # ------------------------------------------------------------------
+    # fault-tolerant entry points (used by repro.faults)
+    # ------------------------------------------------------------------
+    def run_phase_guarded(self, phase: PhaseSpec):
+        """Run one phase with per-node fault isolation.
+
+        Fault-caused failures (an injected :class:`~repro.cluster.
+        simulation.Interrupt` or a :class:`TaskLostError` from an
+        aborted flow) on one node do **not** break the cluster-wide
+        barrier: surviving nodes finish their shares and the failure is
+        reported to the caller, which can then re-execute the lost work
+        (Spark's task-level recovery).  Non-fault errors (OOM, ...)
+        still propagate.
+
+        Returns ``(span, failures, chunks_done)`` where ``failures``
+        maps node index to the fault that killed its share and
+        ``chunks_done`` maps node index to completed chunk count.
+        """
+        state = self._new_span_state(phase)
+        failures: Dict[int, BaseException] = {}
+        procs = []
+        for ni in range(self.cluster.num_nodes):
+            proc = self.cluster.sim.process(
+                self._guarded_node_proc(phase, ni, state, failures))
+            self._register_fault_proc(ni, proc)
+            procs.append(proc)
+        yield self.cluster.sim.all_of(procs)
+        if state["start"] == math.inf:
+            state["start"] = state["end"] = self.cluster.now
+        span = OperatorSpan(phase.key, phase.name, state["start"],
+                            state["end"],
+                            busy=max(state["busy"].values(), default=0.0))
+        return span, failures, dict(state["chunks"])
+
+    def _guarded_node_proc(self, phase: PhaseSpec, node_index: int,
+                           state: Dict, failures: Dict[int, BaseException]):
+        try:
+            yield from self._node_phase_proc(phase, node_index, None, None,
+                                             state)
+        except BaseException as err:
+            if isinstance(err, Interrupt) or getattr(err, "is_fault", False):
+                failures[node_index] = _fault_failure(
+                    f"phase {phase.key!r} share on node {node_index}", err)
+            else:
+                raise
 
     def _node_phase_proc(self, phase: PhaseSpec, node_index: int,
                          in_q: Optional[ChunkQueue],
@@ -411,6 +510,8 @@ class PhaseExecutor:
                 else:
                     yield self._chunk_events(node, chunk, both_io)
                 busy[node_index] = busy.get(node_index, 0.0) + sim.now - t0
+                chunks = span_state["chunks"]
+                chunks[node_index] = chunks.get(node_index, 0) + 1
                 self._touch_span(span_state)
                 if out_q is not None and not phase.blocking:
                     yield out_q.put()

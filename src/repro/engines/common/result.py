@@ -29,6 +29,10 @@ class EngineRunResult:
     end: float = math.nan
     jobs: List[JobResult] = field(default_factory=list)
     failure: Optional[str] = None
+    #: ``"fault"`` when the failure came from injected fault machinery
+    #: (retryable), ``"fatal"`` for modelling failures (OOM, missing
+    #: buffers), ``None`` on success.
+    failure_kind: Optional[str] = None
     #: Free-form counters (shuffled bytes, spilled bytes, gc factor...).
     metrics: Dict[str, float] = field(default_factory=dict)
     #: Physical barrier windows (start, end): one per executed stage on

@@ -96,6 +96,7 @@ class FlinkEngine:
         except JobFailedError as err:
             result.success = False
             result.failure = str(err)
+            result.failure_kind = "fault" if err.is_fault else "fatal"
             result.end = self.cluster.now
         result.metrics.update(self.metrics)
         return result

@@ -83,6 +83,10 @@ class SparkEngine:
                         "tasks_launched": 0.0, "stages": 0.0}
         self._last_cached_name: Optional[str] = None
         self._stage_windows: List[tuple] = []
+        #: Set by :mod:`repro.faults` to a ``SparkRecoveryRuntime``;
+        #: when present every stage runs fault-guarded and lost task
+        #: shares are re-executed instead of failing the job.
+        self.recovery = None
         #: Partition count of the cached (graph) RDD: GraphX iterations
         #: inherit it — the reason ``spark.edge.partition`` tuning is so
         #: sensitive (§VI-E).
@@ -103,6 +107,7 @@ class SparkEngine:
         except JobFailedError as err:
             result.success = False
             result.failure = str(err)
+            result.failure_kind = "fault" if err.is_fault else "fatal"
             result.end = self.cluster.now
         result.metrics.update(self.metrics)
         result.stage_windows = list(self._stage_windows)
@@ -160,7 +165,11 @@ class SparkEngine:
                    result: Optional[EngineRunResult] = None):
         self.metrics["stages"] += 1
         stage_start = self.cluster.now
-        span = yield from self.executor.run_phase(stage.phase)
+        if self.recovery is not None:
+            span = yield from self.recovery.run_stage(self.executor,
+                                                      stage.phase)
+        else:
+            span = yield from self.executor.run_phase(stage.phase)
         self._stage_windows.append((stage_start, self.cluster.now))
         span.iteration = iteration
         if stage.post_delay > 0:

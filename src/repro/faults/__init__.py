@@ -1,0 +1,55 @@
+"""In-simulation fault injection and recovery (extends the paper's §VIII).
+
+The analytic :mod:`repro.harness.faults` estimates recovery cost from a
+fault-free baseline; this package instead injects the faults *into* the
+running discrete-event simulation and lets each engine's 2015-era
+recovery machinery play out:
+
+* :mod:`repro.faults.plan` — a deterministic, seedable fault-plan DSL
+  (node crashes, disk/NIC stragglers, network partitions, memory
+  pressure);
+* :mod:`repro.faults.injector` — kernel processes that fire the plan's
+  events: interrupt affected work, abort in-flight flows with byte
+  conservation, and rescale node capacities mid-run;
+* :mod:`repro.faults.state` — cluster-wide fault bookkeeping (liveness,
+  blacklists, degraded-capacity traces, the task ledger strict mode
+  audits);
+* :mod:`repro.faults.recovery` — Spark task re-execution with
+  retry/backoff/speculation/blacklisting, and Flink 0.10's full-restart
+  policy plus a checkpoint-interval what-if model;
+* :mod:`repro.faults.run` — the :func:`run_with_faults` harness entry
+  and its differential comparison against the analytic estimate.
+"""
+
+from .injector import FaultInjector, FaultTimeline, TimelineEntry
+from .plan import (DiskSlowdown, FaultEvent, FaultPlan, MemoryPressure,
+                   NetworkPartition, NicSlowdown, NodeCrash)
+from .recovery import (CheckpointWhatIf, FlinkRestartPolicy, RetryPolicy,
+                       SparkRecoveryRuntime, checkpoint_whatif)
+from .run import (FaultComparison, FaultedRunResult, compare_with_analytic,
+                  run_with_faults)
+from .state import FaultState, TaskLedger
+
+__all__ = [
+    "CheckpointWhatIf",
+    "DiskSlowdown",
+    "FaultComparison",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultState",
+    "FaultTimeline",
+    "FaultedRunResult",
+    "FlinkRestartPolicy",
+    "MemoryPressure",
+    "NetworkPartition",
+    "NicSlowdown",
+    "NodeCrash",
+    "RetryPolicy",
+    "SparkRecoveryRuntime",
+    "TaskLedger",
+    "TimelineEntry",
+    "checkpoint_whatif",
+    "compare_with_analytic",
+    "run_with_faults",
+]

@@ -1,0 +1,200 @@
+"""Fault injection: plan events become kernel processes.
+
+The :class:`FaultInjector` arms one simulation process per plan event.
+When an event fires it mutates the *running* simulation:
+
+* **crash** — every in-flight flow touching the node's capacities is
+  aborted (with its partial progress credited to the byte-conservation
+  ledger), every process executing work on the node is interrupted,
+  and all four capacities collapse to ``DEAD_FRACTION`` of their
+  baseline bandwidth;
+* **slowdown / partition** — the affected capacities are rescaled
+  mid-run; the fluid scheduler re-solves max–min rates for every flow
+  crossing them, so stragglers emerge from the same physics as healthy
+  contention;
+* **memory pressure** — an external reservation pins part of the
+  node's RAM for the event's duration.
+
+Everything the injector does is recorded in a :class:`FaultTimeline`
+(for the recovery figures and digests) and mirrored in the cluster's
+:class:`~repro.faults.state.FaultState` degraded-capacity traces (for
+strict-mode audits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List
+
+from ..cluster.topology import Cluster
+from ..engines.common.execution import TaskLostError
+from .plan import (DiskSlowdown, FaultEvent, FaultPlan, MemoryPressure,
+                   NetworkPartition, NodeCrash)
+from .state import DEAD_FRACTION, RESOURCES, FaultState
+
+__all__ = ["FaultInjector", "FaultTimeline", "TimelineEntry"]
+
+
+@dataclass(frozen=True)
+class TimelineEntry:
+    """One thing that happened during a faulted run."""
+
+    time: float
+    kind: str
+    node: int
+    detail: str
+
+    def payload(self) -> Dict[str, Any]:
+        return {"time": self.time, "kind": self.kind, "node": self.node,
+                "detail": self.detail}
+
+
+class FaultTimeline:
+    """Ordered record of injections, recoveries and restarts."""
+
+    def __init__(self) -> None:
+        self.entries: List[TimelineEntry] = []
+
+    def record(self, time: float, kind: str, node: int, detail: str) -> None:
+        self.entries.append(TimelineEntry(time, kind, node, detail))
+
+    def of_kind(self, kind: str) -> List[TimelineEntry]:
+        return [e for e in self.entries if e.kind == kind]
+
+    def payload(self) -> List[Dict[str, Any]]:
+        return [e.payload() for e in self.entries]
+
+    def describe(self) -> str:
+        if not self.entries:
+            return "fault timeline: (empty)"
+        lines = ["fault timeline:"]
+        for e in self.entries:
+            lines.append(f"  t={e.time:9.2f}s node {e.node}: "
+                         f"{e.kind} ({e.detail})")
+        return "\n".join(lines)
+
+
+class FaultInjector:
+    """Arms a resolved (absolute-time) fault plan on a cluster."""
+
+    def __init__(self, cluster: Cluster, plan: FaultPlan, state: FaultState,
+                 timeline: FaultTimeline) -> None:
+        if plan.relative:
+            raise ValueError("arm a resolved plan (call plan.resolve first)")
+        plan.validate_against(cluster.num_nodes)
+        self.cluster = cluster
+        self.plan = plan
+        self.state = state
+        self.timeline = timeline
+
+    def arm(self) -> None:
+        """Spawn one kernel process per plan event (call before running
+        any work; event times are absolute simulated seconds)."""
+        for ev in sorted(self.plan.events,
+                         key=lambda e: (e.at, e.node, e.kind)):
+            self.cluster.sim.process(self._event_proc(ev))
+
+    # ------------------------------------------------------------------
+    def _event_proc(self, ev: FaultEvent):
+        sim = self.cluster.sim
+        delay = ev.at - sim.now
+        if delay > 0:
+            yield sim.timeout(delay)
+        if isinstance(ev, NodeCrash):
+            yield from self._crash(ev)
+        elif isinstance(ev, NetworkPartition):
+            yield from self._degrade(ev, ("nic_in", "nic_out"),
+                                     1.0 / DEAD_FRACTION, ev.duration)
+        elif isinstance(ev, DiskSlowdown):  # also NicSlowdown (subclass)
+            yield from self._degrade(ev, ev.resources, ev.factor,
+                                     ev.duration)
+        elif isinstance(ev, MemoryPressure):
+            yield from self._memory_pressure(ev)
+        else:  # pragma: no cover - plan validation rejects unknown kinds
+            raise TypeError(f"unhandled fault event {ev!r}")
+
+    # ------------------------------------------------------------------
+    def _kill_node_work(self, node_index: int, error: TaskLostError) -> int:
+        """Abort the node's in-flight flows and interrupt its work."""
+        node = self.cluster.node(node_index)
+        caps = [node.capacity_for(res) for res in RESOURCES]
+        flows = self.cluster.fluid.flows_on(caps)
+        aborted = self.cluster.fluid.abort_flows(flows, error)
+        interrupted = 0
+        for proc in self.state.procs_on(node_index):
+            proc.interrupt(error)
+            interrupted += 1
+        return aborted + interrupted
+
+    def _set_fraction(self, node_index: int, resource: str,
+                      fraction: float) -> None:
+        node = self.cluster.node(node_index)
+        cap = node.capacity_for(resource)
+        self.cluster.fluid.rescale_capacity(
+            cap, node.baseline_bandwidth(resource) * fraction)
+        self.state.record_capacity(node_index, resource, fraction)
+
+    # ------------------------------------------------------------------
+    def _crash(self, ev: NodeCrash):
+        sim = self.cluster.sim
+        node = self.cluster.node(ev.node)
+        revival = None if ev.restart_after is None else \
+            sim.now + ev.restart_after
+        self.state.mark_dead(ev.node, revival_time=revival)
+        self.state.pending_lineage.add(ev.node)
+        error = TaskLostError(
+            f"node {node.name} crashed at t={sim.now:.2f}s")
+        # Work killed *on* the crashed node loses its locally-stored
+        # outputs even if the machine rejoins instantly; collateral
+        # victims on other nodes (e.g. a replication pipeline crossing
+        # the dead NIC) keep theirs.  Settlement keys off this marker.
+        error.crashed_node = ev.node
+        killed = self._kill_node_work(ev.node, error)
+        for res in RESOURCES:
+            self._set_fraction(ev.node, res, DEAD_FRACTION)
+        self.timeline.record(sim.now, "node_crash", ev.node,
+                             f"{killed} task(s)/flow(s) killed, revival="
+                             f"{'never' if revival is None else f'{revival:.2f}s'}")
+        if ev.restart_after is not None:
+            yield sim.timeout(ev.restart_after)
+            self.state.mark_alive(ev.node)
+            for res in RESOURCES:
+                self._set_fraction(ev.node, res, 1.0)
+            self.timeline.record(sim.now, "node_restart", ev.node,
+                                 "machine rejoined the cluster")
+        return
+
+    def _degrade(self, ev: FaultEvent, resources, factor: float, duration):
+        sim = self.cluster.sim
+        fraction = 1.0 / factor
+        for res in resources:
+            self._set_fraction(ev.node, res, fraction)
+        self.timeline.record(sim.now, ev.kind, ev.node,
+                             f"{'/'.join(resources)} at {fraction:.2g}x "
+                             f"for {'ever' if duration is None else f'{duration:.2f}s'}")
+        if duration is None:
+            return
+        yield sim.timeout(duration)
+        if not self.state.alive[ev.node]:
+            # The node crashed during the window: leave it dead; a
+            # later restart restores full bandwidth itself.
+            return
+        for res in resources:
+            self._set_fraction(ev.node, res, 1.0)
+        self.timeline.record(sim.now, f"{ev.kind}_healed", ev.node,
+                             f"{'/'.join(resources)} restored")
+
+    def _memory_pressure(self, ev: MemoryPressure):
+        sim = self.cluster.sim
+        node = self.cluster.node(ev.node)
+        amount = min(ev.fraction * node.spec.memory_bytes, node.memory.free)
+        reserved = amount > 0 and node.memory.try_reserve(amount)
+        self.timeline.record(
+            sim.now, "memory_pressure", ev.node,
+            f"pinned {amount / 2**30:.1f} GiB for {ev.duration:.2f}s"
+            if reserved else "no free memory to pin")
+        yield sim.timeout(ev.duration)
+        if reserved:
+            node.memory.release(amount)
+            self.timeline.record(sim.now, "memory_pressure_released",
+                                 ev.node, f"released {amount / 2**30:.1f} GiB")

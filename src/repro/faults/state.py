@@ -1,0 +1,216 @@
+"""Cluster-wide fault bookkeeping.
+
+:class:`FaultState` is attached to a :class:`~repro.cluster.topology.
+Cluster` (as ``cluster.fault_state``) for fault-injected runs.  It
+tracks node liveness, scheduler blacklists, per-node degraded-capacity
+traces (fractions of baseline bandwidth over time, for the monitoring
+panels and strict audits) and the processes currently executing work on
+each node (so the injector can interrupt exactly the affected work).
+
+:class:`TaskLedger` is the conservation proof for recovery: every stage
+opens an account of 1.0 work units, survivors commit their fractional
+shares, lost shares are debited and re-credited when re-executed, and
+strict mode requires each closed account to balance — retries never
+lose or duplicate task work.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..cluster.trace import StepSeries
+
+__all__ = ["FaultState", "TaskLedger"]
+
+#: Bandwidth fraction a "dead" resource keeps.  Exactly zero would make
+#: any straggling flow take infinite simulated time; a 1e-6 fraction
+#: keeps every duration finite while contributing negligible capacity.
+DEAD_FRACTION = 1e-6
+
+RESOURCES = ("cpu", "disk", "nic_in", "nic_out")
+
+
+class TaskLedger:
+    """Work-conservation accounting for recovered stages.
+
+    Work is measured in *fractions of a stage* (each stage plans 1.0
+    units).  The scalarisation of per-node resource shares into
+    fractions lives in the recovery runtime; the ledger only requires
+    that commits and debits use the same measure, which is what makes
+    the balance check unit-independent.
+    """
+
+    def __init__(self) -> None:
+        self.accounts: Dict[str, Dict[str, float]] = {}
+
+    def open(self, key: str, planned: float = 1.0) -> None:
+        if key in self.accounts:
+            raise ValueError(f"ledger account {key!r} already open")
+        self.accounts[key] = {"planned": planned, "committed": 0.0,
+                              "retried": 0.0, "lost": 0.0,
+                              "speculative_waste": 0.0, "attempts": 0.0,
+                              "closed": 0.0}
+
+    def commit(self, key: str, units: float) -> None:
+        self.accounts[key]["committed"] += units
+
+    def lose(self, key: str, units: float) -> None:
+        """Record completed work whose outputs were destroyed (it must
+        be committed again by a re-execution)."""
+        self.accounts[key]["committed"] -= units
+        self.accounts[key]["lost"] += units
+
+    def retry(self, key: str, units: float) -> None:
+        self.accounts[key]["retried"] += units
+        self.accounts[key]["attempts"] += 1
+
+    def waste(self, key: str, units: float) -> None:
+        """Speculative duplicate work (never committed)."""
+        self.accounts[key]["speculative_waste"] += units
+
+    def close(self, key: str) -> None:
+        self.accounts[key]["closed"] = 1.0
+
+    # ------------------------------------------------------------------
+    @property
+    def total_retried(self) -> float:
+        return sum(acc["retried"] for acc in self.accounts.values())
+
+    @property
+    def total_attempts(self) -> int:
+        return int(sum(acc["attempts"] for acc in self.accounts.values()))
+
+    @property
+    def total_speculative_waste(self) -> float:
+        return sum(acc["speculative_waste"] for acc in
+                   self.accounts.values())
+
+    def audit(self, tolerance: float = 1e-6,
+              max_attempts: Optional[int] = None) -> List[str]:
+        """Balance every closed account; bound attempts by the policy."""
+        problems = []
+        for key, acc in sorted(self.accounts.items()):
+            if not acc["closed"]:
+                continue
+            drift = abs(acc["committed"] - acc["planned"])
+            if drift > tolerance * max(1.0, acc["planned"]):
+                problems.append(
+                    f"ledger {key}: committed {acc['committed']:.9f} of "
+                    f"{acc['planned']:.9f} planned units "
+                    f"(retries lost or duplicated work)")
+            if acc["retried"] < -tolerance or acc["lost"] < -tolerance:
+                problems.append(f"ledger {key}: negative retry/lost units")
+            if max_attempts is not None and acc["attempts"] > max_attempts:
+                problems.append(
+                    f"ledger {key}: {acc['attempts']:.0f} attempts exceed "
+                    f"the retry policy's {max_attempts}")
+        return problems
+
+    def payload(self) -> Dict[str, Dict[str, float]]:
+        return {key: dict(acc) for key, acc in sorted(self.accounts.items())}
+
+
+class FaultState:
+    """Liveness, blacklists, degraded capacities and running work."""
+
+    def __init__(self, cluster) -> None:
+        self.cluster = cluster
+        n = cluster.num_nodes
+        self.alive: List[bool] = [True] * n
+        self.blacklisted: set = set()
+        #: node -> absolute time the machine returns (None = never),
+        #: recorded by the injector when a crash fires.
+        self.revival_time: Dict[int, Optional[float]] = {}
+        #: Per-node per-resource bandwidth fraction over time (1.0 =
+        #: healthy).  Series exist only for nodes a fault ever touched.
+        self.capacity_traces: Dict[Tuple[int, str], StepSeries] = {}
+        #: Failure count per node (drives blacklisting).
+        self.failure_counts: Dict[int, int] = {}
+        #: Nodes that crashed and whose completed-stage outputs have not
+        #: been recomputed from lineage yet (consumed by the Spark
+        #: recovery runtime; survives an instant machine restart).
+        self.pending_lineage: set = set()
+        self._procs: Dict[int, List] = {i: [] for i in range(n)}
+        self.ledger = TaskLedger()
+        self.crash_count = 0
+
+    # ------------------------------------------------------------------
+    # process registry (who is running work on which node)
+    # ------------------------------------------------------------------
+    def register(self, node_index: int, proc) -> None:
+        procs = self._procs[node_index]
+        # Prune completed processes lazily so the registry stays small.
+        procs[:] = [p for p in procs if not p.triggered]
+        procs.append(proc)
+
+    def procs_on(self, node_index: int) -> List:
+        return [p for p in self._procs[node_index] if not p.triggered]
+
+    def all_procs(self) -> List:
+        out = []
+        for i in sorted(self._procs):
+            out.extend(self.procs_on(i))
+        return out
+
+    # ------------------------------------------------------------------
+    # liveness
+    # ------------------------------------------------------------------
+    def mark_dead(self, node_index: int,
+                  revival_time: Optional[float] = None) -> None:
+        self.alive[node_index] = False
+        self.revival_time[node_index] = revival_time
+        self.crash_count += 1
+
+    def mark_alive(self, node_index: int) -> None:
+        self.alive[node_index] = True
+        self.revival_time.pop(node_index, None)
+
+    def alive_indices(self) -> List[int]:
+        return [i for i, a in enumerate(self.alive) if a]
+
+    def dead_indices(self) -> List[int]:
+        return [i for i, a in enumerate(self.alive) if not a]
+
+    def schedulable_indices(self) -> List[int]:
+        """Alive and not blacklisted — where recovery may place work."""
+        out = [i for i in self.alive_indices() if i not in self.blacklisted]
+        # A fully-blacklisted cluster must still make progress: Spark
+        # ignores the blacklist when no other executor is available.
+        return out or self.alive_indices()
+
+    def note_failure(self, node_index: int) -> int:
+        self.failure_counts[node_index] = \
+            self.failure_counts.get(node_index, 0) + 1
+        return self.failure_counts[node_index]
+
+    def latest_revival(self, nodes) -> Optional[float]:
+        """Latest return time among the given dead nodes; None if any
+        of them never comes back."""
+        latest = 0.0
+        for ni in nodes:
+            t = self.revival_time.get(ni)
+            if t is None:
+                return None
+            latest = max(latest, t)
+        return latest
+
+    # ------------------------------------------------------------------
+    # degraded-capacity traces
+    # ------------------------------------------------------------------
+    def record_capacity(self, node_index: int, resource: str,
+                        fraction: float) -> None:
+        series = self.capacity_traces.get((node_index, resource))
+        if series is None:
+            series = StepSeries(initial=1.0)
+            self.capacity_traces[(node_index, resource)] = series
+        series.append(self.cluster.now, fraction)
+
+    def capacity_payload(self) -> Dict[str, List[Tuple[float, float]]]:
+        return {f"node-{ni:03d}.{res}": list(series)
+                for (ni, res), series in sorted(self.capacity_traces.items())}
+
+    def __repr__(self) -> str:
+        dead = self.dead_indices()
+        return (f"FaultState(alive={len(self.alive_indices())}/"
+                f"{len(self.alive)}, dead={dead}, "
+                f"blacklisted={sorted(self.blacklisted)})")

@@ -30,7 +30,7 @@ from ..engines.common.result import EngineRunResult
 from ..workloads.base import Workload
 from .runner import run_once
 
-__all__ = ["FaultRecoveryResult", "run_with_failure"]
+__all__ = ["FaultRecoveryResult", "analytic_total", "run_with_failure"]
 
 
 @dataclass
@@ -83,11 +83,34 @@ def _spark_recovery(result: EngineRunResult, fail_at: float,
     windows = _stage_windows(result)
     n = max(nodes, 1)
     remaining_after = result.end - fail_at
-    current = next(((s, e) for s, e in windows if s <= fail_at < e), None)
-    rerun_lost_tasks = (fail_at - current[0]) / n if current else 0.0
-    completed = sum(e - s for s, e in windows if e <= fail_at)
+    completed = 0.0
+    rerun_lost_tasks = 0.0
+    for s, e in windows:
+        if e <= fail_at:
+            # A stage ending exactly at the failure has materialised its
+            # outputs: it is completed, never also charged as in-flight.
+            completed += e - s
+        elif s <= fail_at:
+            # Every window open at the failure loses the failed node's
+            # share of its progress — span-fallback windows can overlap,
+            # so this must charge all of them, not just the first.
+            rerun_lost_tasks += (fail_at - s) / n
     recompute = completed / n
     return remaining_after + rerun_lost_tasks + recompute
+
+
+def analytic_total(engine: str, baseline: EngineRunResult,
+                   fail_at_fraction: float, nodes: int) -> float:
+    """Estimated total seconds given an already-run baseline."""
+    T = baseline.duration
+    fail_at = baseline.start + fail_at_fraction * T
+    if engine == "flink":
+        # No materialised intermediates in the 0.10 pipeline: restart.
+        return fail_at_fraction * T + T
+    if engine == "spark":
+        return (fail_at_fraction * T +
+                _spark_recovery(baseline, fail_at, nodes))
+    raise ValueError(f"unknown engine {engine!r}")
 
 
 def run_with_failure(engine: str, workload: Workload,
@@ -101,16 +124,7 @@ def run_with_failure(engine: str, workload: Workload,
     if not baseline.success:
         raise RuntimeError(f"baseline failed: {baseline.failure}")
     T = baseline.duration
-    fail_at = baseline.start + fail_at_fraction * T
-
-    if engine == "flink":
-        # No materialised intermediates in the 0.10 pipeline: restart.
-        total = fail_at_fraction * T + T
-    elif engine == "spark":
-        total = (fail_at_fraction * T +
-                 _spark_recovery(baseline, fail_at, config.nodes))
-    else:
-        raise ValueError(f"unknown engine {engine!r}")
+    total = analytic_total(engine, baseline, fail_at_fraction, config.nodes)
     return FaultRecoveryResult(
         engine=engine, workload=workload.name, nodes=config.nodes,
         fail_at_seconds=fail_at_fraction * T, baseline_seconds=T,

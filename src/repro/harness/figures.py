@@ -38,6 +38,7 @@ __all__ = [
     "fig11_kmeans_scaling", "fig12_pagerank_small", "fig13_pagerank_medium",
     "fig14_cc_small", "fig15_cc_medium", "fig16_pagerank_resources",
     "fig17_cc_resources", "tab07_large_graph",
+    "FaultCell", "FaultFigure", "fig18_fault_recovery",
 ]
 
 GiB = float(2**30)
@@ -392,3 +393,97 @@ def _split_load_iter(result) -> Tuple[float, float]:
                 load += head.start - job.start
                 iters += job.end - head.start
     return load, iters
+
+
+# ----------------------------------------------------------------------
+# Fig. 18 (extension) — failure recovery overhead
+# ----------------------------------------------------------------------
+@dataclass
+class FaultCell:
+    """One recovery data point: engine x workload x failure point."""
+
+    engine: str
+    workload: str
+    nodes: int
+    fail_at_fraction: float
+    success: bool
+    baseline_seconds: float = math.nan
+    simulated_seconds: float = math.nan
+    analytic_seconds: float = math.nan
+    retries: int = 0
+    restarts: int = 0
+    failure: Optional[str] = None
+
+    @property
+    def simulated_overhead(self) -> float:
+        return self.simulated_seconds - self.baseline_seconds
+
+    @property
+    def analytic_overhead(self) -> float:
+        return self.analytic_seconds - self.baseline_seconds
+
+
+@dataclass
+class FaultFigure:
+    """Recovery-overhead figure: simulated vs analytic estimates."""
+
+    figure_id: str
+    title: str
+    cells: List[FaultCell]
+
+    def of_engine(self, engine: str) -> List[FaultCell]:
+        return [c for c in self.cells if c.engine == engine]
+
+
+def fig18_fault_recovery(seed: int = 0, nodes: int = 4,
+                         fractions: Sequence[float] = (0.25, 0.5, 0.75),
+                         strict: Optional[bool] = None) -> FaultFigure:
+    """Single-node crash recovery sweep (extension of §VIII).
+
+    For each engine and workload, one fault-free baseline is run, then
+    one in-simulation crash-and-recover run per failure point (process
+    kill: the machine rejoins immediately, its task state is lost), and
+    the analytic lineage/restart estimate over the same baseline.
+    Spark pays stage-level re-execution; Flink 0.10 restarts the whole
+    pipeline, so its overhead grows with the failure point.
+    """
+    from ..faults import FaultPlan, FlinkRestartPolicy, RetryPolicy, \
+        run_with_faults
+    from .faults import analytic_total
+    from .runner import run_once
+    workloads = [
+        (WordCount(total_bytes=nodes * 4 * GiB), wordcount_grep_preset(nodes)),
+        (_terasort(nodes, nodes * 2 * GiB), terasort_preset(nodes)),
+    ]
+    cells: List[FaultCell] = []
+    for workload, cfg in workloads:
+        for engine in ENGINES:
+            baseline = run_once(engine, workload, cfg, seed=seed,
+                                strict=strict)
+            for fraction in fractions:
+                if not baseline.success:
+                    cells.append(FaultCell(
+                        engine=engine, workload=workload.name, nodes=nodes,
+                        fail_at_fraction=fraction, success=False,
+                        failure=baseline.failure))
+                    continue
+                plan = FaultPlan.single_crash(fraction, node=1,
+                                              restart_after=0.0)
+                faulted = run_with_faults(
+                    engine, workload, cfg, plan, seed=seed,
+                    retry_policy=RetryPolicy(backoff=0.0),
+                    restart_policy=FlinkRestartPolicy(restart_delay=0.0),
+                    strict=strict, baseline=baseline)
+                cells.append(FaultCell(
+                    engine=engine, workload=workload.name, nodes=nodes,
+                    fail_at_fraction=fraction, success=faulted.success,
+                    baseline_seconds=faulted.baseline_duration,
+                    simulated_seconds=faulted.faulted_duration,
+                    analytic_seconds=analytic_total(
+                        engine, baseline, fraction, cfg.nodes),
+                    retries=faulted.retry_attempts,
+                    restarts=len(faulted.restarts),
+                    failure=faulted.result.failure))
+    return FaultFigure(
+        "fig18", f"Failure recovery overhead ({nodes} nodes, "
+        f"single node crash)", cells)

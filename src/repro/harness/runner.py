@@ -117,6 +117,7 @@ def run_once(engine_name: str, workload: Workload, config: ExperimentConfig,
         else:
             merged.jobs.extend(result.jobs)
             merged.end = result.end
+            merged.stage_windows.extend(result.stage_windows)
             for key, value in result.metrics.items():
                 merged.metrics[key] = merged.metrics.get(key, 0.0) + value
             if not result.success:

@@ -14,7 +14,7 @@ from typing import Dict, List, Optional
 from ..cluster.node import Node
 from ..cluster.topology import Cluster
 from ..cluster.trace import StepSeries
-from .metrics import Metric, MetricFrame
+from .metrics import RESOURCE_PANELS, Metric, MetricFrame
 
 __all__ = ["ClusterMonitor"]
 
@@ -39,7 +39,26 @@ class ClusterMonitor:
             return [node.disk.throughput]
         if metric is Metric.NETWORK_MIBS:
             return [node.nic_in.throughput, node.nic_out.throughput]
+        if metric is Metric.CAPACITY_PERCENT:
+            return [self._capacity_series(node)]
         raise ValueError(f"unknown metric {metric!r}")
+
+    def _capacity_series(self, node: Node) -> StepSeries:
+        """The node's health under fault injection: 100 x the minimum
+        capacity fraction across its resources (constant 100 for a node
+        no fault ever touched, or without fault injection at all)."""
+        series = StepSeries(initial=100.0)
+        state = getattr(self.cluster, "fault_state", None)
+        if state is None:
+            return series
+        traces = [tr for (ni, _res), tr in state.capacity_traces.items()
+                  if ni == node.index]
+        if not traces:
+            return series
+        times = sorted({t for tr in traces for t, _ in tr})
+        for t in times:
+            series.append(t, 100.0 * min(tr.value_at(t) for tr in traces))
+        return series
 
     @staticmethod
     def _scale(metric: Metric) -> float:
@@ -80,5 +99,9 @@ class ClusterMonitor:
 
     def snapshot(self, start: float, end: float, step: float = 1.0
                  ) -> Dict[Metric, MetricFrame]:
-        """All five panels over one run window."""
-        return {m: self.frame(m, start, end, step) for m in Metric}
+        """All five paper panels over one run window — plus the
+        capacity panel when the cluster ran under fault injection."""
+        metrics = list(RESOURCE_PANELS)
+        if getattr(self.cluster, "fault_state", None) is not None:
+            metrics.append(Metric.CAPACITY_PERCENT)
+        return {m: self.frame(m, start, end, step) for m in metrics}

@@ -31,6 +31,9 @@ class Metric(enum.Enum):
     DISK_UTIL_PERCENT = "disk_util_percent"
     DISK_IO_MIBS = "disk_io_mibs"
     NETWORK_MIBS = "network_mibs"
+    #: Healthy-capacity fraction under fault injection (100 = healthy;
+    #: not one of the paper's panels, so not in RESOURCE_PANELS).
+    CAPACITY_PERCENT = "capacity_percent"
 
 
 #: The standard panel order of the paper's figures.
@@ -112,6 +115,7 @@ PERCENT_METRICS = frozenset({
     Metric.CPU_PERCENT,
     Metric.MEMORY_PERCENT,
     Metric.DISK_UTIL_PERCENT,
+    Metric.CAPACITY_PERCENT,
 })
 
 

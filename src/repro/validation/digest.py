@@ -30,6 +30,7 @@ __all__ = [
     "scaling_payload",
     "resource_payload",
     "table_payload",
+    "fault_payload",
 ]
 
 
@@ -112,6 +113,26 @@ def resource_payload(fig) -> Dict[str, Any]:
             "frames": frames,
         }
     return payload
+
+
+def fault_payload(fig) -> Dict[str, Any]:
+    """Observable output of the Fig. 18 recovery-overhead sweep."""
+    cells = []
+    for cell in fig.cells:
+        cells.append({
+            "engine": cell.engine,
+            "workload": cell.workload,
+            "nodes": cell.nodes,
+            "fail_at_fraction": cell.fail_at_fraction,
+            "success": cell.success,
+            "baseline_seconds": cell.baseline_seconds,
+            "simulated_seconds": cell.simulated_seconds,
+            "analytic_seconds": cell.analytic_seconds,
+            "retries": cell.retries,
+            "restarts": cell.restarts,
+            "failure": cell.failure,
+        })
+    return {"figure_id": fig.figure_id, "cells": cells}
 
 
 def table_payload(cells) -> List[Dict[str, Any]]:

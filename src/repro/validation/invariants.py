@@ -114,6 +114,7 @@ class InvariantChecker:
             "cluster_audit": 0,
             "engine_audit": 0,
             "frame_audit": 0,
+            "fault_audit": 0,
         }
         self._last_pop_time = 0.0
 
@@ -248,7 +249,13 @@ class InvariantChecker:
                     self._record(problem)
                 for problem in check_series_bounds(
                         cap.throughput, f"{cap.name}.throughput",
-                        0.0, cap.bandwidth, tolerance=self.tolerance):
+                        0.0,
+                        # Fault injection may leave the capacity degraded
+                        # at audit time; earlier points were legitimately
+                        # allocated at the undegraded bandwidth.
+                        max(cap.bandwidth, getattr(cap, "bw_high_water",
+                                                   cap.bandwidth)),
+                        tolerance=self.tolerance):
                     self._record(problem)
             mem_tol = max(1.0, node.memory.peak * 1e-9)
             for problem in node.memory.audit(tolerance=mem_tol):
@@ -279,6 +286,42 @@ class InvariantChecker:
                 self._record(
                     f"result: job {job.name!r} ends at {job.end} before "
                     f"it starts at {job.start}")
+
+    def audit_faults(self, state, max_attempts: Optional[int] = None) -> None:
+        """Audit a faulted run's bookkeeping.
+
+        Checks the task-conservation ledger (every closed stage account
+        balances: retries neither lose nor duplicate work, and attempt
+        counts respect the retry policy), and that every degraded-
+        capacity trace stays a sane fraction (0 < f <= 1) whose final
+        value matches the capacity's current bandwidth relative to the
+        node's healthy baseline.
+        """
+        self.checks["fault_audit"] += 1
+        for problem in state.ledger.audit(tolerance=self.tolerance,
+                                          max_attempts=max_attempts):
+            self._record(f"faults: {problem}")
+        for (node_index, resource), series in \
+                sorted(state.capacity_traces.items()):
+            name = f"node-{node_index:03d}.{resource}"
+            for problem in check_series_bounds(
+                    series, f"faults: {name}.capacity_fraction",
+                    0.0, 1.0, tolerance=self.tolerance):
+                self._record(problem)
+            if series.last_value <= 0.0:
+                self._record(
+                    f"faults: {name} capacity fraction dropped to "
+                    f"{series.last_value} (dead resources must keep a "
+                    f"positive epsilon bandwidth)")
+            node = state.cluster.node(node_index)
+            baseline = node.baseline_bandwidth(resource)
+            actual = node.capacity_for(resource).bandwidth
+            expected = series.last_value * baseline
+            if abs(actual - expected) > self.tolerance * max(1.0, baseline):
+                self._record(
+                    f"faults: {name} bandwidth is {actual} but the fault "
+                    f"trace says it should be {expected} "
+                    f"({series.last_value:.3g} of baseline {baseline})")
 
     def audit_frames(self, frames) -> None:
         """Physical bounds on resampled monitoring panels."""

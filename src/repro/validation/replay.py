@@ -28,8 +28,8 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from ..harness import figures
-from .digest import (digest_payload, resource_payload, scaling_payload,
-                     table_payload)
+from .digest import (digest_payload, fault_payload, resource_payload,
+                     scaling_payload, table_payload)
 
 __all__ = [
     "ReplayScenario",
@@ -75,7 +75,14 @@ def _tab07(seed: int, strict: Optional[bool]) -> Any:
     return table_payload(cells)
 
 
-#: The replay suite: the ISSUE's minimum bar (Fig. 1, Fig. 10, Tab. 7).
+def _fig18(seed: int, strict: Optional[bool]) -> Any:
+    fig = figures.fig18_fault_recovery(seed=seed, nodes=4,
+                                       fractions=(0.5,), strict=strict)
+    return fault_payload(fig)
+
+
+#: The replay suite: the ISSUE's minimum bar (Fig. 1, Fig. 10, Tab. 7)
+#: plus the fault-recovery sweep (Fig. 18 extension).
 SCENARIOS: Dict[str, ReplayScenario] = {
     "fig01": ReplayScenario(
         "fig01", "Word Count weak scaling (2 and 4 nodes, 1 trial)", _fig01),
@@ -83,6 +90,8 @@ SCENARIOS: Dict[str, ReplayScenario] = {
         "fig10", "K-Means resource panels (8 nodes, 10 iterations)", _fig10),
     "tab07": ReplayScenario(
         "tab07", "Table VII Large-graph grid (27 nodes)", _tab07),
+    "fig18": ReplayScenario(
+        "fig18", "Failure recovery overhead (4 nodes, crash at 50%)", _fig18),
 }
 
 

@@ -1,0 +1,134 @@
+"""Injection mechanics: ledger accounting, degraded capacities,
+timeline recording.  Uses small in-simulation runs."""
+
+import pytest
+
+from repro.config.presets import wordcount_grep_preset
+from repro.faults import (DiskSlowdown, FaultPlan, MemoryPressure,
+                          NetworkPartition, NicSlowdown, TaskLedger,
+                          run_with_faults)
+from repro.workloads import WordCount
+
+GiB = 2**30
+NODES = 4
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return WordCount(NODES * 2 * GiB), wordcount_grep_preset(NODES)
+
+
+# ----------------------------------------------------------------------
+# TaskLedger unit behaviour
+# ----------------------------------------------------------------------
+def test_ledger_balances_clean_stage():
+    ledger = TaskLedger()
+    ledger.open("s0", planned=1.0)
+    ledger.commit("s0", 1.0)
+    ledger.close("s0")
+    assert ledger.audit() == []
+
+
+def test_ledger_flags_lost_work():
+    ledger = TaskLedger()
+    ledger.open("s0", planned=1.0)
+    ledger.commit("s0", 1.0)
+    ledger.lose("s0", 0.25)
+    ledger.close("s0")
+    problems = ledger.audit()
+    assert problems and "committed" in problems[0]
+    # Re-running the lost quarter balances the account again.
+    ledger.retry("s0", 0.25)
+    ledger.commit("s0", 0.25)
+    assert ledger.audit() == []
+    assert ledger.total_retried == pytest.approx(0.25)
+    assert ledger.total_attempts == 1
+
+
+def test_ledger_flags_attempt_overrun():
+    ledger = TaskLedger()
+    ledger.open("s0")
+    ledger.commit("s0", 1.0)
+    for _ in range(3):
+        ledger.retry("s0", 0.0)
+    ledger.close("s0")
+    assert ledger.audit(max_attempts=2)
+    assert ledger.audit(max_attempts=3) == []
+
+
+def test_ledger_rejects_duplicate_account():
+    ledger = TaskLedger()
+    ledger.open("s0")
+    with pytest.raises(ValueError):
+        ledger.open("s0")
+
+
+# ----------------------------------------------------------------------
+# degradation events (no task is killed, the run just slows down)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("event_cls,kind", [
+    (DiskSlowdown, "disk_slowdown"),
+    (NicSlowdown, "nic_slowdown"),
+])
+def test_slowdown_slows_but_never_kills(scenario, event_cls, kind):
+    workload, cfg = scenario
+    plan = FaultPlan(events=(
+        event_cls(at=0.3, node=1, factor=8.0, duration=0.4),),
+        relative=True)
+    res = run_with_faults("spark", workload, cfg, plan, seed=0, strict=True)
+    assert res.success
+    assert res.retry_attempts == 0
+    assert res.recovery_overhead >= 0.0
+    kinds = [e.kind for e in res.timeline.entries]
+    assert kind in kinds and f"{kind}_healed" in kinds
+    # The capacity trace recorded the dip and the heal.
+    for resource in event_cls.resources:
+        trace = res.capacity_traces[f"node-001.{resource}"]
+        values = [v for _, v in trace]
+        assert min(values) == pytest.approx(1.0 / 8.0)
+        assert values[-1] == pytest.approx(1.0)
+
+
+def test_network_partition_stalls_and_heals(scenario):
+    workload, cfg = scenario
+    plan = FaultPlan(events=(
+        NetworkPartition(at=0.3, node=1, duration=0.15),), relative=True)
+    res = run_with_faults("spark", workload, cfg, plan, seed=0, strict=True)
+    assert res.success
+    kinds = [e.kind for e in res.timeline.entries]
+    assert "network_partition" in kinds
+    assert "network_partition_healed" in kinds
+    trace = res.capacity_traces["node-001.nic_in"]
+    values = [v for _, v in trace]
+    assert min(values) < 1e-5          # dropped to (almost) zero
+    assert values[-1] == pytest.approx(1.0)
+
+
+def test_memory_pressure_pins_and_releases(scenario):
+    workload, cfg = scenario
+    plan = FaultPlan(events=(
+        MemoryPressure(at=0.3, node=1, duration=0.2, fraction=0.3),),
+        relative=True)
+    res = run_with_faults("spark", workload, cfg, plan, seed=0, strict=True)
+    kinds = [e.kind for e in res.timeline.entries]
+    assert "memory_pressure" in kinds
+    assert "memory_pressure_released" in kinds
+
+
+def test_injector_rejects_relative_plan():
+    from repro.cluster import Cluster
+    from repro.faults import FaultInjector, FaultState, FaultTimeline
+    cluster = Cluster(2)
+    plan = FaultPlan.single_crash(0.5)
+    with pytest.raises(ValueError):
+        FaultInjector(cluster, plan, FaultState(cluster), FaultTimeline())
+
+
+def test_injector_rejects_out_of_range_node():
+    from repro.cluster import Cluster
+    from repro.faults import (FaultInjector, FaultState, FaultTimeline,
+                              NodeCrash)
+    cluster = Cluster(2)
+    plan = FaultPlan(events=(NodeCrash(at=1.0, node=5),))
+    with pytest.raises(ValueError):
+        FaultInjector(cluster, plan, FaultState(cluster), FaultTimeline())

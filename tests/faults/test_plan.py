@@ -1,0 +1,97 @@
+"""Fault-plan DSL: validation, resolution, determinism."""
+
+import pytest
+
+from repro.faults import (DiskSlowdown, FaultPlan, MemoryPressure,
+                          NetworkPartition, NicSlowdown, NodeCrash)
+
+
+def test_event_validation():
+    with pytest.raises(ValueError):
+        FaultPlan(events=(NodeCrash(at=-1.0, node=0),))
+    with pytest.raises(ValueError):
+        FaultPlan(events=(NodeCrash(at=1.0, node=-2),))
+    with pytest.raises(ValueError):
+        FaultPlan(events=(NodeCrash(at=0.5, node=0, restart_after=-1.0),))
+    with pytest.raises(ValueError):
+        FaultPlan(events=(DiskSlowdown(at=1.0, node=0, factor=0.5),))
+    with pytest.raises(ValueError):
+        FaultPlan(events=(NetworkPartition(at=1.0, node=0, duration=0.0),))
+    with pytest.raises(ValueError):
+        FaultPlan(events=(MemoryPressure(at=1.0, node=0, duration=5.0,
+                                         fraction=1.5),))
+    with pytest.raises(TypeError):
+        FaultPlan(events=("crash",))
+
+
+def test_relative_plan_requires_fractional_times():
+    with pytest.raises(ValueError):
+        FaultPlan(events=(NodeCrash(at=1.5, node=0),), relative=True)
+    plan = FaultPlan(events=(NodeCrash(at=0.5, node=0),), relative=True)
+    assert plan.relative
+
+
+def test_validate_against_cluster_size():
+    plan = FaultPlan(events=(NodeCrash(at=1.0, node=7),))
+    with pytest.raises(ValueError):
+        plan.validate_against(4)
+    plan.validate_against(8)
+
+
+def test_resolve_scales_times_and_durations():
+    plan = FaultPlan(events=(
+        NodeCrash(at=0.5, node=0, restart_after=0.1),
+        DiskSlowdown(at=0.25, node=1, factor=4.0, duration=0.2),
+    ), relative=True)
+    resolved = plan.resolve(200.0)
+    assert not resolved.relative
+    crash = next(e for e in resolved.events if isinstance(e, NodeCrash))
+    slow = next(e for e in resolved.events if isinstance(e, DiskSlowdown))
+    assert crash.at == pytest.approx(100.0)
+    assert crash.restart_after == pytest.approx(20.0)
+    assert slow.at == pytest.approx(50.0)
+    assert slow.duration == pytest.approx(40.0)
+    # Absolute plans resolve to themselves.
+    assert resolved.resolve(999.0) is resolved
+
+
+def test_plan_digest_is_deterministic_and_sensitive():
+    a = FaultPlan(events=(NodeCrash(at=0.5, node=0),), relative=True)
+    b = FaultPlan(events=(NodeCrash(at=0.5, node=0),), relative=True)
+    c = FaultPlan(events=(NodeCrash(at=0.5, node=1),), relative=True)
+    assert a.digest() == b.digest()
+    assert a.digest() != c.digest()
+
+
+def test_random_plan_is_seeded():
+    a = FaultPlan.random(seed=7, num_nodes=8)
+    b = FaultPlan.random(seed=7, num_nodes=8)
+    c = FaultPlan.random(seed=8, num_nodes=8)
+    assert a.digest() == b.digest()
+    assert a.digest() != c.digest()
+    assert a.relative
+    for ev in a.events:
+        assert 0.0 <= ev.at < 1.0
+        assert 0 <= ev.node < 8
+
+
+def test_single_crash_constructor():
+    plan = FaultPlan.single_crash(0.5, node=2, restart_after=0.0)
+    assert plan.relative
+    (ev,) = plan.events
+    assert isinstance(ev, NodeCrash)
+    assert ev.node == 2
+    assert ev.restart_after == 0.0
+    with pytest.raises(ValueError):
+        FaultPlan.single_crash(1.0)
+
+
+def test_nic_slowdown_targets_both_directions():
+    assert NicSlowdown.resources == ("nic_in", "nic_out")
+    assert DiskSlowdown.resources == ("disk",)
+
+
+def test_describe_mentions_every_event():
+    plan = FaultPlan.random(seed=1, num_nodes=4, num_events=4)
+    text = plan.describe()
+    assert "4 event(s)" in text

@@ -59,3 +59,56 @@ def test_late_failures_hurt_flink_more():
 def test_describe(results):
     text = results["spark"].describe()
     assert "node failure" in text and "spark/wordcount" in text
+
+
+# ----------------------------------------------------------------------
+# _spark_recovery boundary handling (regression)
+# ----------------------------------------------------------------------
+def test_spark_recovery_stage_ending_at_failure_counts_completed():
+    """A stage whose barrier lands exactly at the failure instant has
+    materialised its outputs: it is charged as lineage recompute only,
+    never additionally as an interrupted stage."""
+    from repro.engines.common.result import EngineRunResult
+    from repro.harness.faults import _spark_recovery
+    result = EngineRunResult(engine="spark", workload="x", nodes=4,
+                             success=True, start=0.0, end=100.0,
+                             stage_windows=[(0.0, 50.0), (50.0, 100.0)])
+    # Failure exactly at the first barrier: 50s remain, first stage is
+    # completed (recompute 50/4), second has made zero progress.
+    total = _spark_recovery(result, fail_at=50.0, nodes=4)
+    assert total == pytest.approx(50.0 + 50.0 / 4)
+
+
+def test_spark_recovery_charges_every_overlapping_window():
+    """Span-fallback windows can overlap; every window open at the
+    failure loses the failed node's share, not just the first one."""
+    from repro.engines.common.result import EngineRunResult
+    from repro.harness.faults import _spark_recovery
+    result = EngineRunResult(engine="spark", workload="x", nodes=4,
+                             success=True, start=0.0, end=100.0,
+                             stage_windows=[(0.0, 80.0), (20.0, 100.0)])
+    total = _spark_recovery(result, fail_at=60.0, nodes=4)
+    # 40s remain; both windows are open: (60-0)/4 + (60-20)/4 re-run.
+    assert total == pytest.approx(40.0 + 60.0 / 4 + 40.0 / 4)
+
+
+def test_spark_recovery_failure_before_first_stage():
+    from repro.engines.common.result import EngineRunResult
+    from repro.harness.faults import _spark_recovery
+    result = EngineRunResult(engine="spark", workload="x", nodes=4,
+                             success=True, start=0.0, end=100.0,
+                             stage_windows=[(10.0, 100.0)])
+    assert _spark_recovery(result, fail_at=5.0, nodes=4) == \
+        pytest.approx(95.0)
+
+
+def test_analytic_total_matches_run_with_failure():
+    from repro.harness.faults import analytic_total
+    from repro.harness.runner import run_once
+    cfg = wordcount_grep_preset(4)
+    wl = WordCount(4 * 2 * GiB)
+    baseline = run_once("spark", wl, cfg, seed=3)
+    estimate = run_with_failure("spark", wl, cfg, fail_at_fraction=0.5,
+                                seed=3)
+    assert analytic_total("spark", baseline, 0.5, 4) == \
+        pytest.approx(estimate.total_seconds)

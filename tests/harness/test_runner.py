@@ -73,3 +73,24 @@ def test_multi_job_workloads_merge():
     assert result.success
     names = [j.name for j in result.jobs]
     assert "count-vertices" in names and "pagerank" in names
+
+
+def test_merge_keeps_stage_windows_of_later_jobs():
+    """Merging multi-plan results must keep every job's stage windows
+    (the failure-recovery analysis charges lineage from them); it used
+    to silently drop all windows after the first plan's."""
+    from repro.engines.common.result import EngineRunResult
+    from repro.faults.run import _merge
+    first = EngineRunResult(engine="spark", workload="x", nodes=2,
+                            success=True, start=0.0, end=10.0,
+                            stage_windows=[(0.0, 10.0)],
+                            metrics={"shuffled": 1.0})
+    second = EngineRunResult(engine="spark", workload="x", nodes=2,
+                             success=True, start=10.0, end=25.0,
+                             stage_windows=[(10.0, 20.0), (20.0, 25.0)],
+                             metrics={"shuffled": 2.0})
+    merged = _merge(None, first, "x")
+    merged = _merge(merged, second, "x")
+    assert merged.stage_windows == [(0.0, 10.0), (10.0, 20.0), (20.0, 25.0)]
+    assert merged.end == 25.0
+    assert merged.metrics["shuffled"] == pytest.approx(3.0)

@@ -111,8 +111,21 @@ def test_monitor_network_combines_directions():
 def test_monitor_snapshot_has_all_panels():
     cluster = run_activity()
     snap = ClusterMonitor(cluster).snapshot(0, 10, 1.0)
-    assert set(snap) == set(Metric)
+    assert set(snap) == set(RESOURCE_PANELS)
     assert len(RESOURCE_PANELS) == 5
+    # The capacity panel only appears for fault-injected deployments.
+    assert Metric.CAPACITY_PERCENT not in snap
+
+
+def test_monitor_snapshot_adds_capacity_panel_under_faults():
+    from repro.faults import FaultState
+    cluster = run_activity()
+    cluster.fault_state = FaultState(cluster)
+    snap = ClusterMonitor(cluster).snapshot(0, 10, 1.0)
+    assert set(snap) == set(RESOURCE_PANELS) | {Metric.CAPACITY_PERCENT}
+    frame = snap[Metric.CAPACITY_PERCENT]
+    # No fault ever fired: every node is at 100% capacity throughout.
+    assert all(v == pytest.approx(100.0) for v in frame.mean)
 
 
 def test_monitor_empty_window_rejected():
