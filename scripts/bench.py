@@ -1,0 +1,20 @@
+#!/usr/bin/env python
+"""Time the pinned simulator benchmark suite and write BENCH_<date>.json.
+
+Thin wrapper over ``repro bench`` for running straight from a checkout:
+
+    PYTHONPATH=src python scripts/bench.py [--quick] [--jobs N]
+                                           [--seed S] [--label TEXT]
+                                           [--out PATH]
+
+The suite (see :mod:`repro.harness.bench`) is fixed, so two reports
+from the same machine are directly comparable; commit the JSON next to
+any perf-sensitive change to document the before/after.
+"""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main(["bench"] + sys.argv[1:]))

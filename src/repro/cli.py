@@ -156,18 +156,20 @@ def cmd_figure(args) -> int:
     strict = args.strict or None
     if fig_id in FIGURES:
         fig = FIGURES[fig_id](trials=args.trials, seed=args.seed,
-                              strict=strict)
+                              strict=strict, jobs=args.jobs)
         print(render_bar_table(fig.series.values(), title=fig.title))
         return 0
     if fig_id in RESOURCE_FIGURES:
-        fig = RESOURCE_FIGURES[fig_id](seed=args.seed, strict=strict)
+        fig = RESOURCE_FIGURES[fig_id](seed=args.seed, strict=strict,
+                                       jobs=args.jobs)
         for run in fig.runs.values():
             print(render_run(run))
             print()
         return 0
     if fig_id == "fig18":
         fig = figure_registry.fig18_fault_recovery(seed=args.seed,
-                                                   strict=strict)
+                                                   strict=strict,
+                                                   jobs=args.jobs)
         print(fig.title)
         for c in fig.cells:
             if not c.success:
@@ -224,7 +226,7 @@ def cmd_faults(args) -> int:
 def cmd_table7(args) -> int:
     cells = figure_registry.tab07_large_graph(
         seed=args.seed, node_counts=tuple(args.nodes),
-        strict=args.strict or None)
+        strict=args.strict or None, jobs=args.jobs)
     print("Table VII - Large graph (Load / Iter seconds; 'no' = failed)")
     for cell in cells:
         status = (f"load {cell.load_seconds:7.0f}s  iter "
@@ -287,6 +289,17 @@ def cmd_validate(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    from .harness.bench import run_bench, write_report
+    report = run_bench(quick=args.quick, jobs=args.jobs, seed=args.seed,
+                       label=args.label, echo=print)
+    print(f"{'TOTAL':20s} {report.total_wall_seconds:8.3f}s "
+          f"(jobs={report.jobs})")
+    path = write_report(report, path=args.out)
+    print(f"report written to {path}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -313,6 +326,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("--seed", type=int, default=0)
     p_fig.add_argument("--strict", action="store_true",
                        help="audit simulator invariants during the runs")
+    p_fig.add_argument("--jobs", type=int, default=None,
+                       help="worker processes for independent runs "
+                            "(default: $REPRO_JOBS or serial); results "
+                            "are identical at any job count")
 
     p_t7 = sub.add_parser("table7", help="regenerate Table VII")
     p_t7.add_argument("--nodes", type=int, nargs="+",
@@ -320,6 +337,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_t7.add_argument("--seed", type=int, default=0)
     p_t7.add_argument("--strict", action="store_true",
                       help="audit simulator invariants during the runs")
+    p_t7.add_argument("--jobs", type=int, default=None,
+                      help="worker processes for independent runs")
 
     p_flt = sub.add_parser(
         "faults", help="inject a node crash and measure recovery")
@@ -369,6 +388,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_val.add_argument("--golden", default=None,
                        help="path to the golden digest file")
     p_val.add_argument("--seed", type=int, default=0)
+
+    p_bench = sub.add_parser(
+        "bench", help="time the pinned perf suite, write BENCH_<date>.json")
+    p_bench.add_argument("--quick", action="store_true",
+                         help="shrunken cases (CI smoke)")
+    p_bench.add_argument("--jobs", type=int, default=None,
+                         help="worker processes for independent runs")
+    p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.add_argument("--label", default="",
+                         help="label recorded in the report")
+    p_bench.add_argument("--out", default=None,
+                         help="report path (default BENCH_<date>.json)")
     return parser
 
 
@@ -376,7 +407,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"list": cmd_list, "run": cmd_run, "figure": cmd_figure,
                 "table7": cmd_table7, "explain": cmd_explain,
-                "faults": cmd_faults, "validate": cmd_validate}
+                "faults": cmd_faults, "validate": cmd_validate,
+                "bench": cmd_bench}
     return handlers[args.command](args)
 
 

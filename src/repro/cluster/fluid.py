@@ -17,7 +17,10 @@ everywhere else.  The result is work-conserving and unique.
 Each :class:`Capacity` records two traces: its *throughput* (bytes/s
 currently allocated) and its *utilisation* (allocated / bandwidth, in
 percent) — these become the "Disk util %", "I/O MiB/s" and
-"Network MiB/s" panels of the paper's resource figures.
+"Network MiB/s" panels of the paper's resource figures.  Tracing is
+controlled by the scheduler's ``trace_detail``: ``"full"`` records every
+rate change, ``"coarse"`` only busy/idle transitions, ``"off"`` nothing
+— sweeps that need only durations skip the trace cost entirely.
 """
 
 from __future__ import annotations
@@ -30,9 +33,12 @@ from typing import Dict, List, Optional, Sequence, Set
 from .simulation import Event, Simulation, SimulationError
 from .trace import StepSeries
 
-__all__ = ["Capacity", "Flow", "FluidScheduler"]
+__all__ = ["Capacity", "Flow", "FluidScheduler", "TRACE_DETAIL_MODES"]
 
 _EPS = 1e-12
+
+#: Valid ``trace_detail`` settings, in decreasing order of fidelity.
+TRACE_DETAIL_MODES = ("full", "coarse", "off")
 
 
 class Capacity:
@@ -74,19 +80,89 @@ class Capacity:
         return self.bandwidth / (1.0 + self.contention_alpha * (n - 1))
 
     def _record(self, now: float) -> None:
-        rate = sum(f.rate for f in self.flows)
-        self.throughput.append(now, rate)
-        self.utilisation.append(now, min(100.0, 100.0 * rate / self.bandwidth))
+        # The two appends are inlined (see StepSeries.append): this runs
+        # once per touched capacity per reallocation and the call
+        # overhead is measurable on large runs.  Timestamps are monotone
+        # by construction (the scheduler always records at sim.now).
+        flows = self.flows
+        nf = len(flows)
+        if nf == 1:
+            # sum([x]) is 0 + x, which is exact for the non-negative
+            # rates the solver produces — skip the list build.
+            f, = flows
+            rate = f.rate
+        elif nf == 0:
+            rate = sum(())  # int 0, matching the historical idle value
+        else:
+            rate = sum([f.rate for f in flows])
+        series = self.throughput
+        times = series.times
+        values = series.values
+        if times:
+            if now == times[-1]:
+                values[-1] = rate
+            elif values[-1] != rate:
+                times.append(now)
+                values.append(rate)
+            else:
+                # Collapsed: the rate (and bandwidth) are unchanged since
+                # the last record, so the utilisation append would collapse
+                # to the same value too — skip computing it.
+                return
+        elif rate != series.initial:
+            times.append(now)
+            values.append(rate)
+        else:
+            return
+        util = min(100.0, 100.0 * rate / self.bandwidth)
+        series = self.utilisation
+        times = series.times
+        values = series.values
+        if times:
+            if now == times[-1]:
+                values[-1] = util
+            elif values[-1] != util:
+                times.append(now)
+                values.append(util)
+        elif util != series.initial:
+            times.append(now)
+            values.append(util)
+
+    def _record_coarse(self, now: float) -> None:
+        """Trace only busy/idle transitions (``trace_detail="coarse"``)."""
+        rate = sum([f.rate for f in self.flows])
+        if (rate > 0.0) != (self.throughput.last_value > 0.0):
+            self.throughput.append(now, rate)
+            self.utilisation.append(
+                now, min(100.0, 100.0 * rate / self.bandwidth))
 
     def __repr__(self) -> str:
         return f"Capacity({self.name!r}, bw={self.bandwidth:.3g}, flows={len(self.flows)})"
+
+
+class _Component:
+    """Cached connected component of the capacity/flow sharing graph.
+
+    ``flows`` is exact while ``dirty`` is False.  Flow *arrivals* keep
+    components exact (a new flow merges the components it bridges);
+    flow *removals* may split a component, so they mark it dirty and the
+    next reallocation re-derives the exact membership with one graph
+    traversal instead of one per event.
+    """
+
+    __slots__ = ("flows", "dirty")
+
+    def __init__(self, flows: Set["Flow"]) -> None:
+        self.flows = flows
+        self.dirty = False
 
 
 class Flow:
     """A bulk transfer of ``size`` bytes across one or more capacities."""
 
     __slots__ = ("id", "size", "remaining", "capacities", "rate", "done",
-                 "started_at", "last_update", "rate_cap", "rate_stamp")
+                 "started_at", "last_update", "rate_cap", "rate_stamp",
+                 "comp", "heap_finish")
 
     _ids = itertools.count()
 
@@ -107,9 +183,16 @@ class Flow:
         # Optional per-flow cap (e.g. a single reader thread can not pull
         # faster than the producing pipeline emits).
         self.rate_cap = rate_cap
-        # Bumped whenever the rate changes; stale heap entries carry an
-        # older stamp and are skipped.
+        # Bumped whenever a new finish-heap entry supersedes the old one;
+        # stale heap entries carry an older stamp and are skipped.
         self.rate_stamp = 0
+        #: Cached connected component this flow belongs to.
+        self.comp: Optional[_Component] = None
+        #: Finish time of this flow's current *valid* heap entry
+        #: (``inf`` when it has none) — lets reallocations that do not
+        #: change the finish estimate keep the existing entry instead of
+        #: pushing a duplicate.
+        self.heap_finish = math.inf
 
     def __repr__(self) -> str:
         return (f"Flow(#{self.id}, size={self.size:.3g}, "
@@ -123,12 +206,20 @@ class FluidScheduler:
     event and dominates large-cluster simulations.  Since most flows
     touch only the capacities of one node, rate changes propagate only
     within the *connected component* of the capacity/flow graph that
-    the changed flow belongs to; completions are tracked with a lazy
-    heap keyed by each flow's current finish estimate.
+    the changed flow belongs to.  Components are cached (exact merge on
+    arrival, lazy re-derivation after removals), completions are tracked
+    with a lazy heap keyed by each flow's current finish estimate, and
+    single-flow components take a closed-form fast path through the
+    max–min solver.
     """
 
-    def __init__(self, sim: Simulation) -> None:
+    def __init__(self, sim: Simulation, trace_detail: str = "full") -> None:
+        if trace_detail not in TRACE_DETAIL_MODES:
+            raise ValueError(
+                f"trace_detail must be one of {TRACE_DETAIL_MODES}, "
+                f"got {trace_detail!r}")
         self.sim = sim
+        self.trace_detail = trace_detail
         self._flows: Set[Flow] = set()
         self._finish_heap: List = []  # (finish_time, flow_id, flow, rate_stamp)
         self._wakeup: Optional[Event] = None
@@ -150,7 +241,7 @@ class FluidScheduler:
         """Start a flow; returns an event that fires when it completes."""
         if size < 0:
             raise ValueError(f"flow size must be >= 0, got {size}")
-        done = self.sim.event()
+        done = Event(self.sim)
         if size <= _EPS:
             # Zero-byte transfers complete immediately (next kernel step).
             self.sim._schedule(done, 0.0)
@@ -158,9 +249,45 @@ class FluidScheduler:
             return done
         flow = Flow(size, capacities, done, self.sim.now, rate_cap)
         self._flows.add(flow)
+        # An arriving flow bridges the components of every flow it now
+        # shares a capacity with; if they are all exact, their union plus
+        # the new flow is exactly the new component (no traversal).
+        comps: Set[_Component] = set()
+        clean = True
+        for cap in flow.capacities:
+            for f in cap.flows:
+                c = f.comp
+                comps.add(c)
+                if c.dirty:
+                    clean = False
         for cap in flow.capacities:
             cap.flows.add(flow)
-        self._reallocate_component(flow)
+        if clean and len(comps) <= 1:
+            if comps:
+                comp = comps.pop()
+                comp.flows.add(flow)
+            else:
+                comp = _Component({flow})
+            flow.comp = comp
+            self._reallocate_component(flow, comp.flows)
+        elif clean:
+            # Merge into the largest neighbour component.
+            big = max(comps, key=lambda c: len(c.flows))
+            for c in comps:
+                if c is big:
+                    continue
+                big.flows.update(c.flows)
+                for f in c.flows:
+                    f.comp = big
+            big.flows.add(flow)
+            flow.comp = big
+            self._reallocate_component(flow, big.flows)
+        else:
+            # A neighbour component is stale; re-derive lazily.
+            comp = _Component({flow})
+            comp.dirty = True
+            flow.comp = comp
+            self._reallocate_component(flow)
         return done
 
     @property
@@ -187,7 +314,7 @@ class FluidScheduler:
         if cap.flows:
             self._reallocate_component(next(iter(cap.flows)))
         else:
-            cap._record(self.sim.now)
+            self._record_cap(cap, self.sim.now)
 
     def abort_flows(self, flows: Sequence[Flow],
                     error: BaseException) -> int:
@@ -208,6 +335,7 @@ class FluidScheduler:
                 flow.remaining = max(0.0, flow.remaining - flow.rate * dt)
             flow.last_update = now
             self._flows.discard(flow)
+            self._drop_from_component(flow)
             progress = flow.size - flow.remaining
             for cap in flow.capacities:
                 cap.flows.discard(flow)
@@ -224,12 +352,13 @@ class FluidScheduler:
                 for other in list(cap.flows):
                     if other in seen or other not in self._flows:
                         continue
-                    seen.update(self._component_of(other))
-                    self._reallocate_component(other)
+                    component = self._component_for(other)
+                    seen.update(component)
+                    self._reallocate_component(other, component)
         for flow in aborted:
             for cap in flow.capacities:
                 if not cap.flows:
-                    cap._record(now)
+                    self._record_cap(cap, now)
         for flow in aborted:
             if not flow.done.triggered:
                 flow.done.fail(error)
@@ -256,92 +385,188 @@ class FluidScheduler:
                             cap_stack.append(c)
         return flows
 
-    def _advance(self, flows) -> None:
-        """Drain the given flows' remaining bytes up to now."""
+    def _component_for(self, seed: Flow) -> Set[Flow]:
+        """Exact component membership for ``seed``, via the cache."""
+        comp = seed.comp
+        if comp is not None and not comp.dirty:
+            return comp.flows
+        members = self._component_of(seed)
+        fresh = _Component(members)
+        for f in members:
+            old = f.comp
+            if old is not None and old is not fresh:
+                old.flows.discard(f)
+            f.comp = fresh
+        return members
+
+    @staticmethod
+    def _drop_from_component(flow: Flow) -> None:
+        """Remove a finished/aborted flow from its cached component."""
+        comp = flow.comp
+        if comp is None:
+            return
+        comp.flows.discard(flow)
+        if len(comp.flows) > 1:
+            # The removal may have split the component; membership is
+            # re-derived on the next reallocation that touches it.
+            comp.dirty = True
+        flow.comp = None
+
+    def _record_cap(self, cap: Capacity, now: float) -> None:
+        detail = self.trace_detail
+        if detail == "full":
+            cap._record(now)
+        elif detail == "coarse":
+            cap._record_coarse(now)
+
+    def _reallocate_component(self, seed: Flow,
+                              component: Optional[Set[Flow]] = None) -> None:
+        """Recompute rates/traces/finish estimates around ``seed``.
+
+        One fused pass: drain every flow's remaining bytes up to now,
+        run the progressive-filling max–min solver over the component,
+        refresh finish-heap entries and record the touched capacities'
+        traces.  ``component`` may be passed by callers that already
+        resolved the exact membership, avoiding a second lookup.
+
+        Single-flow components take a closed-form fast path: the lone
+        flow gets the tightest of its capacities (each carries only this
+        flow), bounded by its rate cap — the same arithmetic the general
+        loop performs, without building the solver's working sets.
+        """
         now = self.sim.now
-        for flow in flows:
+        if component is None:
+            component = self._component_for(seed)
+
+        if len(component) == 1:
+            flow, = component
             dt = now - flow.last_update
             if dt > 0:
-                flow.remaining = max(0.0, flow.remaining - flow.rate * dt)
+                rem = flow.remaining - flow.rate * dt
+                flow.remaining = rem if rem > 0.0 else 0.0
             flow.last_update = now
-
-    def _max_min_rates(self, flows: Set[Flow]) -> None:
-        """Progressive-filling max-min fair allocation over a component."""
-        unfrozen: Set[Flow] = set(flows)
-        residual: Dict[Capacity, float] = {}
-        load: Dict[Capacity, int] = {}
-        caps: Set[Capacity] = set()
-        for flow in flows:
-            flow.rate = 0.0
-            caps.update(flow.capacities)
-        for cap in caps:
-            residual[cap] = cap.effective_bandwidth()
-            load[cap] = len(cap.flows)
-
-        while unfrozen:
-            # Find the bottleneck capacity: smallest fair share.
-            best_cap = None
+            # Iterate the raw capacities tuple: duplicates cannot change
+            # a min and re-recording a capacity at the same instant
+            # overwrites with the same value, so no set build is needed.
+            touched = flow.capacities
             best_share = math.inf
-            for cap in caps:
-                n = load[cap]
-                if n <= 0:
-                    continue
-                share = residual[cap] / n
+            for cap in touched:
+                # effective_bandwidth() inlined; exact components mean
+                # every capacity here carries only this flow (n == 1).
+                share = cap.bandwidth
+                n = len(cap.flows)
+                if n > 1 and cap.contention_alpha != 0.0:
+                    share = share / (1.0 + cap.contention_alpha * (n - 1))
                 if share < best_share - _EPS:
                     best_share = share
-                    best_cap = cap
-            # Flow rate caps tighter than the fair share freeze first.
-            capped = [f for f in unfrozen
-                      if f.rate_cap is not None and f.rate_cap < best_share - _EPS]
-            if capped:
-                rate = min(f.rate_cap for f in capped)  # type: ignore[type-var]
-                frozen = [f for f in capped if f.rate_cap <= rate + _EPS]
-            elif best_cap is not None:
-                rate = best_share
-                frozen = [f for f in best_cap.flows if f in unfrozen]
-            else:  # pragma: no cover - every flow crosses >=1 capacity
-                break
-            for flow in frozen:
-                flow.rate = rate
-                unfrozen.discard(flow)
+            rate_cap = flow.rate_cap
+            if rate_cap is not None and rate_cap < best_share - _EPS:
+                flow.rate = rate_cap
+            else:
+                flow.rate = best_share
+        else:
+            unfrozen: Set[Flow] = set(component)
+            residual: Dict[Capacity, float] = {}
+            load: Dict[Capacity, int] = {}
+            any_rate_cap = False
+            for flow in component:
+                dt = now - flow.last_update
+                if dt > 0:
+                    rem = flow.remaining - flow.rate * dt
+                    flow.remaining = rem if rem > 0.0 else 0.0
+                flow.last_update = now
+                flow.rate = 0.0
+                if flow.rate_cap is not None:
+                    any_rate_cap = True
                 for cap in flow.capacities:
-                    residual[cap] = max(0.0, residual[cap] - rate)
-                    load[cap] -= 1
+                    if cap not in load:
+                        residual[cap] = cap.effective_bandwidth()
+                        load[cap] = len(cap.flows)
 
-    def _reallocate_component(self, seed: Flow) -> None:
-        """Recompute rates/traces/finish estimates around ``seed``."""
-        now = self.sim.now
-        component = self._component_of(seed)
-        self._advance(component)
-        self._max_min_rates(component)
+            while unfrozen:
+                # Find the bottleneck capacity: smallest fair share.
+                best_cap = None
+                best_share = math.inf
+                for cap, n in load.items():
+                    if n <= 0:
+                        continue
+                    share = residual[cap] / n
+                    if share < best_share - _EPS:
+                        best_share = share
+                        best_cap = cap
+                # Flow rate caps tighter than the fair share freeze first.
+                if any_rate_cap:
+                    capped = [f for f in unfrozen
+                              if f.rate_cap is not None
+                              and f.rate_cap < best_share - _EPS]
+                else:
+                    capped = None
+                if capped:
+                    rate = min(f.rate_cap for f in capped)  # type: ignore[type-var]
+                    frozen = [f for f in capped if f.rate_cap <= rate + _EPS]
+                elif best_cap is not None:
+                    rate = best_share
+                    frozen = [f for f in best_cap.flows if f in unfrozen]
+                else:  # pragma: no cover - every flow crosses >=1 capacity
+                    break
+                for flow in frozen:
+                    flow.rate = rate
+                    unfrozen.discard(flow)
+                    for cap in flow.capacities:
+                        r = residual[cap] - rate
+                        residual[cap] = r if r > 0.0 else 0.0
+                        load[cap] -= 1
+            touched = load  # keys == every capacity the component crosses
+
         if self.checker is not None:
             self.checker.check_max_min(self, component)
 
-        touched: Set[Capacity] = set()
+        heap = self._finish_heap
+        inf = math.inf
         for flow in component:
-            touched.update(flow.capacities)
-            flow.rate_stamp = getattr(flow, "rate_stamp", 0) + 1
-            if flow.rate > _EPS:
-                finish = now + flow.remaining / flow.rate
+            rate = flow.rate
+            if rate > _EPS:
+                finish = now + flow.remaining / rate
             elif flow.remaining <= _EPS:
                 finish = now
             else:
-                finish = math.inf
-            if not math.isinf(finish):
-                heapq.heappush(self._finish_heap,
-                               (finish, flow.id, flow, flow.rate_stamp))
-        for cap in touched:
-            cap._record(now)
+                finish = inf
+            if finish == inf:
+                if flow.heap_finish != inf:
+                    # Invalidate the previously pushed entry.
+                    flow.rate_stamp += 1
+                    flow.heap_finish = inf
+            elif finish != flow.heap_finish:
+                flow.rate_stamp += 1
+                flow.heap_finish = finish
+                heapq.heappush(heap, (finish, flow.id, flow, flow.rate_stamp))
+            # else: the valid entry already in the heap has this exact
+            # finish time — keep it instead of pushing a duplicate.
+        detail = self.trace_detail
+        if detail == "full":
+            for cap in touched:
+                cap._record(now)
+        elif detail == "coarse":
+            for cap in touched:
+                cap._record_coarse(now)
         self._refresh_wakeup()
 
     def _refresh_wakeup(self) -> None:
         """Point the kernel wakeup at the earliest *valid* finish."""
         heap = self._finish_heap
+        flows = self._flows
         while heap:
             finish, _fid, flow, stamp = heap[0]
-            if flow not in self._flows or stamp != getattr(flow, "rate_stamp", 0):
+            if stamp != flow.rate_stamp or flow not in flows:
                 heapq.heappop(heap)  # stale entry
                 continue
+            # Most reallocations leave the earliest finish untouched;
+            # skip the _set_wakeup call when the wakeup is already live
+            # at exactly this time.
+            if finish == self._wakeup_time:
+                wakeup = self._wakeup
+                if wakeup is not None and wakeup.callbacks is not None:
+                    return
             self._set_wakeup(finish)
             return
         self._set_wakeup(math.inf)
@@ -358,7 +583,7 @@ class FluidScheduler:
         self._wakeup_time = when
         if math.isinf(when):
             return
-        evt = self.sim.event()
+        evt = Event(self.sim)
         evt.callbacks.append(self._on_wakeup)
         self.sim._schedule(evt, max(0.0, when - self.sim.now), pre_triggered=True)
         self._wakeup = evt
@@ -366,10 +591,11 @@ class FluidScheduler:
     def _on_wakeup(self, _evt: Event) -> None:
         now = self.sim.now
         heap = self._finish_heap
+        flows = self._flows
         finished: List[Flow] = []
         while heap:
             finish, _fid, flow, stamp = heap[0]
-            if flow not in self._flows or stamp != getattr(flow, "rate_stamp", 0):
+            if stamp != flow.rate_stamp or flow not in flows:
                 heapq.heappop(heap)
                 continue
             if finish > now + 1e-9:
@@ -378,31 +604,39 @@ class FluidScheduler:
             finished.append(flow)
         released: Set[Capacity] = set()
         neighbours: Set[Flow] = set()
+        ledger = self.bytes_by_capacity
         for flow in finished:
             dt = now - flow.last_update
-            flow.remaining = max(0.0, flow.remaining - flow.rate * dt)
+            rem = flow.remaining - flow.rate * dt
+            flow.remaining = rem if rem > 0.0 else 0.0
             flow.last_update = now
-            self._flows.discard(flow)
+            flows.discard(flow)
+            self._drop_from_component(flow)
+            size = flow.size
             for cap in flow.capacities:
                 cap.flows.discard(flow)
                 released.add(cap)
                 neighbours.update(cap.flows)
+                ledger[cap.name] = ledger.get(cap.name, 0.0) + size
             self.completed_count += 1
-            self.total_bytes_moved += flow.size
-            for cap in flow.capacities:
-                self.bytes_by_capacity[cap.name] = (
-                    self.bytes_by_capacity.get(cap.name, 0.0) + flow.size)
+            self.total_bytes_moved += size
         # Reallocate the neighbourhoods that lost a competitor.
         seen: Set[Flow] = set()
         for flow in neighbours:
             if flow in seen or flow not in self._flows:
                 continue
-            component = self._component_of(flow)
+            component = self._component_for(flow)
             seen.update(component)
-            self._reallocate_component(flow)
-        for cap in released:
-            if not cap.flows:
-                cap._record(now)
+            self._reallocate_component(flow, component)
+        detail = self.trace_detail
+        if detail == "full":
+            for cap in released:
+                if not cap.flows:
+                    cap._record(now)
+        elif detail == "coarse":
+            for cap in released:
+                if not cap.flows:
+                    cap._record_coarse(now)
         # Deliver completions after rates are consistent.
         for flow in finished:
             flow.done.succeed(now - flow.started_at)

@@ -327,6 +327,38 @@ class Simulation:
 
         Raises the first unhandled exception from a crashed process.
         """
+        if until is None and until_event is None:
+            # Common case (run to quiescence): drive the heap directly
+            # instead of paying the stop-condition checks and a method
+            # call per event — this loop is the whole simulation's spine.
+            heap = self._heap
+            pop = heapq.heappop
+            crashed = self._crashed
+            while heap:
+                time, _seq, event, pre_triggered = pop(heap)
+                self.now = time
+                if event.callbacks is None:
+                    if self.observers:
+                        for obs in self.observers:
+                            obs.on_kernel_step(self, time, event,
+                                               pre_triggered, True)
+                    continue  # cancelled / already dispatched
+                if self.observers:
+                    for obs in self.observers:
+                        obs.on_kernel_step(self, time, event,
+                                           pre_triggered, False)
+                event.triggered = True
+                self.steps_executed += 1
+                callbacks = event.callbacks
+                event.callbacks = None
+                if callbacks:
+                    for cb in callbacks:
+                        cb(event)
+                if crashed:
+                    _proc, err = crashed[0]
+                    crashed.clear()
+                    raise err
+            return
         while self._heap:
             if until_event is not None and until_event.triggered:
                 return

@@ -1,12 +1,15 @@
 """Experiment lifecycle and figure/table regeneration."""
 
 from . import figures
+from .bench import BenchCase, BenchReport, run_bench
+from .parallel import WorkerCrashError, parallel_map, resolve_jobs
 from .runner import (Deployment, TrialStats, run_correlated, run_once,
                      run_trials)
 from .faults import FaultRecoveryResult, run_with_failure
 from .sweep import best_row, sweep, sweep_rows_to_csv
 
-__all__ = ["Deployment", "FaultRecoveryResult", "TrialStats",
-           "best_row", "figures", "run_correlated", "run_once",
-           "run_trials", "run_with_failure", "sweep",
-           "sweep_rows_to_csv"]
+__all__ = ["BenchCase", "BenchReport", "Deployment",
+           "FaultRecoveryResult", "TrialStats", "WorkerCrashError",
+           "best_row", "figures", "parallel_map", "resolve_jobs",
+           "run_bench", "run_correlated", "run_once", "run_trials",
+           "run_with_failure", "sweep", "sweep_rows_to_csv"]

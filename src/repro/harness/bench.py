@@ -1,0 +1,237 @@
+"""Pinned performance benchmark suite (``repro bench``).
+
+The simulator's value is iteration speed: how many what-if experiment
+runs fit in a minute.  This module pins a small, fixed suite covering
+the main cost profiles —
+
+* ``batch_terasort``      — one huge shuffle (Tera Sort, 3.5 TiB, 97
+  nodes) on both engines: flow-churn heavy, few long stages;
+* ``iterative_pagerank``  — Page Rank on the medium graph (55 nodes,
+  20 iterations) on both engines: many small stages, the event-count
+  record holder;
+* ``fault_recovery``      — the fig. 18 crash/recovery sweep: fault
+  timers, aborts and re-execution paths;
+* ``sweep_wordcount``     — a 2x2 config grid x 2 trials: the
+  many-small-runs profile of parameter exploration (traces off).
+
+— and reports wall-clock plus simulated events/second for each, so a
+perf regression (or win) in any layer shows up as a number, not a
+feeling.  Results are written to ``BENCH_<date>.json``; committing the
+file alongside a perf-sensitive change documents the before/after.
+
+The workloads and seeds are fixed: any two reports from the same
+machine are comparable.  ``--quick`` shrinks every case (CI smoke);
+``--jobs`` fans independent runs across worker processes — simulated
+results are identical (see :mod:`repro.harness.parallel`), only the
+wall-clock changes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from dataclasses import dataclass, field
+from datetime import date
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..config.presets import (medium_graph_preset, small_graph_preset,
+                              terasort_preset, wordcount_grep_preset)
+from ..workloads import PageRank, TeraSort, WordCount
+from ..workloads.datagen.graphs import MEDIUM_GRAPH, SMALL_GRAPH
+from .parallel import parallel_map, resolve_jobs
+from .runner import run_once
+
+__all__ = ["BenchCase", "BenchReport", "BENCH_CASE_NAMES", "run_bench",
+           "write_report", "default_report_path"]
+
+GiB = float(2**30)
+TiB = float(2**40)
+
+BENCH_CASE_NAMES = ("batch_terasort", "iterative_pagerank",
+                    "fault_recovery", "sweep_wordcount")
+
+
+@dataclass
+class BenchCase:
+    """One timed suite entry."""
+
+    name: str
+    wall_seconds: float
+    runs: int
+    #: Total kernel events dispatched, when the case tracks them (the
+    #: two engine-pair cases); figure/sweep cases report ``None``.
+    sim_events: Optional[int] = None
+
+    @property
+    def events_per_second(self) -> Optional[float]:
+        if not self.sim_events or self.wall_seconds <= 0:
+            return None
+        return self.sim_events / self.wall_seconds
+
+
+@dataclass
+class BenchReport:
+    """A full suite run plus enough context to compare reports."""
+
+    label: str
+    quick: bool
+    jobs: int
+    seed: int
+    cases: List[BenchCase] = field(default_factory=list)
+
+    @property
+    def total_wall_seconds(self) -> float:
+        return sum(c.wall_seconds for c in self.cases)
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "label": self.label,
+            "date": date.today().isoformat(),
+            "quick": self.quick,
+            "jobs": self.jobs,
+            "seed": self.seed,
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+            "cases": {
+                c.name: {
+                    "wall_seconds": round(c.wall_seconds, 4),
+                    "runs": c.runs,
+                    "sim_events": c.sim_events,
+                    "events_per_second":
+                        round(c.events_per_second, 1)
+                        if c.events_per_second else None,
+                } for c in self.cases
+            },
+            "total_wall_seconds": round(self.total_wall_seconds, 4),
+        }
+
+    def describe(self) -> str:
+        lines = []
+        for c in self.cases:
+            ev = f" events={c.sim_events}" if c.sim_events else ""
+            eps = (f" ({c.events_per_second:,.0f} ev/s)"
+                   if c.events_per_second else "")
+            lines.append(f"{c.name:20s} {c.wall_seconds:8.3f}s "
+                         f"runs={c.runs}{ev}{eps}")
+        lines.append(f"{'TOTAL':20s} {self.total_wall_seconds:8.3f}s "
+                     f"(jobs={self.jobs})")
+        return "\n".join(lines)
+
+
+def _bench_run(engine: str, workload, config, seed: int) -> int:
+    """Worker: one run; returns the kernel event count."""
+    result = run_once(engine, workload, config, seed=seed,
+                      keep_deployment=True)
+    if not result.success:
+        raise RuntimeError(
+            f"bench run failed: {engine}/{workload.name}: {result.failure}")
+    deployment = result.metrics.pop("_deployment")
+    return deployment.cluster.sim.steps_executed
+
+
+def _engine_pair_case(name: str, workload, config, seed: int,
+                      jobs: Optional[int]) -> BenchCase:
+    tasks = [(engine, workload, config, seed)
+             for engine in ("flink", "spark")]
+    t0 = time.perf_counter()
+    events = parallel_map(_bench_run, tasks, jobs=jobs)
+    wall = time.perf_counter() - t0
+    return BenchCase(name=name, wall_seconds=wall, runs=len(tasks),
+                     sim_events=sum(events))
+
+
+def _case_batch_terasort(quick: bool, seed: int,
+                         jobs: Optional[int]) -> BenchCase:
+    nodes = 4 if quick else 97
+    total = nodes * 2 * GiB if quick else 3.5 * TiB
+    cfg = terasort_preset(nodes)
+    workload = TeraSort(total, num_partitions=cfg.flink.default_parallelism)
+    return _engine_pair_case("batch_terasort", workload, cfg, seed, jobs)
+
+
+def _case_iterative_pagerank(quick: bool, seed: int,
+                             jobs: Optional[int]) -> BenchCase:
+    nodes = 8 if quick else 55
+    graph = SMALL_GRAPH if quick else MEDIUM_GRAPH
+    preset = small_graph_preset if quick else medium_graph_preset
+    cfg = preset(nodes)
+    workload = PageRank(graph, iterations=5 if quick else 20,
+                        edge_partitions=cfg.spark.edge_partitions)
+    return _engine_pair_case("iterative_pagerank", workload, cfg, seed, jobs)
+
+
+def _case_fault_recovery(quick: bool, seed: int,
+                         jobs: Optional[int]) -> BenchCase:
+    from . import figures
+    t0 = time.perf_counter()
+    fig = figures.fig18_fault_recovery(seed=seed, nodes=4, fractions=(0.5,),
+                                       jobs=jobs)
+    wall = time.perf_counter() - t0
+    failed = [c for c in fig.cells if not c.success]
+    if failed:
+        raise RuntimeError(f"bench fault case failed: {failed[0].failure}")
+    return BenchCase(name="fault_recovery", wall_seconds=wall,
+                     runs=len(fig.cells))
+
+
+def _case_sweep_wordcount(quick: bool, seed: int,
+                          jobs: Optional[int]) -> BenchCase:
+    from .sweep import sweep
+    nodes = 4 if quick else 8
+    cfg = wordcount_grep_preset(nodes)
+    workload = WordCount(total_bytes=nodes * (1 if quick else 8) * GiB)
+    grid = {"spark.default_parallelism": [nodes * 4, nodes * 8],
+            "hdfs_block_size": [128 * 2**20, 256 * 2**20]}
+    trials = 2
+    t0 = time.perf_counter()
+    rows = sweep("spark", workload, cfg, grid, trials=trials,
+                 base_seed=seed, jobs=jobs)
+    wall = time.perf_counter() - t0
+    bad = [r for r in rows if r["failure"]]
+    if bad:
+        raise RuntimeError(f"bench sweep case failed: {bad[0]['failure']}")
+    return BenchCase(name="sweep_wordcount", wall_seconds=wall,
+                     runs=len(rows) * trials)
+
+
+_CASES = {
+    "batch_terasort": _case_batch_terasort,
+    "iterative_pagerank": _case_iterative_pagerank,
+    "fault_recovery": _case_fault_recovery,
+    "sweep_wordcount": _case_sweep_wordcount,
+}
+
+
+def run_bench(quick: bool = False, jobs: Optional[int] = None,
+              seed: int = 0, label: str = "",
+              echo=None) -> BenchReport:
+    """Run the pinned suite; returns the report (nothing written)."""
+    jobs_resolved = resolve_jobs(jobs)
+    report = BenchReport(
+        label=label or ("quick" if quick else "full"),
+        quick=quick, jobs=jobs_resolved, seed=seed)
+    for name in BENCH_CASE_NAMES:
+        case = _CASES[name](quick, seed, jobs_resolved)
+        report.cases.append(case)
+        if echo is not None:
+            ev = f" events={case.sim_events}" if case.sim_events else ""
+            echo(f"{name:20s} {case.wall_seconds:8.3f}s "
+                 f"runs={case.runs}{ev}")
+    return report
+
+
+def default_report_path(directory: Optional[Path] = None) -> Path:
+    base = Path(directory) if directory is not None else Path.cwd()
+    return base / f"BENCH_{date.today().isoformat()}.json"
+
+
+def write_report(report: BenchReport, path: Optional[Path] = None) -> Path:
+    """Write the report JSON; returns the path written."""
+    out = Path(path) if path is not None else default_report_path()
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(report.to_payload(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return out

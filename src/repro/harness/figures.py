@@ -25,8 +25,10 @@ from ..core.scalability import ScalingSeries
 from ..workloads import (ConnectedComponents, Grep, KMeans, PageRank,
                          TeraSort, WordCount)
 from ..workloads.base import Workload
+from ..validation.invariants import strict_enabled
 from ..workloads.datagen.graphs import (LARGE_GRAPH, MEDIUM_GRAPH,
                                         SMALL_GRAPH, GraphDatasetModel)
+from .parallel import parallel_map
 from .runner import TrialStats, run_correlated, run_trials
 
 __all__ = [
@@ -83,13 +85,21 @@ def _scaling(figure_id: str, title: str, xs: Sequence[float],
              make_workload: Callable[[float], Workload],
              make_config: Callable[[float], ExperimentConfig],
              trials: int, seed: int,
-             strict: Optional[bool] = None) -> ScalingFigure:
+             strict: Optional[bool] = None,
+             jobs: Optional[int] = None) -> ScalingFigure:
+    # Every (engine, x) data point is an independent deterministic batch
+    # of trials; materialise the workload/config here (the lambdas do
+    # not cross process boundaries) and fan out.  Results come back in
+    # task order, so the figure is identical at any job count.
+    strict_flag = strict_enabled(strict)
+    tasks = [(engine, make_workload(x), make_config(x), trials, seed,
+              strict_flag)
+             for engine in ENGINES for x in xs]
+    flat: List[TrialStats] = parallel_map(run_trials, tasks, jobs=jobs)
     series: Dict[str, ScalingSeries] = {}
     raw: Dict[str, List[TrialStats]] = {}
-    for engine in ENGINES:
-        stats = [run_trials(engine, make_workload(x), make_config(x),
-                            trials=trials, base_seed=seed, strict=strict)
-                 for x in xs]
+    for i, engine in enumerate(ENGINES):
+        stats = flat[i * len(xs):(i + 1) * len(xs)]
         raw[engine] = stats
         series[engine] = ScalingSeries(
             engine=engine,
@@ -102,10 +112,13 @@ def _scaling(figure_id: str, title: str, xs: Sequence[float],
 
 def _resources(figure_id: str, title: str, workload: Workload,
                config: ExperimentConfig, seed: int,
-               strict: Optional[bool] = None) -> ResourceFigure:
-    runs = {engine: run_correlated(engine, workload, config, seed=seed,
-                                   strict=strict)
-            for engine in ENGINES}
+               strict: Optional[bool] = None,
+               jobs: Optional[int] = None) -> ResourceFigure:
+    strict_flag = strict_enabled(strict)
+    tasks = [(engine, workload, config, seed, 1.0, strict_flag)
+             for engine in ENGINES]
+    results = parallel_map(run_correlated, tasks, jobs=jobs)
+    runs = dict(zip(ENGINES, results))
     return ResourceFigure(figure_id=figure_id, title=title, runs=runs)
 
 
@@ -114,38 +127,40 @@ def _resources(figure_id: str, title: str, workload: Workload,
 # ----------------------------------------------------------------------
 def fig01_wordcount_weak(trials: int = 3, seed: int = 0,
                          nodes: Sequence[int] = (2, 4, 8, 16, 32),
-                         strict: Optional[bool] = None) -> ScalingFigure:
+                         strict: Optional[bool] = None,
+        jobs: Optional[int] = None) -> ScalingFigure:
     """Word Count, fixed 24 GB per node."""
     return _scaling(
         "fig01", "Word Count - fixed problem size per node (24GB)",
         nodes,
         lambda n: WordCount(total_bytes=n * 24 * GiB),
         lambda n: wordcount_grep_preset(int(n)),
-        trials, seed, strict=strict)
+        trials, seed, strict=strict, jobs=jobs)
 
 
 def fig02_wordcount_strong(trials: int = 3, seed: int = 0,
                            gb_per_node: Sequence[int] = (24, 27, 30, 33),
                            nodes: int = 16,
-                           strict: Optional[bool] = None) -> ScalingFigure:
+                           strict: Optional[bool] = None,
+        jobs: Optional[int] = None) -> ScalingFigure:
     """Word Count, 16 nodes, growing datasets."""
     fig = _scaling(
         "fig02", "Word Count - 16 nodes, different datasets",
         gb_per_node,
         lambda gb: WordCount(total_bytes=nodes * gb * GiB),
         lambda gb: wordcount_grep_preset(nodes),
-        trials, seed, strict=strict)
+        trials, seed, strict=strict, jobs=jobs)
     return fig
 
 
 def fig03_wordcount_resources(seed: int = 0, nodes: int = 32,
-        strict: Optional[bool] = None
-        ) -> ResourceFigure:
+        strict: Optional[bool] = None,
+        jobs: Optional[int] = None) -> ResourceFigure:
     """Word Count resource usage, 32 nodes, 768 GB."""
     return _resources("fig03",
                       "Word Count resource usage (32 nodes, 768 GB)",
                       WordCount(total_bytes=nodes * 24 * GiB),
-                      wordcount_grep_preset(nodes), seed, strict=strict)
+                      wordcount_grep_preset(nodes), seed, strict=strict, jobs=jobs)
 
 
 # ----------------------------------------------------------------------
@@ -153,33 +168,35 @@ def fig03_wordcount_resources(seed: int = 0, nodes: int = 32,
 # ----------------------------------------------------------------------
 def fig04_grep_weak(trials: int = 3, seed: int = 0,
                     nodes: Sequence[int] = (2, 4, 8, 16, 32),
-                    strict: Optional[bool] = None) -> ScalingFigure:
+                    strict: Optional[bool] = None,
+        jobs: Optional[int] = None) -> ScalingFigure:
     return _scaling(
         "fig04", "Grep - fixed problem size per node (24GB)",
         nodes,
         lambda n: Grep(total_bytes=n * 24 * GiB),
         lambda n: wordcount_grep_preset(int(n)),
-        trials, seed, strict=strict)
+        trials, seed, strict=strict, jobs=jobs)
 
 
 def fig05_grep_strong(trials: int = 3, seed: int = 0,
                       gb_per_node: Sequence[int] = (24, 27, 30, 33),
                       nodes: int = 16,
-                      strict: Optional[bool] = None) -> ScalingFigure:
+                      strict: Optional[bool] = None,
+        jobs: Optional[int] = None) -> ScalingFigure:
     return _scaling(
         "fig05", "Grep - 16 nodes, different datasets",
         gb_per_node,
         lambda gb: Grep(total_bytes=nodes * gb * GiB),
         lambda gb: wordcount_grep_preset(nodes),
-        trials, seed, strict=strict)
+        trials, seed, strict=strict, jobs=jobs)
 
 
 def fig06_grep_resources(seed: int = 0, nodes: int = 32,
-        strict: Optional[bool] = None
-        ) -> ResourceFigure:
+        strict: Optional[bool] = None,
+        jobs: Optional[int] = None) -> ResourceFigure:
     return _resources("fig06", "Grep resource usage (32 nodes, 768 GB)",
                       Grep(total_bytes=nodes * 24 * GiB),
-                      wordcount_grep_preset(nodes), seed, strict=strict)
+                      wordcount_grep_preset(nodes), seed, strict=strict, jobs=jobs)
 
 
 # ----------------------------------------------------------------------
@@ -193,56 +210,59 @@ def _terasort(nodes: int, total_bytes: float) -> TeraSort:
 
 def fig07_terasort_weak(trials: int = 3, seed: int = 0,
                         nodes: Sequence[int] = (17, 34, 63),
-                        strict: Optional[bool] = None) -> ScalingFigure:
+                        strict: Optional[bool] = None,
+        jobs: Optional[int] = None) -> ScalingFigure:
     return _scaling(
         "fig07", "Tera Sort - fixed problem size per node (32 GB)",
         nodes,
         lambda n: _terasort(int(n), n * 32 * GiB),
         lambda n: terasort_preset(int(n)),
-        trials, seed, strict=strict)
+        trials, seed, strict=strict, jobs=jobs)
 
 
 def fig08_terasort_strong(trials: int = 3, seed: int = 0,
                           nodes: Sequence[int] = (55, 73, 97),
-                          strict: Optional[bool] = None) -> ScalingFigure:
+                          strict: Optional[bool] = None,
+        jobs: Optional[int] = None) -> ScalingFigure:
     return _scaling(
         "fig08", "Tera Sort - adding nodes, same dataset (3.5TB)",
         nodes,
         lambda n: _terasort(int(n), 3.5 * TiB),
         lambda n: terasort_preset(int(n)),
-        trials, seed, strict=strict)
+        trials, seed, strict=strict, jobs=jobs)
 
 
 def fig09_terasort_resources(seed: int = 0, nodes: int = 55,
-        strict: Optional[bool] = None
-        ) -> ResourceFigure:
+        strict: Optional[bool] = None,
+        jobs: Optional[int] = None) -> ResourceFigure:
     return _resources("fig09",
                       "Tera Sort resource usage (55 nodes, 3.5 TB)",
                       _terasort(nodes, 3.5 * TiB),
-                      terasort_preset(nodes), seed, strict=strict)
+                      terasort_preset(nodes), seed, strict=strict, jobs=jobs)
 
 
 # ----------------------------------------------------------------------
 # K-Means (Figs. 10-11)
 # ----------------------------------------------------------------------
 def fig10_kmeans_resources(seed: int = 0, nodes: int = 24,
-        strict: Optional[bool] = None
-        ) -> ResourceFigure:
+        strict: Optional[bool] = None,
+        jobs: Optional[int] = None) -> ResourceFigure:
     return _resources(
         "fig10", "K-Means resource usage (24 nodes, 10 iterations)",
         KMeans(total_bytes=51 * GiB, iterations=10),
-        kmeans_preset(nodes), seed, strict=strict)
+        kmeans_preset(nodes), seed, strict=strict, jobs=jobs)
 
 
 def fig11_kmeans_scaling(trials: int = 3, seed: int = 0,
                          nodes: Sequence[int] = (8, 14, 20, 24),
-                         strict: Optional[bool] = None) -> ScalingFigure:
+                         strict: Optional[bool] = None,
+        jobs: Optional[int] = None) -> ScalingFigure:
     return _scaling(
         "fig11", "K-Means - increasing cluster size, same dataset",
         nodes,
         lambda n: KMeans(total_bytes=51 * GiB, iterations=10),
         lambda n: kmeans_preset(int(n)),
-        trials, seed, strict=strict)
+        trials, seed, strict=strict, jobs=jobs)
 
 
 # ----------------------------------------------------------------------
@@ -262,64 +282,68 @@ def _cc(graph: GraphDatasetModel, cfg: ExperimentConfig,
 
 def fig12_pagerank_small(trials: int = 3, seed: int = 0,
                          nodes: Sequence[int] = (8, 14, 20, 27),
-                         strict: Optional[bool] = None) -> ScalingFigure:
+                         strict: Optional[bool] = None,
+        jobs: Optional[int] = None) -> ScalingFigure:
     return _scaling(
         "fig12", "Page Rank - Small Graph (increasing cluster size)",
         nodes,
         lambda n: _pagerank(SMALL_GRAPH, small_graph_preset(int(n)), 20),
         lambda n: small_graph_preset(int(n)),
-        trials, seed, strict=strict)
+        trials, seed, strict=strict, jobs=jobs)
 
 
 def fig13_pagerank_medium(trials: int = 3, seed: int = 0,
                           nodes: Sequence[int] = (24, 27, 34, 55),
-                          strict: Optional[bool] = None) -> ScalingFigure:
+                          strict: Optional[bool] = None,
+        jobs: Optional[int] = None) -> ScalingFigure:
     return _scaling(
         "fig13", "Page Rank - Medium Graph (increasing cluster size)",
         nodes,
         lambda n: _pagerank(MEDIUM_GRAPH, medium_graph_preset(int(n)), 20),
         lambda n: medium_graph_preset(int(n)),
-        trials, seed, strict=strict)
+        trials, seed, strict=strict, jobs=jobs)
 
 
 def fig14_cc_small(trials: int = 3, seed: int = 0,
                    nodes: Sequence[int] = (8, 14, 20, 27),
-                   strict: Optional[bool] = None) -> ScalingFigure:
+                   strict: Optional[bool] = None,
+        jobs: Optional[int] = None) -> ScalingFigure:
     return _scaling(
         "fig14", "Connected Components - Small Graph",
         nodes,
         lambda n: _cc(SMALL_GRAPH, small_graph_preset(int(n)), 23),
         lambda n: small_graph_preset(int(n)),
-        trials, seed, strict=strict)
+        trials, seed, strict=strict, jobs=jobs)
 
 
 def fig15_cc_medium(trials: int = 3, seed: int = 0,
                     nodes: Sequence[int] = (27, 34, 55),
-                    strict: Optional[bool] = None) -> ScalingFigure:
+                    strict: Optional[bool] = None,
+        jobs: Optional[int] = None) -> ScalingFigure:
     return _scaling(
         "fig15", "Connected Components - Medium Graph",
         nodes,
         lambda n: _cc(MEDIUM_GRAPH, medium_graph_preset(int(n)), 23),
         lambda n: medium_graph_preset(int(n)),
-        trials, seed, strict=strict)
+        trials, seed, strict=strict, jobs=jobs)
 
 
 def fig16_pagerank_resources(seed: int = 0, nodes: int = 27,
-        strict: Optional[bool] = None
-        ) -> ResourceFigure:
+        strict: Optional[bool] = None,
+        jobs: Optional[int] = None) -> ResourceFigure:
     cfg = small_graph_preset(nodes)
     return _resources("fig16",
                       "Page Rank resource usage (27 nodes, Small Graph)",
-                      _pagerank(SMALL_GRAPH, cfg, 20), cfg, seed, strict=strict)
+                      _pagerank(SMALL_GRAPH, cfg, 20), cfg, seed, strict=strict, jobs=jobs)
 
 
 def fig17_cc_resources(seed: int = 0, nodes: int = 27,
-        strict: Optional[bool] = None
-        ) -> ResourceFigure:
+        strict: Optional[bool] = None,
+        jobs: Optional[int] = None) -> ResourceFigure:
     cfg = medium_graph_preset(nodes)
     return _resources("fig17",
                       "CC resource usage (27 nodes, Medium Graph)",
-                      _cc(MEDIUM_GRAPH, cfg, 23), cfg, seed, strict=strict)
+                      _cc(MEDIUM_GRAPH, cfg, 23), cfg, seed, strict=strict, jobs=jobs)
 
 
 # ----------------------------------------------------------------------
@@ -345,11 +369,13 @@ class LargeGraphCell:
 def tab07_large_graph(seed: int = 0,
                       node_counts: Sequence[int] = (27, 44, 97),
                       double_edge_partitions: bool = True,
-                      strict: Optional[bool] = None
-                      ) -> List[LargeGraphCell]:
+                      strict: Optional[bool] = None,
+                      jobs: Optional[int] = None) -> List[LargeGraphCell]:
     """Run the Table VII grid; Flink's load includes the vertex count."""
     from .runner import run_once
-    cells: List[LargeGraphCell] = []
+    strict_flag = strict_enabled(strict)
+    labels: List[Tuple[str, str, int]] = []
+    tasks = []
     for nodes in node_counts:
         cfg = large_graph_preset(nodes,
                                  double_edge_partitions=double_edge_partitions)
@@ -359,17 +385,21 @@ def tab07_large_graph(seed: int = 0,
         ]
         for name, workload in workloads:
             for engine in ENGINES:
-                result = run_once(engine, workload, cfg, seed=seed,
-                                  strict=strict)
-                if not result.success:
-                    cells.append(LargeGraphCell(
-                        engine=engine, workload=name, nodes=nodes,
-                        success=False, failure=result.failure))
-                    continue
-                load, iters = _split_load_iter(result)
-                cells.append(LargeGraphCell(
-                    engine=engine, workload=name, nodes=nodes, success=True,
-                    load_seconds=load, iter_seconds=iters))
+                labels.append((engine, name, nodes))
+                tasks.append((engine, workload, cfg, seed, False,
+                              strict_flag))
+    results = parallel_map(run_once, tasks, jobs=jobs)
+    cells: List[LargeGraphCell] = []
+    for (engine, name, nodes), result in zip(labels, results):
+        if not result.success:
+            cells.append(LargeGraphCell(
+                engine=engine, workload=name, nodes=nodes,
+                success=False, failure=result.failure))
+            continue
+        load, iters = _split_load_iter(result)
+        cells.append(LargeGraphCell(
+            engine=engine, workload=name, nodes=nodes, success=True,
+            load_seconds=load, iter_seconds=iters))
     return cells
 
 
@@ -435,9 +465,52 @@ class FaultFigure:
         return [c for c in self.cells if c.engine == engine]
 
 
+def _fault_cells_task(engine: str, workload: Workload,
+                      cfg: ExperimentConfig, nodes: int,
+                      fractions: Sequence[float], seed: int,
+                      strict: bool) -> List[FaultCell]:
+    """One fig18 unit of work: a baseline plus its crash runs.
+
+    The crash runs reuse the baseline, so this is the smallest
+    independently parallelisable piece of the figure.
+    """
+    from ..faults import FaultPlan, FlinkRestartPolicy, RetryPolicy, \
+        run_with_faults
+    from .faults import analytic_total
+    from .runner import run_once
+    baseline = run_once(engine, workload, cfg, seed=seed, strict=strict)
+    cells: List[FaultCell] = []
+    for fraction in fractions:
+        if not baseline.success:
+            cells.append(FaultCell(
+                engine=engine, workload=workload.name, nodes=nodes,
+                fail_at_fraction=fraction, success=False,
+                failure=baseline.failure))
+            continue
+        plan = FaultPlan.single_crash(fraction, node=1,
+                                      restart_after=0.0)
+        faulted = run_with_faults(
+            engine, workload, cfg, plan, seed=seed,
+            retry_policy=RetryPolicy(backoff=0.0),
+            restart_policy=FlinkRestartPolicy(restart_delay=0.0),
+            strict=strict, baseline=baseline)
+        cells.append(FaultCell(
+            engine=engine, workload=workload.name, nodes=nodes,
+            fail_at_fraction=fraction, success=faulted.success,
+            baseline_seconds=faulted.baseline_duration,
+            simulated_seconds=faulted.faulted_duration,
+            analytic_seconds=analytic_total(
+                engine, baseline, fraction, cfg.nodes),
+            retries=faulted.retry_attempts,
+            restarts=len(faulted.restarts),
+            failure=faulted.result.failure))
+    return cells
+
+
 def fig18_fault_recovery(seed: int = 0, nodes: int = 4,
                          fractions: Sequence[float] = (0.25, 0.5, 0.75),
-                         strict: Optional[bool] = None) -> FaultFigure:
+                         strict: Optional[bool] = None,
+                         jobs: Optional[int] = None) -> FaultFigure:
     """Single-node crash recovery sweep (extension of §VIII).
 
     For each engine and workload, one fault-free baseline is run, then
@@ -447,43 +520,16 @@ def fig18_fault_recovery(seed: int = 0, nodes: int = 4,
     Spark pays stage-level re-execution; Flink 0.10 restarts the whole
     pipeline, so its overhead grows with the failure point.
     """
-    from ..faults import FaultPlan, FlinkRestartPolicy, RetryPolicy, \
-        run_with_faults
-    from .faults import analytic_total
-    from .runner import run_once
+    strict_flag = strict_enabled(strict)
     workloads = [
         (WordCount(total_bytes=nodes * 4 * GiB), wordcount_grep_preset(nodes)),
         (_terasort(nodes, nodes * 2 * GiB), terasort_preset(nodes)),
     ]
-    cells: List[FaultCell] = []
-    for workload, cfg in workloads:
-        for engine in ENGINES:
-            baseline = run_once(engine, workload, cfg, seed=seed,
-                                strict=strict)
-            for fraction in fractions:
-                if not baseline.success:
-                    cells.append(FaultCell(
-                        engine=engine, workload=workload.name, nodes=nodes,
-                        fail_at_fraction=fraction, success=False,
-                        failure=baseline.failure))
-                    continue
-                plan = FaultPlan.single_crash(fraction, node=1,
-                                              restart_after=0.0)
-                faulted = run_with_faults(
-                    engine, workload, cfg, plan, seed=seed,
-                    retry_policy=RetryPolicy(backoff=0.0),
-                    restart_policy=FlinkRestartPolicy(restart_delay=0.0),
-                    strict=strict, baseline=baseline)
-                cells.append(FaultCell(
-                    engine=engine, workload=workload.name, nodes=nodes,
-                    fail_at_fraction=fraction, success=faulted.success,
-                    baseline_seconds=faulted.baseline_duration,
-                    simulated_seconds=faulted.faulted_duration,
-                    analytic_seconds=analytic_total(
-                        engine, baseline, fraction, cfg.nodes),
-                    retries=faulted.retry_attempts,
-                    restarts=len(faulted.restarts),
-                    failure=faulted.result.failure))
+    tasks = [(engine, workload, cfg, nodes, tuple(fractions), seed,
+              strict_flag)
+             for workload, cfg in workloads for engine in ENGINES]
+    cell_groups = parallel_map(_fault_cells_task, tasks, jobs=jobs)
+    cells: List[FaultCell] = [c for group in cell_groups for c in group]
     return FaultFigure(
         "fig18", f"Failure recovery overhead ({nodes} nodes, "
         f"single node crash)", cells)

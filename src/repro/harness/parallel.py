@@ -1,0 +1,83 @@
+"""Parallel execution of independent simulation runs.
+
+Every experiment in the harness decomposes into *independent* runs:
+each :func:`~repro.harness.runner.run_once` deploys a fresh cluster
+seeded explicitly, so no state flows between runs (the global flow-id
+counter only breaks ties *within* one simulation and never leaks into
+results).  That makes fan-out across worker processes safe: a worker
+computes exactly what the serial loop would have computed, and results
+are collected in **submission order**, so the output of a parallel
+sweep or figure is bit-identical to the serial one.
+
+``jobs`` resolution order: explicit argument, then the ``REPRO_JOBS``
+environment variable, then 1 (serial).  ``jobs=1`` short-circuits to a
+plain in-process loop — no executor, no pickling — so the default path
+is byte-for-byte the historical behaviour.
+
+A worker process that dies without reporting (segfault, ``os._exit``,
+OOM kill) surfaces as :class:`WorkerCrashError` rather than a hung or
+half-filled result list.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, List, Optional, Sequence, Tuple
+
+__all__ = ["ENV_JOBS", "WorkerCrashError", "parallel_map", "resolve_jobs"]
+
+#: Environment variable consulted when no explicit job count is given.
+ENV_JOBS = "REPRO_JOBS"
+
+
+class WorkerCrashError(RuntimeError):
+    """A worker process died without delivering its result."""
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Resolve a job count: argument > ``$REPRO_JOBS`` > 1."""
+    if jobs is None:
+        raw = os.environ.get(ENV_JOBS, "").strip()
+        if raw:
+            try:
+                jobs = int(raw)
+            except ValueError:
+                raise ValueError(
+                    f"{ENV_JOBS} must be an integer, got {raw!r}") from None
+        else:
+            jobs = 1
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def parallel_map(fn: Callable, tasks: Sequence[Tuple],
+                 jobs: Optional[int] = None) -> List:
+    """Apply ``fn`` to argument tuples, returning results in task order.
+
+    With ``jobs <= 1`` (or fewer than two tasks) this is literally
+    ``[fn(*t) for t in tasks]``.  Otherwise tasks are submitted to a
+    :class:`~concurrent.futures.ProcessPoolExecutor` and the futures are
+    drained in submission order, so result ordering never depends on
+    worker scheduling.  ``fn`` must be a module-level (picklable)
+    function and the argument tuples and results picklable values.
+
+    Exceptions raised *inside* a worker propagate with their original
+    type, matching serial behaviour; a worker that dies outright raises
+    :class:`WorkerCrashError`.
+    """
+    tasks = list(tasks)
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(tasks) <= 1:
+        return [fn(*t) for t in tasks]
+    workers = min(jobs, len(tasks))
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(fn, *t) for t in tasks]
+            return [f.result() for f in futures]
+    except BrokenProcessPool as err:
+        raise WorkerCrashError(
+            f"a worker process crashed while running {getattr(fn, '__name__', fn)!r} "
+            f"({len(tasks)} tasks, {workers} workers)") from err

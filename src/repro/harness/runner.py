@@ -85,7 +85,8 @@ class TrialStats:
 
 def run_once(engine_name: str, workload: Workload, config: ExperimentConfig,
              seed: int = 0, keep_deployment: bool = False,
-             strict: Optional[bool] = None) -> EngineRunResult:
+             strict: Optional[bool] = None,
+             trace_detail: str = "full") -> EngineRunResult:
     """Deploy, import the dataset, run every job of the workload.
 
     ``strict`` attaches an :class:`~repro.validation.InvariantChecker`
@@ -93,9 +94,16 @@ def run_once(engine_name: str, workload: Workload, config: ExperimentConfig,
     and the whole cluster post-run; any violation raises
     :class:`~repro.validation.InvariantViolation`.  ``None`` defers to
     :func:`repro.validation.set_strict_default`.
+
+    ``trace_detail`` tunes resource tracing (see
+    :data:`repro.cluster.fluid.TRACE_DETAIL_MODES`); callers that only
+    need durations can pass ``"off"`` to skip trace appends.  Strict
+    runs force ``"full"`` — the audits integrate the throughput traces.
     """
     checker = InvariantChecker() if strict_enabled(strict) else None
-    cluster = Cluster(config.nodes, seed=seed)
+    if checker is not None:
+        trace_detail = "full"
+    cluster = Cluster(config.nodes, seed=seed, trace_detail=trace_detail)
     if checker is not None:
         checker.attach(cluster)
     hdfs = HDFS(cluster, block_size=config.hdfs_block_size, seed=seed)

@@ -16,7 +16,9 @@ import math
 from typing import Dict, Iterable, List, Optional, Sequence, TextIO
 
 from ..config.presets import ExperimentConfig
+from ..validation.invariants import strict_enabled
 from ..workloads.base import Workload
+from .parallel import parallel_map
 from .runner import run_once
 
 __all__ = ["sweep", "sweep_rows_to_csv", "best_row"]
@@ -42,44 +44,67 @@ def _apply_overrides(config: ExperimentConfig,
         nodes=top.get("nodes", config.nodes))
 
 
+def _combo_task(engine: str, workload: Workload, config: ExperimentConfig,
+                overrides: Dict[str, object], trials: int, base_seed: int,
+                strict: bool) -> Dict[str, object]:
+    """Run every trial of one grid combination and build its row.
+
+    All ``trials`` run even if one fails: a mid-sequence failure used to
+    throw away the durations already measured, which made multi-trial
+    sweeps report NaN for combinations that mostly worked.  The row now
+    carries the mean over the completed trials plus ``completed_trials``
+    so callers can judge how much evidence backs the number.  Sweeps
+    only report durations, so tracing is off (strict runs re-enable it).
+    """
+    durations: List[float] = []
+    failure: Optional[str] = None
+    for t in range(trials):
+        result = run_once(engine, workload, config,
+                          seed=base_seed + 1000 * t, strict=strict,
+                          trace_detail="off")
+        if result.success:
+            durations.append(result.duration)
+        elif failure is None:
+            failure = result.failure or "unknown failure"
+    row: Dict[str, object] = dict(overrides)
+    row["engine"] = engine
+    row["workload"] = workload.name
+    row["completed_trials"] = len(durations)
+    if durations:
+        row["mean_seconds"] = sum(durations) / len(durations)
+    else:
+        row["mean_seconds"] = math.nan
+    row["failure"] = failure or ""
+    return row
+
+
 def sweep(engine: str, workload: Workload, base_config: ExperimentConfig,
           grid: Dict[str, Sequence], trials: int = 1,
-          base_seed: int = 0) -> List[Dict[str, object]]:
+          base_seed: int = 0, strict: Optional[bool] = None,
+          jobs: Optional[int] = None) -> List[Dict[str, object]]:
     """Run the cartesian product of ``grid`` values.
 
     ``grid`` keys use dotted paths: ``"spark.default_parallelism"``,
     ``"flink.network_buffers"``, or top-level ``"hdfs_block_size"``.
-    Returns one row per combination with the mean duration (NaN plus a
-    ``failure`` message for failed combinations).
+    Returns one row per combination with the mean duration over the
+    trials that completed (NaN plus a ``failure`` message when none
+    did; ``completed_trials`` counts the successes behind each mean).
+
+    ``jobs`` fans the combinations across worker processes (default
+    ``$REPRO_JOBS`` or serial); every combination is an independent
+    deterministic run, so the rows are identical either way.
     """
     if not grid:
         raise ValueError("empty sweep grid")
     keys = list(grid)
-    rows: List[Dict[str, object]] = []
+    strict_flag = strict_enabled(strict)
+    tasks = []
     for combo in itertools.product(*(grid[k] for k in keys)):
         overrides = dict(zip(keys, combo))
         config = _apply_overrides(base_config, overrides)
-        durations: List[float] = []
-        failure: Optional[str] = None
-        for t in range(trials):
-            result = run_once(engine, workload, config,
-                              seed=base_seed + 1000 * t)
-            if result.success:
-                durations.append(result.duration)
-            else:
-                failure = result.failure
-                break
-        row: Dict[str, object] = dict(overrides)
-        row["engine"] = engine
-        row["workload"] = workload.name
-        if durations and failure is None:
-            row["mean_seconds"] = sum(durations) / len(durations)
-            row["failure"] = ""
-        else:
-            row["mean_seconds"] = math.nan
-            row["failure"] = failure or "no runs"
-        rows.append(row)
-    return rows
+        tasks.append((engine, workload, config, overrides, trials,
+                      base_seed, strict_flag))
+    return parallel_map(_combo_task, tasks, jobs=jobs)
 
 
 def best_row(rows: Iterable[Dict[str, object]]) -> Dict[str, object]:
@@ -93,13 +118,22 @@ def best_row(rows: Iterable[Dict[str, object]]) -> Dict[str, object]:
 
 def sweep_rows_to_csv(rows: Sequence[Dict[str, object]],
                       out: Optional[TextIO] = None) -> str:
-    """Write sweep rows as CSV (stable column order)."""
+    """Render sweep rows as CSV (stable column order).
+
+    The CSV text is always returned; when ``out`` is given it is also
+    written there.  (It used to be returned only for ``StringIO``
+    targets — real file handles got ``""`` back, so callers that both
+    saved and post-processed the text silently lost it.)
+    """
     if not rows:
         return ""
-    buf = out if out is not None else io.StringIO()
+    buf = io.StringIO()
     fields = list(rows[0].keys())
     writer = csv.DictWriter(buf, fieldnames=fields)
     writer.writeheader()
     for row in rows:
         writer.writerow(row)
-    return buf.getvalue() if isinstance(buf, io.StringIO) else ""
+    text = buf.getvalue()
+    if out is not None:
+        out.write(text)
+    return text

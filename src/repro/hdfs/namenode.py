@@ -46,6 +46,12 @@ class NameNode:
         self._rng = np.random.default_rng(seed)
         self._next_block_id = 0
         self._next_writer = 0
+        # Per-primary candidate arrays for replica placement, built
+        # lazily: every block with the same primary draws from the same
+        # "all nodes but the primary" population, so rebuilding the list
+        # (and converting it to an ndarray inside ``rng.choice``) per
+        # block is pure overhead on large files.
+        self._others: Dict[int, np.ndarray] = {}
 
     # ------------------------------------------------------------------
     def create_file(self, name: str, size: float) -> HdfsFile:
@@ -71,9 +77,13 @@ class NameNode:
     def _place_block(self, size: float) -> Block:
         primary = self._next_writer % self.num_nodes
         self._next_writer += 1
-        others = [i for i in range(self.num_nodes) if i != primary]
+        others = self._others.get(primary)
+        if others is None:
+            others = np.array([i for i in range(self.num_nodes)
+                               if i != primary])
+            self._others[primary] = others
         extra = []
-        if self.replication > 1 and others:
+        if self.replication > 1 and len(others):
             k = min(self.replication - 1, len(others))
             extra = list(self._rng.choice(others, size=k, replace=False))
         block = Block(block_id=self._next_block_id, size=size,

@@ -101,6 +101,24 @@ LARGE_GRAPH = GraphDatasetModel("large", 1.7e9, 64e9, 1.2 * TiB,
                                 hub_concentration=0.01)
 
 
+class _GeometricActivity:
+    """Picklable ``iteration -> activity`` profile (see below).
+
+    A class rather than a closure so that workloads carrying a profile
+    can cross process boundaries (the parallel experiment harness ships
+    workloads to worker processes by pickle).
+    """
+
+    __slots__ = ("decay", "floor")
+
+    def __init__(self, decay: float, floor: float) -> None:
+        self.decay = decay
+        self.floor = floor
+
+    def __call__(self, iteration: int) -> float:
+        return max(self.floor, self.decay ** (iteration - 1))
+
+
 def cc_activity_profile(decay: float = 0.55, floor: float = 0.02
                         ) -> Callable[[int], float]:
     """Fraction of vertices still active at superstep ``i`` (1-based).
@@ -112,11 +130,7 @@ def cc_activity_profile(decay: float = 0.55, floor: float = 0.02
     """
     if not 0 < decay <= 1:
         raise ValueError("decay must be in (0, 1]")
-
-    def activity(iteration: int) -> float:
-        return max(floor, decay ** (iteration - 1))
-
-    return activity
+    return _GeometricActivity(decay, floor)
 
 
 def generate_power_law_edges(num_vertices: int, num_edges: int,

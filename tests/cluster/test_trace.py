@@ -121,3 +121,44 @@ def test_property_mean_bounded_by_extremes(points):
     m = s.mean(0.0, 120.0)
     values = [0.0] + [v for _, v in points]
     assert min(values) - 1e-9 <= m <= max(values) + 1e-9
+
+
+def naive_sample(s, start, end, step):
+    """Reference resample: an independent integral/mean per bucket.
+
+    This is the pre-optimisation implementation of
+    :meth:`StepSeries.sample`; the single-pass version must reproduce it
+    *bitwise*, since the golden trace digests hash these floats.
+    """
+    n = max(1, math.ceil((end - start) / step))
+    grid = [start + i * step for i in range(n)]
+    means = []
+    for left in grid:
+        right = min(left + step, end)
+        if right <= left:
+            means.append(0.0)
+        else:
+            means.append(s.integral(left, right) / (right - left))
+    return grid, means
+
+
+@given(st.lists(st.tuples(st.floats(0, 1000), st.floats(-100, 100)),
+                min_size=0, max_size=50),
+       st.floats(0.01, 50.0),
+       st.floats(0, 100))
+def test_property_sample_bitwise_matches_naive(points, step, start):
+    points = sorted(points, key=lambda p: p[0])
+    s = make(points, initial=1.5)
+    end = start + 10 * step
+    grid, means = s.sample(start, end, step)
+    ref_grid, ref_means = naive_sample(s, start, end, step)
+    assert grid == ref_grid
+    # Bitwise, not approximate: == on the float lists.
+    assert means == ref_means
+
+
+def test_sample_partial_last_bucket_bitwise():
+    s = make([(0.0, 3.0), (2.5, 7.0)])
+    # end=2.9 leaves a final bucket truncated to [2.0, 2.9).
+    grid, means = s.sample(0.0, 2.9, 1.0)
+    assert (grid, means) == naive_sample(s, 0.0, 2.9, 1.0)

@@ -1,0 +1,74 @@
+"""Tests for the pinned benchmark suite (``repro bench``)."""
+
+import json
+
+import pytest
+
+from repro.harness.bench import (BENCH_CASE_NAMES, BenchCase, BenchReport,
+                                 default_report_path, run_bench,
+                                 write_report)
+
+
+@pytest.fixture(scope="module")
+def quick_report():
+    return run_bench(quick=True, seed=0, jobs=1)
+
+
+def test_quick_suite_runs_every_case(quick_report):
+    assert [c.name for c in quick_report.cases] == list(BENCH_CASE_NAMES)
+    assert all(c.wall_seconds > 0 for c in quick_report.cases)
+    assert all(c.runs >= 2 for c in quick_report.cases)
+    assert quick_report.quick
+    assert quick_report.jobs == 1
+
+
+def test_engine_cases_track_sim_events(quick_report):
+    by_name = {c.name: c for c in quick_report.cases}
+    for name in ("batch_terasort", "iterative_pagerank"):
+        case = by_name[name]
+        assert case.sim_events and case.sim_events > 0
+        assert case.events_per_second > 0
+    # Figure/sweep cases time composite harness calls, no event count.
+    assert by_name["sweep_wordcount"].sim_events is None
+    assert by_name["sweep_wordcount"].events_per_second is None
+
+
+def test_quick_suite_event_counts_deterministic(quick_report):
+    # The suite is pinned: a second run simulates the exact same events
+    # (under $REPRO_JOBS, possibly fanned — the counts must not care).
+    again = run_bench(quick=True, seed=0)
+    assert ([c.sim_events for c in again.cases]
+            == [c.sim_events for c in quick_report.cases])
+
+
+def test_report_payload_schema(quick_report):
+    payload = quick_report.to_payload()
+    assert set(payload["cases"]) == set(BENCH_CASE_NAMES)
+    for key in ("label", "date", "quick", "jobs", "seed", "python",
+                "cpu_count", "total_wall_seconds"):
+        assert key in payload
+    assert payload["total_wall_seconds"] == pytest.approx(
+        sum(c["wall_seconds"] for c in payload["cases"].values()), abs=1e-3)
+
+
+def test_write_report_round_trips(quick_report, tmp_path):
+    out = write_report(quick_report, tmp_path / "bench.json")
+    loaded = json.loads(out.read_text())
+    assert loaded == json.loads(
+        json.dumps(quick_report.to_payload()))  # JSON-safe payload
+
+
+def test_default_report_path_is_dated(tmp_path):
+    path = default_report_path(tmp_path)
+    assert path.parent == tmp_path
+    assert path.name.startswith("BENCH_") and path.suffix == ".json"
+
+
+def test_events_per_second_guard():
+    assert BenchCase("x", 0.0, 1, sim_events=10).events_per_second is None
+    assert BenchCase("x", 2.0, 1, sim_events=None).events_per_second is None
+    assert BenchCase("x", 2.0, 1, sim_events=10).events_per_second == 5.0
+
+
+def test_total_wall_seconds_empty():
+    assert BenchReport("x", False, 1, 0).total_wall_seconds == 0.0

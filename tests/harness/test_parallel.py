@@ -1,0 +1,119 @@
+"""Tests for the parallel experiment harness.
+
+The load-bearing claim (see ``repro/harness/parallel.py``) is that a
+parallel run is *bit-identical* to the serial one: every run is an
+independently seeded simulation and results are collected in submission
+order.  These tests pin that claim with canonical digests over full
+figure payloads, and cover the failure modes (worker exceptions, worker
+crashes) and the ``jobs`` resolution rules.
+"""
+
+import math
+import os
+
+import pytest
+
+from repro.config.presets import wordcount_grep_preset
+from repro.harness import figures
+from repro.harness.parallel import (ENV_JOBS, WorkerCrashError,
+                                    parallel_map, resolve_jobs)
+from repro.harness.sweep import sweep
+from repro.validation.digest import (digest_payload, fault_payload,
+                                     scaling_payload)
+from repro.workloads import WordCount
+
+GiB = 2**30
+
+
+# ----------------------------------------------------------------------
+# serial == parallel, by canonical digest
+# ----------------------------------------------------------------------
+def test_scaling_figure_parallel_matches_serial():
+    serial = figures.fig01_wordcount_weak(trials=2, nodes=(2, 4))
+    fanned = figures.fig01_wordcount_weak(trials=2, nodes=(2, 4), jobs=2)
+    assert (digest_payload(scaling_payload(serial))
+            == digest_payload(scaling_payload(fanned)))
+
+
+def test_fault_figure_parallel_matches_serial():
+    serial = figures.fig18_fault_recovery(nodes=4, fractions=(0.5,))
+    fanned = figures.fig18_fault_recovery(nodes=4, fractions=(0.5,), jobs=2)
+    assert (digest_payload(fault_payload(serial))
+            == digest_payload(fault_payload(fanned)))
+
+
+def test_sweep_parallel_matches_serial():
+    workload = WordCount(2 * 24 * GiB)
+    cfg = wordcount_grep_preset(2)
+    grid = {"spark.default_parallelism": [64, 384],
+            "hdfs_block_size": [128 * 2**20, 256 * 2**20]}
+    serial = sweep("spark", workload, cfg, grid, trials=2, base_seed=7)
+    fanned = sweep("spark", workload, cfg, grid, trials=2, base_seed=7,
+                   jobs=2)
+    assert all(not math.isnan(float(r["mean_seconds"])) for r in serial)
+    assert serial == fanned
+
+
+# ----------------------------------------------------------------------
+# parallel_map mechanics
+# ----------------------------------------------------------------------
+def _square(x):
+    return x * x
+
+
+def _raise_value_error(msg):
+    raise ValueError(msg)
+
+
+def _die(_x):
+    os._exit(1)
+
+
+def test_parallel_map_preserves_task_order():
+    tasks = [(i,) for i in range(20)]
+    assert parallel_map(_square, tasks, jobs=4) == [i * i for i in range(20)]
+
+
+def test_parallel_map_serial_path_runs_in_process():
+    # jobs=1 must not spawn workers: a closure (unpicklable) works.
+    seen = []
+    assert parallel_map(lambda x: seen.append(x) or x, [(1,), (2,)],
+                        jobs=1) == [1, 2]
+    assert seen == [1, 2]
+
+
+def test_parallel_map_single_task_stays_serial():
+    # One task short-circuits to serial even with jobs > 1.
+    assert parallel_map(lambda x: x + 1, [(41,)], jobs=8) == [42]
+
+
+def test_worker_exception_propagates_with_type():
+    with pytest.raises(ValueError, match="boom"):
+        parallel_map(_raise_value_error, [("boom",), ("boom",)], jobs=2)
+
+
+def test_worker_crash_raises_worker_crash_error():
+    with pytest.raises(WorkerCrashError):
+        parallel_map(_die, [(1,), (2,)], jobs=2)
+
+
+# ----------------------------------------------------------------------
+# jobs resolution
+# ----------------------------------------------------------------------
+def test_resolve_jobs_defaults_to_serial(monkeypatch):
+    monkeypatch.delenv(ENV_JOBS, raising=False)
+    assert resolve_jobs() == 1
+
+
+def test_resolve_jobs_argument_wins_over_env(monkeypatch):
+    monkeypatch.setenv(ENV_JOBS, "8")
+    assert resolve_jobs(3) == 3
+    assert resolve_jobs() == 8
+
+
+def test_resolve_jobs_rejects_bad_values(monkeypatch):
+    with pytest.raises(ValueError):
+        resolve_jobs(0)
+    monkeypatch.setenv(ENV_JOBS, "many")
+    with pytest.raises(ValueError):
+        resolve_jobs()

@@ -52,6 +52,37 @@ def test_sweep_csv(rows):
     assert sweep_rows_to_csv([]) == ""
 
 
+def test_sweep_csv_real_file_handle_also_returns_text(rows, tmp_path):
+    # Regression: the text used to be returned only for StringIO
+    # targets — writing to an actual file handed back "".
+    path = tmp_path / "sweep.csv"
+    with open(path, "w", encoding="utf-8", newline="") as fh:
+        text = sweep_rows_to_csv(rows, out=fh)
+    assert text == sweep_rows_to_csv(rows)
+    with open(path, encoding="utf-8", newline="") as fh:
+        assert fh.read() == text
+
+
+def test_sweep_rows_count_completed_trials(rows):
+    # Single-trial fixture: every row reports 0 or 1 completed trials,
+    # consistent with its failure field.
+    for r in rows:
+        if r["failure"]:
+            assert r["completed_trials"] == 0
+            assert math.isnan(float(r["mean_seconds"]))
+        else:
+            assert r["completed_trials"] == 1
+
+
+def test_sweep_multi_trial_runs_all_trials():
+    rows = sweep("spark", WordCount(2 * 24 * GiB),
+                 wordcount_grep_preset(2),
+                 grid={"spark.default_parallelism": [64]},
+                 trials=3, base_seed=1)
+    assert rows[0]["completed_trials"] == 3
+    assert not math.isnan(float(rows[0]["mean_seconds"]))
+
+
 def test_sweep_spark_override():
     rows = sweep("spark", WordCount(2 * 24 * GiB),
                  wordcount_grep_preset(2),
