@@ -19,6 +19,11 @@ Commands
     (task re-execution for Spark, full pipeline restart for Flink),
     ``--mode estimate`` uses the fast analytic lineage/restart model,
     ``--mode both`` prints them side by side.
+``trace``
+    Run a workload with the span tracer attached and report the
+    critical path plus each stage's dominant resource; ``--out DIR``
+    additionally writes a ``chrome://tracing`` JSON and span /
+    critical-path CSVs per engine.
 ``validate``
     Self-check the simulator: run the replay scenarios under strict
     invariant checking; with ``--replay``, also compare their trace
@@ -35,6 +40,7 @@ python -m repro explain --workload terasort --nodes 17
 python -m repro table7 --nodes 97
 python -m repro faults --workload wordcount --nodes 4 --fail-at 0.5
 python -m repro faults --workload terasort --nodes 4 --mode both --strict
+python -m repro trace --workload wordcount --nodes 8 --out traces/
 python -m repro validate --replay
 """
 
@@ -223,6 +229,73 @@ def cmd_faults(args) -> int:
     return status
 
 
+def _render_trace(traced) -> str:
+    """Human-readable critical-path + attribution report for one run."""
+    res = traced.result
+    tree = traced.tree
+    path = traced.critical_path
+    lines = [
+        f"{res.engine}/{res.workload} x{res.nodes}: {res.duration:.1f}s, "
+        f"{len(tree)} spans ({len(tree.of_kind('stage'))} stages, "
+        f"{len(tree.of_kind('operator'))} operators, "
+        f"{len(tree.of_kind('task'))} tasks)",
+        f"critical path: {path.length:.1f}s across "
+        f"{len(path.segments)} segments (makespan {path.makespan:.1f}s)",
+    ]
+    for seg in path.top_contributors(5):
+        share = (100.0 * seg.duration / path.makespan
+                 if path.makespan > 0 else 0.0)
+        lines.append(f"  {share:5.1f}%  {seg.kind:8s} {seg.name}")
+    lines.append("stage attribution:")
+    for span in tree.of_kind("stage"):
+        attr = traced.attribution.get(span.id)
+        dom = ("+".join(attr.dominant_resources())
+               if attr is not None else "?")
+        it = f" (iter {span.iteration})" if span.iteration else ""
+        lines.append(f"  [{span.start:8.1f}s - {span.end:8.1f}s] "
+                     f"{dom:12s} {span.name}{it}")
+    return "\n".join(lines)
+
+
+def cmd_trace(args) -> int:
+    import json
+    import pathlib
+
+    from .harness.parallel import parallel_map
+    from .harness.runner import run_traced
+    from .observability import (chrome_trace_payload, critical_path_csv,
+                                spans_csv)
+    workload = build_workload(args.workload, args.nodes, graph=args.graph,
+                              iterations=args.iterations)
+    config = build_config(args.workload, args.nodes)
+    strict = args.strict or None
+    # Engines fan out like any other independent runs; results return
+    # in submission order, so the report (and any exported files) are
+    # bit-identical at every --jobs value.
+    tasks = [(engine, workload, config, args.seed, strict)
+             for engine in args.engines]
+    traced_runs = parallel_map(run_traced, tasks, jobs=args.jobs)
+    for engine, traced in zip(args.engines, traced_runs):
+        print(_render_trace(traced))
+        if args.out:
+            outdir = pathlib.Path(args.out)
+            outdir.mkdir(parents=True, exist_ok=True)
+            stem = f"trace-{args.workload}-{engine}-{args.nodes}n"
+            payload = chrome_trace_payload(
+                traced.tree, traced.attribution,
+                label=f"{engine}/{args.workload}")
+            (outdir / f"{stem}.json").write_text(
+                json.dumps(payload, sort_keys=True, indent=1))
+            (outdir / f"{stem}-spans.csv").write_text(
+                spans_csv(traced.tree, traced.attribution))
+            (outdir / f"{stem}-critical-path.csv").write_text(
+                critical_path_csv(traced.critical_path))
+            print(f"wrote {outdir / stem}.json "
+                  f"(+ -spans.csv, -critical-path.csv)")
+        print()
+    return 0
+
+
 def cmd_table7(args) -> int:
     cells = figure_registry.tab07_large_graph(
         seed=args.seed, node_counts=tuple(args.nodes),
@@ -377,6 +450,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_ex.add_argument("--graph", choices=("small", "medium", "large"),
                       default="small")
 
+    p_tr = sub.add_parser(
+        "trace", help="span-trace a run: critical path, per-stage "
+                      "dominant resources, Chrome-trace/CSV export")
+    p_tr.add_argument("--workload", choices=WORKLOADS, required=True)
+    p_tr.add_argument("--engines", nargs="+", choices=("spark", "flink"),
+                      default=["flink", "spark"])
+    p_tr.add_argument("--nodes", type=int, default=8)
+    p_tr.add_argument("--graph", choices=("small", "medium", "large"),
+                      default="small")
+    p_tr.add_argument("--iterations", type=int, default=None)
+    p_tr.add_argument("--seed", type=int, default=0)
+    p_tr.add_argument("--out", default=None,
+                      help="directory for chrome-trace JSON + CSV export")
+    p_tr.add_argument("--jobs", type=int, default=None,
+                      help="worker processes (one per engine); output is "
+                           "identical at any job count")
+    p_tr.add_argument("--strict", action="store_true",
+                      help="audit simulator invariants during the runs")
+
     p_val = sub.add_parser(
         "validate", help="strict invariant self-check / golden replay")
     p_val.add_argument("--replay", action="store_true",
@@ -407,8 +499,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"list": cmd_list, "run": cmd_run, "figure": cmd_figure,
                 "table7": cmd_table7, "explain": cmd_explain,
-                "faults": cmd_faults, "validate": cmd_validate,
-                "bench": cmd_bench}
+                "faults": cmd_faults, "trace": cmd_trace,
+                "validate": cmd_validate, "bench": cmd_bench}
     return handlers[args.command](args)
 
 

@@ -232,6 +232,11 @@ class FluidScheduler:
         #: Optional :class:`repro.validation.InvariantChecker`; when set,
         #: every max–min reallocation is audited for fairness on the spot.
         self.checker = None
+        #: Optional callback ``(flow, now)`` invoked for every flow that
+        #: completes, after rates are consistent but before completion
+        #: events are delivered.  Used by the span tracer's flow-detail
+        #: mode; it must only *read* the flow (no scheduling).
+        self.flow_hook = None
 
     # ------------------------------------------------------------------
     # public API
@@ -638,6 +643,10 @@ class FluidScheduler:
                 if not cap.flows:
                     cap._record_coarse(now)
         # Deliver completions after rates are consistent.
+        hook = self.flow_hook
+        if hook is not None:
+            for flow in finished:
+                hook(flow, now)
         for flow in finished:
             flow.done.succeed(now - flow.started_at)
         self._refresh_wakeup()

@@ -46,6 +46,11 @@ class Cluster:
         #: ``FaultState`` tracking node liveness, blacklists and degraded
         #: capacities.  ``None`` for ordinary (fault-free) deployments.
         self.fault_state = None
+        #: Set by :mod:`repro.observability` for traced runs: a
+        #: ``SpanTracer`` the engines and executor record their
+        #: run/job/stage/operator/task windows into.  ``None`` (the
+        #: default) keeps every hook site a single attribute check.
+        self.tracer = None
 
     # ------------------------------------------------------------------
     @property

@@ -65,6 +65,10 @@ class CorrelatedRun:
     result: EngineRunResult
     frames: Dict[Metric, MetricFrame]
     step: float = 1.0
+    #: Optional :class:`~repro.harness.runner.TracedRun` set by
+    #: ``run_correlated(..., collect_spans=True)``: the span tree,
+    #: critical path and per-span attribution of this execution.
+    trace: Optional[object] = None
 
     # ------------------------------------------------------------------
     @property

@@ -381,6 +381,8 @@ class PhaseExecutor:
         spans = [OperatorSpan(p.key, p.name, st["start"], st["end"],
                               busy=max(st["busy"].values(), default=0.0))
                  for p, st in zip(phases, span_state)]
+        for p, st in zip(phases, span_state):
+            self._record_spans(p, st)
         return JobResult(name=name, start=start, end=self.cluster.now,
                          spans=spans)
 
@@ -391,9 +393,34 @@ class PhaseExecutor:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
-    @staticmethod
-    def _new_span_state(phase: PhaseSpec) -> Dict:
-        return {"start": math.inf, "end": -math.inf, "busy": {}, "chunks": {}}
+    def _new_span_state(self, phase: PhaseSpec) -> Dict:
+        state = {"start": math.inf, "end": -math.inf, "busy": {},
+                 "chunks": {}}
+        if self.cluster.tracer is not None:
+            # Per-node execution windows feed the tracer's task spans;
+            # the key is absent on untraced runs so the hot loop pays
+            # only a dict miss.
+            state["nodes"] = {}
+        return state
+
+    def _record_spans(self, phase: PhaseSpec, state: Dict) -> None:
+        """Emit one operator span plus per-node task spans from a
+        finished phase's span state (no-op without a tracer)."""
+        tracer = self.cluster.tracer
+        if tracer is None or state["start"] == math.inf:
+            return
+        op_span = tracer.record(
+            "operator", phase.name, state["start"], state["end"],
+            key=phase.key)
+        windows = state.get("nodes") or {}
+        busy = state["busy"]
+        chunks = state["chunks"]
+        for ni in sorted(windows):
+            w = windows[ni]
+            tracer.record(
+                "task", f"{phase.key}@node-{ni:03d}", w[0], w[1],
+                parent=op_span, key=phase.key, node=ni,
+                busy=busy.get(ni, 0.0), chunks=float(chunks.get(ni, 0)))
 
     def _register_fault_proc(self, node_index: int, proc) -> None:
         state = self.cluster.fault_state
@@ -412,6 +439,7 @@ class PhaseExecutor:
             yield self.cluster.sim.all_of(procs)
         except Interrupt as err:
             raise _fault_failure(f"phase {phase.key!r}", err) from err
+        self._record_spans(phase, state)
         return OperatorSpan(phase.key, phase.name, state["start"],
                             state["end"],
                             busy=max(state["busy"].values(), default=0.0))
@@ -445,6 +473,7 @@ class PhaseExecutor:
         yield self.cluster.sim.all_of(procs)
         if state["start"] == math.inf:
             state["start"] = state["end"] = self.cluster.now
+        self._record_spans(phase, state)
         span = OperatorSpan(phase.key, phase.name, state["start"],
                             state["end"],
                             busy=max(state["busy"].values(), default=0.0))
@@ -483,7 +512,7 @@ class PhaseExecutor:
         try:
             if res.is_empty and in_q is None:
                 # Nothing to do; still emit tokens downstream.
-                self._touch_span(span_state)
+                self._touch_span(span_state, node_index)
                 if out_q is not None:
                     for _ in range(self.chunks):
                         yield out_q.put()
@@ -503,7 +532,7 @@ class PhaseExecutor:
             for i in range(n):
                 if in_q is not None:
                     yield in_q.get()
-                self._touch_span(span_state)
+                self._touch_span(span_state, node_index)
                 t0 = sim.now
                 if phase.anti_cyclic:
                     yield from self._chunk_anti_cyclic(node, chunk, both_io)
@@ -512,7 +541,7 @@ class PhaseExecutor:
                 busy[node_index] = busy.get(node_index, 0.0) + sim.now - t0
                 chunks = span_state["chunks"]
                 chunks[node_index] = chunks.get(node_index, 0) + 1
-                self._touch_span(span_state)
+                self._touch_span(span_state, node_index)
                 if out_q is not None and not phase.blocking:
                     yield out_q.put()
             if out_q is not None:
@@ -585,9 +614,20 @@ class PhaseExecutor:
             return 1.0
         return float(self._rng.lognormal(0.0, self.jitter_sigma))
 
-    def _touch_span(self, state: Dict[str, float]) -> None:
+    def _touch_span(self, state: Dict[str, float],
+                    node_index: Optional[int] = None) -> None:
         now = self.cluster.now
         if now < state["start"]:
             state["start"] = now
         if now > state["end"]:
             state["end"] = now
+        windows = state.get("nodes")
+        if windows is not None and node_index is not None:
+            w = windows.get(node_index)
+            if w is None:
+                windows[node_index] = [now, now]
+            else:
+                if now < w[0]:
+                    w[0] = now
+                if now > w[1]:
+                    w[1] = now

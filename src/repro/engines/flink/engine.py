@@ -154,6 +154,11 @@ class FlinkEngine:
     # job execution
     # ------------------------------------------------------------------
     def _job(self, plan: LogicalPlan, result: EngineRunResult):
+        tracer = self.cluster.tracer
+        # The deploy delay is part of the (single) job: Flink schedules
+        # the whole graph once.
+        job_span = (tracer.begin("job", plan.name, self.cluster.now)
+                    if tracer is not None else None)
         yield self.cluster.sim.timeout(self.costs.flink_job_deploy)
         segments = split_segments(plan)
         job_start = self.cluster.now
@@ -170,18 +175,26 @@ class FlinkEngine:
             else:
                 groups[-1].append(seg)
 
-        for group in groups:
+        for gi, group in enumerate(groups):
             if not group:
                 continue
             if group[0].head.is_iteration:
                 yield from self._run_iteration(group[0].head, spans)
             else:
+                stage_span = None
+                if tracer is not None:
+                    stage_span = tracer.begin(
+                        "stage", f"pipeline-{gi}", self.cluster.now)
                 phases = self._compile_pipeline(group)
                 job = yield from self.executor.run_pipelined(
                     plan.name, phases)
                 spans.extend(job.spans)
+                if tracer is not None:
+                    tracer.end(stage_span, self.cluster.now)
         result.jobs.append(JobResult(name=plan.name, start=job_start,
                                      end=self.cluster.now, spans=spans))
+        if tracer is not None:
+            tracer.end(job_span, self.cluster.now)
 
     # ------------------------------------------------------------------
     # pipeline compilation
@@ -403,11 +416,19 @@ class FlinkEngine:
         iter_start = self.cluster.now
         merged: dict = {}
         sync_total = 0.0
+        tracer = self.cluster.tracer
         for i in range(1, it_op.iterations + 1):
             activity = (it_op.workset_activity(i)
                         if it_op.workset_activity else 1.0)
             if delta and it_op.workset_activity is None:
                 activity = 1.0 / i  # generic shrinking workset
+            stage_span = None
+            if tracer is not None:
+                # The superstep barrier (sync timeout) belongs to the
+                # superstep, so the span closes after it.
+                stage_span = tracer.begin(
+                    "stage", f"superstep-{i}", self.cluster.now,
+                    iteration=i)
             phases = self._compile_pipeline(body_segments, scale=activity,
                                             in_memory_input=True)
             job = yield from self.executor.run_pipelined(
@@ -421,6 +442,8 @@ class FlinkEngine:
                 slot.end = max(slot.end, span.end)
             yield self.cluster.sim.timeout(self.costs.flink_superstep_sync)
             sync_total += self.costs.flink_superstep_sync
+            if tracer is not None:
+                tracer.end(stage_span, self.cluster.now)
         iter_end = self.cluster.now
         head_name = ("Workset" if delta else "BulkPartialSolution")
         head_key = "W" if delta else "B"

@@ -129,14 +129,24 @@ class SparkEngine:
         job_name = "load" if any(s.head.is_iteration for s in segments) else "main"
         job_start = self.cluster.now
         pending_shuffle: Optional[Tuple[ShuffleSpec, DataStats]] = None
+        tracer = self.cluster.tracer
+        # A job's name is only known when the next action cuts it, so
+        # the tracer span is renamed at close time and the next one is
+        # opened speculatively (the one after the final job is
+        # cancelled below).
+        job_span = (tracer.begin("job", job_name, job_start)
+                    if tracer is not None else None)
 
         def close_job(name: str) -> None:
-            nonlocal current_job, job_start
+            nonlocal current_job, job_start, job_span
             result.jobs.append(JobResult(name=name, start=job_start,
                                          end=self.cluster.now,
                                          spans=list(current_job)))
             current_job = []
             job_start = self.cluster.now
+            if tracer is not None:
+                tracer.end(job_span, self.cluster.now, name=name)
+                job_span = tracer.begin("job", name, self.cluster.now)
 
         for si, segment in enumerate(segments):
             if segment.head.is_iteration:
@@ -151,6 +161,8 @@ class SparkEngine:
             for stage in stages:
                 yield from self._run_stage(stage, current_job)
         close_job(job_name)
+        if tracer is not None:
+            tracer.cancel(job_span)
 
     @staticmethod
     def _next_wide(segments: List[Segment], index: int) -> Optional[Op]:
@@ -165,6 +177,12 @@ class SparkEngine:
                    result: Optional[EngineRunResult] = None):
         self.metrics["stages"] += 1
         stage_start = self.cluster.now
+        tracer = self.cluster.tracer
+        stage_span = None
+        if tracer is not None:
+            stage_span = tracer.begin("stage", stage.phase.name,
+                                      stage_start, key=stage.phase.key,
+                                      iteration=iteration)
         if self.recovery is not None:
             span = yield from self.recovery.run_stage(self.executor,
                                                       stage.phase)
@@ -178,6 +196,8 @@ class SparkEngine:
             yield self.cluster.sim.timeout(stage.post_delay)
             span.end = self.cluster.now
             span.busy += stage.post_delay
+        if tracer is not None:
+            tracer.end(stage_span, self.cluster.now)
         if stage.merge_span and spans:
             prev = spans[-1]
             prev.name = f"{prev.name}->{span.name}" if span.name else prev.name

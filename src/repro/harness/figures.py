@@ -80,6 +80,37 @@ class ResourceFigure:
     def spark(self) -> CorrelatedRun:
         return self.runs["spark"]
 
+    def stage_attribution(self, kinds: Sequence[str] = ("stage",)
+                          ) -> Dict[str, List[Dict[str, object]]]:
+        """Dominant resource per stage span, per engine.
+
+        Requires the figure to have been built with ``spans=True``;
+        this is the "cite the dominant resource per stage" hook the
+        cross-engine comparisons use (e.g. Word Count's disk/CPU-bound
+        map versus Page Rank's network-bound shuffle supersteps).
+        """
+        out: Dict[str, List[Dict[str, object]]] = {}
+        for engine, run in self.runs.items():
+            trace = getattr(run, "trace", None)
+            if trace is None:
+                raise ValueError(
+                    f"figure {self.figure_id} was built without "
+                    f"spans=True; no attribution for {engine!r}")
+            rows: List[Dict[str, object]] = []
+            for span in trace.tree:
+                if span.kind not in kinds:
+                    continue
+                attr = trace.attribution.get(span.id)
+                rows.append({
+                    "name": span.name, "key": span.key,
+                    "start": span.start, "end": span.end,
+                    "iteration": span.iteration,
+                    "dominant": (attr.dominant_resources()
+                                 if attr is not None else ["idle"]),
+                })
+            out[engine] = rows
+        return out
+
 
 def _scaling(figure_id: str, title: str, xs: Sequence[float],
              make_workload: Callable[[float], Workload],
@@ -113,9 +144,10 @@ def _scaling(figure_id: str, title: str, xs: Sequence[float],
 def _resources(figure_id: str, title: str, workload: Workload,
                config: ExperimentConfig, seed: int,
                strict: Optional[bool] = None,
-               jobs: Optional[int] = None) -> ResourceFigure:
+               jobs: Optional[int] = None,
+               spans: bool = False) -> ResourceFigure:
     strict_flag = strict_enabled(strict)
-    tasks = [(engine, workload, config, seed, 1.0, strict_flag)
+    tasks = [(engine, workload, config, seed, 1.0, strict_flag, spans)
              for engine in ENGINES]
     results = parallel_map(run_correlated, tasks, jobs=jobs)
     runs = dict(zip(ENGINES, results))
@@ -155,12 +187,14 @@ def fig02_wordcount_strong(trials: int = 3, seed: int = 0,
 
 def fig03_wordcount_resources(seed: int = 0, nodes: int = 32,
         strict: Optional[bool] = None,
-        jobs: Optional[int] = None) -> ResourceFigure:
+        jobs: Optional[int] = None,
+        spans: bool = False) -> ResourceFigure:
     """Word Count resource usage, 32 nodes, 768 GB."""
     return _resources("fig03",
                       "Word Count resource usage (32 nodes, 768 GB)",
                       WordCount(total_bytes=nodes * 24 * GiB),
-                      wordcount_grep_preset(nodes), seed, strict=strict, jobs=jobs)
+                      wordcount_grep_preset(nodes), seed, strict=strict, jobs=jobs,
+                      spans=spans)
 
 
 # ----------------------------------------------------------------------
@@ -193,10 +227,12 @@ def fig05_grep_strong(trials: int = 3, seed: int = 0,
 
 def fig06_grep_resources(seed: int = 0, nodes: int = 32,
         strict: Optional[bool] = None,
-        jobs: Optional[int] = None) -> ResourceFigure:
+        jobs: Optional[int] = None,
+        spans: bool = False) -> ResourceFigure:
     return _resources("fig06", "Grep resource usage (32 nodes, 768 GB)",
                       Grep(total_bytes=nodes * 24 * GiB),
-                      wordcount_grep_preset(nodes), seed, strict=strict, jobs=jobs)
+                      wordcount_grep_preset(nodes), seed, strict=strict, jobs=jobs,
+                      spans=spans)
 
 
 # ----------------------------------------------------------------------
@@ -234,11 +270,13 @@ def fig08_terasort_strong(trials: int = 3, seed: int = 0,
 
 def fig09_terasort_resources(seed: int = 0, nodes: int = 55,
         strict: Optional[bool] = None,
-        jobs: Optional[int] = None) -> ResourceFigure:
+        jobs: Optional[int] = None,
+        spans: bool = False) -> ResourceFigure:
     return _resources("fig09",
                       "Tera Sort resource usage (55 nodes, 3.5 TB)",
                       _terasort(nodes, 3.5 * TiB),
-                      terasort_preset(nodes), seed, strict=strict, jobs=jobs)
+                      terasort_preset(nodes), seed, strict=strict, jobs=jobs,
+                      spans=spans)
 
 
 # ----------------------------------------------------------------------
@@ -246,11 +284,12 @@ def fig09_terasort_resources(seed: int = 0, nodes: int = 55,
 # ----------------------------------------------------------------------
 def fig10_kmeans_resources(seed: int = 0, nodes: int = 24,
         strict: Optional[bool] = None,
-        jobs: Optional[int] = None) -> ResourceFigure:
+        jobs: Optional[int] = None,
+        spans: bool = False) -> ResourceFigure:
     return _resources(
         "fig10", "K-Means resource usage (24 nodes, 10 iterations)",
         KMeans(total_bytes=51 * GiB, iterations=10),
-        kmeans_preset(nodes), seed, strict=strict, jobs=jobs)
+        kmeans_preset(nodes), seed, strict=strict, jobs=jobs, spans=spans)
 
 
 def fig11_kmeans_scaling(trials: int = 3, seed: int = 0,
@@ -330,20 +369,24 @@ def fig15_cc_medium(trials: int = 3, seed: int = 0,
 
 def fig16_pagerank_resources(seed: int = 0, nodes: int = 27,
         strict: Optional[bool] = None,
-        jobs: Optional[int] = None) -> ResourceFigure:
+        jobs: Optional[int] = None,
+        spans: bool = False) -> ResourceFigure:
     cfg = small_graph_preset(nodes)
     return _resources("fig16",
                       "Page Rank resource usage (27 nodes, Small Graph)",
-                      _pagerank(SMALL_GRAPH, cfg, 20), cfg, seed, strict=strict, jobs=jobs)
+                      _pagerank(SMALL_GRAPH, cfg, 20), cfg, seed, strict=strict, jobs=jobs,
+                      spans=spans)
 
 
 def fig17_cc_resources(seed: int = 0, nodes: int = 27,
         strict: Optional[bool] = None,
-        jobs: Optional[int] = None) -> ResourceFigure:
+        jobs: Optional[int] = None,
+        spans: bool = False) -> ResourceFigure:
     cfg = medium_graph_preset(nodes)
     return _resources("fig17",
                       "CC resource usage (27 nodes, Medium Graph)",
-                      _cc(MEDIUM_GRAPH, cfg, 23), cfg, seed, strict=strict, jobs=jobs)
+                      _cc(MEDIUM_GRAPH, cfg, 23), cfg, seed, strict=strict, jobs=jobs,
+                      spans=spans)
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,178 @@
+"""Span-tree exporters: Chrome-trace JSON and CSV.
+
+Two consumer-facing formats:
+
+* **Chrome trace** (``chrome://tracing`` / Perfetto "JSON Object
+  Format"): complete ``"X"`` duration events with microsecond
+  timestamps, laid out on deterministic lanes —
+
+  - pid 0 ``driver``: run (tid 0), jobs (tid 1), stages (tid 2);
+  - pid 1 ``operators``: one tid per operator position within its
+    stage, so pipelined operators that overlap in time still render
+    side by side;
+  - pid ``2 + n`` ``node-nnn``: that node's task spans, same per-lane
+    mapping as their operators.
+
+  Each event's ``args`` carries the span id/kind/key and, when an
+  attribution map is supplied, the span's mean resource usage and
+  dominant-resource verdict.
+
+* **CSV**: one row per span (plus a separate critical-path table),
+  ready for pandas/spreadsheet digestion.
+
+Exporters are pure functions of the recorded data — same tree in,
+byte-identical payload out — which is what lets a golden digest pin
+them (see the ``trace01`` replay scenario).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Dict, List, Optional
+
+from .attribution import SpanAttribution
+from .critical_path import CriticalPath
+from .spans import Span, SpanTree
+
+__all__ = ["chrome_trace_payload", "chrome_trace_json",
+           "spans_csv", "critical_path_csv"]
+
+_US = 1e6  # simulated seconds -> Chrome-trace microseconds
+
+#: Fixed driver-process lanes, by span kind.
+_DRIVER_TIDS = {"run": 0, "job": 1, "stage": 2}
+
+
+def _lane_of(tree: SpanTree, span: Span) -> int:
+    """Operator lane: position among its parent's operator children."""
+    if span.parent is None:
+        return 0
+    siblings = [s for s in tree.children(tree.span(span.parent))
+                if s.kind == span.kind]
+    for i, sib in enumerate(siblings):
+        if sib.id == span.id:
+            return i
+    return 0
+
+
+def chrome_trace_payload(
+        tree: SpanTree,
+        attribution: Optional[Dict[int, SpanAttribution]] = None,
+        label: str = "repro") -> Dict[str, object]:
+    """Build the ``chrome://tracing`` JSON object for a span tree."""
+    events: List[Dict[str, object]] = []
+    nodes = sorted({s.node for s in tree if s.node is not None})
+    # Process/thread naming metadata first, in lane order.
+    def name_proc(pid: int, name: str) -> None:
+        events.append({"ph": "M", "pid": pid, "tid": 0,
+                       "name": "process_name", "args": {"name": name}})
+
+    name_proc(0, f"{label}: driver")
+    name_proc(1, f"{label}: operators")
+    for node in nodes:
+        name_proc(2 + node, f"{label}: node-{node:03d}")
+    for kind, tid in sorted(_DRIVER_TIDS.items(), key=lambda kv: kv[1]):
+        events.append({"ph": "M", "pid": 0, "tid": tid,
+                       "name": "thread_name", "args": {"name": kind + "s"}})
+
+    # Operator lanes are derived from the tree, so compute them once and
+    # reuse for the operators' task children (same tid on the node pid).
+    op_lane: Dict[int, int] = {}
+    for span in tree:
+        args: Dict[str, object] = {"span_id": span.id, "kind": span.kind}
+        if span.key:
+            args["key"] = span.key
+        if span.iteration is not None:
+            args["iteration"] = span.iteration
+        for k in sorted(span.meta):
+            args[k] = span.meta[k]
+        if attribution is not None and span.id in attribution:
+            attr = attribution[span.id]
+            args.update({
+                "cpu_percent": attr.cpu_percent,
+                "disk_util_percent": attr.disk_util_percent,
+                "disk_io_mibs": attr.disk_io_mibs,
+                "network_mibs": attr.network_mibs,
+                "memory_percent": attr.memory_percent,
+                "dominant": "+".join(attr.dominant_resources()),
+            })
+        if span.kind in _DRIVER_TIDS:
+            pid, tid = 0, _DRIVER_TIDS[span.kind]
+        elif span.kind == "operator":
+            lane = _lane_of(tree, span)
+            op_lane[span.id] = lane
+            pid, tid = 1, lane
+        else:  # task
+            lane = op_lane.get(span.parent, 0) \
+                if span.parent is not None else 0
+            pid = 2 + (span.node if span.node is not None else 0)
+            tid = lane
+        events.append({
+            "ph": "X", "pid": pid, "tid": tid, "cat": span.kind,
+            "name": span.name, "ts": span.start * _US,
+            "dur": span.duration * _US, "args": args,
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms",
+            "otherData": {"exporter": "repro.observability",
+                          "label": label}}
+
+
+def chrome_trace_json(tree: SpanTree,
+                      attribution: Optional[Dict[int, SpanAttribution]]
+                      = None, label: str = "repro") -> str:
+    """The payload serialised with stable key order."""
+    return json.dumps(chrome_trace_payload(tree, attribution, label),
+                      sort_keys=True, separators=(",", ":"))
+
+
+_SPAN_COLUMNS = ("id", "kind", "name", "key", "parent", "node",
+                 "iteration", "start", "end", "duration")
+_ATTR_COLUMNS = ("cpu_percent", "disk_util_percent", "disk_io_mibs",
+                 "network_mibs", "memory_percent", "dominant")
+
+
+def _cell(value: object) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        return repr(value)
+    text = str(value)
+    if any(ch in text for ch in ",\"\n"):
+        text = '"' + text.replace('"', '""') + '"'
+    return text
+
+
+def spans_csv(tree: SpanTree,
+              attribution: Optional[Dict[int, SpanAttribution]] = None
+              ) -> str:
+    """One CSV row per span, id-ordered; attribution columns optional."""
+    columns = _SPAN_COLUMNS + (_ATTR_COLUMNS if attribution else ())
+    buf = io.StringIO()
+    buf.write(",".join(columns) + "\n")
+    for span in tree:
+        row = [span.id, span.kind, span.name, span.key, span.parent,
+               span.node, span.iteration, span.start, span.end,
+               span.duration]
+        if attribution:
+            attr = attribution.get(span.id)
+            if attr is None:
+                row.extend([None] * len(_ATTR_COLUMNS))
+            else:
+                row.extend([attr.cpu_percent, attr.disk_util_percent,
+                            attr.disk_io_mibs, attr.network_mibs,
+                            attr.memory_percent,
+                            "+".join(attr.dominant_resources())])
+        buf.write(",".join(_cell(v) for v in row) + "\n")
+    return buf.getvalue()
+
+
+def critical_path_csv(path: CriticalPath) -> str:
+    """The critical-path tiling as CSV, start-ordered."""
+    buf = io.StringIO()
+    buf.write("start,end,duration,span_id,kind,name,key,node\n")
+    for seg in path.segments:
+        row = [seg.start, seg.end, seg.duration, seg.span_id, seg.kind,
+               seg.name, seg.key, seg.node]
+        buf.write(",".join(_cell(v) for v in row) + "\n")
+    return buf.getvalue()

@@ -31,6 +31,7 @@ __all__ = [
     "resource_payload",
     "table_payload",
     "fault_payload",
+    "trace_payload",
 ]
 
 
@@ -133,6 +134,18 @@ def fault_payload(fig) -> Dict[str, Any]:
             "failure": cell.failure,
         })
     return {"figure_id": fig.figure_id, "cells": cells}
+
+
+def trace_payload(traced) -> Dict[str, Any]:
+    """Observable output of a :class:`~repro.harness.runner.TracedRun`:
+    the span tree, critical path and attribution, plus the Chrome-trace
+    export built from them — so a change to either the recorded spans
+    *or* the exporter's rendering changes the digest."""
+    from ..observability import chrome_trace_payload  # local: avoid cycle
+    return {
+        "traced": traced.to_payload(),
+        "chrome": chrome_trace_payload(traced.tree, traced.attribution),
+    }
 
 
 def table_payload(cells) -> List[Dict[str, Any]]:

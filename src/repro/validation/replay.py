@@ -29,7 +29,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from ..harness import figures
 from .digest import (digest_payload, fault_payload, resource_payload,
-                     scaling_payload, table_payload)
+                     scaling_payload, table_payload, trace_payload)
 
 __all__ = [
     "ReplayScenario",
@@ -81,8 +81,20 @@ def _fig18(seed: int, strict: Optional[bool]) -> Any:
     return fault_payload(fig)
 
 
+def _trace01(seed: int, strict: Optional[bool]) -> Any:
+    from ..config.presets import GiB, wordcount_grep_preset
+    from ..harness.runner import run_traced
+    from ..workloads import WordCount
+    nodes = 8
+    traced = run_traced("spark", WordCount(total_bytes=nodes * 24 * GiB),
+                        wordcount_grep_preset(nodes), seed=seed,
+                        strict=strict)
+    return trace_payload(traced)
+
+
 #: The replay suite: the ISSUE's minimum bar (Fig. 1, Fig. 10, Tab. 7)
-#: plus the fault-recovery sweep (Fig. 18 extension).
+#: plus the fault-recovery sweep (Fig. 18 extension) and the span-trace
+#: export of one pinned run (the observability golden).
 SCENARIOS: Dict[str, ReplayScenario] = {
     "fig01": ReplayScenario(
         "fig01", "Word Count weak scaling (2 and 4 nodes, 1 trial)", _fig01),
@@ -92,6 +104,9 @@ SCENARIOS: Dict[str, ReplayScenario] = {
         "tab07", "Table VII Large-graph grid (27 nodes)", _tab07),
     "fig18": ReplayScenario(
         "fig18", "Failure recovery overhead (4 nodes, crash at 50%)", _fig18),
+    "trace01": ReplayScenario(
+        "trace01", "Word Count span trace + Chrome export (Spark, 8 nodes)",
+        _trace01),
 }
 
 

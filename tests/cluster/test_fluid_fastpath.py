@@ -158,3 +158,52 @@ def test_rescale_with_no_flows_records_idle_point():
     fluid.rescale_capacity(cap, 50.0)
     assert cap.bandwidth == 50.0
     assert cap.bw_high_water == 100.0
+
+
+# ----------------------------------------------------------------------
+# span tracing composes with trace gating
+# ----------------------------------------------------------------------
+def test_span_tracer_does_not_change_simulation():
+    """``trace_detail="off"`` with spans disabled must be bit-identical
+    to ``"full"`` with a tracer attached: same duration, same kernel
+    event count, same flow completions.  The tracer only reads clocks —
+    any divergence here means a hook started scheduling events."""
+    from repro.cli import build_config, build_workload
+    from repro.harness.runner import run_once
+    from repro.observability import SpanTracer
+
+    wl = build_workload("wordcount", 2)
+    cfg = build_config("wordcount", 2)
+    off = run_once("spark", wl, cfg, seed=3, strict=False,
+                   trace_detail="off", keep_deployment=True)
+    tracer = SpanTracer()
+    full = run_once("spark", wl, cfg, seed=3, strict=False,
+                    tracer=tracer, keep_deployment=True)
+    dep_off = off.metrics.pop("_deployment")
+    dep_full = full.metrics.pop("_deployment")
+
+    assert off.duration == full.duration  # bit-identical, not approx
+    assert dep_off.cluster.sim.steps_executed == \
+        dep_full.cluster.sim.steps_executed
+    assert dep_off.cluster.fluid.completed_count == \
+        dep_full.cluster.fluid.completed_count
+    assert [(j.name, j.start, j.end) for j in off.jobs] == \
+        [(j.name, j.start, j.end) for j in full.jobs]
+    assert tracer.spans  # the traced twin actually recorded the tree
+
+
+def test_trace_detail_off_stays_off_through_engine_run():
+    """An engine run with no tracer and ``trace_detail="off"`` records
+    neither capacity traces nor spans — the bench fast path."""
+    from repro.cli import build_config, build_workload
+    from repro.harness.runner import run_once
+
+    wl = build_workload("grep", 2)
+    cfg = build_config("grep", 2)
+    result = run_once("spark", wl, cfg, seed=1, strict=False,
+                      trace_detail="off", keep_deployment=True)
+    dep = result.metrics.pop("_deployment")
+    assert dep.cluster.tracer is None
+    for cap_trace in (dep.cluster.node(0).cpu.utilisation,
+                      dep.cluster.node(0).disk.throughput):
+        assert len(cap_trace) == 0

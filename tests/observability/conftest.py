@@ -1,0 +1,41 @@
+"""Shared fixtures: traced runs of every workload on both engines.
+
+Traced runs are deterministic per (workload, engine, seed), so they are
+computed once per test session and shared across the property,
+differential and attribution tests.  Node counts are the smallest at
+which *both* engines succeed (Flink's iterative workloads need enough
+managed memory for their in-memory solution sets — the paper's
+FLINK-2250 narrative).
+"""
+
+import pytest
+
+from repro.cli import build_config, build_workload
+from repro.harness.runner import run_traced
+
+#: (workload name, node count) — every paper workload, minimum scale.
+CASES = [
+    ("wordcount", 2),
+    ("grep", 2),
+    ("terasort", 2),
+    ("kmeans", 2),
+    ("pagerank", 8),
+    ("connected-components", 8),
+]
+
+ENGINES = ("spark", "flink")
+
+_ITERATIONS = 3  # keep iterative workloads short
+
+
+def traced_case(workload, nodes, engine, seed=1):
+    wl = build_workload(workload, nodes, iterations=_ITERATIONS)
+    cfg = build_config(workload, nodes)
+    return run_traced(engine, wl, cfg, seed=seed)
+
+
+@pytest.fixture(scope="session")
+def traced_runs():
+    """{(workload, engine): TracedRun} over every case, seed 1."""
+    return {(name, engine): traced_case(name, nodes, engine)
+            for name, nodes in CASES for engine in ENGINES}

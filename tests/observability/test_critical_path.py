@@ -1,0 +1,114 @@
+"""Critical-path extraction: exact tiling on hand-built plans, and the
+differential guarantee (path length == makespan == wall clock) on real
+simulated runs of every workload/engine pair.  The differential half is
+tier-1: any tiling bug in the extractor, or any span escaping its
+parent in the engines' recording, shows up here as a mismatch."""
+
+import pytest
+
+from repro.observability import SpanTracer, extract_critical_path
+
+from .conftest import CASES, ENGINES
+
+
+def test_serial_plan_path_equals_wall_exactly():
+    """A fully serial plan: the path is the stages, gaps go to the job."""
+    tr = SpanTracer()
+    run = tr.begin("run", "serial", 0.0)
+    job = tr.begin("job", "j0", 0.0)
+    s1 = tr.record("stage", "read", 0.0, 4.0)
+    s2 = tr.record("stage", "sort", 5.0, 9.0)   # 1s barrier gap before
+    tr.end(job, 10.0)                           # 1s driver tail
+    tr.end(run, 10.0)
+    path = extract_critical_path(tr.tree())
+    assert path.length == pytest.approx(path.makespan) == pytest.approx(10.0)
+    labels = [(seg.name, seg.start, seg.end) for seg in path.segments]
+    assert labels == [("read", 0.0, 4.0), ("j0", 4.0, 5.0),
+                      ("sort", 5.0, 9.0), ("j0", 9.0, 10.0)]
+
+
+def test_segments_tile_without_gaps_or_overlaps():
+    tr = SpanTracer()
+    run = tr.begin("run", "r", 0.0)
+    op = tr.record("operator", "map", 1.0, 9.0)
+    tr.record("task", "t0", 1.0, 8.0, parent=op, node=0)
+    tr.record("task", "t1", 2.0, 9.0, parent=op, node=1)
+    tr.end(run, 10.0)
+    path = extract_critical_path(tr.tree())
+    cursor = 0.0
+    for seg in path.segments:
+        assert seg.start == pytest.approx(cursor)
+        assert seg.end > seg.start
+        cursor = seg.end
+    assert cursor == pytest.approx(10.0)
+
+
+def test_backward_chain_prefers_deepest_active_span():
+    """The task finishing last owns the tail; the earlier overlap is
+    tiled by whichever task reaches furthest back."""
+    tr = SpanTracer()
+    run = tr.begin("run", "r", 0.0)
+    op = tr.record("operator", "map", 0.0, 10.0)
+    tr.record("task", "fast", 0.0, 6.0, parent=op, node=0)
+    tr.record("task", "straggler", 0.0, 10.0, parent=op, node=1)
+    tr.end(run, 10.0)
+    path = extract_critical_path(tr.tree())
+    # Walking backwards from 10.0 the straggler is active the whole way
+    # and starts earliest, so it owns the entire window.
+    assert [seg.name for seg in path.segments] == ["straggler"]
+
+
+def test_tie_break_is_deterministic_by_start_then_id():
+    tr = SpanTracer()
+    run = tr.begin("run", "r", 0.0)
+    op = tr.record("operator", "map", 0.0, 10.0)
+    a = tr.record("task", "a", 0.0, 10.0, parent=op, node=0)
+    tr.record("task", "b", 0.0, 10.0, parent=op, node=1)
+    tr.end(run, 10.0)
+    path = extract_critical_path(tr.tree())
+    assert [seg.span_id for seg in path.segments] == [a.id]
+
+
+def test_by_span_and_top_contributors():
+    tr = SpanTracer()
+    run = tr.begin("run", "r", 0.0)
+    tr.record("job", "j-long", 0.0, 8.0)
+    tr.record("job", "j-short", 8.0, 9.0)
+    tr.end(run, 10.0)
+    path = extract_critical_path(tr.tree())
+    totals = path.by_span()
+    assert totals[1] == pytest.approx(8.0)
+    assert totals[2] == pytest.approx(1.0)
+    assert totals[0] == pytest.approx(1.0)  # the run's own tail gap
+    top = path.top_contributors(2)
+    assert [t.name for t in top] == ["j-long", "r"]
+
+
+def test_payload_shape():
+    tr = SpanTracer()
+    run = tr.begin("run", "r", 0.0)
+    tr.end(run, 1.0)
+    payload = extract_critical_path(tr.tree()).to_payload()
+    assert set(payload) == {"makespan", "length", "segments"}
+    assert payload["segments"][0]["kind"] == "run"
+
+
+# ----------------------------------------------------------------------
+# differential: real runs, every workload x engine (tier-1)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("workload", [name for name, _ in CASES])
+@pytest.mark.parametrize("engine", ENGINES)
+def test_path_length_bounded_by_wall_clock(traced_runs, workload, engine):
+    traced = traced_runs[(workload, engine)]
+    wall = traced.result.duration
+    path = traced.critical_path
+    assert path.makespan == pytest.approx(wall)
+    # The tiling covers the root window exactly, so length == makespan;
+    # <= wall is the differential invariant the ISSUE pins.
+    assert path.length <= wall + 1e-6
+    assert path.length == pytest.approx(wall)
+    cursor = traced.tree.root.start
+    for seg in path.segments:
+        assert seg.start == pytest.approx(cursor)
+        cursor = seg.end
+    assert cursor == pytest.approx(traced.tree.root.end)

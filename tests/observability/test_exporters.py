@@ -1,0 +1,104 @@
+"""Exporter validity: Chrome-trace JSON structure and lane layout, CSV
+shape, and byte-determinism (same tree in, identical output out)."""
+
+import json
+
+import pytest
+
+from repro.observability import (chrome_trace_json, chrome_trace_payload,
+                                 critical_path_csv, extract_critical_path,
+                                 spans_csv)
+
+
+@pytest.fixture(scope="module")
+def traced(traced_runs):
+    return traced_runs[("wordcount", "spark")]
+
+
+def test_chrome_payload_is_valid_trace_json(traced):
+    payload = chrome_trace_payload(traced.tree, traced.attribution)
+    assert payload["displayTimeUnit"] == "ms"
+    events = payload["traceEvents"]
+    xs = [e for e in events if e["ph"] == "X"]
+    ms = [e for e in events if e["ph"] == "M"]
+    assert len(xs) == len(traced.tree)
+    assert all(set(e) >= {"ph", "pid", "tid", "name", "ts", "dur", "args"}
+               for e in xs)
+    # Metadata names every process: driver, operators, one per node.
+    names = {e["args"]["name"] for e in ms if e["name"] == "process_name"}
+    assert any("driver" in n for n in names)
+    assert any("node-000" in n for n in names)
+
+
+def test_chrome_timestamps_are_microseconds(traced):
+    payload = chrome_trace_payload(traced.tree)
+    by_id = {e["args"]["span_id"]: e
+             for e in payload["traceEvents"] if e["ph"] == "X"}
+    root = traced.tree.root
+    event = by_id[root.id]
+    assert event["ts"] == pytest.approx(root.start * 1e6)
+    assert event["dur"] == pytest.approx(root.duration * 1e6)
+
+
+def test_chrome_lanes_separate_driver_operators_nodes(traced):
+    payload = chrome_trace_payload(traced.tree)
+    for event in payload["traceEvents"]:
+        if event["ph"] != "X":
+            continue
+        kind = event["cat"]
+        if kind in ("run", "job", "stage"):
+            assert event["pid"] == 0
+        elif kind == "operator":
+            assert event["pid"] == 1
+        else:
+            span = traced.tree.span(event["args"]["span_id"])
+            assert event["pid"] == 2 + span.node
+
+
+def test_chrome_args_carry_attribution(traced):
+    payload = chrome_trace_payload(traced.tree, traced.attribution)
+    xs = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+    assert all("dominant" in e["args"] for e in xs)
+    assert all("cpu_percent" in e["args"] for e in xs)
+
+
+def test_chrome_json_parses_and_is_deterministic(traced):
+    text = chrome_trace_json(traced.tree, traced.attribution)
+    assert json.loads(text)["otherData"]["exporter"] == \
+        "repro.observability"
+    assert text == chrome_trace_json(traced.tree, traced.attribution)
+
+
+def test_spans_csv_shape(traced):
+    text = spans_csv(traced.tree, traced.attribution)
+    lines = text.strip().split("\n")
+    assert len(lines) == len(traced.tree) + 1
+    header = lines[0].split(",")
+    assert header[:3] == ["id", "kind", "name"]
+    assert "dominant" in header
+    for line in lines[1:]:
+        # Names contain no commas in this workload, so the column count
+        # is stable row to row.
+        assert len(line.split(",")) == len(header)
+
+
+def test_spans_csv_without_attribution_has_no_attr_columns(traced):
+    header = spans_csv(traced.tree).split("\n", 1)[0]
+    assert "cpu_percent" not in header
+
+
+def test_csv_quotes_reserved_characters():
+    from repro.observability import SpanTracer
+    tr = SpanTracer()
+    run = tr.begin("run", 'odd,"name"', 0.0)
+    tr.end(run, 1.0)
+    text = spans_csv(tr.tree())
+    assert '"odd,""name"""' in text
+
+
+def test_critical_path_csv_tiles_the_run(traced):
+    path = traced.critical_path
+    text = critical_path_csv(path)
+    lines = text.strip().split("\n")
+    assert lines[0].startswith("start,end,duration")
+    assert len(lines) == len(path.segments) + 1

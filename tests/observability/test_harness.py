@@ -1,0 +1,102 @@
+"""Tracing through the harness: parallel bit-identity, the correlated
+entry point, figure-level stage attribution, and the trace CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import build_config, build_workload, main
+from repro.harness.parallel import parallel_map
+from repro.harness.runner import run_traced
+from repro.validation.digest import canonical, digest_payload, trace_payload
+
+
+def _tasks():
+    wl = build_workload("wordcount", 2)
+    cfg = build_config("wordcount", 2)
+    return [(engine, wl, cfg, 0) for engine in ("flink", "spark")]
+
+
+def test_parallel_traced_runs_bit_identical_to_serial():
+    """`--jobs 2` must reproduce the serial span output byte for byte:
+    traced runs pickle across workers and merge in submission order."""
+    serial = parallel_map(run_traced, _tasks(), jobs=1)
+    fanned = parallel_map(run_traced, _tasks(), jobs=2)
+    assert len(serial) == len(fanned) == 2
+    for a, b in zip(serial, fanned):
+        assert canonical(a.to_payload()) == canonical(b.to_payload())
+        assert digest_payload(trace_payload(a)) == \
+            digest_payload(trace_payload(b))
+
+
+def test_traced_run_payload_is_digestible():
+    traced = run_traced(*_tasks()[0])
+    digest = digest_payload(trace_payload(traced))
+    assert len(digest) == 64
+
+
+def test_run_correlated_collect_spans():
+    from repro.harness.runner import run_correlated
+    wl = build_workload("wordcount", 2)
+    cfg = build_config("wordcount", 2)
+    run = run_correlated("spark", wl, cfg, 0, 1.0, False, True)
+    assert run.trace is not None
+    assert run.trace.tree.check() == []
+    # Without the flag nothing is collected (the historical default).
+    plain = run_correlated("spark", wl, cfg, 0, 1.0, False)
+    assert plain.trace is None
+    assert plain.result.duration == run.result.duration
+
+
+def test_resource_figure_stage_attribution():
+    from repro.harness.figures import fig03_wordcount_resources
+    fig = fig03_wordcount_resources(nodes=2, spans=True)
+    rows = fig.stage_attribution()
+    assert set(rows) == {"spark", "flink"}
+    for engine, stages in rows.items():
+        assert stages, f"{engine}: no stage rows"
+        for row in stages:
+            assert row["end"] >= row["start"]
+            assert row["dominant"]
+
+
+def test_resource_figure_without_spans_refuses_attribution():
+    from repro.harness.figures import fig03_wordcount_resources
+    fig = fig03_wordcount_resources(nodes=2)
+    with pytest.raises(ValueError, match="spans"):
+        fig.stage_attribution()
+
+
+def test_run_traced_raises_on_failed_run():
+    # Flink's CC on a tiny cluster runs out of managed memory (the
+    # paper's FLINK-2250 narrative) — tracing must refuse, not return
+    # a half-built tree.
+    wl = build_workload("connected-components", 2, iterations=3)
+    cfg = build_config("connected-components", 2)
+    with pytest.raises(RuntimeError, match="cannot trace"):
+        run_traced("flink", wl, cfg, 0)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def test_cli_trace_prints_summary(capsys):
+    rc = main(["trace", "--workload", "grep", "--nodes", "2"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "critical path:" in out
+    assert "stage attribution:" in out
+    assert "flink/grep" in out and "spark/grep" in out
+
+
+def test_cli_trace_writes_exports(tmp_path, capsys):
+    rc = main(["trace", "--workload", "grep", "--nodes", "2",
+               "--engines", "spark", "--out", str(tmp_path)])
+    assert rc == 0
+    chrome = tmp_path / "trace-grep-spark-2n.json"
+    spans = tmp_path / "trace-grep-spark-2n-spans.csv"
+    cpath = tmp_path / "trace-grep-spark-2n-critical-path.csv"
+    assert chrome.exists() and spans.exists() and cpath.exists()
+    payload = json.loads(chrome.read_text())
+    assert payload["traceEvents"]
+    assert spans.read_text().startswith("id,kind,name")

@@ -1,0 +1,68 @@
+"""Property tests: span-tree invariants fuzzed across every workload,
+both engines and randomised seeds (stdlib ``random``, fixed fuzz seed —
+rerunning reproduces the exact same cases).
+
+The invariants, checked by :meth:`SpanTree.check`:
+
+* exactly one ``run`` root;
+* well-nestedness — every child interval lies within its parent's;
+* kinds strictly deepen along every edge;
+* sibling task spans never share a node (one fluid share per node per
+  operator, so two tasks of one operator cannot contend for cores);
+
+plus, checked here directly: the root span's duration equals the run's
+reported duration, and every task span carries a node index.
+"""
+
+import random
+
+import pytest
+
+from .conftest import CASES, ENGINES, traced_case
+
+
+def fuzz_cases(n_seeds=2, fuzz_seed=0xC0FFEE):
+    rng = random.Random(fuzz_seed)
+    out = []
+    for name, nodes in CASES:
+        for engine in ENGINES:
+            for _ in range(n_seeds):
+                out.append((name, nodes, engine, rng.randrange(1, 10**6)))
+    return out
+
+
+@pytest.mark.parametrize("workload,nodes,engine,seed", fuzz_cases())
+def test_span_tree_invariants_hold(workload, nodes, engine, seed):
+    traced = traced_case(workload, nodes, engine, seed=seed)
+    tree = traced.tree
+    assert tree.check() == []
+    root = tree.root
+    assert root.duration == pytest.approx(traced.result.duration)
+    # The root window is the measured execution window exactly.
+    assert root.start == pytest.approx(traced.result.start)
+    assert root.end == pytest.approx(traced.result.end)
+    for task in tree.of_kind("task"):
+        assert task.node is not None
+        assert 0 <= task.node < nodes
+
+
+@pytest.mark.parametrize("workload,engine",
+                         [(name, engine) for name, _ in CASES
+                          for engine in ENGINES])
+def test_every_run_records_all_levels(traced_runs, workload, engine):
+    tree = traced_runs[(workload, engine)].tree
+    for kind in ("run", "job", "stage", "operator", "task"):
+        assert tree.of_kind(kind), f"no {kind} spans for {engine}/{workload}"
+
+
+def test_same_seed_same_tree():
+    a = traced_case("wordcount", 2, "spark", seed=7)
+    b = traced_case("wordcount", 2, "spark", seed=7)
+    assert a.tree.to_payload() == b.tree.to_payload()
+    assert a.critical_path.to_payload() == b.critical_path.to_payload()
+
+
+def test_different_seed_different_tree():
+    a = traced_case("wordcount", 2, "spark", seed=7)
+    b = traced_case("wordcount", 2, "spark", seed=8)
+    assert a.tree.to_payload() != b.tree.to_payload()

@@ -1,0 +1,157 @@
+"""Unit tests for the span tracer and the span-tree invariant checker."""
+
+import pickle
+
+import pytest
+
+from repro.observability import SPAN_KINDS, Span, SpanTracer, SpanTree
+
+
+def build_small_tree():
+    """run > job > stage > operator > 2 tasks, hand-recorded."""
+    tr = SpanTracer()
+    run = tr.begin("run", "demo", 0.0)
+    job = tr.begin("job", "j0", 0.0)
+    stage = tr.begin("stage", "s0", 1.0)
+    op = tr.record("operator", "map", 1.0, 9.0, key="M")
+    tr.record("task", "map@0", 1.0, 9.0, parent=op, node=0, key="M")
+    tr.record("task", "map@1", 1.5, 8.0, parent=op, node=1, key="M")
+    tr.end(stage, 9.0)
+    tr.end(job, 9.5)
+    tr.end(run, 10.0)
+    return tr
+
+
+def test_stack_discipline_and_parents():
+    tr = build_small_tree()
+    tree = tr.tree()
+    assert tree.check() == []
+    root = tree.root
+    assert root.kind == "run" and root.duration == 10.0
+    job, = tree.children(root)
+    stage, = tree.children(job)
+    op, = tree.children(stage)
+    tasks = tree.children(op)
+    assert [t.node for t in tasks] == [0, 1]
+    assert tree.nodes_under(root) == [0, 1]
+    assert tree.nodes_under(tasks[0]) == [0]
+
+
+def test_end_renames_span():
+    tr = SpanTracer()
+    run = tr.begin("run", "demo", 0.0)
+    job = tr.begin("job", "placeholder", 0.0)
+    tr.end(job, 5.0, name="load")
+    tr.end(run, 5.0)
+    assert tr.tree().of_kind("job")[0].name == "load"
+
+
+def test_end_out_of_order_rejected():
+    tr = SpanTracer()
+    run = tr.begin("run", "demo", 0.0)
+    tr.begin("job", "j0", 0.0)
+    with pytest.raises(ValueError, match="out of order"):
+        tr.end(run, 1.0)
+
+
+def test_cancel_discards_speculative_span():
+    tr = SpanTracer()
+    run = tr.begin("run", "demo", 0.0)
+    job = tr.begin("job", "j0", 0.0)
+    tr.end(job, 4.0)
+    speculative = tr.begin("job", "next?", 4.0)
+    tr.cancel(speculative)
+    tr.end(run, 4.0)
+    tree = tr.tree()
+    assert len(tree.of_kind("job")) == 1
+    assert tree.check() == []
+
+
+def test_cancel_out_of_order_rejected():
+    tr = SpanTracer()
+    run = tr.begin("run", "demo", 0.0)
+    tr.begin("job", "j0", 0.0)
+    with pytest.raises(ValueError, match="cancel out of order"):
+        tr.cancel(run)
+
+
+def test_unknown_kind_rejected():
+    tr = SpanTracer()
+    with pytest.raises(ValueError, match="unknown span kind"):
+        tr.begin("query", "q", 0.0)
+    assert SPAN_KINDS == ("run", "job", "stage", "operator", "task")
+
+
+def test_record_defaults_parent_to_innermost_open():
+    tr = SpanTracer()
+    run = tr.begin("run", "demo", 0.0)
+    stage = tr.record("stage", "s", 0.0, 1.0)
+    assert stage.parent == run.id
+    assert tr.current() is run
+    tr.end(run, 1.0)
+    assert tr.current() is None
+
+
+def test_spans_pickle_roundtrip():
+    tree = build_small_tree().tree()
+    clone = pickle.loads(pickle.dumps(tree))
+    assert clone.to_payload() == tree.to_payload()
+
+
+def test_payload_roundtrip_via_from_spans():
+    tree = build_small_tree().tree()
+    rebuilt = SpanTree.from_spans(list(tree))
+    assert rebuilt.to_payload()["spans"] == tree.to_payload()["spans"]
+
+
+# ----------------------------------------------------------------------
+# the checker must actually catch each violation class
+# ----------------------------------------------------------------------
+def _span(id, kind, start, end, parent=None, node=None):
+    return Span(id=id, kind=kind, name=f"s{id}", start=start, end=end,
+                parent=parent, node=node)
+
+
+def test_check_flags_multiple_roots():
+    tree = SpanTree([_span(0, "run", 0, 1), _span(1, "run", 0, 1)])
+    assert any("exactly 1 root" in p for p in tree.check())
+
+
+def test_check_flags_non_run_root():
+    tree = SpanTree([_span(0, "job", 0, 1)])
+    assert any("expected 'run'" in p for p in tree.check())
+
+
+def test_check_flags_unknown_parent():
+    tree = SpanTree([_span(0, "run", 0, 1), _span(1, "job", 0, 1, parent=7)])
+    assert any("unknown parent" in p for p in tree.check())
+
+
+def test_check_flags_backwards_span():
+    tree = SpanTree([_span(0, "run", 5, 1)])
+    assert any("ends before it starts" in p for p in tree.check())
+
+
+def test_check_flags_non_deepening_kind():
+    spans = [_span(0, "run", 0, 10), _span(1, "stage", 0, 10, parent=0),
+             _span(2, "stage", 0, 5, parent=1)]
+    assert any("does not deepen" in p for p in SpanTree(spans).check())
+
+
+def test_check_flags_child_escaping_parent():
+    spans = [_span(0, "run", 0, 10), _span(1, "job", 5, 12, parent=0)]
+    assert any("escapes parent" in p for p in SpanTree(spans).check())
+
+
+def test_check_flags_sibling_tasks_sharing_a_node():
+    spans = [_span(0, "run", 0, 10),
+             _span(1, "operator", 0, 10, parent=0),
+             _span(2, "task", 0, 5, parent=1, node=3),
+             _span(3, "task", 5, 10, parent=1, node=3)]
+    assert any("share node 3" in p for p in SpanTree(spans).check())
+
+
+def test_root_raises_when_ambiguous():
+    tree = SpanTree([_span(0, "run", 0, 1), _span(1, "run", 0, 1)])
+    with pytest.raises(ValueError, match="exactly one root"):
+        tree.root

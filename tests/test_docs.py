@@ -15,6 +15,7 @@ ROOT = pathlib.Path(__file__).resolve().parent.parent
                                   "docs/cost-model.md",
                                   "docs/extending.md",
                                   "docs/methodology-walkthrough.md",
+                                  "docs/observability.md",
                                   "docs/performance.md",
                                   "docs/validation.md"])
 def test_doc_exists_and_nonempty(name):
