@@ -24,6 +24,14 @@ Commands
     critical path plus each stage's dominant resource; ``--out DIR``
     additionally writes a ``chrome://tracing`` JSON and span /
     critical-path CSVs per engine.
+``resilience``
+    Run the stochastic resilience campaign (``fig19``): seeded
+    Poisson/MTTF fault arrivals per node, optional persistent
+    stragglers, slowdown and availability versus fault rate for both
+    engines.  ``--checkpoint DIR`` journals every finished cell so a
+    killed campaign resumes bit-identically with ``--resume``; cells
+    that crash or time out become explicit gaps (non-zero exit only
+    under ``--strict``).
 ``validate``
     Self-check the simulator: run the replay scenarios under strict
     invariant checking; with ``--replay``, also compare their trace
@@ -41,6 +49,8 @@ python -m repro table7 --nodes 97
 python -m repro faults --workload wordcount --nodes 4 --fail-at 0.5
 python -m repro faults --workload terasort --nodes 4 --mode both --strict
 python -m repro trace --workload wordcount --nodes 8 --out traces/
+python -m repro resilience --rates 0 0.5 1 2 --trials 3 \\
+    --checkpoint runs/fig19 --resume
 python -m repro validate --replay
 """
 
@@ -141,8 +151,23 @@ def cmd_list(_args) -> int:
     print("scaling figures:", ", ".join(sorted(FIGURES)))
     print("resource figures:", ", ".join(sorted(RESOURCE_FIGURES)))
     print("fault figures: fig18")
+    print("resilience figures: fig19")
     print("tables: table7")
     return 0
+
+
+def _open_checkpoint(args, fingerprint):
+    """Build the CheckpointStore for ``--checkpoint DIR [--resume]``
+    (None when the flag is absent)."""
+    if getattr(args, "checkpoint", None) is None:
+        if getattr(args, "resume", False):
+            print("error: --resume requires --checkpoint DIR",
+                  file=sys.stderr)
+            raise SystemExit(2)
+        return None
+    from .harness.checkpoint import CheckpointStore
+    return CheckpointStore(args.checkpoint, fingerprint,
+                           resume=args.resume)
 
 
 def cmd_run(args) -> int:
@@ -161,17 +186,41 @@ def cmd_figure(args) -> int:
     fig_id = args.id
     strict = args.strict or None
     if fig_id in FIGURES:
+        checkpoint = _open_checkpoint(
+            args, {"figure_id": fig_id, "trials": args.trials,
+                   "seed": args.seed})
         fig = FIGURES[fig_id](trials=args.trials, seed=args.seed,
-                              strict=strict, jobs=args.jobs)
+                              strict=strict, jobs=args.jobs,
+                              checkpoint=checkpoint)
+        if checkpoint is not None:
+            checkpoint.close()
         print(render_bar_table(fig.series.values(), title=fig.title))
         return 0
     if fig_id in RESOURCE_FIGURES:
+        if getattr(args, "checkpoint", None):
+            print("error: resource figures journal whole correlated "
+                  "runs and are not checkpointable; rerun without "
+                  "--checkpoint", file=sys.stderr)
+            return 2
         fig = RESOURCE_FIGURES[fig_id](seed=args.seed, strict=strict,
                                        jobs=args.jobs)
         for run in fig.runs.values():
             print(render_run(run))
             print()
         return 0
+    if fig_id == "fig19":
+        from .resilience import campaign_fingerprint
+        from .resilience.sweep import ENGINES as RES_ENGINES
+        checkpoint = _open_checkpoint(args, campaign_fingerprint(
+            "fig19", RES_ENGINES, WORKLOADS, (0.0, 0.5, 1.0, 2.0),
+            args.trials, 8, args.seed))
+        fig = figure_registry.fig19_resilience(
+            seed=args.seed, trials=args.trials, strict=strict,
+            jobs=args.jobs, checkpoint=checkpoint)
+        if checkpoint is not None:
+            checkpoint.close()
+        print(fig.describe())
+        return 1 if (fig.gaps and args.strict) else 0
     if fig_id == "fig18":
         fig = figure_registry.fig18_fault_recovery(seed=args.seed,
                                                    strict=strict,
@@ -190,9 +239,38 @@ def cmd_figure(args) -> int:
                   f"({c.retries} retries, {c.restarts} restarts)")
         return 0
     print(f"unknown figure {fig_id!r}; try one of "
-          f"{sorted(FIGURES) + sorted(RESOURCE_FIGURES) + ['fig18']}",
+          f"{sorted(FIGURES) + sorted(RESOURCE_FIGURES) + ['fig18', 'fig19']}",
           file=sys.stderr)
     return 2
+
+
+def cmd_resilience(args) -> int:
+    from .resilience import campaign_fingerprint
+    from .resilience.sweep import default_workloads, resilience_sweep
+    workloads = default_workloads(args.nodes)
+    if args.workloads:
+        wanted = set(args.workloads)
+        workloads = [w for w in workloads if w[0] in wanted]
+    names = [name for name, _w, _c in workloads]
+    checkpoint = _open_checkpoint(args, campaign_fingerprint(
+        "fig19", args.engines, names, args.rates, args.trials,
+        args.nodes, args.seed, args.stragglers))
+    fig = resilience_sweep(
+        workloads=workloads, engines=args.engines, rates=args.rates,
+        trials=args.trials, nodes=args.nodes, seed=args.seed,
+        stragglers=args.stragglers, strict=args.strict or None,
+        jobs=args.jobs, timeout=args.timeout, retries=args.retries,
+        checkpoint=checkpoint)
+    if checkpoint is not None:
+        checkpoint.close()
+    print(fig.describe())
+    if fig.gaps:
+        print(f"{len(fig.gaps)} cell(s) missing (worker crash/"
+              f"timeout); rerun with --checkpoint/--resume to fill "
+              f"them in", file=sys.stderr)
+        if args.strict:
+            return 1
+    return 0
 
 
 def cmd_faults(args) -> int:
@@ -394,7 +472,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="audit simulator invariants during the run")
 
     p_fig = sub.add_parser("figure", help="regenerate a paper figure")
-    p_fig.add_argument("id", help="fig01..fig18")
+    p_fig.add_argument("id", help="fig01..fig19")
     p_fig.add_argument("--trials", type=int, default=3)
     p_fig.add_argument("--seed", type=int, default=0)
     p_fig.add_argument("--strict", action="store_true",
@@ -403,6 +481,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes for independent runs "
                             "(default: $REPRO_JOBS or serial); results "
                             "are identical at any job count")
+    p_fig.add_argument("--checkpoint", default=None, metavar="DIR",
+                       help="journal finished runs to DIR (scaling "
+                            "figures and fig19); a killed regeneration "
+                            "resumes bit-identically with --resume")
+    p_fig.add_argument("--resume", action="store_true",
+                       help="resume from an existing --checkpoint DIR")
 
     p_t7 = sub.add_parser("table7", help="regenerate Table VII")
     p_t7.add_argument("--nodes", type=int, nargs="+",
@@ -469,6 +553,42 @@ def build_parser() -> argparse.ArgumentParser:
     p_tr.add_argument("--strict", action="store_true",
                       help="audit simulator invariants during the runs")
 
+    p_res = sub.add_parser(
+        "resilience",
+        help="stochastic fault campaign: slowdown/availability vs "
+             "per-node fault rate (fig19), crash-safe and resumable")
+    p_res.add_argument("--workloads", nargs="+", choices=WORKLOADS,
+                       default=None,
+                       help="subset of workloads (default: all six)")
+    p_res.add_argument("--engines", nargs="+", choices=("spark", "flink"),
+                       default=["flink", "spark"])
+    p_res.add_argument("--nodes", type=int, default=8)
+    p_res.add_argument("--rates", type=float, nargs="+",
+                       default=[0.0, 0.5, 1.0, 2.0],
+                       help="per-node fault rates (events per node per "
+                            "baseline run; MTTF = 1/rate)")
+    p_res.add_argument("--trials", type=int, default=1)
+    p_res.add_argument("--stragglers", type=int, default=0,
+                       help="persistently slow nodes for the whole run")
+    p_res.add_argument("--seed", type=int, default=0)
+    p_res.add_argument("--jobs", type=int, default=None,
+                       help="worker processes (default: $REPRO_JOBS or "
+                            "serial); curves are identical at any count")
+    p_res.add_argument("--timeout", type=float, default=None,
+                       help="per-cell wall-clock timeout in seconds "
+                            "(parallel runs only); a timed-out cell "
+                            "becomes a gap, not a campaign abort")
+    p_res.add_argument("--retries", type=int, default=1,
+                       help="retry budget per failed cell")
+    p_res.add_argument("--checkpoint", default=None, metavar="DIR",
+                       help="journal every finished cell to DIR")
+    p_res.add_argument("--resume", action="store_true",
+                       help="resume a killed campaign from "
+                            "--checkpoint DIR (digest-identical to an "
+                            "uninterrupted run)")
+    p_res.add_argument("--strict", action="store_true",
+                       help="audit invariants; exit non-zero on gaps")
+
     p_val = sub.add_parser(
         "validate", help="strict invariant self-check / golden replay")
     p_val.add_argument("--replay", action="store_true",
@@ -500,7 +620,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {"list": cmd_list, "run": cmd_run, "figure": cmd_figure,
                 "table7": cmd_table7, "explain": cmd_explain,
                 "faults": cmd_faults, "trace": cmd_trace,
-                "validate": cmd_validate, "bench": cmd_bench}
+                "resilience": cmd_resilience, "validate": cmd_validate,
+                "bench": cmd_bench}
     return handlers[args.command](args)
 
 

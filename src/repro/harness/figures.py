@@ -41,6 +41,7 @@ __all__ = [
     "fig14_cc_small", "fig15_cc_medium", "fig16_pagerank_resources",
     "fig17_cc_resources", "tab07_large_graph",
     "FaultCell", "FaultFigure", "fig18_fault_recovery",
+    "fig19_resilience",
 ]
 
 GiB = float(2**30)
@@ -112,12 +113,30 @@ class ResourceFigure:
         return out
 
 
+def _stats_payload(stats: TrialStats) -> Dict[str, object]:
+    """The journal form of one scaling data point (checkpoint record)."""
+    return {"engine": stats.engine, "workload": stats.workload,
+            "nodes": stats.nodes, "durations": list(stats.durations),
+            "failures": list(stats.failures)}
+
+
+def _stats_from_payload(payload: Dict[str, object]) -> TrialStats:
+    # Full EngineRunResults are deliberately not journaled (they are
+    # simulation-internal object graphs); everything a figure digest
+    # observes — durations, failures, mean/std — round-trips exactly.
+    return TrialStats(engine=payload["engine"], workload=payload["workload"],
+                      nodes=payload["nodes"],
+                      durations=list(payload["durations"]),
+                      failures=list(payload["failures"]))
+
+
 def _scaling(figure_id: str, title: str, xs: Sequence[float],
              make_workload: Callable[[float], Workload],
              make_config: Callable[[float], ExperimentConfig],
              trials: int, seed: int,
              strict: Optional[bool] = None,
-             jobs: Optional[int] = None) -> ScalingFigure:
+             jobs: Optional[int] = None,
+             checkpoint=None) -> ScalingFigure:
     # Every (engine, x) data point is an independent deterministic batch
     # of trials; materialise the workload/config here (the lambdas do
     # not cross process boundaries) and fan out.  Results come back in
@@ -126,7 +145,8 @@ def _scaling(figure_id: str, title: str, xs: Sequence[float],
     tasks = [(engine, make_workload(x), make_config(x), trials, seed,
               strict_flag)
              for engine in ENGINES for x in xs]
-    flat: List[TrialStats] = parallel_map(run_trials, tasks, jobs=jobs)
+    flat: List[TrialStats] = _checkpointed_trials(
+        figure_id, tasks, xs, trials, seed, jobs, checkpoint)
     series: Dict[str, ScalingSeries] = {}
     raw: Dict[str, List[TrialStats]] = {}
     for i, engine in enumerate(ENGINES):
@@ -139,6 +159,42 @@ def _scaling(figure_id: str, title: str, xs: Sequence[float],
             stds=[s.std for s in stats])
     return ScalingFigure(figure_id=figure_id, title=title, series=series,
                          xs=list(xs), trials_raw=raw)
+
+
+def _checkpointed_trials(figure_id: str, tasks, xs, trials: int, seed: int,
+                         jobs: Optional[int], checkpoint
+                         ) -> List[TrialStats]:
+    """Fan the trial batches out, journaling each finished data point.
+
+    Without a checkpoint store this is exactly
+    ``parallel_map(run_trials, tasks)``.  With one, already-journaled
+    points are replayed and only the missing ones run — resume after a
+    kill reproduces the uninterrupted figure digests bit-identically.
+    """
+    from ..validation.digest import digest_payload
+    if checkpoint is None:
+        return parallel_map(run_trials, tasks, jobs=jobs)
+    keys = [digest_payload({
+        "figure_id": figure_id, "engine": engine, "x": float(x),
+        "trials": trials, "seed": seed})
+        for (engine, _w, _c, _t, _s, _f), x in
+        zip(tasks, [x for _ in ENGINES for x in xs])]
+    results: List[Optional[TrialStats]] = [None] * len(tasks)
+    pending = []
+    for i, key in enumerate(keys):
+        if key in checkpoint:
+            results[i] = _stats_from_payload(checkpoint.load(key))
+        else:
+            pending.append(i)
+    if pending:
+        def _journal(pos: int, stats: TrialStats) -> None:
+            checkpoint.save(keys[pending[pos]], _stats_payload(stats))
+
+        fresh = parallel_map(run_trials, [tasks[i] for i in pending],
+                             jobs=jobs, on_result=_journal)
+        for pos, stats in zip(pending, fresh):
+            results[pos] = stats
+    return results  # type: ignore[return-value]
 
 
 def _resources(figure_id: str, title: str, workload: Workload,
@@ -160,28 +216,30 @@ def _resources(figure_id: str, title: str, workload: Workload,
 def fig01_wordcount_weak(trials: int = 3, seed: int = 0,
                          nodes: Sequence[int] = (2, 4, 8, 16, 32),
                          strict: Optional[bool] = None,
-        jobs: Optional[int] = None) -> ScalingFigure:
+        jobs: Optional[int] = None,
+        checkpoint=None) -> ScalingFigure:
     """Word Count, fixed 24 GB per node."""
     return _scaling(
         "fig01", "Word Count - fixed problem size per node (24GB)",
         nodes,
         lambda n: WordCount(total_bytes=n * 24 * GiB),
         lambda n: wordcount_grep_preset(int(n)),
-        trials, seed, strict=strict, jobs=jobs)
+        trials, seed, strict=strict, jobs=jobs, checkpoint=checkpoint)
 
 
 def fig02_wordcount_strong(trials: int = 3, seed: int = 0,
                            gb_per_node: Sequence[int] = (24, 27, 30, 33),
                            nodes: int = 16,
                            strict: Optional[bool] = None,
-        jobs: Optional[int] = None) -> ScalingFigure:
+        jobs: Optional[int] = None,
+        checkpoint=None) -> ScalingFigure:
     """Word Count, 16 nodes, growing datasets."""
     fig = _scaling(
         "fig02", "Word Count - 16 nodes, different datasets",
         gb_per_node,
         lambda gb: WordCount(total_bytes=nodes * gb * GiB),
         lambda gb: wordcount_grep_preset(nodes),
-        trials, seed, strict=strict, jobs=jobs)
+        trials, seed, strict=strict, jobs=jobs, checkpoint=checkpoint)
     return fig
 
 
@@ -203,26 +261,28 @@ def fig03_wordcount_resources(seed: int = 0, nodes: int = 32,
 def fig04_grep_weak(trials: int = 3, seed: int = 0,
                     nodes: Sequence[int] = (2, 4, 8, 16, 32),
                     strict: Optional[bool] = None,
-        jobs: Optional[int] = None) -> ScalingFigure:
+        jobs: Optional[int] = None,
+        checkpoint=None) -> ScalingFigure:
     return _scaling(
         "fig04", "Grep - fixed problem size per node (24GB)",
         nodes,
         lambda n: Grep(total_bytes=n * 24 * GiB),
         lambda n: wordcount_grep_preset(int(n)),
-        trials, seed, strict=strict, jobs=jobs)
+        trials, seed, strict=strict, jobs=jobs, checkpoint=checkpoint)
 
 
 def fig05_grep_strong(trials: int = 3, seed: int = 0,
                       gb_per_node: Sequence[int] = (24, 27, 30, 33),
                       nodes: int = 16,
                       strict: Optional[bool] = None,
-        jobs: Optional[int] = None) -> ScalingFigure:
+        jobs: Optional[int] = None,
+        checkpoint=None) -> ScalingFigure:
     return _scaling(
         "fig05", "Grep - 16 nodes, different datasets",
         gb_per_node,
         lambda gb: Grep(total_bytes=nodes * gb * GiB),
         lambda gb: wordcount_grep_preset(nodes),
-        trials, seed, strict=strict, jobs=jobs)
+        trials, seed, strict=strict, jobs=jobs, checkpoint=checkpoint)
 
 
 def fig06_grep_resources(seed: int = 0, nodes: int = 32,
@@ -247,25 +307,27 @@ def _terasort(nodes: int, total_bytes: float) -> TeraSort:
 def fig07_terasort_weak(trials: int = 3, seed: int = 0,
                         nodes: Sequence[int] = (17, 34, 63),
                         strict: Optional[bool] = None,
-        jobs: Optional[int] = None) -> ScalingFigure:
+        jobs: Optional[int] = None,
+        checkpoint=None) -> ScalingFigure:
     return _scaling(
         "fig07", "Tera Sort - fixed problem size per node (32 GB)",
         nodes,
         lambda n: _terasort(int(n), n * 32 * GiB),
         lambda n: terasort_preset(int(n)),
-        trials, seed, strict=strict, jobs=jobs)
+        trials, seed, strict=strict, jobs=jobs, checkpoint=checkpoint)
 
 
 def fig08_terasort_strong(trials: int = 3, seed: int = 0,
                           nodes: Sequence[int] = (55, 73, 97),
                           strict: Optional[bool] = None,
-        jobs: Optional[int] = None) -> ScalingFigure:
+        jobs: Optional[int] = None,
+        checkpoint=None) -> ScalingFigure:
     return _scaling(
         "fig08", "Tera Sort - adding nodes, same dataset (3.5TB)",
         nodes,
         lambda n: _terasort(int(n), 3.5 * TiB),
         lambda n: terasort_preset(int(n)),
-        trials, seed, strict=strict, jobs=jobs)
+        trials, seed, strict=strict, jobs=jobs, checkpoint=checkpoint)
 
 
 def fig09_terasort_resources(seed: int = 0, nodes: int = 55,
@@ -295,13 +357,14 @@ def fig10_kmeans_resources(seed: int = 0, nodes: int = 24,
 def fig11_kmeans_scaling(trials: int = 3, seed: int = 0,
                          nodes: Sequence[int] = (8, 14, 20, 24),
                          strict: Optional[bool] = None,
-        jobs: Optional[int] = None) -> ScalingFigure:
+        jobs: Optional[int] = None,
+        checkpoint=None) -> ScalingFigure:
     return _scaling(
         "fig11", "K-Means - increasing cluster size, same dataset",
         nodes,
         lambda n: KMeans(total_bytes=51 * GiB, iterations=10),
         lambda n: kmeans_preset(int(n)),
-        trials, seed, strict=strict, jobs=jobs)
+        trials, seed, strict=strict, jobs=jobs, checkpoint=checkpoint)
 
 
 # ----------------------------------------------------------------------
@@ -322,49 +385,53 @@ def _cc(graph: GraphDatasetModel, cfg: ExperimentConfig,
 def fig12_pagerank_small(trials: int = 3, seed: int = 0,
                          nodes: Sequence[int] = (8, 14, 20, 27),
                          strict: Optional[bool] = None,
-        jobs: Optional[int] = None) -> ScalingFigure:
+        jobs: Optional[int] = None,
+        checkpoint=None) -> ScalingFigure:
     return _scaling(
         "fig12", "Page Rank - Small Graph (increasing cluster size)",
         nodes,
         lambda n: _pagerank(SMALL_GRAPH, small_graph_preset(int(n)), 20),
         lambda n: small_graph_preset(int(n)),
-        trials, seed, strict=strict, jobs=jobs)
+        trials, seed, strict=strict, jobs=jobs, checkpoint=checkpoint)
 
 
 def fig13_pagerank_medium(trials: int = 3, seed: int = 0,
                           nodes: Sequence[int] = (24, 27, 34, 55),
                           strict: Optional[bool] = None,
-        jobs: Optional[int] = None) -> ScalingFigure:
+        jobs: Optional[int] = None,
+        checkpoint=None) -> ScalingFigure:
     return _scaling(
         "fig13", "Page Rank - Medium Graph (increasing cluster size)",
         nodes,
         lambda n: _pagerank(MEDIUM_GRAPH, medium_graph_preset(int(n)), 20),
         lambda n: medium_graph_preset(int(n)),
-        trials, seed, strict=strict, jobs=jobs)
+        trials, seed, strict=strict, jobs=jobs, checkpoint=checkpoint)
 
 
 def fig14_cc_small(trials: int = 3, seed: int = 0,
                    nodes: Sequence[int] = (8, 14, 20, 27),
                    strict: Optional[bool] = None,
-        jobs: Optional[int] = None) -> ScalingFigure:
+        jobs: Optional[int] = None,
+        checkpoint=None) -> ScalingFigure:
     return _scaling(
         "fig14", "Connected Components - Small Graph",
         nodes,
         lambda n: _cc(SMALL_GRAPH, small_graph_preset(int(n)), 23),
         lambda n: small_graph_preset(int(n)),
-        trials, seed, strict=strict, jobs=jobs)
+        trials, seed, strict=strict, jobs=jobs, checkpoint=checkpoint)
 
 
 def fig15_cc_medium(trials: int = 3, seed: int = 0,
                     nodes: Sequence[int] = (27, 34, 55),
                     strict: Optional[bool] = None,
-        jobs: Optional[int] = None) -> ScalingFigure:
+        jobs: Optional[int] = None,
+        checkpoint=None) -> ScalingFigure:
     return _scaling(
         "fig15", "Connected Components - Medium Graph",
         nodes,
         lambda n: _cc(MEDIUM_GRAPH, medium_graph_preset(int(n)), 23),
         lambda n: medium_graph_preset(int(n)),
-        trials, seed, strict=strict, jobs=jobs)
+        trials, seed, strict=strict, jobs=jobs, checkpoint=checkpoint)
 
 
 def fig16_pagerank_resources(seed: int = 0, nodes: int = 27,
@@ -576,3 +643,40 @@ def fig18_fault_recovery(seed: int = 0, nodes: int = 4,
     return FaultFigure(
         "fig18", f"Failure recovery overhead ({nodes} nodes, "
         f"single node crash)", cells)
+
+
+# ----------------------------------------------------------------------
+# Fig. 19 (extension) — resilience under sustained fault rates
+# ----------------------------------------------------------------------
+def fig19_resilience(seed: int = 0, nodes: int = 8,
+                     rates: Sequence[float] = (0.0, 0.5, 1.0, 2.0),
+                     trials: int = 1, stragglers: int = 0,
+                     workload_names: Optional[Sequence[str]] = None,
+                     strict: Optional[bool] = None,
+                     jobs: Optional[int] = None,
+                     timeout: Optional[float] = None,
+                     checkpoint=None):
+    """Slowdown/availability-vs-fault-rate curves (extension of §VIII).
+
+    For each engine and each of the six workloads, a seeded stochastic
+    fault process (per-node Poisson/MTTF arrivals, see
+    :mod:`repro.resilience.stochastic`) is compiled into a
+    deterministic plan per rate and injected into the simulation;
+    the curves report the mean slowdown over completed trials and the
+    fraction of trials that completed at all.  Deterministic per seed
+    and bit-identical at any job count; pass ``checkpoint`` (a
+    :class:`~repro.harness.checkpoint.CheckpointStore`) to journal
+    cells and resume a killed campaign.
+    """
+    from ..resilience.sweep import default_workloads, resilience_sweep
+    workloads = default_workloads(nodes)
+    if workload_names is not None:
+        wanted = set(workload_names)
+        unknown = wanted - {name for name, _w, _c in workloads}
+        if unknown:
+            raise ValueError(f"unknown workload(s) {sorted(unknown)}")
+        workloads = [w for w in workloads if w[0] in wanted]
+    return resilience_sweep(
+        workloads=workloads, rates=rates, trials=trials, nodes=nodes,
+        seed=seed, stragglers=stragglers, strict=strict, jobs=jobs,
+        timeout=timeout, checkpoint=checkpoint, figure_id="fig19")

@@ -6,38 +6,97 @@ seeded explicitly, so no state flows between runs (the global flow-id
 counter only breaks ties *within* one simulation and never leaks into
 results).  That makes fan-out across worker processes safe: a worker
 computes exactly what the serial loop would have computed, and results
-are collected in **submission order**, so the output of a parallel
-sweep or figure is bit-identical to the serial one.
+are collected in **task order**, so the output of a parallel sweep or
+figure is bit-identical to the serial one.
 
 ``jobs`` resolution order: explicit argument, then the ``REPRO_JOBS``
-environment variable, then 1 (serial).  ``jobs=1`` short-circuits to a
-plain in-process loop — no executor, no pickling — so the default path
-is byte-for-byte the historical behaviour.
+environment variable, then 1 (serial).  ``jobs=0`` (argument or
+environment) means "use every core" (``os.cpu_count()``).  ``jobs=1``
+short-circuits to a plain in-process loop — no executor, no pickling —
+so the default path is byte-for-byte the historical behaviour.
 
-A worker process that dies without reporting (segfault, ``os._exit``,
-OOM kill) surfaces as :class:`WorkerCrashError` rather than a hung or
-half-filled result list.
+Two entry points share this contract:
+
+* :func:`parallel_map` — fail-fast: the first failing task raises, with
+  the failing task's identity (index and arguments) attached to the
+  exception.  A worker process that dies without reporting (segfault,
+  ``os._exit``, OOM kill) surfaces as :class:`WorkerCrashError` rather
+  than a hung or half-filled result list.
+* :func:`robust_map` — graceful degradation for long campaigns: a task
+  that raises, crashes its worker or exceeds a per-task timeout fails
+  *that task only* (recorded as a :class:`TaskFailure` with full task
+  identity, optionally retried with exponential backoff); every other
+  task still completes and the results keep their task-order slots.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
-from typing import Callable, List, Optional, Sequence, Tuple
+import time
+from dataclasses import dataclass
+from multiprocessing import get_context
+from multiprocessing.connection import wait as _conn_wait
+from typing import (Any, Callable, Dict, List, Optional, Sequence, Tuple)
 
-__all__ = ["ENV_JOBS", "WorkerCrashError", "parallel_map", "resolve_jobs"]
+__all__ = ["ENV_JOBS", "WorkerCrashError", "TaskFailure", "parallel_map",
+           "robust_map", "resolve_jobs"]
 
 #: Environment variable consulted when no explicit job count is given.
 ENV_JOBS = "REPRO_JOBS"
 
+#: Scheduler poll interval for :func:`robust_map` (wall-clock seconds);
+#: only bounds how quickly timeouts/crashes are *noticed*, never what
+#: any task computes.
+_POLL_SECONDS = 0.05
+
 
 class WorkerCrashError(RuntimeError):
-    """A worker process died without delivering its result."""
+    """A worker process died without delivering its result.
+
+    ``task_index``/``task_args`` identify the first task that cannot
+    have completed (best effort: a broken pool loses the precise
+    attribution, so ``candidate_indices`` lists every task in flight).
+    """
+
+    def __init__(self, message: str, task_index: Optional[int] = None,
+                 task_args: Optional[str] = None,
+                 candidate_indices: Optional[List[int]] = None) -> None:
+        super().__init__(message)
+        self.task_index = task_index
+        self.task_args = task_args
+        self.candidate_indices = candidate_indices or []
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """One task :func:`robust_map` could not complete.
+
+    Carries the task's full identity — index into the task list, the
+    function name and the argument tuple's ``repr`` — so a single
+    failed trial inside a 200-trial campaign is diagnosable from the
+    report alone.
+    """
+
+    index: int
+    fn_name: str
+    args_repr: str
+    kind: str          #: ``"exception"`` | ``"crash"`` | ``"timeout"``
+    error_type: str
+    message: str
+    attempts: int = 1
+
+    def describe(self) -> str:
+        return (f"task #{self.index} {self.fn_name}{self.args_repr}: "
+                f"{self.kind} after {self.attempts} attempt(s) — "
+                f"{self.error_type}: {self.message}")
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
-    """Resolve a job count: argument > ``$REPRO_JOBS`` > 1."""
+    """Resolve a job count: argument > ``$REPRO_JOBS`` > 1.
+
+    ``0`` (from either source) means "use every core":
+    ``os.cpu_count()``.  Negative counts are rejected.
+    """
     if jobs is None:
         raw = os.environ.get(ENV_JOBS, "").strip()
         if raw:
@@ -48,13 +107,59 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
                     f"{ENV_JOBS} must be an integer, got {raw!r}") from None
         else:
             jobs = 1
+    if jobs == 0:
+        jobs = os.cpu_count() or 1
     if jobs < 1:
-        raise ValueError(f"jobs must be >= 1, got {jobs}")
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
     return jobs
 
 
+def _args_repr(args: Tuple, limit: int = 200) -> str:
+    try:
+        text = repr(tuple(args))
+    except Exception:  # pragma: no cover - repr() of exotic arguments
+        text = "(<unreprable arguments>)"
+    if len(text) > limit:
+        text = text[:limit - 3] + "..."
+    return text
+
+
+def _fn_name(fn: Callable) -> str:
+    return getattr(fn, "__name__", repr(fn))
+
+
+def _annotate(exc: BaseException, fn: Callable, index: int,
+              args: Tuple) -> BaseException:
+    """Rebuild ``exc`` with the failing task's identity in its message.
+
+    The original exception *type* is preserved whenever it can be
+    constructed from a single message string (the common case);
+    otherwise a ``RuntimeError`` carries the identity instead.  Either
+    way the returned exception exposes ``task_index`` / ``task_args``.
+    """
+    note = (f"{exc} [while running task #{index}: "
+            f"{_fn_name(fn)}{_args_repr(args)}]")
+    try:
+        annotated: BaseException = type(exc)(note)
+    except Exception:
+        annotated = RuntimeError(f"{type(exc).__name__}: {note}")
+    annotated.task_index = index          # type: ignore[attr-defined]
+    annotated.task_args = _args_repr(args)  # type: ignore[attr-defined]
+    return annotated
+
+
+def _call_identified(fn: Callable, index: int, args: Tuple) -> Any:
+    """Run one task; re-raise any failure with the task identity."""
+    try:
+        return fn(*args)
+    except Exception as exc:
+        raise _annotate(exc, fn, index, args) from exc
+
+
 def parallel_map(fn: Callable, tasks: Sequence[Tuple],
-                 jobs: Optional[int] = None) -> List:
+                 jobs: Optional[int] = None,
+                 on_result: Optional[Callable[[int, Any], None]] = None
+                 ) -> List:
     """Apply ``fn`` to argument tuples, returning results in task order.
 
     With ``jobs <= 1`` (or fewer than two tasks) this is literally
@@ -65,19 +170,224 @@ def parallel_map(fn: Callable, tasks: Sequence[Tuple],
     function and the argument tuples and results picklable values.
 
     Exceptions raised *inside* a worker propagate with their original
-    type, matching serial behaviour; a worker that dies outright raises
-    :class:`WorkerCrashError`.
+    type and the failing task's index/arguments appended to the message
+    (matching serial behaviour); a worker that dies outright raises
+    :class:`WorkerCrashError` carrying the same identity.
+
+    ``on_result(index, result)`` is invoked in the parent process, in
+    task order, as each result becomes available — the checkpoint hook:
+    a kill mid-campaign keeps everything already reported.
     """
+    from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures.process import BrokenProcessPool
+
     tasks = list(tasks)
     jobs = resolve_jobs(jobs)
     if jobs <= 1 or len(tasks) <= 1:
-        return [fn(*t) for t in tasks]
+        results = []
+        for i, t in enumerate(tasks):
+            result = _call_identified(fn, i, t)
+            if on_result is not None:
+                on_result(i, result)
+            results.append(result)
+        return results
     workers = min(jobs, len(tasks))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [pool.submit(_call_identified, fn, i, t)
+                   for i, t in enumerate(tasks)]
+        results = []
+        for i, f in enumerate(futures):
+            try:
+                result = f.result()
+            except BrokenProcessPool as err:
+                candidates = [
+                    j for j, fut in enumerate(futures)
+                    if not fut.done() or (fut.cancelled() or isinstance(
+                        fut.exception(), BrokenProcessPool))]
+                first = candidates[0] if candidates else i
+                raise WorkerCrashError(
+                    f"a worker process crashed while running "
+                    f"{_fn_name(fn)!r} ({len(tasks)} tasks, {workers} "
+                    f"workers); first unfinished task #{first}: "
+                    f"{_fn_name(fn)}{_args_repr(tasks[first])} "
+                    f"({len(candidates)} task(s) in doubt)",
+                    task_index=first, task_args=_args_repr(tasks[first]),
+                    candidate_indices=candidates) from err
+            if on_result is not None:
+                on_result(i, result)
+            results.append(result)
+        return results
+
+
+# ----------------------------------------------------------------------
+# robust_map: graceful degradation for long campaigns
+# ----------------------------------------------------------------------
+def _robust_child(fn: Callable, index: int, args: Tuple, conn) -> None:
+    """Worker entry: run one task, report ("ok", result) or ("err", ...).
+
+    Any exception is reported as plain strings (type name + message), so
+    unpicklable exceptions cannot take the report channel down with
+    them.  A worker that dies before sending anything is detected by
+    the parent as a crash.
+    """
     try:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(fn, *t) for t in tasks]
-            return [f.result() for f in futures]
-    except BrokenProcessPool as err:
-        raise WorkerCrashError(
-            f"a worker process crashed while running {getattr(fn, '__name__', fn)!r} "
-            f"({len(tasks)} tasks, {workers} workers)") from err
+        try:
+            result = fn(*args)
+        except Exception as exc:
+            conn.send(("err", type(exc).__name__, str(exc)))
+            return
+        conn.send(("ok", result))
+    finally:
+        conn.close()
+
+
+@dataclass
+class _Running:
+    index: int
+    attempts: int
+    proc: Any
+    conn: Any
+    started: float
+
+
+def robust_map(fn: Callable, tasks: Sequence[Tuple],
+               jobs: Optional[int] = None,
+               timeout: Optional[float] = None,
+               retries: int = 0, backoff: float = 0.5,
+               on_result: Optional[Callable[[int, Any], None]] = None
+               ) -> Tuple[List[Optional[Any]], List[TaskFailure]]:
+    """Apply ``fn`` to every task, surviving per-task failures.
+
+    Returns ``(results, failures)``: ``results[i]`` is the task's value,
+    or ``None`` for a failed task; each failed task contributes one
+    :class:`TaskFailure` (sorted by index) naming the task, the failure
+    kind (``exception`` / ``crash`` / ``timeout``) and the attempt
+    count.  The campaign itself always completes — graceful degradation
+    instead of abort.
+
+    With ``jobs >= 2`` each task runs in its own worker process, so a
+    hung task can be killed (``timeout`` seconds of wall clock, checked
+    every ~50 ms) and a crashed worker takes down only its own task.
+    Failed tasks are retried up to ``retries`` times with exponential
+    backoff (``backoff * 2**(attempt-1)`` seconds before relaunch).
+
+    Serially (``jobs <= 1``) exceptions are caught per task but
+    ``timeout`` cannot be enforced (there is no worker to kill) and
+    crashes are fatal by nature; campaigns that need the full
+    protection should run with ``jobs >= 2``.
+    """
+    tasks = list(tasks)
+    jobs = resolve_jobs(jobs)
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    if timeout is not None and timeout <= 0:
+        raise ValueError(f"timeout must be > 0, got {timeout}")
+    results: List[Optional[Any]] = [None] * len(tasks)
+    failures: List[TaskFailure] = []
+
+    if jobs <= 1:
+        for i, t in enumerate(tasks):
+            failure: Optional[TaskFailure] = None
+            for attempt in range(1, retries + 2):
+                try:
+                    results[i] = fn(*t)
+                    failure = None
+                except Exception as exc:
+                    failure = TaskFailure(
+                        index=i, fn_name=_fn_name(fn),
+                        args_repr=_args_repr(t), kind="exception",
+                        error_type=type(exc).__name__, message=str(exc),
+                        attempts=attempt)
+                    continue
+                if on_result is not None:
+                    on_result(i, results[i])
+                break
+            if failure is not None:
+                failures.append(failure)
+        return results, failures
+
+    ctx = get_context()
+    #: (index, attempts_so_far, earliest_start) — retries wait out
+    #: their backoff without blocking other tasks.
+    queue: List[Tuple[int, int, float]] = [(i, 0, 0.0)
+                                           for i in range(len(tasks))]
+    running: List[_Running] = []
+
+    def _fail_or_retry(run: _Running, kind: str, error_type: str,
+                       message: str) -> None:
+        attempts = run.attempts + 1
+        if attempts <= retries:
+            delay = backoff * (2.0 ** (attempts - 1)) if backoff > 0 else 0.0
+            queue.append((run.index, attempts, time.monotonic() + delay))
+            return
+        failures.append(TaskFailure(
+            index=run.index, fn_name=_fn_name(fn),
+            args_repr=_args_repr(tasks[run.index]), kind=kind,
+            error_type=error_type, message=message, attempts=attempts))
+
+    def _reap(run: _Running) -> None:
+        run.conn.close()
+        run.proc.join()
+
+    try:
+        while queue or running:
+            now = time.monotonic()
+            # Launch eligible tasks into free worker slots.
+            queue.sort(key=lambda q: (q[2], q[0]))
+            while queue and len(running) < jobs and queue[0][2] <= now:
+                index, attempts, _ = queue.pop(0)
+                parent_conn, child_conn = ctx.Pipe(duplex=False)
+                proc = ctx.Process(
+                    target=_robust_child,
+                    args=(fn, index, tasks[index], child_conn))
+                proc.start()
+                child_conn.close()
+                running.append(_Running(index=index, attempts=attempts,
+                                        proc=proc, conn=parent_conn,
+                                        started=time.monotonic()))
+            if not running:
+                # Only backed-off retries remain: sleep to eligibility.
+                if queue:
+                    time.sleep(max(0.0, min(
+                        queue[0][2] - time.monotonic(), _POLL_SECONDS)))
+                continue
+            ready = _conn_wait([r.conn for r in running],
+                               timeout=_POLL_SECONDS)
+            for run in [r for r in running if r.conn in ready]:
+                running.remove(run)
+                try:
+                    kind_payload = run.conn.recv()
+                except (EOFError, OSError):
+                    # Closed without a report: the worker died.
+                    _reap(run)
+                    _fail_or_retry(
+                        run, "crash", "WorkerCrashError",
+                        f"worker exited with code {run.proc.exitcode} "
+                        f"before reporting a result")
+                    continue
+                _reap(run)
+                if kind_payload[0] == "ok":
+                    results[run.index] = kind_payload[1]
+                    if on_result is not None:
+                        on_result(run.index, kind_payload[1])
+                else:
+                    _fail_or_retry(run, "exception", kind_payload[1],
+                                   kind_payload[2])
+            if timeout is not None:
+                now = time.monotonic()
+                for run in [r for r in running
+                            if now - r.started > timeout]:
+                    running.remove(run)
+                    run.proc.terminate()
+                    run.proc.join()
+                    run.conn.close()
+                    _fail_or_retry(
+                        run, "timeout", "TrialTimeout",
+                        f"exceeded the per-task timeout of {timeout}s")
+    finally:
+        for run in running:  # pragma: no cover - interrupt cleanup
+            run.proc.terminate()
+            run.proc.join()
+            run.conn.close()
+    failures.sort(key=lambda f: f.index)
+    return results, failures

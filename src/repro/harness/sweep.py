@@ -16,6 +16,7 @@ import math
 from typing import Dict, Iterable, List, Optional, Sequence, TextIO
 
 from ..config.presets import ExperimentConfig
+from ..validation.digest import digest_payload
 from ..validation.invariants import strict_enabled
 from ..workloads.base import Workload
 from .parallel import parallel_map
@@ -81,7 +82,8 @@ def _combo_task(engine: str, workload: Workload, config: ExperimentConfig,
 def sweep(engine: str, workload: Workload, base_config: ExperimentConfig,
           grid: Dict[str, Sequence], trials: int = 1,
           base_seed: int = 0, strict: Optional[bool] = None,
-          jobs: Optional[int] = None) -> List[Dict[str, object]]:
+          jobs: Optional[int] = None,
+          checkpoint=None) -> List[Dict[str, object]]:
     """Run the cartesian product of ``grid`` values.
 
     ``grid`` keys use dotted paths: ``"spark.default_parallelism"``,
@@ -93,18 +95,46 @@ def sweep(engine: str, workload: Workload, base_config: ExperimentConfig,
     ``jobs`` fans the combinations across worker processes (default
     ``$REPRO_JOBS`` or serial); every combination is an independent
     deterministic run, so the rows are identical either way.
+
+    ``checkpoint`` (a :class:`~repro.harness.checkpoint.
+    CheckpointStore`) journals every finished row as it completes;
+    rerunning a killed sweep against the resumed store replays the
+    journaled rows and computes only the missing combinations — the
+    merged row list is bit-identical to an uninterrupted sweep.
     """
     if not grid:
         raise ValueError("empty sweep grid")
     keys = list(grid)
     strict_flag = strict_enabled(strict)
     tasks = []
+    row_keys = []
     for combo in itertools.product(*(grid[k] for k in keys)):
         overrides = dict(zip(keys, combo))
         config = _apply_overrides(base_config, overrides)
         tasks.append((engine, workload, config, overrides, trials,
                       base_seed, strict_flag))
-    return parallel_map(_combo_task, tasks, jobs=jobs)
+        row_keys.append(digest_payload({
+            "engine": engine, "workload": workload.name,
+            "overrides": {k: v for k, v in overrides.items()},
+            "trials": trials, "base_seed": base_seed}))
+    if checkpoint is None:
+        return parallel_map(_combo_task, tasks, jobs=jobs)
+    rows: List[Optional[Dict[str, object]]] = [None] * len(tasks)
+    pending = []
+    for i, key in enumerate(row_keys):
+        if key in checkpoint:
+            rows[i] = checkpoint.load(key)
+        else:
+            pending.append(i)
+    if pending:
+        def _journal(pos: int, row: Dict[str, object]) -> None:
+            checkpoint.save(row_keys[pending[pos]], row)
+
+        fresh = parallel_map(_combo_task, [tasks[i] for i in pending],
+                             jobs=jobs, on_result=_journal)
+        for pos, row in zip(pending, fresh):
+            rows[pos] = row
+    return rows  # type: ignore[return-value]
 
 
 def best_row(rows: Iterable[Dict[str, object]]) -> Dict[str, object]:

@@ -1,0 +1,205 @@
+"""Stochastic fault-arrival processes, compiled to deterministic plans.
+
+PR 2's :class:`~repro.faults.plan.FaultPlan` injects hand-placed
+events; resilience curves need *sustained failure rates*.  This module
+models each node as a renewal process: faults arrive per-node with
+exponentially distributed inter-arrival times (a Poisson process),
+which is the classic MTTF model — a node whose mean time to failure is
+``M`` baseline-durations has arrival rate ``lambda = 1 / M`` faults per
+run.
+
+The crucial property is that the randomness lives entirely in
+**compilation**: :meth:`StochasticFaultModel.compile` consumes a seed
+and emits an ordinary relative :class:`FaultPlan` (pure data, absolute
+times after :meth:`~repro.faults.plan.FaultPlan.resolve`).  Same seed
+=> same compiled plan => same plan digest => same simulated run, which
+is what makes resilience sweeps replayable, digest-pinned and
+bit-identical under ``REPRO_JOBS > 1``.
+
+Persistent stragglers are the second ingredient: a straggler is not an
+*event* but a *condition* — a node that delivers a fraction of its
+bandwidth for the whole run (the paper's hardware heterogeneity remark,
+and the scenario Spark's speculative execution exists for).  They
+compile to permanent ``DiskSlowdown`` + ``NicSlowdown`` events at t=0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..faults.plan import (DiskSlowdown, FaultEvent, FaultPlan,
+                           NetworkPartition, NicSlowdown, NodeCrash)
+
+__all__ = ["StochasticFaultModel", "straggler_plan"]
+
+#: Relative event times are capped strictly below 1.0 (a relative
+#: FaultPlan requires fractions of the baseline in [0, 1)); arrivals
+#: drawn beyond the window simply never fire during the run.
+_WINDOW_END = 0.999
+
+
+def straggler_plan(seed: int, num_nodes: int, count: int = 1,
+                   factor: float = 4.0) -> FaultPlan:
+    """``count`` persistently slow nodes (disk *and* NIC at
+    ``1/factor`` bandwidth for the entire run), chosen by seed.
+
+    Stragglers interact very differently with the two engines: Spark
+    can speculatively re-execute a straggler's tasks elsewhere, while a
+    Flink 0.10 pipeline runs at the pace of its slowest stage — the
+    contrast the resilience figure is designed to expose.
+    """
+    if count < 0:
+        raise ValueError(f"straggler count must be >= 0, got {count}")
+    if count > num_nodes:
+        raise ValueError(
+            f"cannot make {count} of {num_nodes} node(s) stragglers")
+    rng = np.random.default_rng(seed)
+    slow = sorted(int(i) for i in
+                  rng.choice(num_nodes, size=count, replace=False))
+    events: List[FaultEvent] = []
+    for node in slow:
+        events.append(DiskSlowdown(at=0.0, node=node, factor=factor,
+                                   duration=None))
+        events.append(NicSlowdown(at=0.0, node=node, factor=factor,
+                                  duration=None))
+    return FaultPlan(events=tuple(events), relative=True)
+
+
+@dataclass(frozen=True)
+class StochasticFaultModel:
+    """Per-node Poisson fault arrivals plus persistent stragglers.
+
+    Rates are *expected events per node per baseline run*; an MTTF of
+    ``M`` baseline-durations is ``crash_rate = 1 / M``.  All durations
+    and delays are fractions of the baseline, so one model transfers
+    across workloads and scales (the same convention as relative
+    :class:`FaultPlan` events).
+    """
+
+    #: Expected node crashes per node per baseline run (1 / MTTF).
+    crash_rate: float = 0.0
+    #: Expected transient disk/NIC slowdowns per node per run.
+    slowdown_rate: float = 0.0
+    #: Expected transient network partitions per node per run.
+    partition_rate: float = 0.0
+    #: Machine-return delay after a crash, as a baseline fraction
+    #: (None = the machine never comes back; 0.0 = bare process kill).
+    restart_after: Optional[float] = 0.05
+    #: Transient slowdown severity range (bandwidth divisor).
+    slowdown_factor: Tuple[float, float] = (2.0, 8.0)
+    #: Transient slowdown duration range (baseline fractions).
+    slowdown_duration: Tuple[float, float] = (0.05, 0.25)
+    #: Partition duration range (baseline fractions).
+    partition_duration: Tuple[float, float] = (0.02, 0.10)
+    #: Persistently slow nodes for the whole run.
+    stragglers: int = 0
+    straggler_factor: float = 4.0
+
+    def validate(self) -> None:
+        for name in ("crash_rate", "slowdown_rate", "partition_rate"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        if self.restart_after is not None and self.restart_after < 0:
+            raise ValueError("restart_after must be >= 0 or None")
+        for name in ("slowdown_factor", "slowdown_duration",
+                     "partition_duration"):
+            lo, hi = getattr(self, name)
+            if not 0 < lo <= hi:
+                raise ValueError(f"{name} must satisfy 0 < lo <= hi")
+        if self.stragglers < 0:
+            raise ValueError("stragglers must be >= 0")
+        if self.straggler_factor < 1.0:
+            raise ValueError("straggler_factor must be >= 1")
+
+    @property
+    def total_rate(self) -> float:
+        """Expected fault events per node per baseline run."""
+        return self.crash_rate + self.slowdown_rate + self.partition_rate
+
+    @staticmethod
+    def from_rate(rate: float, mix: Tuple[float, float, float]
+                  = (0.5, 0.35, 0.15), **kwargs) -> "StochasticFaultModel":
+        """Split one aggregate fault rate into the default kind mix
+        (crashes / transient slowdowns / partitions)."""
+        if rate < 0:
+            raise ValueError(f"fault rate must be >= 0, got {rate}")
+        total = sum(mix)
+        if total <= 0 or any(m < 0 for m in mix):
+            raise ValueError(f"invalid kind mix {mix}")
+        return StochasticFaultModel(
+            crash_rate=rate * mix[0] / total,
+            slowdown_rate=rate * mix[1] / total,
+            partition_rate=rate * mix[2] / total, **kwargs)
+
+    def with_(self, **kwargs) -> "StochasticFaultModel":
+        return replace(self, **kwargs)
+
+    # ------------------------------------------------------------------
+    def _arrivals(self, rng: np.random.Generator, rate: float
+                  ) -> List[float]:
+        """Poisson arrival times in [0, 1): exponential gaps at
+        ``rate`` events per unit window, truncated at the window end."""
+        if rate <= 0:
+            return []
+        times: List[float] = []
+        t = 0.0
+        while True:
+            t += float(rng.exponential(1.0 / rate))
+            if t >= _WINDOW_END:
+                return times
+            times.append(t)
+
+    def compile(self, seed: int, num_nodes: int) -> FaultPlan:
+        """Draw one realisation of the process as a relative plan.
+
+        Deterministic: one ``default_rng(seed)`` stream consumed in a
+        fixed order (stragglers, then nodes in index order, each node's
+        kinds in a fixed order), so the same ``(model, seed,
+        num_nodes)`` always compiles to a byte-identical plan.
+        """
+        self.validate()
+        if num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+        rng = np.random.default_rng(seed)
+        events: List[FaultEvent] = []
+        if self.stragglers:
+            slow = sorted(int(i) for i in rng.choice(
+                num_nodes, size=self.stragglers, replace=False))
+            for node in slow:
+                events.append(DiskSlowdown(
+                    at=0.0, node=node, factor=self.straggler_factor,
+                    duration=None))
+                events.append(NicSlowdown(
+                    at=0.0, node=node, factor=self.straggler_factor,
+                    duration=None))
+        for node in range(num_nodes):
+            for at in self._arrivals(rng, self.crash_rate):
+                events.append(NodeCrash(at=at, node=node,
+                                        restart_after=self.restart_after))
+            for at in self._arrivals(rng, self.slowdown_rate):
+                lo, hi = self.slowdown_factor
+                factor = float(rng.uniform(lo, hi))
+                dlo, dhi = self.slowdown_duration
+                duration = float(rng.uniform(dlo, dhi))
+                kind = DiskSlowdown if rng.integers(0, 2) == 0 \
+                    else NicSlowdown
+                events.append(kind(at=at, node=node, factor=factor,
+                                   duration=duration))
+            for at in self._arrivals(rng, self.partition_rate):
+                dlo, dhi = self.partition_duration
+                events.append(NetworkPartition(
+                    at=at, node=node,
+                    duration=float(rng.uniform(dlo, dhi))))
+        return FaultPlan(events=tuple(events), relative=True)
+
+    def describe(self) -> str:
+        mttf = ("inf" if self.crash_rate <= 0
+                else f"{1.0 / self.crash_rate:.2f}")
+        return (f"stochastic fault model: crash rate "
+                f"{self.crash_rate:.3f}/node/run (MTTF {mttf} runs), "
+                f"slowdowns {self.slowdown_rate:.3f}, partitions "
+                f"{self.partition_rate:.3f}, {self.stragglers} "
+                f"straggler(s) at 1/{self.straggler_factor:g} bandwidth")

@@ -28,6 +28,7 @@ __all__ = [
     "canonical",
     "digest_payload",
     "scaling_payload",
+    "resilience_payload",
     "resource_payload",
     "table_payload",
     "fault_payload",
@@ -134,6 +135,24 @@ def fault_payload(fig) -> Dict[str, Any]:
             "failure": cell.failure,
         })
     return {"figure_id": fig.figure_id, "cells": cells}
+
+
+def resilience_payload(fig) -> Dict[str, Any]:
+    """Observable output of the Fig. 19 resilience campaign.
+
+    Every cell's payload is included — compiled plan digest, event
+    count, durations, retry/restart counts — so a change to either the
+    stochastic compiler or the fault-recovery engine changes the
+    digest.  Gap cells (worker crash/timeout) are observable too: a
+    campaign with holes must not hash like a complete one.
+    """
+    return {
+        "figure_id": fig.figure_id,
+        "nodes": fig.nodes,
+        "rates": list(fig.rates),
+        "trials": fig.trials,
+        "cells": [cell.payload() for cell in fig.cells],
+    }
 
 
 def trace_payload(traced) -> Dict[str, Any]:

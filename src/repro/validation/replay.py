@@ -28,8 +28,9 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from ..harness import figures
-from .digest import (digest_payload, fault_payload, resource_payload,
-                     scaling_payload, table_payload, trace_payload)
+from .digest import (digest_payload, fault_payload, resilience_payload,
+                     resource_payload, scaling_payload, table_payload,
+                     trace_payload)
 
 __all__ = [
     "ReplayScenario",
@@ -81,6 +82,14 @@ def _fig18(seed: int, strict: Optional[bool]) -> Any:
     return fault_payload(fig)
 
 
+def _fig19(seed: int, strict: Optional[bool]) -> Any:
+    fig = figures.fig19_resilience(
+        seed=seed, nodes=8, rates=(0.0, 1.0), trials=1,
+        workload_names=("wordcount", "terasort", "pagerank"),
+        strict=strict)
+    return resilience_payload(fig)
+
+
 def _trace01(seed: int, strict: Optional[bool]) -> Any:
     from ..config.presets import GiB, wordcount_grep_preset
     from ..harness.runner import run_traced
@@ -104,6 +113,9 @@ SCENARIOS: Dict[str, ReplayScenario] = {
         "tab07", "Table VII Large-graph grid (27 nodes)", _tab07),
     "fig18": ReplayScenario(
         "fig18", "Failure recovery overhead (4 nodes, crash at 50%)", _fig18),
+    "fig19": ReplayScenario(
+        "fig19", "Stochastic resilience curves (8 nodes, rates 0 and 1, "
+        "three workloads)", _fig19),
     "trace01": ReplayScenario(
         "trace01", "Word Count span trace + Chrome export (Spark, 8 nodes)",
         _trace01),

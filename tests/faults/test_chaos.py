@@ -1,0 +1,87 @@
+"""Chaos fuzz: seeded random and stochastic fault plans never wedge.
+
+Satellite of the resilience PR: across seeds x workloads x engines,
+injecting arbitrary (but seeded, hence reproducible) fault plans must
+always *terminate* — the simulation either completes or fails cleanly —
+and must pass the strict :class:`InvariantChecker` audit attached by
+``strict=True``.  A hang, an unbounded retry loop, or an invariant
+violation under some unlucky event interleaving is exactly the kind of
+bug this sweep exists to flush out; any failure reproduces from its
+printed (seed, workload, engine) triple alone.
+"""
+
+import pytest
+
+from repro.config.presets import (GiB, small_graph_preset,
+                                  wordcount_grep_preset)
+from repro.faults import run_with_faults
+from repro.faults.plan import FaultPlan
+from repro.harness.runner import run_once
+from repro.resilience import StochasticFaultModel
+from repro.workloads import Grep, PageRank, WordCount
+from repro.workloads.datagen.graphs import SMALL_GRAPH
+
+NODES = 8
+
+
+def _workloads():
+    cfg = wordcount_grep_preset(NODES)
+    graph_cfg = small_graph_preset(NODES)
+    return [
+        ("wordcount", WordCount(NODES * 4 * GiB), cfg),
+        ("grep", Grep(NODES * 4 * GiB), cfg),
+        ("pagerank",
+         PageRank(SMALL_GRAPH, iterations=3,
+                  edge_partitions=graph_cfg.spark.edge_partitions),
+         graph_cfg),
+    ]
+
+
+@pytest.fixture(scope="module")
+def baselines():
+    return {(name, engine): run_once(engine, wl, cfg, seed=0, strict=True)
+            for name, wl, cfg in _workloads()
+            for engine in ("spark", "flink")}
+
+
+@pytest.mark.parametrize("engine", ["spark", "flink"])
+@pytest.mark.parametrize("seed", range(4))
+def test_random_plans_terminate_under_strict_audit(engine, seed, baselines):
+    for name, wl, cfg in _workloads():
+        plan = FaultPlan.random(seed=seed, num_nodes=NODES, num_events=4)
+        faulted = run_with_faults(engine, wl, cfg, plan, seed=0,
+                                  strict=True,
+                                  baseline=baselines[(name, engine)])
+        # Termination is the point; completion is not guaranteed (the
+        # plan may legitimately exhaust a restart budget) but a failure
+        # must be a clean, explained one.
+        if not faulted.success:
+            assert faulted.result.failure, (
+                f"unexplained failure: seed={seed} {engine}/{name}")
+
+
+@pytest.mark.parametrize("engine", ["spark", "flink"])
+@pytest.mark.parametrize("seed", range(3))
+def test_stochastic_plans_terminate_under_strict_audit(engine, seed,
+                                                       baselines):
+    model = StochasticFaultModel.from_rate(2.0, stragglers=1)
+    for name, wl, cfg in _workloads():
+        plan = model.compile(seed=seed, num_nodes=NODES)
+        faulted = run_with_faults(engine, wl, cfg, plan, seed=0,
+                                  strict=True,
+                                  baseline=baselines[(name, engine)])
+        if not faulted.success:
+            assert faulted.result.failure, (
+                f"unexplained failure: seed={seed} {engine}/{name}")
+
+
+def test_chaos_is_reproducible(baselines):
+    # The fuzz is seeded: the same triple must replay identically.
+    name, wl, cfg = _workloads()[0]
+    plan = FaultPlan.random(seed=99, num_nodes=NODES, num_events=5)
+    a = run_with_faults("spark", wl, cfg, plan, seed=0, strict=True,
+                        baseline=baselines[(name, "spark")])
+    b = run_with_faults("spark", wl, cfg, plan, seed=0, strict=True,
+                        baseline=baselines[(name, "spark")])
+    assert a.faulted_duration == b.faulted_duration
+    assert a.success == b.success

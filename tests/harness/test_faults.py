@@ -112,3 +112,17 @@ def test_analytic_total_matches_run_with_failure():
                                 seed=3)
     assert analytic_total("spark", baseline, 0.5, 4) == \
         pytest.approx(estimate.total_seconds)
+
+
+def test_overhead_fraction_zero_baseline_is_nan():
+    # A degenerate baseline must read as "no meaningful overhead", not
+    # raise ZeroDivisionError or report +/-inf.
+    import math
+
+    from repro.harness.faults import FaultRecoveryResult
+    result = FaultRecoveryResult(
+        engine="spark", workload="wordcount", nodes=4,
+        fail_at_seconds=0.0, baseline_seconds=0.0, total_seconds=5.0)
+    assert math.isnan(result.overhead_fraction)
+    assert result.recovery_overhead == 5.0
+    assert "spark/wordcount" in result.describe()  # must not raise

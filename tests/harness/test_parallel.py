@@ -10,13 +10,15 @@ crashes) and the ``jobs`` resolution rules.
 
 import math
 import os
+import time
 
 import pytest
 
 from repro.config.presets import wordcount_grep_preset
 from repro.harness import figures
-from repro.harness.parallel import (ENV_JOBS, WorkerCrashError,
-                                    parallel_map, resolve_jobs)
+from repro.harness.parallel import (ENV_JOBS, TaskFailure,
+                                    WorkerCrashError, parallel_map,
+                                    resolve_jobs, robust_map)
 from repro.harness.sweep import sweep
 from repro.validation.digest import (digest_payload, fault_payload,
                                      scaling_payload)
@@ -92,9 +94,92 @@ def test_worker_exception_propagates_with_type():
         parallel_map(_raise_value_error, [("boom",), ("boom",)], jobs=2)
 
 
+def test_worker_exception_carries_task_identity():
+    # The re-raised exception names the failing task — index, function
+    # and arguments — both serially and across process boundaries.
+    for jobs in (1, 2):
+        with pytest.raises(ValueError) as info:
+            parallel_map(_flaky, [(1,), (13,)], jobs=jobs)
+        assert "task #1" in str(info.value)
+        assert "_flaky" in str(info.value)
+        assert "13" in str(info.value)
+
+
 def test_worker_crash_raises_worker_crash_error():
     with pytest.raises(WorkerCrashError):
         parallel_map(_die, [(1,), (2,)], jobs=2)
+
+
+def test_worker_crash_error_names_candidate_tasks():
+    with pytest.raises(WorkerCrashError) as info:
+        parallel_map(_die, [(1,), (2,)], jobs=2)
+    err = info.value
+    assert err.task_index in (0, 1)
+    assert "_die" in str(err)
+    assert err.candidate_indices  # the unfinished tasks are listed
+
+
+def test_on_result_fires_per_completed_task():
+    seen = {}
+    parallel_map(_square, [(2,), (3,)], jobs=1,
+                 on_result=lambda i, r: seen.__setitem__(i, r))
+    assert seen == {0: 4, 1: 9}
+
+
+# ----------------------------------------------------------------------
+# robust_map: graceful degradation
+# ----------------------------------------------------------------------
+def _flaky(x):
+    if x == 13:
+        raise ValueError("unlucky")
+    return x * 10
+
+
+def _hang(_x):
+    time.sleep(60)
+
+
+def test_robust_map_isolates_exceptions():
+    for jobs in (1, 2):
+        results, failures = robust_map(_flaky, [(1,), (13,), (3,)],
+                                       jobs=jobs)
+        assert results == [10, None, 30]
+        assert len(failures) == 1
+        f = failures[0]
+        assert (f.index, f.kind, f.error_type) == (1, "exception",
+                                                   "ValueError")
+        assert "unlucky" in f.message and "13" in f.args_repr
+
+
+def test_robust_map_isolates_crashes():
+    results, failures = robust_map(_die, [(1,)], jobs=2)
+    assert results == [None]
+    assert failures[0].kind == "crash"
+
+
+def test_robust_map_kills_hung_workers():
+    start = time.monotonic()
+    results, failures = robust_map(_hang, [(1,)], jobs=2, timeout=0.5)
+    assert time.monotonic() - start < 30
+    assert results == [None]
+    assert failures[0].kind == "timeout"
+
+
+def test_robust_map_retries_record_attempts():
+    results, failures = robust_map(_flaky, [(13,)], jobs=1, retries=2,
+                                   backoff=0.0)
+    assert results == [None]
+    assert failures[0].attempts == 3
+    assert "3 attempt(s)" in failures[0].describe()
+
+
+def test_task_failure_describe_is_informative():
+    f = TaskFailure(index=4, fn_name="_cell_task", args_repr="('spark',)",
+                    kind="timeout", error_type="TrialTimeout",
+                    message="exceeded 5.0s")
+    text = f.describe()
+    assert "task #4" in text and "_cell_task" in text
+    assert "timeout" in text
 
 
 # ----------------------------------------------------------------------
@@ -111,9 +196,17 @@ def test_resolve_jobs_argument_wins_over_env(monkeypatch):
     assert resolve_jobs() == 8
 
 
+def test_resolve_jobs_zero_means_all_cores(monkeypatch):
+    # 0 = "use every core", like make -j / xargs -P 0.
+    cores = os.cpu_count() or 1
+    assert resolve_jobs(0) == cores
+    monkeypatch.setenv(ENV_JOBS, "0")
+    assert resolve_jobs() == cores
+
+
 def test_resolve_jobs_rejects_bad_values(monkeypatch):
     with pytest.raises(ValueError):
-        resolve_jobs(0)
+        resolve_jobs(-1)
     monkeypatch.setenv(ENV_JOBS, "many")
     with pytest.raises(ValueError):
         resolve_jobs()

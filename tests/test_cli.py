@@ -75,3 +75,54 @@ def test_table7_command(capsys):
     out = capsys.readouterr().out
     assert "97n PR flink" in out
     assert "Table VII" in out
+
+
+def test_faults_command_estimate_mode(capsys):
+    rc = main(["faults", "--workload", "wordcount", "--nodes", "4",
+               "--mode", "estimate"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert out.count("estimate") == 2  # one line per engine
+    assert "simulated" not in out
+    assert "node failure at" in out
+
+
+def test_faults_command_both_modes(capsys):
+    rc = main(["faults", "--workload", "wordcount", "--nodes", "4",
+               "--mode", "both", "--engines", "spark"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "estimate" in out and "simulated" in out
+
+
+def test_resilience_command(capsys):
+    rc = main(["resilience", "--workloads", "wordcount", "--rates", "0",
+               "1", "--nodes", "8"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "rate 0: 1.00x" in out
+    assert "flink" in out and "spark" in out
+
+
+def test_resilience_command_checkpoint_resume(tmp_path, capsys):
+    argv = ["resilience", "--workloads", "wordcount", "--rates", "0",
+            "--checkpoint", str(tmp_path / "store")]
+    assert main(argv) == 0
+    first = capsys.readouterr().out
+    assert main(argv + ["--resume"]) == 0
+    assert capsys.readouterr().out == first
+    # Re-running without --resume must refuse, not clobber.
+    with pytest.raises(Exception):
+        main(argv)
+
+
+def test_resilience_resume_requires_checkpoint(capsys):
+    with pytest.raises(SystemExit):
+        main(["resilience", "--resume"])
+
+
+def test_figure_fig19_command(capsys):
+    rc = main(["figure", "fig19", "--trials", "1"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Resilience under sustained fault rates" in out

@@ -17,6 +17,7 @@ ROOT = pathlib.Path(__file__).resolve().parent.parent
                                   "docs/methodology-walkthrough.md",
                                   "docs/observability.md",
                                   "docs/performance.md",
+                                  "docs/resilience.md",
                                   "docs/validation.md"])
 def test_doc_exists_and_nonempty(name):
     path = ROOT / name
