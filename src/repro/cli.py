@@ -32,6 +32,13 @@ Commands
     killed campaign resumes bit-identically with ``--resume``; cells
     that crash or time out become explicit gaps (non-zero exit only
     under ``--strict``).
+``streaming``
+    Run the executed streaming engines (continuous-operator vs
+    micro-batch D-Streams on the fluid kernel): the latency-vs-load
+    sweep (``fig20``, Poisson + bursty MMPP arrivals) or, with
+    ``--recovery``, the recovery-time-vs-checkpoint-interval sweep
+    (``fig21``, node crash mid-run).  Checkpointable and resumable
+    like ``resilience``.
 ``validate``
     Self-check the simulator: run the replay scenarios under strict
     invariant checking; with ``--replay``, also compare their trace
@@ -51,6 +58,9 @@ python -m repro faults --workload terasort --nodes 4 --mode both --strict
 python -m repro trace --workload wordcount --nodes 8 --out traces/
 python -m repro resilience --rates 0 0.5 1 2 --trials 3 \\
     --checkpoint runs/fig19 --resume
+python -m repro streaming --loads 0.3 0.6 0.9
+python -m repro streaming --recovery --crash-at 23 \\
+    --checkpoint runs/fig21 --resume
 python -m repro validate --replay
 """
 
@@ -152,6 +162,7 @@ def cmd_list(_args) -> int:
     print("resource figures:", ", ".join(sorted(RESOURCE_FIGURES)))
     print("fault figures: fig18")
     print("resilience figures: fig19")
+    print("streaming figures: fig20 fig21")
     print("tables: table7")
     return 0
 
@@ -221,6 +232,34 @@ def cmd_figure(args) -> int:
             checkpoint.close()
         print(fig.describe())
         return 1 if (fig.gaps and args.strict) else 0
+    if fig_id in ("fig20", "fig21"):
+        from .streaming.sweep import (ARRIVAL_KINDS,
+                                      DEFAULT_CHECKPOINT_INTERVALS,
+                                      DEFAULT_DURATION,
+                                      DEFAULT_LOAD_FRACTIONS,
+                                      FIG21_CRASH_AT, FIG21_LOAD_FRACTION,
+                                      STREAMING_ENGINES,
+                                      streaming_campaign_fingerprint)
+        if fig_id == "fig20":
+            fingerprint = streaming_campaign_fingerprint(
+                "fig20", STREAMING_ENGINES, ARRIVAL_KINDS,
+                DEFAULT_LOAD_FRACTIONS, None, 8, args.seed,
+                DEFAULT_DURATION, 1.0, None)
+        else:
+            fingerprint = streaming_campaign_fingerprint(
+                "fig21", STREAMING_ENGINES, ("poisson",),
+                (FIG21_LOAD_FRACTION,), DEFAULT_CHECKPOINT_INTERVALS, 8,
+                args.seed, DEFAULT_DURATION, 1.0, FIG21_CRASH_AT)
+        checkpoint = _open_checkpoint(args, fingerprint)
+        maker = (figure_registry.fig20_streaming_latency
+                 if fig_id == "fig20"
+                 else figure_registry.fig21_streaming_recovery)
+        fig = maker(seed=args.seed, strict=strict, jobs=args.jobs,
+                    checkpoint=checkpoint)
+        if checkpoint is not None:
+            checkpoint.close()
+        print(fig.describe())
+        return 1 if (fig.gaps and args.strict) else 0
     if fig_id == "fig18":
         fig = figure_registry.fig18_fault_recovery(seed=args.seed,
                                                    strict=strict,
@@ -238,8 +277,9 @@ def cmd_figure(args) -> int:
                   f"{c.analytic_seconds:6.1f}s "
                   f"({c.retries} retries, {c.restarts} restarts)")
         return 0
-    print(f"unknown figure {fig_id!r}; try one of "
-          f"{sorted(FIGURES) + sorted(RESOURCE_FIGURES) + ['fig18', 'fig19']}",
+    known = (sorted(FIGURES) + sorted(RESOURCE_FIGURES)
+             + ["fig18", "fig19", "fig20", "fig21"])
+    print(f"unknown figure {fig_id!r}; try one of {known}",
           file=sys.stderr)
     return 2
 
@@ -268,6 +308,43 @@ def cmd_resilience(args) -> int:
         print(f"{len(fig.gaps)} cell(s) missing (worker crash/"
               f"timeout); rerun with --checkpoint/--resume to fill "
               f"them in", file=sys.stderr)
+        if args.strict:
+            return 1
+    return 0
+
+
+def cmd_streaming(args) -> int:
+    from .streaming.sweep import (streaming_campaign_fingerprint,
+                                  streaming_sweep)
+    if args.recovery:
+        figure_id = "fig21"
+        kinds = ("poisson",)
+        fractions = (args.load,)
+        intervals = tuple(args.checkpoint_intervals)
+        crash_at = args.crash_at
+    else:
+        figure_id = "fig20"
+        kinds = tuple(args.arrivals)
+        fractions = tuple(args.loads)
+        intervals = None
+        crash_at = None
+    checkpoint = _open_checkpoint(args, streaming_campaign_fingerprint(
+        figure_id, args.engines, kinds, fractions, intervals, args.nodes,
+        args.seed, args.duration, args.batch_interval, crash_at))
+    fig = streaming_sweep(
+        figure_id=figure_id, engines=args.engines, arrival_kinds=kinds,
+        load_fractions=fractions, checkpoint_intervals=intervals,
+        nodes=args.nodes, seed=args.seed, duration=args.duration,
+        batch_interval=args.batch_interval, crash_at=crash_at,
+        strict=args.strict or None, jobs=args.jobs, timeout=args.timeout,
+        retries=args.retries, checkpoint=checkpoint)
+    if checkpoint is not None:
+        checkpoint.close()
+    print(fig.describe())
+    if fig.gaps:
+        print(f"{len(fig.gaps)} cell(s) missing (worker crash/timeout); "
+              f"rerun with --checkpoint/--resume to fill them in",
+              file=sys.stderr)
         if args.strict:
             return 1
     return 0
@@ -472,7 +549,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="audit simulator invariants during the run")
 
     p_fig = sub.add_parser("figure", help="regenerate a paper figure")
-    p_fig.add_argument("id", help="fig01..fig19")
+    p_fig.add_argument("id", help="fig01..fig21")
     p_fig.add_argument("--trials", type=int, default=3)
     p_fig.add_argument("--seed", type=int, default=0)
     p_fig.add_argument("--strict", action="store_true",
@@ -589,6 +666,52 @@ def build_parser() -> argparse.ArgumentParser:
     p_res.add_argument("--strict", action="store_true",
                        help="audit invariants; exit non-zero on gaps")
 
+    p_str = sub.add_parser(
+        "streaming",
+        help="executed streaming engines: latency vs load (fig20) or, "
+             "with --recovery, recovery vs checkpoint interval (fig21)")
+    p_str.add_argument("--engines", nargs="+", choices=("spark", "flink"),
+                       default=["flink", "spark"])
+    p_str.add_argument("--arrivals", nargs="+",
+                       choices=("poisson", "mmpp"),
+                       default=["poisson", "mmpp"],
+                       help="arrival processes for the latency sweep")
+    p_str.add_argument("--loads", type=float, nargs="+",
+                       default=[0.3, 0.6, 0.8, 0.95],
+                       help="offered load as fractions of each engine's "
+                            "analytic capacity (latency sweep)")
+    p_str.add_argument("--recovery", action="store_true",
+                       help="run the fig21 crash-recovery sweep instead "
+                            "of the fig20 latency sweep")
+    p_str.add_argument("--load", type=float, default=0.5,
+                       help="load fraction for the recovery sweep")
+    p_str.add_argument("--checkpoint-intervals", type=float, nargs="+",
+                       default=[1.5, 3.0, 6.0, 12.0],
+                       help="checkpoint intervals for the recovery sweep")
+    p_str.add_argument("--crash-at", type=float, default=23.0,
+                       help="simulated crash time for the recovery sweep")
+    p_str.add_argument("--nodes", type=int, default=8)
+    p_str.add_argument("--duration", type=float, default=40.0,
+                       help="seconds of offered load per cell")
+    p_str.add_argument("--batch-interval", type=float, default=1.0,
+                       help="micro-batch interval of the D-Stream engine")
+    p_str.add_argument("--seed", type=int, default=0)
+    p_str.add_argument("--jobs", type=int, default=None,
+                       help="worker processes (default: $REPRO_JOBS or "
+                            "serial); curves are identical at any count")
+    p_str.add_argument("--timeout", type=float, default=None,
+                       help="per-cell wall-clock timeout in seconds")
+    p_str.add_argument("--retries", type=int, default=1,
+                       help="retry budget per failed cell")
+    p_str.add_argument("--checkpoint", default=None, metavar="DIR",
+                       help="journal every finished cell to DIR")
+    p_str.add_argument("--resume", action="store_true",
+                       help="resume a killed campaign from "
+                            "--checkpoint DIR (digest-identical to an "
+                            "uninterrupted run)")
+    p_str.add_argument("--strict", action="store_true",
+                       help="audit invariants; exit non-zero on gaps")
+
     p_val = sub.add_parser(
         "validate", help="strict invariant self-check / golden replay")
     p_val.add_argument("--replay", action="store_true",
@@ -620,8 +743,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {"list": cmd_list, "run": cmd_run, "figure": cmd_figure,
                 "table7": cmd_table7, "explain": cmd_explain,
                 "faults": cmd_faults, "trace": cmd_trace,
-                "resilience": cmd_resilience, "validate": cmd_validate,
-                "bench": cmd_bench}
+                "resilience": cmd_resilience, "streaming": cmd_streaming,
+                "validate": cmd_validate, "bench": cmd_bench}
     return handlers[args.command](args)
 
 

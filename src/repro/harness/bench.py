@@ -12,7 +12,10 @@ the main cost profiles —
 * ``fault_recovery``      — the fig. 18 crash/recovery sweep: fault
   timers, aborts and re-execution paths;
 * ``sweep_wordcount``     — a 2x2 config grid x 2 trials: the
-  many-small-runs profile of parameter exploration (traces off).
+  many-small-runs profile of parameter exploration (traces off);
+* ``streaming_pair``      — both executed streaming engines (continuous
+  operators and micro-batch D-Streams) under Poisson load: the
+  slice/batch-driver profile of the fig20/fig21 campaigns.
 
 — and reports wall-clock plus simulated events/second for each, so a
 perf regression (or win) in any layer shows up as a number, not a
@@ -51,7 +54,8 @@ GiB = float(2**30)
 TiB = float(2**40)
 
 BENCH_CASE_NAMES = ("batch_terasort", "iterative_pagerank",
-                    "fault_recovery", "sweep_wordcount")
+                    "fault_recovery", "sweep_wordcount",
+                    "streaming_pair")
 
 
 @dataclass
@@ -197,11 +201,39 @@ def _case_sweep_wordcount(quick: bool, seed: int,
                      runs=len(rows) * trials)
 
 
+def _bench_streaming_run(engine: str, rate: float, duration: float,
+                         nodes: int, seed: int) -> int:
+    """Worker: one streaming run; returns the kernel event count."""
+    from ..streaming import PoissonArrivals, run_streaming
+    result = run_streaming(engine, PoissonArrivals(rate),
+                           duration=duration, nodes=nodes, seed=seed)
+    return result.sim_events
+
+
+def _case_streaming_pair(quick: bool, seed: int,
+                         jobs: Optional[int]) -> BenchCase:
+    from ..streaming import StreamingWorkloadModel, max_stable_throughput
+    nodes = 4 if quick else 8
+    duration = 20.0 if quick else 60.0
+    model = StreamingWorkloadModel()
+    tasks = [(engine,
+              0.8 * max_stable_throughput(model, nodes, engine,
+                                          batch_interval=1.0),
+              duration, nodes, seed)
+             for engine in ("flink", "spark")]
+    t0 = time.perf_counter()
+    events = parallel_map(_bench_streaming_run, tasks, jobs=jobs)
+    wall = time.perf_counter() - t0
+    return BenchCase(name="streaming_pair", wall_seconds=wall,
+                     runs=len(tasks), sim_events=sum(events))
+
+
 _CASES = {
     "batch_terasort": _case_batch_terasort,
     "iterative_pagerank": _case_iterative_pagerank,
     "fault_recovery": _case_fault_recovery,
     "sweep_wordcount": _case_sweep_wordcount,
+    "streaming_pair": _case_streaming_pair,
 }
 
 

@@ -41,7 +41,8 @@ __all__ = [
     "fig14_cc_small", "fig15_cc_medium", "fig16_pagerank_resources",
     "fig17_cc_resources", "tab07_large_graph",
     "FaultCell", "FaultFigure", "fig18_fault_recovery",
-    "fig19_resilience",
+    "fig19_resilience", "fig20_streaming_latency",
+    "fig21_streaming_recovery",
 ]
 
 GiB = float(2**30)
@@ -680,3 +681,68 @@ def fig19_resilience(seed: int = 0, nodes: int = 8,
         workloads=workloads, rates=rates, trials=trials, nodes=nodes,
         seed=seed, stragglers=stragglers, strict=strict, jobs=jobs,
         timeout=timeout, checkpoint=checkpoint, figure_id="fig19")
+
+
+# ----------------------------------------------------------------------
+# Fig. 20 / Fig. 21 (extension) — executed streaming engines
+# ----------------------------------------------------------------------
+def fig20_streaming_latency(seed: int = 0, nodes: int = 8,
+                            load_fractions: Optional[Sequence[float]] = None,
+                            arrival_kinds: Optional[Sequence[str]] = None,
+                            duration: Optional[float] = None,
+                            strict: Optional[bool] = None,
+                            jobs: Optional[int] = None,
+                            timeout: Optional[float] = None,
+                            checkpoint=None):
+    """Latency percentiles vs offered load for the executed streaming
+    engines (the §VIII future-work question, answered by execution).
+
+    Each cell runs one engine under one compiled arrival plan (steady
+    Poisson or bursty MMPP) at a fraction of that engine's analytic
+    capacity on the fluid kernel; see :mod:`repro.streaming.engines`.
+    Deterministic per seed and bit-identical at any job count; pass
+    ``checkpoint`` to journal cells and resume a killed campaign.
+    """
+    from ..streaming.sweep import (ARRIVAL_KINDS, DEFAULT_DURATION,
+                                   DEFAULT_LOAD_FRACTIONS, streaming_sweep)
+    return streaming_sweep(
+        figure_id="fig20",
+        arrival_kinds=(tuple(arrival_kinds) if arrival_kinds is not None
+                       else ARRIVAL_KINDS),
+        load_fractions=(tuple(load_fractions) if load_fractions is not None
+                        else DEFAULT_LOAD_FRACTIONS),
+        nodes=nodes, seed=seed,
+        duration=duration if duration is not None else DEFAULT_DURATION,
+        strict=strict, jobs=jobs, timeout=timeout, checkpoint=checkpoint)
+
+
+def fig21_streaming_recovery(seed: int = 0, nodes: int = 8,
+                             checkpoint_intervals: Optional[
+                                 Sequence[float]] = None,
+                             crash_at: Optional[float] = None,
+                             duration: Optional[float] = None,
+                             strict: Optional[bool] = None,
+                             jobs: Optional[int] = None,
+                             timeout: Optional[float] = None,
+                             checkpoint=None):
+    """Recovery time after a node crash vs checkpoint interval.
+
+    Both streaming engines run at half capacity under Poisson arrivals;
+    a crash kills the pipeline mid-run and the engine replays from its
+    last checkpoint (Flink: barrier snapshot; Spark: lineage since the
+    last RDD checkpoint).  Longer intervals mean more replay, so
+    recovery time grows with the interval.
+    """
+    from ..streaming.sweep import (DEFAULT_CHECKPOINT_INTERVALS,
+                                   DEFAULT_DURATION, FIG21_CRASH_AT,
+                                   FIG21_LOAD_FRACTION, streaming_sweep)
+    return streaming_sweep(
+        figure_id="fig21",
+        load_fractions=(FIG21_LOAD_FRACTION,),
+        checkpoint_intervals=(tuple(checkpoint_intervals)
+                              if checkpoint_intervals is not None
+                              else DEFAULT_CHECKPOINT_INTERVALS),
+        crash_at=crash_at if crash_at is not None else FIG21_CRASH_AT,
+        nodes=nodes, seed=seed,
+        duration=duration if duration is not None else DEFAULT_DURATION,
+        strict=strict, jobs=jobs, timeout=timeout, checkpoint=checkpoint)

@@ -1,0 +1,692 @@
+"""Executed streaming engines on the fluid simulation kernel.
+
+This is the paper's §VIII future-work question made executable.  The
+analytic sketch in :mod:`repro.streaming.model` answers it in closed
+form; this module answers it by *running* the two architectures on the
+same cluster substrate the batch engines use, and the analytic model is
+demoted to a differential oracle (see ``tests/streaming``).
+
+* **Continuous-operator engine** (Flink-style, ``engine="flink"``) —
+  a pipelined ``source -> keyBy/shuffle -> window-aggregate`` chain.
+  Ingest slices flow through the operators as fluid demands (CPU on
+  every node, all-to-all shuffle on the NICs); at most ``queue_depth``
+  slices are in flight, where the depth is derived from Flink's
+  network-buffer pool exactly like the batch engine derives its
+  pipeline depth — a full buffer pool blocks the sources, which is
+  backpressure.  The event-time watermark advances over the completed
+  slice prefix, and an aligned barrier checkpoint stalls the pipeline
+  for :data:`DEFAULT_BARRIER_SYNC` seconds once per checkpoint
+  interval (the latency cost of Chandy-Lamport alignment).
+
+* **Micro-batch D-Stream engine** (Spark-style, ``engine="spark"``) —
+  arrivals are chopped into ``batch_interval`` batches; each batch runs
+  as a small two-phase staged job through the shared
+  :class:`~repro.engines.common.execution.PhaseExecutor` (receive/map,
+  then shuffle/aggregate, with the per-batch scheduling overhead as the
+  first phase's startup delay).  The driver is serial, so when a batch
+  takes longer than the interval the next batch starts late and the
+  backlog — the micro-batch instability of the analytic model —
+  emerges from execution rather than being assumed.
+
+**Failure model** (fig21): a node crash at ``crash_at`` kills the
+whole pipeline for Flink 0.10 (full restart from the last completed
+checkpoint, then replay) and loses the in-flight/unckeckpointed batch
+state for Spark (driver restarts, lineage recomputes the window since
+the last RDD checkpoint as one parallel job).  The crashed process
+restarts after ``restart_delay`` seconds on the same machine, so
+steady-state capacity is unchanged; recovery time is measured as the
+first time the ingest lag returns to its pre-crash level.
+
+Everything is deterministic: the arrival randomness is compiled into
+an :class:`~repro.streaming.arrivals.ArrivalPlan` before the cluster
+exists, and the engines themselves draw no random numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..cluster.node import GRID5000_PARAVANCE, HardwareSpec
+from ..cluster.topology import Cluster
+from ..engines.common.execution import (PhaseExecutor, PhaseSpec,
+                                        uniform_resources)
+from ..validation.invariants import InvariantChecker, strict_enabled
+from .arrivals import DEFAULT_SLICE_WIDTH, ArrivalPlan
+from .model import StreamingWorkloadModel
+
+__all__ = ["StreamingRunResult", "run_streaming", "STREAMING_ENGINES",
+           "queue_depth_from_buffers", "stable_drain_bound",
+           "DEFAULT_BARRIER_SYNC"]
+
+STREAMING_ENGINES = ("flink", "spark")
+
+#: Pipeline stall per aligned barrier checkpoint (seconds): barrier
+#: alignment plus the synchronous part of the state snapshot.
+DEFAULT_BARRIER_SYNC = 0.05
+
+
+def queue_depth_from_buffers(network_buffers: int,
+                             parallelism: int) -> int:
+    """Pipeline depth (in-flight ingest slices) from the network-buffer
+    pool — the same derivation the batch Flink engine uses for its
+    chunk queues: each of the ``parallelism``\\ *8 logical channels
+    owns a share of the pool, clamped to a sane pipelining range."""
+    per_link = network_buffers / max(1, parallelism * 8)
+    return max(1, min(4, int(per_link)))
+
+
+def stable_drain_bound(engine: str, model: StreamingWorkloadModel,
+                       batch_interval: float,
+                       slice_width: float = DEFAULT_SLICE_WIDTH) -> float:
+    """Documented stability test: a run is *stable* when, after the
+    offered load ends, the engine drains its backlog within this bound.
+
+    For the continuous engine the steady in-flight residue is at most
+    ``queue_depth`` slices of service (each under one slice width when
+    stable); for the micro-batch engine the final batch still has to
+    run after it closes, so up to one batch time (< interval when
+    stable) plus the fixed overhead remains.  Overload instead leaves a
+    backlog that grows linearly in the run length, so with the default
+    40 s campaigns the boundary resolves ``max_stable_throughput``
+    to within ~10-15% (asserted in ``tests/streaming``).
+    """
+    if engine == "flink":
+        return max(1.0, 6.0 * slice_width)
+    return 1.25 * batch_interval + model.batch_fixed_overhead
+
+
+# ----------------------------------------------------------------------
+# result
+# ----------------------------------------------------------------------
+def _weighted_percentile(samples: List[Tuple[float, float]],
+                         q: float) -> float:
+    """Percentile of (value, weight) samples; NaN when empty."""
+    if not samples:
+        return math.nan
+    ordered = sorted(samples)
+    total = sum(w for _v, w in ordered)
+    if total <= 0:
+        return math.nan
+    target = (q / 100.0) * total
+    acc = 0.0
+    for value, weight in ordered:
+        acc += weight
+        if acc >= target - 1e-12:
+            return float(value)
+    return float(ordered[-1][0])
+
+
+@dataclass
+class StreamingRunResult:
+    """Full observable outcome of one executed streaming run."""
+
+    engine: str
+    arrival_kind: str
+    offered_rate: float          # realised mean of the compiled plan
+    duration: float
+    nodes: int
+    seed: int
+    batch_interval: float
+    checkpoint_interval: float
+    plan_digest: str
+    total_records: int
+    processed_records: int
+    #: One entry per non-empty ingest slice: ``(latency, floor,
+    #: weight)`` where latency is final completion minus mean event
+    #: time, ``floor`` the architectural lower bound for that slice
+    #: (ingest granularity for continuous, residual batch wait for
+    #: micro-batch) and ``weight`` the record count.
+    samples: List[Tuple[float, float, float]] = field(default_factory=list)
+    #: Event-time watermark trace: ``(sim_time, watermark)``.
+    watermarks: List[Tuple[float, float]] = field(default_factory=list)
+    checkpoints: int = 0
+    makespan: float = 0.0
+    drain_seconds: float = 0.0
+    stable: bool = True
+    crash_at: Optional[float] = None
+    crashed: bool = False
+    replayed_records: int = 0
+    recovery_seconds: float = math.nan
+    sim_events: int = 0
+
+    def percentile(self, q: float) -> float:
+        return _weighted_percentile(
+            [(lat, w) for lat, _f, w in self.samples], q)
+
+    @property
+    def mean_latency(self) -> float:
+        total = sum(w for _l, _f, w in self.samples)
+        if total <= 0:
+            return math.nan
+        return sum(lat * w for lat, _f, w in self.samples) / total
+
+    @property
+    def final_watermark(self) -> float:
+        return self.watermarks[-1][1] if self.watermarks else 0.0
+
+    def describe(self) -> str:
+        head = (f"{self.engine:5s} {self.arrival_kind:7s} "
+                f"@ {self.offered_rate:,.0f} rec/s")
+        if not self.stable:
+            return f"{head}: UNSTABLE (drained {self.drain_seconds:.1f}s "\
+                   f"past end)"
+        parts = [f"p50 {1000 * self.percentile(50):.0f} ms",
+                 f"p99 {1000 * self.percentile(99):.0f} ms",
+                 f"{self.checkpoints} ckpt"]
+        if self.crashed:
+            rec = ("never" if math.isnan(self.recovery_seconds)
+                   else f"{self.recovery_seconds:.1f}s")
+            parts.append(f"crash@{self.crash_at:.0f}s recovered {rec}")
+        return f"{head}: " + ", ".join(parts)
+
+    def payload(self) -> Dict[str, Any]:
+        return {
+            "engine": self.engine, "arrival_kind": self.arrival_kind,
+            "offered_rate": self.offered_rate, "duration": self.duration,
+            "nodes": self.nodes, "seed": self.seed,
+            "batch_interval": self.batch_interval,
+            "checkpoint_interval": self.checkpoint_interval,
+            "plan_digest": self.plan_digest,
+            "total_records": self.total_records,
+            "processed_records": self.processed_records,
+            "samples": [list(s) for s in self.samples],
+            "watermarks": [list(w) for w in self.watermarks],
+            "checkpoints": self.checkpoints, "makespan": self.makespan,
+            "drain_seconds": self.drain_seconds, "stable": self.stable,
+            "crash_at": self.crash_at, "crashed": self.crashed,
+            "replayed_records": self.replayed_records,
+            "recovery_seconds": self.recovery_seconds,
+            "sim_events": self.sim_events,
+        }
+
+
+# ----------------------------------------------------------------------
+# shared run state
+# ----------------------------------------------------------------------
+class _StreamState:
+    """Mutable bookkeeping shared by a driver and its slice workers."""
+
+    def __init__(self, plan: ArrivalPlan) -> None:
+        self.plan = plan
+        n = plan.num_slices
+        self.done = [False] * n
+        self.completion: List[Optional[float]] = [None] * n
+        #: True while the pipeline is down after a crash: in-flight
+        #: slices still drain (wasted work) but must not advance the
+        #: externally visible watermark — their results die with the
+        #: pipeline.
+        self.halted = False
+        self.frontier = 0                  # first not-yet-done slice
+        self.watermark = 0.0
+        self.watermarks: List[Tuple[float, float]] = []
+        self.checkpoints = 0
+        self.ckpt_watermark = 0.0          # replay point on failure
+        self.replayed_records = 0
+        self.node_windows: Dict[int, List[float]] = {}
+        self.node_busy: Dict[int, float] = {}
+        self.first_launch = math.inf
+        self.last_completion = 0.0
+
+    def advance_watermark(self, now: float) -> None:
+        if self.halted:
+            # Pipeline is down: draining slices burn resources but
+            # their results are lost, so the watermark must not move
+            # (rollback() recomputes the frontier afterwards).
+            return
+        moved = False
+        while (self.frontier < self.plan.num_slices
+               and self.done[self.frontier]):
+            self.frontier += 1
+            moved = True
+        if moved:
+            self.watermark = self.plan.slice_close(self.frontier - 1)
+            self.watermarks.append((now, self.watermark))
+
+    def rollback(self, now: float) -> List[int]:
+        """Roll back to the last checkpoint; returns the slices to
+        replay (completed or in flight past the checkpoint)."""
+        replay = [k for k in range(self.plan.num_slices)
+                  if self.plan.slice_close(k) > self.ckpt_watermark
+                  and self.completion[k] is not None]
+        for k in replay:
+            self.done[k] = False
+            self.completion[k] = None
+            self.replayed_records += self.plan.counts[k]
+        self.frontier = 0
+        while (self.frontier < self.plan.num_slices
+               and self.done[self.frontier]):
+            self.frontier += 1
+        self.watermark = self.ckpt_watermark
+        self.watermarks.append((now, self.watermark))
+        return replay
+
+    def touch_node(self, node_index: int, start: float,
+                   end: float) -> None:
+        window = self.node_windows.get(node_index)
+        if window is None:
+            self.node_windows[node_index] = [start, end]
+        else:
+            window[0] = min(window[0], start)
+            window[1] = max(window[1], end)
+        self.node_busy[node_index] = (
+            self.node_busy.get(node_index, 0.0) + (end - start))
+
+
+# ----------------------------------------------------------------------
+# continuous-operator engine (Flink-style)
+# ----------------------------------------------------------------------
+class _TokenPool:
+    """Counting semaphore over simulation events: ``acquire`` blocks
+    while ``capacity`` tokens are out — the network-buffer pool whose
+    exhaustion is backpressure."""
+
+    def __init__(self, sim, capacity: int) -> None:
+        self.sim = sim
+        self.capacity = capacity
+        self.in_flight = 0
+        self._waiters: List[Any] = []
+
+    def acquire(self):
+        evt = self.sim.event()
+        if self.in_flight < self.capacity:
+            self.in_flight += 1
+            self.sim._schedule(evt, 0.0)
+        else:
+            self._waiters.append(evt)
+        return evt
+
+    def release(self) -> None:
+        if self._waiters:
+            self.sim._schedule(self._waiters.pop(0), 0.0)
+        else:
+            self.in_flight -= 1
+
+
+def _continuous_slice_proc(cluster: Cluster, state: _StreamState,
+                           model: StreamingWorkloadModel, k: int,
+                           tokens: _TokenPool, done_evt) -> Any:
+    plan = state.plan
+    count = plan.counts[k]
+    n = cluster.num_nodes
+    fluid = cluster.fluid
+    share = count / n
+    cpu = (share * model.core_seconds_per_record
+           * model.streaming_record_overhead)
+    shuffle = (share * model.record_bytes * model.shuffle_fanout
+               * (n - 1) / n)
+    start = cluster.now
+    events = []
+    for node in cluster.nodes:
+        if cpu > 0:
+            events.append(fluid.transfer(cpu, [node.cpu]))
+        if shuffle > 0:
+            events.append(fluid.transfer(shuffle, [node.nic_out]))
+            events.append(fluid.transfer(shuffle, [node.nic_in]))
+    if len(events) == 1:
+        yield events[0]
+    elif events:
+        yield cluster.sim.all_of(events)
+    now = cluster.now
+    state.completion[k] = now
+    state.done[k] = True
+    state.last_completion = max(state.last_completion, now)
+    for ni in range(n):
+        state.touch_node(ni, start, now)
+    state.advance_watermark(now)
+    done_evt.succeed()
+    tokens.release()
+
+
+def _continuous_driver(cluster: Cluster, state: _StreamState,
+                       model: StreamingWorkloadModel,
+                       checkpoint_interval: float, barrier_sync: float,
+                       queue_depth: int, crash_at: Optional[float],
+                       restart_delay: float, crash_log: Dict[str, Any]):
+    sim = cluster.sim
+    plan = state.plan
+    tokens = _TokenPool(sim, queue_depth)
+    done_evts: Dict[int, Any] = {}
+    work = deque(range(plan.num_slices))
+    next_ckpt = checkpoint_interval
+    barriers: List[Tuple[float, float]] = []
+
+    def crash_pending() -> bool:
+        return (crash_at is not None and not crash_log["crashed"]
+                and sim.now >= crash_at - 1e-12)
+
+    def do_crash():
+        crash_log["crashed"] = True
+        crash_log["crash_time"] = sim.now
+        # In-flight slices finish burning resources but their results
+        # are lost with the pipeline (wasted work), then the process
+        # restarts and replays from the last completed barrier.
+        state.halted = True
+        outstanding = [evt for k, evt in done_evts.items()
+                       if not state.done[k]]
+        if outstanding:
+            yield sim.all_of(outstanding)
+        yield sim.timeout(restart_delay)
+        replay = state.rollback(sim.now)
+        state.halted = False
+        merged = sorted(set(replay) | set(work))
+        work.clear()
+        work.extend(merged)
+
+    while True:
+        while work:
+            if crash_pending():
+                yield from do_crash()
+                continue
+            k = work[0]
+            avail = plan.slice_close(k)
+            if sim.now < avail:
+                if (crash_at is not None and not crash_log["crashed"]
+                        and crash_at < avail):
+                    yield sim.timeout(max(0.0, crash_at - sim.now))
+                    continue
+                yield sim.timeout(avail - sim.now)
+            if state.watermark >= next_ckpt - 1e-12:
+                # Aligned barrier: the pipeline stalls while operators
+                # align and snapshot; the checkpoint pins the replay
+                # point for failure recovery.
+                yield sim.timeout(barrier_sync)
+                state.checkpoints += 1
+                state.ckpt_watermark = state.watermark
+                barriers.append((sim.now, state.watermark))
+                next_ckpt += checkpoint_interval
+                continue
+            yield tokens.acquire()
+            work.popleft()
+            state.first_launch = min(state.first_launch, sim.now)
+            evt = sim.event()
+            done_evts[k] = evt
+            sim.process(_continuous_slice_proc(
+                cluster, state, model, k, tokens, evt))
+        outstanding = [evt for k, evt in done_evts.items()
+                       if not state.done[k]]
+        if outstanding:
+            yield sim.all_of(outstanding)
+        if crash_pending():
+            yield from do_crash()
+            continue
+        break
+    crash_log["barriers"] = barriers
+
+
+# ----------------------------------------------------------------------
+# micro-batch engine (Spark-style D-Streams)
+# ----------------------------------------------------------------------
+def _batch_phases(model: StreamingWorkloadModel, nodes: int, cores: int,
+                  records: int, overhead: float) -> List[PhaseSpec]:
+    cpu_total = records * model.core_seconds_per_record
+    shuffle_total = (records * model.record_bytes * model.shuffle_fanout
+                     * (nodes - 1) / nodes)
+    return [
+        PhaseSpec("Receive->FlatMap->MapToPair", "RM",
+                  uniform_resources(nodes,
+                                    cpu_core_seconds=cpu_total * 0.6,
+                                    cpu_slots=cores,
+                                    net_out_bytes=shuffle_total),
+                  startup_delay=overhead),
+        PhaseSpec("Shuffle->ReduceByKey->UpdateState", "SA",
+                  uniform_resources(nodes,
+                                    cpu_core_seconds=cpu_total * 0.4,
+                                    cpu_slots=cores,
+                                    net_in_bytes=shuffle_total)),
+    ]
+
+
+def _dstream_driver(cluster: Cluster, state: _StreamState,
+                    model: StreamingWorkloadModel, batch_interval: float,
+                    checkpoint_interval: float,
+                    crash_at: Optional[float], restart_delay: float,
+                    crash_log: Dict[str, Any]):
+    sim = cluster.sim
+    plan = state.plan
+    cores = cluster.spec.cores
+    n = cluster.num_nodes
+    executor = PhaseExecutor(cluster, hdfs=None, chunks_per_phase=4)
+    tracer = cluster.tracer
+    num_batches = max(1, int(math.ceil(
+        plan.duration / batch_interval - 1e-9)))
+    # Slice k belongs to the batch open when it closes.
+    batches: List[List[int]] = [[] for _ in range(num_batches)]
+    for k in range(plan.num_slices):
+        b = min(num_batches - 1,
+                int((plan.slice_close(k) - 1e-9) // batch_interval))
+        batches[b].append(k)
+    next_ckpt = checkpoint_interval
+
+    def crash_pending() -> bool:
+        return (crash_at is not None and not crash_log["crashed"]
+                and sim.now >= crash_at - 1e-12)
+
+    def do_crash():
+        crash_log["crashed"] = True
+        crash_log["crash_time"] = sim.now
+        yield sim.timeout(restart_delay)
+        # Lineage recomputation: everything since the last RDD/WAL
+        # checkpoint is recomputed as one parallel job (no per-batch
+        # scheduling overhead — it is a single recovery job).
+        replay = state.rollback(sim.now)
+        records = sum(plan.counts[k] for k in replay)
+        restored = max([plan.slice_close(k) for k in replay],
+                       default=state.ckpt_watermark)
+        if replay:
+            span = None
+            if tracer is not None:
+                span = tracer.begin("job", "lineage-recovery", sim.now)
+            yield from executor.run_staged(
+                "lineage-recovery",
+                _batch_phases(model, n, cores, records, overhead=0.0))
+            if tracer is not None:
+                tracer.end(span, sim.now)
+            now = sim.now
+            for k in replay:
+                state.completion[k] = now
+                state.done[k] = True
+            state.advance_watermark(now)
+            assert state.watermark >= restored - 1e-9
+
+    for b, members in enumerate(batches):
+        close = (b + 1) * batch_interval
+        while sim.now < close:
+            if crash_pending():
+                yield from do_crash()
+                continue
+            if (crash_at is not None and not crash_log["crashed"]
+                    and crash_at < close):
+                yield sim.timeout(max(0.0, crash_at - sim.now))
+            else:
+                yield sim.timeout(close - sim.now)
+        if crash_pending():
+            yield from do_crash()
+        records = sum(plan.counts[k] for k in members)
+        state.first_launch = min(state.first_launch, sim.now)
+        start = sim.now
+        span = None
+        if tracer is not None:
+            span = tracer.begin("job", f"batch-{b:04d}", start)
+        yield from executor.run_staged(
+            f"batch-{b:04d}",
+            _batch_phases(model, n, cores, records,
+                          overhead=model.batch_fixed_overhead))
+        if tracer is not None:
+            tracer.end(span, sim.now)
+        now = sim.now
+        state.last_completion = max(state.last_completion, now)
+        for k in members:
+            state.completion[k] = now
+            state.done[k] = True
+        for ni in range(n):
+            state.touch_node(ni, start, now)
+        state.advance_watermark(now)
+        if close >= next_ckpt - 1e-9:
+            # The RDD/state checkpoint piggybacks on the batch job, so
+            # unlike the continuous engine's barrier it adds no stall;
+            # its cost shows up at recovery time instead.
+            state.checkpoints += 1
+            state.ckpt_watermark = close
+            while close >= next_ckpt - 1e-9:
+                next_ckpt += checkpoint_interval
+    if crash_pending():
+        yield from do_crash()
+
+
+# ----------------------------------------------------------------------
+# entry point
+# ----------------------------------------------------------------------
+def _recovery_seconds(watermarks: List[Tuple[float, float]],
+                      crash_time: float, tolerance: float) -> float:
+    """First time after the crash at which the ingest lag (sim time
+    minus watermark) returns to its pre-crash level, as seconds since
+    the crash; NaN when the run never catches back up."""
+    pre = [(t, wm) for t, wm in watermarks if t <= crash_time]
+    if not pre:
+        return math.nan
+    t0, wm0 = pre[-1]
+    steady_lag = t0 - wm0
+    for t, wm in watermarks:
+        if t <= crash_time:
+            continue
+        if t - wm <= steady_lag + tolerance:
+            return t - crash_time
+    return math.nan
+
+
+def run_streaming(engine: str, arrivals, *, duration: float = 30.0,
+                  nodes: int = 8,
+                  model: Optional[StreamingWorkloadModel] = None,
+                  spec: HardwareSpec = GRID5000_PARAVANCE, seed: int = 0,
+                  batch_interval: float = 1.0,
+                  checkpoint_interval: float = 10.0,
+                  barrier_sync: float = DEFAULT_BARRIER_SYNC,
+                  network_buffers: int = 2048, parallelism: int = 16,
+                  crash_at: Optional[float] = None,
+                  restart_delay: float = 2.0,
+                  strict: Optional[bool] = None, tracer=None,
+                  trace_detail: str = "coarse") -> StreamingRunResult:
+    """Execute one streaming run on the fluid kernel.
+
+    ``arrivals`` is either a compiled :class:`~repro.streaming.
+    arrivals.ArrivalPlan` (its duration wins) or an arrival process
+    with a ``compile(seed, duration)`` method.  ``engine`` selects the
+    continuous-operator pipeline (``"flink"``) or the micro-batch
+    D-Stream driver (``"spark"``).  Deterministic for fixed inputs.
+    """
+    if engine not in STREAMING_ENGINES:
+        raise ValueError(f"unknown streaming engine {engine!r}; "
+                         f"one of {STREAMING_ENGINES}")
+    if batch_interval <= 0:
+        raise ValueError("batch_interval must be positive")
+    if checkpoint_interval <= 0:
+        raise ValueError("checkpoint_interval must be positive")
+    if crash_at is not None and crash_at <= 0:
+        raise ValueError("crash_at must be positive")
+    model = model if model is not None else StreamingWorkloadModel()
+    if isinstance(arrivals, ArrivalPlan):
+        plan = arrivals
+    else:
+        plan = arrivals.compile(seed, duration)
+
+    cluster = Cluster(nodes, spec=spec, seed=seed,
+                      trace_detail=trace_detail)
+    cluster.tracer = tracer
+    checker = None
+    if strict_enabled(strict):
+        checker = InvariantChecker().attach(cluster)
+    state = _StreamState(plan)
+    crash_log: Dict[str, Any] = {"crashed": False, "crash_time": None}
+
+    run_span = job_span = None
+    if tracer is not None:
+        run_span = tracer.begin(
+            "run", f"streaming-{engine}-{plan.kind}", 0.0)
+    if engine == "flink":
+        depth = queue_depth_from_buffers(network_buffers, parallelism)
+        if tracer is not None:
+            job_span = tracer.begin("job", "continuous-pipeline", 0.0)
+        driver = _continuous_driver(
+            cluster, state, model, checkpoint_interval, barrier_sync,
+            depth, crash_at, restart_delay, crash_log)
+    else:
+        driver = _dstream_driver(
+            cluster, state, model, batch_interval, checkpoint_interval,
+            crash_at, restart_delay, crash_log)
+    cluster.run_process(driver)
+    makespan = cluster.now
+
+    if tracer is not None:
+        if engine == "flink" and state.first_launch < math.inf:
+            op = tracer.record(
+                "operator", "Source->KeyBy->WindowAggregate",
+                state.first_launch, state.last_completion, key="SKW",
+                parent=job_span)
+            for ni in sorted(state.node_windows):
+                window = state.node_windows[ni]
+                tracer.record("task", f"SKW@node-{ni:03d}", window[0],
+                              window[1], parent=op, key="SKW", node=ni,
+                              busy=state.node_busy.get(ni, 0.0))
+            for i, (t, wm) in enumerate(crash_log.get("barriers", [])):
+                tracer.record("operator", f"barrier-{i:03d}",
+                              t - barrier_sync, t, key="CKPT",
+                              parent=job_span, watermark=wm)
+        if job_span is not None:
+            tracer.end(job_span, makespan)
+        tracer.end(run_span, makespan)
+
+    crashed = bool(crash_log["crashed"])
+    tolerance = (2.0 * plan.slice_width if engine == "flink"
+                 else max(plan.slice_width, 0.25 * batch_interval))
+    recovery = math.nan
+    if crashed:
+        recovery = _recovery_seconds(state.watermarks,
+                                     crash_log["crash_time"], tolerance)
+    drain = max(0.0, makespan - plan.duration)
+    if crashed:
+        drain = max(0.0, drain - restart_delay)
+        stable = not math.isnan(recovery)
+    else:
+        stable = drain <= stable_drain_bound(
+            engine, model, batch_interval, plan.slice_width)
+
+    samples: List[Tuple[float, float, float]] = []
+    processed = 0
+    for k in range(plan.num_slices):
+        count = plan.counts[k]
+        completion = state.completion[k]
+        if completion is None:
+            continue
+        processed += count
+        if count == 0:
+            continue
+        mid = plan.slice_midpoint(k)
+        if engine == "flink":
+            floor = plan.slice_close(k) - mid
+        else:
+            b = min(int(math.ceil(plan.duration / batch_interval
+                                  - 1e-9)) - 1,
+                    int((plan.slice_close(k) - 1e-9) // batch_interval))
+            floor = (b + 1) * batch_interval - mid
+        samples.append((completion - mid, floor, float(count)))
+
+    if checker is not None:
+        checker.audit_cluster(cluster)
+        checker.require_clean(f"streaming {engine}/{plan.kind}")
+
+    return StreamingRunResult(
+        engine=engine, arrival_kind=plan.kind,
+        offered_rate=plan.offered_rate, duration=plan.duration,
+        nodes=nodes, seed=seed, batch_interval=batch_interval,
+        checkpoint_interval=checkpoint_interval,
+        plan_digest=plan.digest(), total_records=plan.total_records,
+        processed_records=processed, samples=samples,
+        watermarks=list(state.watermarks),
+        checkpoints=state.checkpoints, makespan=makespan,
+        drain_seconds=drain, stable=stable, crash_at=crash_at,
+        crashed=crashed, replayed_records=state.replayed_records,
+        recovery_seconds=recovery,
+        sim_events=cluster.sim.steps_executed)

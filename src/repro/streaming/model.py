@@ -18,8 +18,14 @@ same cluster substrate:
   batches queue up and latency diverges.
 
 The question the paper poses — does treating batches as bounded
-streams pay off? — becomes quantitative: the same sustained throughput
-at which latency profile.
+streams pay off? — becomes quantitative: which latency profile each
+architecture sustains at the same offered throughput.
+
+Since the executed engines landed (:mod:`repro.streaming.engines`)
+this closed-form model is the **differential oracle**: the executed
+micro-batch engine must land on its latency curve and both engines on
+its :func:`max_stable_throughput` boundary within the tolerances
+documented in ``tests/streaming/test_differential.py``.
 """
 
 from __future__ import annotations
@@ -46,7 +52,10 @@ class StreamingWorkloadModel:
     #: Mean bytes per record (an event / a line).
     record_bytes: float = 200.0
     #: Per-record processing cost, in core-seconds (parse + key +
-    #: window update).  ~40k records/s/core.
+    #: window update).  The reciprocal is the per-core record rate:
+    #: exactly 40,000 records/s/core with the default value (pinned,
+    #: together with every other constant here, by
+    #: ``tests/streaming/test_model_constants.py``).
     core_seconds_per_record: float = 1.0 / 40000.0
     #: Records shuffled to the aggregation stage per input record.
     shuffle_fanout: float = 1.0

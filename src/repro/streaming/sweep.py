@@ -1,0 +1,331 @@
+"""Streaming campaigns: the fig20/fig21 artefacts.
+
+Two figures answer the §VIII question quantitatively on the executed
+engines (:mod:`repro.streaming.engines`):
+
+* **fig20** — latency percentiles versus offered load, both engines,
+  steady Poisson *and* bursty MMPP arrivals.  The continuous-operator
+  engine holds sub-second percentiles until its capacity; the
+  micro-batch engine pays the residual batch wait everywhere and
+  destabilises earlier under bursts.
+* **fig21** — recovery time after a node crash versus checkpoint
+  interval.  Longer intervals mean more replay (Flink: from the last
+  barrier; Spark: lineage since the last RDD checkpoint), so recovery
+  time grows with the interval on both engines.
+
+The campaign layer mirrors :mod:`repro.resilience.sweep`: every cell
+is deterministic (arrival randomness is compiled into an
+:class:`~repro.streaming.arrivals.ArrivalPlan` before any simulation),
+cells fan out via :func:`~repro.harness.parallel.robust_map` with
+explicit gap reporting, and a
+:class:`~repro.harness.checkpoint.CheckpointStore` journals finished
+cells so a SIGKILLed campaign resumes bit-identically.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..harness.checkpoint import CheckpointStore
+from ..harness.parallel import TaskFailure, robust_map
+from ..validation.digest import digest_payload
+from ..validation.invariants import strict_enabled
+from .arrivals import ARRIVAL_KINDS, make_arrivals
+from .engines import STREAMING_ENGINES, run_streaming
+from .model import StreamingWorkloadModel, max_stable_throughput
+
+__all__ = ["StreamingCell", "StreamingFigure", "streaming_sweep",
+           "streaming_campaign_fingerprint", "DEFAULT_LOAD_FRACTIONS",
+           "DEFAULT_CHECKPOINT_INTERVALS", "FIG21_LOAD_FRACTION",
+           "FIG21_CRASH_AT", "DEFAULT_DURATION", "ENV_DELAY"]
+
+#: Test hook: wall-clock seconds to sleep per cell (stretches campaign
+#: wall time for the kill-and-resume tests without touching any
+#: simulated value).
+ENV_DELAY = "REPRO_STREAMING_DELAY"
+
+#: fig20 x-axis: offered load as a fraction of each engine's own
+#: analytic ``max_stable_throughput`` (so both engines are compared at
+#: the same *relative* pressure).
+DEFAULT_LOAD_FRACTIONS = (0.3, 0.6, 0.8, 0.95)
+
+#: fig21 x-axis.  Chosen so no two intervals share their last
+#: checkpoint boundary before the crash at ``FIG21_CRASH_AT`` — the
+#: replay volume, and hence recovery time, differs at every point.
+DEFAULT_CHECKPOINT_INTERVALS = (1.5, 3.0, 6.0, 12.0)
+
+#: fig21 runs at half capacity: enough headroom that even the longest
+#: checkpoint interval catches back up within the run.
+FIG21_LOAD_FRACTION = 0.5
+FIG21_CRASH_AT = 23.0
+
+DEFAULT_DURATION = 40.0
+
+
+# ----------------------------------------------------------------------
+# cells
+# ----------------------------------------------------------------------
+@dataclass
+class StreamingCell:
+    """One data point: engine x arrival process x load (fig20) or
+    engine x checkpoint interval (fig21)."""
+
+    engine: str
+    arrival_kind: str
+    load_fraction: float
+    checkpoint_interval: float
+    nodes: int
+    seed: int
+    duration: float
+    batch_interval: float
+    crash_at: Optional[float] = None
+    offered_rate: float = math.nan     # realised mean of the plan
+    plan_digest: str = ""
+    total_records: int = 0
+    processed_records: int = 0
+    p50: float = math.nan
+    p95: float = math.nan
+    p99: float = math.nan
+    mean_latency: float = math.nan
+    stable: bool = False
+    drain_seconds: float = math.nan
+    checkpoints: int = 0
+    makespan: float = math.nan
+    crashed: bool = False
+    replayed_records: int = 0
+    recovery_seconds: float = math.nan
+    sim_events: int = 0
+    #: Harness-level gap: the cell's worker crashed, hung or raised —
+    #: nothing was simulated.
+    gap: bool = False
+    gap_detail: Optional[str] = None
+
+    def payload(self) -> Dict[str, Any]:
+        return {
+            "engine": self.engine, "arrival_kind": self.arrival_kind,
+            "load_fraction": self.load_fraction,
+            "checkpoint_interval": self.checkpoint_interval,
+            "nodes": self.nodes, "seed": self.seed,
+            "duration": self.duration,
+            "batch_interval": self.batch_interval,
+            "crash_at": self.crash_at,
+            "offered_rate": self.offered_rate,
+            "plan_digest": self.plan_digest,
+            "total_records": self.total_records,
+            "processed_records": self.processed_records,
+            "p50": self.p50, "p95": self.p95, "p99": self.p99,
+            "mean_latency": self.mean_latency, "stable": self.stable,
+            "drain_seconds": self.drain_seconds,
+            "checkpoints": self.checkpoints, "makespan": self.makespan,
+            "crashed": self.crashed,
+            "replayed_records": self.replayed_records,
+            "recovery_seconds": self.recovery_seconds,
+            "sim_events": self.sim_events,
+            "gap": self.gap, "gap_detail": self.gap_detail,
+        }
+
+    @staticmethod
+    def from_payload(payload: Dict[str, Any]) -> "StreamingCell":
+        return StreamingCell(**payload)
+
+    def describe(self) -> str:
+        head = (f"{self.engine:5s} {self.arrival_kind:7s} "
+                f"load {self.load_fraction:.2f} ck {self.checkpoint_interval:g}s")
+        if self.gap:
+            return f"{head}: GAP ({self.gap_detail})"
+        if not self.stable:
+            return f"{head}: UNSTABLE (drain {self.drain_seconds:.1f}s)"
+        parts = [f"p50 {1000 * self.p50:.0f} ms",
+                 f"p99 {1000 * self.p99:.0f} ms"]
+        if self.crashed:
+            rec = ("never" if math.isnan(self.recovery_seconds)
+                   else f"{self.recovery_seconds:.1f}s")
+            parts.append(f"recovered {rec} "
+                         f"(replayed {self.replayed_records:,d})")
+        return f"{head}: " + ", ".join(parts)
+
+
+def _cell_task(engine: str, kind: str, load_fraction: float,
+               checkpoint_interval: float, nodes: int, seed: int,
+               duration: float, batch_interval: float,
+               crash_at: Optional[float], strict: bool) -> Dict[str, Any]:
+    """Run one streaming cell; module-level and JSON-in/out so it fans
+    across worker processes and journals into a checkpoint store."""
+    delay = float(os.environ.get(ENV_DELAY, "0") or 0)
+    if delay > 0:
+        time.sleep(delay)
+    model = StreamingWorkloadModel()
+    capacity = max_stable_throughput(model, nodes, engine,
+                                     batch_interval=batch_interval)
+    arrivals = make_arrivals(kind, load_fraction * capacity)
+    result = run_streaming(
+        engine, arrivals, duration=duration, nodes=nodes, model=model,
+        seed=seed, batch_interval=batch_interval,
+        checkpoint_interval=checkpoint_interval, crash_at=crash_at,
+        strict=strict)
+    cell = StreamingCell(
+        engine=engine, arrival_kind=kind, load_fraction=load_fraction,
+        checkpoint_interval=checkpoint_interval, nodes=nodes, seed=seed,
+        duration=duration, batch_interval=batch_interval,
+        crash_at=crash_at, offered_rate=result.offered_rate,
+        plan_digest=result.plan_digest,
+        total_records=result.total_records,
+        processed_records=result.processed_records,
+        p50=result.percentile(50), p95=result.percentile(95),
+        p99=result.percentile(99), mean_latency=result.mean_latency,
+        stable=result.stable, drain_seconds=result.drain_seconds,
+        checkpoints=result.checkpoints, makespan=result.makespan,
+        crashed=result.crashed,
+        replayed_records=result.replayed_records,
+        recovery_seconds=result.recovery_seconds,
+        sim_events=result.sim_events)
+    return cell.payload()
+
+
+# ----------------------------------------------------------------------
+# figure
+# ----------------------------------------------------------------------
+@dataclass
+class StreamingFigure:
+    """A fig20 or fig21 artefact: cells plus explicit campaign gaps."""
+
+    figure_id: str
+    title: str
+    nodes: int
+    duration: float
+    cells: List[StreamingCell]
+    gaps: List[StreamingCell] = field(default_factory=list)
+
+    def describe(self) -> str:
+        lines = [self.title]
+        lines.extend(f"  {cell.describe()}" for cell in self.cells)
+        if self.gaps:
+            lines.append(f"  GAPS: {len(self.gaps)} cell(s) not simulated "
+                         f"(harness failures)")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# the campaign
+# ----------------------------------------------------------------------
+def streaming_sweep(
+        figure_id: str = "fig20",
+        engines: Sequence[str] = STREAMING_ENGINES,
+        arrival_kinds: Sequence[str] = ARRIVAL_KINDS,
+        load_fractions: Sequence[float] = DEFAULT_LOAD_FRACTIONS,
+        checkpoint_intervals: Optional[Sequence[float]] = None,
+        nodes: int = 8, seed: int = 0, duration: float = DEFAULT_DURATION,
+        batch_interval: float = 1.0,
+        crash_at: Optional[float] = None,
+        strict: Optional[bool] = None, jobs: Optional[int] = None,
+        timeout: Optional[float] = None, retries: int = 1,
+        checkpoint: Optional[CheckpointStore] = None) -> StreamingFigure:
+    """Run a streaming campaign and assemble the figure.
+
+    Two shapes, selected by ``figure_id``-style arguments:
+
+    * latency sweep (fig20): one cell per engine x arrival kind x load
+      fraction, at a fixed checkpoint interval;
+    * recovery sweep (fig21): pass ``checkpoint_intervals`` and
+      ``crash_at`` — one cell per engine x interval, at a fixed load
+      fraction (the first entry of ``load_fractions``) with Poisson
+      arrivals.
+
+    Cells are independent and deterministic, fanned out via
+    :func:`robust_map`; a cell whose worker raises, crashes or exceeds
+    ``timeout`` is retried and then reported as an explicit gap.
+    ``checkpoint`` journals finished cells for kill-and-resume.
+    """
+    labels: List[Tuple[str, str, float, float]] = []
+    if checkpoint_intervals is not None:
+        fraction = load_fractions[0]
+        for engine in engines:
+            for interval in checkpoint_intervals:
+                labels.append((engine, "poisson", fraction, interval))
+        title = (f"Recovery time vs checkpoint interval "
+                 f"({nodes} nodes, load {fraction:.0%} of capacity, "
+                 f"crash at {crash_at:g}s)")
+    else:
+        default_ckpt = 10.0
+        for engine in engines:
+            for kind in arrival_kinds:
+                for fraction in load_fractions:
+                    labels.append((engine, kind, fraction, default_ckpt))
+        title = (f"Latency percentiles vs offered load "
+                 f"({nodes} nodes, {duration:g}s campaigns)")
+
+    strict_flag = strict_enabled(strict)
+    tasks = [(engine, kind, fraction, interval, nodes, seed, duration,
+              batch_interval, crash_at, strict_flag)
+             for engine, kind, fraction, interval in labels]
+    keys = [digest_payload({
+        "figure_id": figure_id, "engine": e, "arrival_kind": k,
+        "load_fraction": f, "checkpoint_interval": i, "nodes": nodes,
+        "seed": seed, "duration": duration,
+        "batch_interval": batch_interval, "crash_at": crash_at,
+    }) for e, k, f, i in labels]
+
+    pending = list(range(len(tasks)))
+    results: List[Optional[Dict[str, Any]]] = [None] * len(tasks)
+    if checkpoint is not None:
+        pending = []
+        for i, key in enumerate(keys):
+            if key in checkpoint:
+                results[i] = checkpoint.load(key)
+            else:
+                pending.append(i)
+
+    failures: List[TaskFailure] = []
+    if pending:
+        def _journal(pending_pos: int, payload: Dict[str, Any]) -> None:
+            if checkpoint is not None:
+                checkpoint.save(keys[pending[pending_pos]], payload)
+
+        fresh, failures = robust_map(
+            _cell_task, [tasks[i] for i in pending], jobs=jobs,
+            timeout=timeout, retries=retries, on_result=_journal)
+        for pos, result in zip(pending, fresh):
+            results[pos] = result
+
+    cells: List[StreamingCell] = []
+    gaps: List[StreamingCell] = []
+    failed = {pending[f.index]: f for f in failures}
+    for i, (engine, kind, fraction, interval) in enumerate(labels):
+        if results[i] is not None:
+            cells.append(StreamingCell.from_payload(results[i]))
+            continue
+        failure = failed.get(i)
+        gap = StreamingCell(
+            engine=engine, arrival_kind=kind, load_fraction=fraction,
+            checkpoint_interval=interval, nodes=nodes, seed=seed,
+            duration=duration, batch_interval=batch_interval,
+            crash_at=crash_at, gap=True,
+            gap_detail=(failure.describe() if failure is not None
+                        else "missing result"))
+        cells.append(gap)
+        gaps.append(gap)
+    return StreamingFigure(figure_id=figure_id, title=title, nodes=nodes,
+                           duration=duration, cells=cells, gaps=gaps)
+
+
+def streaming_campaign_fingerprint(
+        figure_id: str, engines: Sequence[str],
+        arrival_kinds: Sequence[str], load_fractions: Sequence[float],
+        checkpoint_intervals: Optional[Sequence[float]], nodes: int,
+        seed: int, duration: float, batch_interval: float,
+        crash_at: Optional[float]) -> Dict[str, Any]:
+    """The identity payload a checkpoint store pins for a campaign."""
+    return {
+        "figure_id": figure_id, "engines": list(engines),
+        "arrival_kinds": list(arrival_kinds),
+        "load_fractions": list(load_fractions),
+        "checkpoint_intervals": (list(checkpoint_intervals)
+                                 if checkpoint_intervals is not None
+                                 else None),
+        "nodes": nodes, "seed": seed, "duration": duration,
+        "batch_interval": batch_interval, "crash_at": crash_at,
+    }

@@ -33,6 +33,7 @@ __all__ = [
     "table_payload",
     "fault_payload",
     "trace_payload",
+    "streaming_payload",
 ]
 
 
@@ -151,6 +152,23 @@ def resilience_payload(fig) -> Dict[str, Any]:
         "nodes": fig.nodes,
         "rates": list(fig.rates),
         "trials": fig.trials,
+        "cells": [cell.payload() for cell in fig.cells],
+    }
+
+
+def streaming_payload(fig) -> Dict[str, Any]:
+    """Observable output of a fig20/fig21 streaming campaign.
+
+    Every cell's payload is included — compiled arrival-plan digest,
+    latency percentiles, stability, checkpoint and recovery
+    accounting — so a change to the arrival compiler, either engine,
+    or the campaign layer changes the digest.  Gap cells are
+    observable too.
+    """
+    return {
+        "figure_id": fig.figure_id,
+        "nodes": fig.nodes,
+        "duration": fig.duration,
         "cells": [cell.payload() for cell in fig.cells],
     }
 

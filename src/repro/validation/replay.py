@@ -29,8 +29,8 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from ..harness import figures
 from .digest import (digest_payload, fault_payload, resilience_payload,
-                     resource_payload, scaling_payload, table_payload,
-                     trace_payload)
+                     resource_payload, scaling_payload, streaming_payload,
+                     table_payload, trace_payload)
 
 __all__ = [
     "ReplayScenario",
@@ -90,6 +90,20 @@ def _fig19(seed: int, strict: Optional[bool]) -> Any:
     return resilience_payload(fig)
 
 
+def _fig20(seed: int, strict: Optional[bool]) -> Any:
+    fig = figures.fig20_streaming_latency(
+        seed=seed, nodes=4, load_fractions=(0.3, 0.9), duration=20.0,
+        strict=strict)
+    return streaming_payload(fig)
+
+
+def _fig21(seed: int, strict: Optional[bool]) -> Any:
+    fig = figures.fig21_streaming_recovery(
+        seed=seed, nodes=4, checkpoint_intervals=(2.0, 9.0),
+        crash_at=13.0, duration=24.0, strict=strict)
+    return streaming_payload(fig)
+
+
 def _trace01(seed: int, strict: Optional[bool]) -> Any:
     from ..config.presets import GiB, wordcount_grep_preset
     from ..harness.runner import run_traced
@@ -116,6 +130,12 @@ SCENARIOS: Dict[str, ReplayScenario] = {
     "fig19": ReplayScenario(
         "fig19", "Stochastic resilience curves (8 nodes, rates 0 and 1, "
         "three workloads)", _fig19),
+    "fig20": ReplayScenario(
+        "fig20", "Streaming latency vs load (4 nodes, Poisson + MMPP, "
+        "two load points)", _fig20),
+    "fig21": ReplayScenario(
+        "fig21", "Streaming recovery vs checkpoint interval (4 nodes, "
+        "crash at 13s)", _fig21),
     "trace01": ReplayScenario(
         "trace01", "Word Count span trace + Chrome export (Spark, 8 nodes)",
         _trace01),

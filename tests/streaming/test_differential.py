@@ -1,0 +1,91 @@
+"""Differential tests: the executed engines vs the analytic oracle.
+
+Since the executed engines landed, the closed-form model in
+:mod:`repro.streaming.model` is demoted to an *oracle*: the engines
+must land on its curves within documented tolerances.  The tolerances
+(and why they are what they are):
+
+* **D-Stream mean latency** — the executed engine and the analytic
+  model share the same structure (residual batch wait + batch service
+  time), so the means agree tightly at moderate load; the executed
+  engine additionally quantises arrivals into ingest slices of width
+  ``DEFAULT_SLICE_WIDTH``, so we allow 30% + one slice width.
+* **Continuous mean latency** — the analytic model charges pure
+  service + queueing per record; the executed engine ingests in
+  slices, adding between half a slice (records mid-slice) and two
+  slices (queue granularity) of latency.  The *difference* is pinned
+  to that band rather than a ratio: the analytic mean is sub-10 ms,
+  so a ratio would be meaninglessly loose.
+* **Capacity boundary** — overloaded executed runs must process at
+  close to the analytic ``max_stable_throughput``: sustained
+  throughput within 12%.
+"""
+
+import pytest
+
+from repro.streaming import (DEFAULT_SLICE_WIDTH, PoissonArrivals,
+                             StreamingWorkloadModel,
+                             max_stable_throughput, run_streaming,
+                             simulate_flink_streaming,
+                             simulate_spark_dstreams)
+
+MODEL = StreamingWorkloadModel()
+NODES = 4
+W = DEFAULT_SLICE_WIDTH
+
+
+@pytest.mark.parametrize("fraction", [0.3, 0.6])
+def test_dstream_mean_latency_matches_analytic(fraction):
+    cap = max_stable_throughput(MODEL, NODES, "spark", batch_interval=1.0)
+    rate = fraction * cap
+    sim = run_streaming("spark", PoissonArrivals(rate), duration=30.0,
+                        nodes=NODES, seed=0)
+    oracle = simulate_spark_dstreams(MODEL, rate, duration=30.0,
+                                     nodes=NODES, seed=0)
+    assert sim.stable and oracle.stable
+    tol = 0.30 * oracle.mean_latency + W
+    assert sim.mean_latency == pytest.approx(oracle.mean_latency, abs=tol)
+
+
+@pytest.mark.parametrize("fraction", [0.3, 0.6, 0.8])
+def test_continuous_latency_offset_is_slice_granularity(fraction):
+    cap = max_stable_throughput(MODEL, NODES, "flink")
+    rate = fraction * cap
+    sim = run_streaming("flink", PoissonArrivals(rate), duration=30.0,
+                        nodes=NODES, seed=0)
+    oracle = simulate_flink_streaming(MODEL, rate, duration=30.0,
+                                      nodes=NODES, seed=0)
+    assert sim.stable and oracle.stable
+    offset = sim.mean_latency - oracle.mean_latency
+    # The executed engine can only ADD the ingest-slice residual on
+    # top of the analytic service time; it cannot beat the oracle.
+    assert W / 2 <= offset <= 2 * W, (fraction, offset)
+
+
+@pytest.mark.parametrize("engine", ["flink", "spark"])
+def test_overload_throughput_tracks_analytic_capacity(engine):
+    """Push 1.4x the analytic capacity for the live window; sustained
+    processing throughput must sit at the analytic ceiling (12%)."""
+    cap = max_stable_throughput(MODEL, NODES, engine, batch_interval=1.0)
+    duration = 30.0
+    r = run_streaming(engine, PoissonArrivals(1.4 * cap),
+                      duration=duration, nodes=NODES, seed=1)
+    assert not r.stable
+    sustained = r.processed_records / r.makespan
+    assert sustained == pytest.approx(cap, rel=0.12)
+
+
+def test_analytic_stability_verdicts_agree_with_executed():
+    """Both layers must agree on which side of the boundary a load
+    sits, at the documented 15% margin."""
+    for engine in ("flink", "spark"):
+        cap = max_stable_throughput(MODEL, NODES, engine,
+                                    batch_interval=1.0)
+        oracle = (simulate_flink_streaming if engine == "flink"
+                  else simulate_spark_dstreams)
+        for factor, expect_stable in ((0.85, True), (1.15, False)):
+            a = oracle(MODEL, factor * cap, duration=40.0, nodes=NODES)
+            s = run_streaming(engine, PoissonArrivals(factor * cap),
+                              duration=40.0, nodes=NODES, seed=2)
+            assert a.stable == expect_stable, (engine, factor)
+            assert s.stable == expect_stable, (engine, factor)

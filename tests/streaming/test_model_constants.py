@@ -1,0 +1,76 @@
+"""Pin the analytic ``StreamingWorkloadModel`` constants and the
+model's unstable-regime behaviour.
+
+The constants are load-bearing twice over: the analytic curves are the
+differential oracle for the executed engines, and every fig20/fig21
+offered rate is expressed as a fraction of ``max_stable_throughput``.
+A silent constant drift would shift every golden digest, so the values
+are pinned here (the model docstring points at this file).
+"""
+
+import math
+
+import pytest
+
+from repro.streaming import (StreamingWorkloadModel,
+                             max_stable_throughput,
+                             simulate_flink_streaming,
+                             simulate_spark_dstreams)
+
+MODEL = StreamingWorkloadModel()
+
+
+def test_model_constants_are_pinned():
+    assert MODEL.record_bytes == 200.0
+    # Exactly 40,000 records/s/core — the docstring's reciprocal claim.
+    assert MODEL.core_seconds_per_record == pytest.approx(1.0 / 40000.0)
+    assert 1.0 / MODEL.core_seconds_per_record == pytest.approx(40000.0)
+    assert MODEL.shuffle_fanout == 1.0
+    assert MODEL.batch_fixed_overhead == 0.15
+    assert MODEL.streaming_record_overhead == 1.25
+
+
+def test_model_is_frozen():
+    with pytest.raises(Exception):
+        MODEL.record_bytes = 100.0
+
+
+def test_capacity_formulas():
+    # flink: total_cores / (csr * streaming_record_overhead)
+    nodes, cores = 4, 16
+    flink = max_stable_throughput(MODEL, nodes, "flink")
+    assert flink == pytest.approx(nodes * cores / (
+        MODEL.core_seconds_per_record * MODEL.streaming_record_overhead))
+    # spark: capacity * (I - overhead) / I at batch interval I
+    interval = 1.0
+    spark = max_stable_throughput(MODEL, nodes, "spark",
+                                  batch_interval=interval)
+    raw = nodes * cores / MODEL.core_seconds_per_record
+    assert spark == pytest.approx(
+        raw * (interval - MODEL.batch_fixed_overhead) / interval)
+    # A shorter interval leaves less useful time per batch.
+    tighter = max_stable_throughput(MODEL, nodes, "spark",
+                                    batch_interval=0.5)
+    assert tighter < spark
+
+
+def test_latency_diverges_approaching_capacity():
+    """The analytic queueing term must blow up as load -> capacity and
+    flag instability beyond it (the documented divergence)."""
+    cap = max_stable_throughput(MODEL, 4, "flink")
+    means = [simulate_flink_streaming(MODEL, f * cap, duration=20.0,
+                                      nodes=4).mean_latency
+             for f in (0.5, 0.9, 0.99)]
+    assert means[0] < means[1] < means[2]
+    assert means[2] > 5 * means[0]
+    over = simulate_flink_streaming(MODEL, 1.05 * cap, duration=20.0,
+                                    nodes=4)
+    assert not over.stable
+    assert math.isnan(over.mean_latency) or not over.latencies
+
+
+def test_dstream_unstable_when_batch_exceeds_interval():
+    cap = max_stable_throughput(MODEL, 4, "spark", batch_interval=1.0)
+    over = simulate_spark_dstreams(MODEL, 1.05 * cap, duration=20.0,
+                                   nodes=4)
+    assert not over.stable

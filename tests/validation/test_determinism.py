@@ -17,7 +17,8 @@ import pytest
 
 from repro.harness import figures as F
 from repro.validation.digest import (digest_payload, resource_payload,
-                                     scaling_payload, table_payload)
+                                     scaling_payload, streaming_payload,
+                                     table_payload)
 
 SEED = 20160913  # the paper's CLUSTER 2016 presentation date
 
@@ -54,6 +55,15 @@ FIGURES = [
     ("fig17", lambda: _resource_digest(F.fig17_cc_resources, nodes=24)),
     ("tab07", lambda: digest_payload(table_payload(
         F.tab07_large_graph(seed=SEED, node_counts=(27,), strict=True)))),
+    ("fig20", lambda: digest_payload(streaming_payload(
+        F.fig20_streaming_latency(seed=SEED, nodes=4,
+                                  load_fractions=(0.3, 0.6),
+                                  duration=12.0, strict=True)))),
+    ("fig21", lambda: digest_payload(streaming_payload(
+        F.fig21_streaming_recovery(seed=SEED, nodes=4,
+                                   checkpoint_intervals=(2.0, 9.0),
+                                   crash_at=13.0, duration=24.0,
+                                   strict=True)))),
 ]
 
 
