@@ -37,8 +37,11 @@ Commands
     micro-batch D-Streams on the fluid kernel): the latency-vs-load
     sweep (``fig20``, Poisson + bursty MMPP arrivals) or, with
     ``--recovery``, the recovery-time-vs-checkpoint-interval sweep
-    (``fig21``, node crash mid-run).  Checkpointable and resumable
-    like ``resilience``.
+    (``fig21``, node crash mid-run), or, with ``--degrade``, the
+    overload-survival sweep (``fig22``: load multiples of the
+    stability boundary x stochastic fault rates x degradation
+    policies — restart strategies, load shedding, adaptive batching).
+    Checkpointable and resumable like ``resilience``.
 ``validate``
     Self-check the simulator: run the replay scenarios under strict
     invariant checking; with ``--replay``, also compare their trace
@@ -61,6 +64,8 @@ python -m repro resilience --rates 0 0.5 1 2 --trials 3 \\
 python -m repro streaming --loads 0.3 0.6 0.9
 python -m repro streaming --recovery --crash-at 23 \\
     --checkpoint runs/fig21 --resume
+python -m repro streaming --degrade --load-multiples 1.0 1.5 2.0 \\
+    --fault-rates 0 0.5 --checkpoint runs/fig22 --resume
 python -m repro validate --replay
 """
 
@@ -162,7 +167,7 @@ def cmd_list(_args) -> int:
     print("resource figures:", ", ".join(sorted(RESOURCE_FIGURES)))
     print("fault figures: fig18")
     print("resilience figures: fig19")
-    print("streaming figures: fig20 fig21")
+    print("streaming figures: fig20 fig21 fig22")
     print("tables: table7")
     return 0
 
@@ -232,6 +237,22 @@ def cmd_figure(args) -> int:
             checkpoint.close()
         print(fig.describe())
         return 1 if (fig.gaps and args.strict) else 0
+    if fig_id == "fig22":
+        from .streaming.sweep import (DEFAULT_FAULT_RATES,
+                                      DEFAULT_LOAD_MULTIPLES,
+                                      STREAMING_ENGINES,
+                                      degradation_campaign_fingerprint)
+        checkpoint = _open_checkpoint(args, degradation_campaign_fingerprint(
+            "fig22", STREAMING_ENGINES, DEFAULT_LOAD_MULTIPLES,
+            DEFAULT_FAULT_RATES, ("none", "degrade"), 8, args.seed,
+            40.0, 1.0))
+        fig = figure_registry.fig22_degradation(
+            seed=args.seed, strict=strict, jobs=args.jobs,
+            checkpoint=checkpoint)
+        if checkpoint is not None:
+            checkpoint.close()
+        print(fig.describe())
+        return 1 if (fig.gaps and args.strict) else 0
     if fig_id in ("fig20", "fig21"):
         from .streaming.sweep import (ARRIVAL_KINDS,
                                       DEFAULT_CHECKPOINT_INTERVALS,
@@ -278,7 +299,7 @@ def cmd_figure(args) -> int:
                   f"({c.retries} retries, {c.restarts} restarts)")
         return 0
     known = (sorted(FIGURES) + sorted(RESOURCE_FIGURES)
-             + ["fig18", "fig19", "fig20", "fig21"])
+             + ["fig18", "fig19", "fig20", "fig21", "fig22"])
     print(f"unknown figure {fig_id!r}; try one of {known}",
           file=sys.stderr)
     return 2
@@ -314,8 +335,39 @@ def cmd_resilience(args) -> int:
 
 
 def cmd_streaming(args) -> int:
-    from .streaming.sweep import (streaming_campaign_fingerprint,
+    from .streaming.sweep import (degradation_campaign_fingerprint,
+                                  degradation_sweep,
+                                  streaming_campaign_fingerprint,
                                   streaming_sweep)
+    if args.degrade and args.recovery:
+        print("--degrade and --recovery are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    if args.degrade:
+        multiples = tuple(args.load_multiples)
+        rates = tuple(args.fault_rates)
+        policies = tuple(args.policies)
+        checkpoint = _open_checkpoint(args, degradation_campaign_fingerprint(
+            "fig22", args.engines, multiples, rates, policies, args.nodes,
+            args.seed, args.duration, args.batch_interval))
+        fig = degradation_sweep(
+            figure_id="fig22", engines=args.engines,
+            load_multiples=multiples, fault_rates=rates,
+            policies=policies, nodes=args.nodes, seed=args.seed,
+            duration=args.duration, batch_interval=args.batch_interval,
+            strict=args.strict or None, jobs=args.jobs,
+            timeout=args.timeout, retries=args.retries,
+            checkpoint=checkpoint)
+        if checkpoint is not None:
+            checkpoint.close()
+        print(fig.describe())
+        if fig.gaps:
+            print(f"{len(fig.gaps)} cell(s) missing (worker crash/"
+                  f"timeout); rerun with --checkpoint/--resume to fill "
+                  f"them in", file=sys.stderr)
+            if args.strict:
+                return 1
+        return 0
     if args.recovery:
         figure_id = "fig21"
         kinds = ("poisson",)
@@ -549,7 +601,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="audit simulator invariants during the run")
 
     p_fig = sub.add_parser("figure", help="regenerate a paper figure")
-    p_fig.add_argument("id", help="fig01..fig21")
+    p_fig.add_argument("id", help="fig01..fig22")
     p_fig.add_argument("--trials", type=int, default=3)
     p_fig.add_argument("--seed", type=int, default=0)
     p_fig.add_argument("--strict", action="store_true",
@@ -668,8 +720,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_str = sub.add_parser(
         "streaming",
-        help="executed streaming engines: latency vs load (fig20) or, "
-             "with --recovery, recovery vs checkpoint interval (fig21)")
+        help="executed streaming engines: latency vs load (fig20), "
+             "--recovery: recovery vs checkpoint interval (fig21), "
+             "--degrade: overload survival (fig22)")
     p_str.add_argument("--engines", nargs="+", choices=("spark", "flink"),
                        default=["flink", "spark"])
     p_str.add_argument("--arrivals", nargs="+",
@@ -683,6 +736,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_str.add_argument("--recovery", action="store_true",
                        help="run the fig21 crash-recovery sweep instead "
                             "of the fig20 latency sweep")
+    p_str.add_argument("--degrade", action="store_true",
+                       help="run the fig22 overload-survival sweep "
+                            "(load multiples x fault rates x policies)")
+    p_str.add_argument("--load-multiples", type=float, nargs="+",
+                       default=[1.0, 1.25, 1.5, 2.0],
+                       help="offered load as multiples of each engine's "
+                            "stability boundary (degradation sweep)")
+    p_str.add_argument("--fault-rates", type=float, nargs="+",
+                       default=[0.0, 0.5],
+                       help="stochastic crash rates per node "
+                            "(degradation sweep)")
+    p_str.add_argument("--policies", nargs="+",
+                       choices=("none", "degrade"),
+                       default=["none", "degrade"],
+                       help="degradation policies to compare "
+                            "(degradation sweep)")
     p_str.add_argument("--load", type=float, default=0.5,
                        help="load fraction for the recovery sweep")
     p_str.add_argument("--checkpoint-intervals", type=float, nargs="+",

@@ -15,7 +15,11 @@ the main cost profiles —
   many-small-runs profile of parameter exploration (traces off);
 * ``streaming_pair``      — both executed streaming engines (continuous
   operators and micro-batch D-Streams) under Poisson load: the
-  slice/batch-driver profile of the fig20/fig21 campaigns.
+  slice/batch-driver profile of the fig20/fig21 campaigns;
+* ``streaming_degrade``   — both engines at 1.5x their stability
+  boundary with repeated crashes and the degradation policies active
+  (backoff restarts, shedding, adaptive batching): the per-slice
+  policy-decision overhead of the fig22 campaign.
 
 — and reports wall-clock plus simulated events/second for each, so a
 perf regression (or win) in any layer shows up as a number, not a
@@ -55,7 +59,7 @@ TiB = float(2**40)
 
 BENCH_CASE_NAMES = ("batch_terasort", "iterative_pagerank",
                     "fault_recovery", "sweep_wordcount",
-                    "streaming_pair")
+                    "streaming_pair", "streaming_degrade")
 
 
 @dataclass
@@ -228,12 +232,46 @@ def _case_streaming_pair(quick: bool, seed: int,
                      runs=len(tasks), sim_events=sum(events))
 
 
+def _bench_degrade_run(engine: str, rate: float, duration: float,
+                       nodes: int, seed: int) -> int:
+    """Worker: one overloaded run with the degrade policies active."""
+    from ..streaming import (PoissonArrivals, compile_crash_schedule,
+                             resolve_policy, run_streaming)
+    strategy, shedding, batch_policy = resolve_policy(engine, "degrade")
+    schedule = compile_crash_schedule(seed, nodes, duration, 0.5)
+    result = run_streaming(engine, PoissonArrivals(rate),
+                           duration=duration, nodes=nodes, seed=seed,
+                           crash_times=schedule,
+                           restart_strategy=strategy, shedding=shedding,
+                           batch_policy=batch_policy)
+    return result.sim_events
+
+
+def _case_streaming_degrade(quick: bool, seed: int,
+                            jobs: Optional[int]) -> BenchCase:
+    from ..streaming import StreamingWorkloadModel, max_stable_throughput
+    nodes = 4 if quick else 8
+    duration = 20.0 if quick else 60.0
+    model = StreamingWorkloadModel()
+    tasks = [(engine,
+              1.5 * max_stable_throughput(model, nodes, engine,
+                                          batch_interval=1.0),
+              duration, nodes, seed)
+             for engine in ("flink", "spark")]
+    t0 = time.perf_counter()
+    events = parallel_map(_bench_degrade_run, tasks, jobs=jobs)
+    wall = time.perf_counter() - t0
+    return BenchCase(name="streaming_degrade", wall_seconds=wall,
+                     runs=len(tasks), sim_events=sum(events))
+
+
 _CASES = {
     "batch_terasort": _case_batch_terasort,
     "iterative_pagerank": _case_iterative_pagerank,
     "fault_recovery": _case_fault_recovery,
     "sweep_wordcount": _case_sweep_wordcount,
     "streaming_pair": _case_streaming_pair,
+    "streaming_degrade": _case_streaming_degrade,
 }
 
 

@@ -43,6 +43,7 @@ __all__ = [
     "FaultCell", "FaultFigure", "fig18_fault_recovery",
     "fig19_resilience", "fig20_streaming_latency",
     "fig21_streaming_recovery",
+    "fig22_degradation",
 ]
 
 GiB = float(2**30)
@@ -743,6 +744,45 @@ def fig21_streaming_recovery(seed: int = 0, nodes: int = 8,
                               if checkpoint_intervals is not None
                               else DEFAULT_CHECKPOINT_INTERVALS),
         crash_at=crash_at if crash_at is not None else FIG21_CRASH_AT,
+        nodes=nodes, seed=seed,
+        duration=duration if duration is not None else DEFAULT_DURATION,
+        strict=strict, jobs=jobs, timeout=timeout, checkpoint=checkpoint)
+
+
+def fig22_degradation(seed: int = 0, nodes: int = 8,
+                      load_multiples: Optional[Sequence[float]] = None,
+                      fault_rates: Optional[Sequence[float]] = None,
+                      policies: Optional[Sequence[str]] = None,
+                      duration: Optional[float] = None,
+                      strict: Optional[bool] = None,
+                      jobs: Optional[int] = None,
+                      timeout: Optional[float] = None,
+                      checkpoint=None):
+    """Overload survival: goodput, loss fraction, p99 latency and
+    availability vs offered load x fault rate x degradation policy.
+
+    Each cell runs one engine under Poisson arrivals at a *multiple*
+    of its stability boundary, with a crash schedule compiled from the
+    stochastic fault model (common random numbers across engines and
+    policies).  The ``"none"`` policy is the fixed-delay,
+    never-shedding baseline whose latency diverges above 1.0x; the
+    ``"degrade"`` policy (backoff restarts + shedding / adaptive
+    batching) keeps p99 within the policy's bound at a measured loss
+    fraction.  Deterministic per seed and bit-identical at any job
+    count; pass ``checkpoint`` to journal cells and resume.
+    """
+    from ..streaming.sweep import (DEFAULT_DURATION, DEFAULT_FAULT_RATES,
+                                   DEFAULT_LOAD_MULTIPLES,
+                                   degradation_sweep)
+    return degradation_sweep(
+        figure_id="fig22",
+        load_multiples=(tuple(load_multiples)
+                        if load_multiples is not None
+                        else DEFAULT_LOAD_MULTIPLES),
+        fault_rates=(tuple(fault_rates) if fault_rates is not None
+                     else DEFAULT_FAULT_RATES),
+        policies=(tuple(policies) if policies is not None
+                  else ("none", "degrade")),
         nodes=nodes, seed=seed,
         duration=duration if duration is not None else DEFAULT_DURATION,
         strict=strict, jobs=jobs, timeout=timeout, checkpoint=checkpoint)

@@ -1,6 +1,6 @@
-"""Streaming campaigns: the fig20/fig21 artefacts.
+"""Streaming campaigns: the fig20/fig21/fig22 artefacts.
 
-Two figures answer the §VIII question quantitatively on the executed
+Three figures answer the §VIII question quantitatively on the executed
 engines (:mod:`repro.streaming.engines`):
 
 * **fig20** — latency percentiles versus offered load, both engines,
@@ -12,6 +12,19 @@ engines (:mod:`repro.streaming.engines`):
   interval.  Longer intervals mean more replay (Flink: from the last
   barrier; Spark: lineage since the last RDD checkpoint), so recovery
   time grows with the interval on both engines.
+* **fig22** — overload survival: goodput, loss fraction, p99 latency
+  and availability versus offered load (1.0x-2.0x the stability
+  boundary) x fault rate x degradation policy, per engine.  The
+  ``"none"`` policy is the PR 6 baseline (fixed-delay restarts, no
+  shedding): above 1x its latency diverges with the run length.  The
+  ``"degrade"`` policy (:func:`~repro.streaming.policies.
+  resolve_policy`: backoff restarts plus probabilistic shedding on the
+  continuous engine / PID-adaptive batching on the micro-batch engine)
+  keeps p99 within the policy's pinned bound at the measured cost of a
+  loss fraction.  Crash schedules come from PR 5's
+  :class:`~repro.resilience.stochastic.StochasticFaultModel` with
+  common random numbers: the same seed x fault rate gives every
+  engine x policy the identical crash sequence.
 
 The campaign layer mirrors :mod:`repro.resilience.sweep`: every cell
 is deterministic (arrival randomness is compiled into an
@@ -41,7 +54,10 @@ from .model import StreamingWorkloadModel, max_stable_throughput
 __all__ = ["StreamingCell", "StreamingFigure", "streaming_sweep",
            "streaming_campaign_fingerprint", "DEFAULT_LOAD_FRACTIONS",
            "DEFAULT_CHECKPOINT_INTERVALS", "FIG21_LOAD_FRACTION",
-           "FIG21_CRASH_AT", "DEFAULT_DURATION", "ENV_DELAY"]
+           "FIG21_CRASH_AT", "DEFAULT_DURATION", "ENV_DELAY",
+           "DegradeCell", "DegradationFigure", "degradation_sweep",
+           "degradation_campaign_fingerprint", "DEFAULT_LOAD_MULTIPLES",
+           "DEFAULT_FAULT_RATES"]
 
 #: Test hook: wall-clock seconds to sleep per cell (stretches campaign
 #: wall time for the kill-and-resume tests without touching any
@@ -64,6 +80,16 @@ FIG21_LOAD_FRACTION = 0.5
 FIG21_CRASH_AT = 23.0
 
 DEFAULT_DURATION = 40.0
+
+#: fig22 x-axis: offered load as a *multiple* of each engine's
+#: stability boundary — everything at or above 1.0 overloads the
+#: baseline.
+DEFAULT_LOAD_MULTIPLES = (1.0, 1.25, 1.5, 2.0)
+
+#: fig22 fault axis: expected crashes per node over the run's relative
+#: window (PR 5's :class:`StochasticFaultModel` ``crash_rate``); 0.0 is
+#: the overload-only story, the positive rate adds repeated crashes.
+DEFAULT_FAULT_RATES = (0.0, 0.5)
 
 
 # ----------------------------------------------------------------------
@@ -328,4 +354,263 @@ def streaming_campaign_fingerprint(
                                  else None),
         "nodes": nodes, "seed": seed, "duration": duration,
         "batch_interval": batch_interval, "crash_at": crash_at,
+    }
+
+
+# ----------------------------------------------------------------------
+# fig22: the degradation campaign
+# ----------------------------------------------------------------------
+@dataclass
+class DegradeCell:
+    """One fig22 data point: engine x load multiple x fault rate x
+    degradation policy."""
+
+    engine: str
+    load_multiple: float
+    fault_rate: float
+    policy: str                        # "none" | "degrade"
+    nodes: int
+    seed: int
+    duration: float
+    batch_interval: float
+    offered_rate: float = math.nan
+    plan_digest: str = ""
+    crash_schedule: List[float] = field(default_factory=list)
+    total_records: int = 0
+    processed_records: int = 0
+    dropped_records: int = 0
+    lost_records: int = 0
+    goodput: float = math.nan
+    loss_fraction: float = math.nan
+    p50: float = math.nan
+    p99: float = math.nan
+    p99_bound: float = math.nan
+    availability: float = math.nan
+    crashes: int = 0
+    restarts: int = 0
+    job_failed: bool = False
+    stable: bool = False
+    makespan: float = math.nan
+    downtime_seconds: float = math.nan
+    shed_events: int = 0
+    recovery_seconds: float = math.nan
+    sim_events: int = 0
+    gap: bool = False
+    gap_detail: Optional[str] = None
+
+    def payload(self) -> Dict[str, Any]:
+        return {
+            "engine": self.engine, "load_multiple": self.load_multiple,
+            "fault_rate": self.fault_rate, "policy": self.policy,
+            "nodes": self.nodes, "seed": self.seed,
+            "duration": self.duration,
+            "batch_interval": self.batch_interval,
+            "offered_rate": self.offered_rate,
+            "plan_digest": self.plan_digest,
+            "crash_schedule": list(self.crash_schedule),
+            "total_records": self.total_records,
+            "processed_records": self.processed_records,
+            "dropped_records": self.dropped_records,
+            "lost_records": self.lost_records,
+            "goodput": self.goodput,
+            "loss_fraction": self.loss_fraction,
+            "p50": self.p50, "p99": self.p99,
+            "p99_bound": self.p99_bound,
+            "availability": self.availability,
+            "crashes": self.crashes, "restarts": self.restarts,
+            "job_failed": self.job_failed, "stable": self.stable,
+            "makespan": self.makespan,
+            "downtime_seconds": self.downtime_seconds,
+            "shed_events": self.shed_events,
+            "recovery_seconds": self.recovery_seconds,
+            "sim_events": self.sim_events,
+            "gap": self.gap, "gap_detail": self.gap_detail,
+        }
+
+    @staticmethod
+    def from_payload(payload: Dict[str, Any]) -> "DegradeCell":
+        return DegradeCell(**payload)
+
+    def describe(self) -> str:
+        head = (f"{self.engine:5s} {self.load_multiple:.2f}x "
+                f"faults {self.fault_rate:g} {self.policy:7s}")
+        if self.gap:
+            return f"{head}: GAP ({self.gap_detail})"
+        if self.job_failed:
+            return (f"{head}: JOB FAILED after {self.restarts} "
+                    f"restart(s), availability {self.availability:.0%}")
+        parts = [f"goodput {self.goodput:,.0f} rec/s",
+                 f"loss {self.loss_fraction:.1%}",
+                 f"p99 {self.p99:.2f}s",
+                 f"avail {self.availability:.0%}"]
+        if not self.stable:
+            parts.append(f"UNSTABLE (drained to {self.makespan:.0f}s)")
+        if self.crashes:
+            parts.append(f"{self.crashes} crash(es)")
+        return f"{head}: " + ", ".join(parts)
+
+
+def _degrade_task(engine: str, load_multiple: float, fault_rate: float,
+                  policy: str, nodes: int, seed: int, duration: float,
+                  batch_interval: float,
+                  strict: bool) -> Dict[str, Any]:
+    """Run one fig22 cell (module-level, JSON-in/out for robust_map)."""
+    from .policies import compile_crash_schedule, resolve_policy
+    delay = float(os.environ.get(ENV_DELAY, "0") or 0)
+    if delay > 0:
+        time.sleep(delay)
+    model = StreamingWorkloadModel()
+    capacity = max_stable_throughput(model, nodes, engine,
+                                     batch_interval=batch_interval)
+    arrivals = make_arrivals("poisson", load_multiple * capacity)
+    # Common random numbers: the schedule depends only on
+    # (seed, nodes, duration, fault_rate), so every engine x policy at
+    # a given fault rate faces the identical crash sequence.
+    schedule = compile_crash_schedule(seed, nodes, duration, fault_rate)
+    strategy, shedding, batch_policy = resolve_policy(engine, policy)
+    result = run_streaming(
+        engine, arrivals, duration=duration, nodes=nodes, model=model,
+        seed=seed, batch_interval=batch_interval,
+        checkpoint_interval=10.0, crash_times=schedule,
+        restart_strategy=strategy, shedding=shedding,
+        batch_policy=batch_policy, strict=strict)
+    cell = DegradeCell(
+        engine=engine, load_multiple=load_multiple,
+        fault_rate=fault_rate, policy=policy, nodes=nodes, seed=seed,
+        duration=duration, batch_interval=batch_interval,
+        offered_rate=result.offered_rate,
+        plan_digest=result.plan_digest,
+        crash_schedule=list(result.crash_schedule),
+        total_records=result.total_records,
+        processed_records=result.processed_records,
+        dropped_records=result.dropped_records,
+        lost_records=result.lost_records, goodput=result.goodput,
+        loss_fraction=result.loss_fraction,
+        p50=result.percentile(50), p99=result.percentile(99),
+        p99_bound=result.p99_bound, availability=result.availability,
+        crashes=len(result.crashes), restarts=result.restarts,
+        job_failed=result.job_failed, stable=result.stable,
+        makespan=result.makespan,
+        downtime_seconds=result.downtime_seconds,
+        shed_events=result.shed_events,
+        recovery_seconds=result.recovery_seconds,
+        sim_events=result.sim_events)
+    return cell.payload()
+
+
+@dataclass
+class DegradationFigure:
+    """The fig22 artefact: cells plus explicit campaign gaps."""
+
+    figure_id: str
+    title: str
+    nodes: int
+    duration: float
+    cells: List[DegradeCell]
+    gaps: List[DegradeCell] = field(default_factory=list)
+
+    def describe(self) -> str:
+        lines = [self.title]
+        lines.extend(f"  {cell.describe()}" for cell in self.cells)
+        if self.gaps:
+            lines.append(f"  GAPS: {len(self.gaps)} cell(s) not "
+                         f"simulated (harness failures)")
+        return "\n".join(lines)
+
+
+def degradation_sweep(
+        figure_id: str = "fig22",
+        engines: Sequence[str] = STREAMING_ENGINES,
+        load_multiples: Sequence[float] = DEFAULT_LOAD_MULTIPLES,
+        fault_rates: Sequence[float] = DEFAULT_FAULT_RATES,
+        policies: Sequence[str] = ("none", "degrade"),
+        nodes: int = 8, seed: int = 0,
+        duration: float = DEFAULT_DURATION,
+        batch_interval: float = 1.0,
+        strict: Optional[bool] = None, jobs: Optional[int] = None,
+        timeout: Optional[float] = None, retries: int = 1,
+        checkpoint: Optional[CheckpointStore] = None
+) -> DegradationFigure:
+    """Run the fig22 degradation campaign and assemble the figure.
+
+    One cell per engine x load multiple x fault rate x policy, fanned
+    out via :func:`robust_map` exactly like :func:`streaming_sweep`
+    (gaps, retries, checkpoint journaling, bit-identical at any
+    ``jobs``).
+    """
+    labels: List[Tuple[str, float, float, str]] = []
+    for engine in engines:
+        for multiple in load_multiples:
+            for rate in fault_rates:
+                for policy in policies:
+                    labels.append((engine, multiple, rate, policy))
+    title = (f"Overload survival: goodput/loss/p99/availability vs "
+             f"load multiple x fault rate x policy "
+             f"({nodes} nodes, {duration:g}s campaigns)")
+
+    strict_flag = strict_enabled(strict)
+    tasks = [(engine, multiple, rate, policy, nodes, seed, duration,
+              batch_interval, strict_flag)
+             for engine, multiple, rate, policy in labels]
+    keys = [digest_payload({
+        "figure_id": figure_id, "engine": e, "load_multiple": m,
+        "fault_rate": r, "policy": p, "nodes": nodes, "seed": seed,
+        "duration": duration, "batch_interval": batch_interval,
+    }) for e, m, r, p in labels]
+
+    pending = list(range(len(tasks)))
+    results: List[Optional[Dict[str, Any]]] = [None] * len(tasks)
+    if checkpoint is not None:
+        pending = []
+        for i, key in enumerate(keys):
+            if key in checkpoint:
+                results[i] = checkpoint.load(key)
+            else:
+                pending.append(i)
+
+    failures: List[TaskFailure] = []
+    if pending:
+        def _journal(pending_pos: int, payload: Dict[str, Any]) -> None:
+            if checkpoint is not None:
+                checkpoint.save(keys[pending[pending_pos]], payload)
+
+        fresh, failures = robust_map(
+            _degrade_task, [tasks[i] for i in pending], jobs=jobs,
+            timeout=timeout, retries=retries, on_result=_journal)
+        for pos, result in zip(pending, fresh):
+            results[pos] = result
+
+    cells: List[DegradeCell] = []
+    gaps: List[DegradeCell] = []
+    failed = {pending[f.index]: f for f in failures}
+    for i, (engine, multiple, rate, policy) in enumerate(labels):
+        if results[i] is not None:
+            cells.append(DegradeCell.from_payload(results[i]))
+            continue
+        failure = failed.get(i)
+        gap = DegradeCell(
+            engine=engine, load_multiple=multiple, fault_rate=rate,
+            policy=policy, nodes=nodes, seed=seed, duration=duration,
+            batch_interval=batch_interval, gap=True,
+            gap_detail=(failure.describe() if failure is not None
+                        else "missing result"))
+        cells.append(gap)
+        gaps.append(gap)
+    return DegradationFigure(figure_id=figure_id, title=title,
+                             nodes=nodes, duration=duration,
+                             cells=cells, gaps=gaps)
+
+
+def degradation_campaign_fingerprint(
+        figure_id: str, engines: Sequence[str],
+        load_multiples: Sequence[float], fault_rates: Sequence[float],
+        policies: Sequence[str], nodes: int, seed: int, duration: float,
+        batch_interval: float) -> Dict[str, Any]:
+    """The identity payload a checkpoint store pins for fig22."""
+    return {
+        "figure_id": figure_id, "engines": list(engines),
+        "load_multiples": list(load_multiples),
+        "fault_rates": list(fault_rates),
+        "policies": list(policies), "nodes": nodes, "seed": seed,
+        "duration": duration, "batch_interval": batch_interval,
     }

@@ -157,7 +157,9 @@ def resilience_payload(fig) -> Dict[str, Any]:
 
 
 def streaming_payload(fig) -> Dict[str, Any]:
-    """Observable output of a fig20/fig21 streaming campaign.
+    """Observable output of a fig20/fig21/fig22 streaming campaign
+    (the degradation figure shares the shape: id, nodes, duration,
+    per-cell payloads).
 
     Every cell's payload is included — compiled arrival-plan digest,
     latency percentiles, stability, checkpoint and recovery

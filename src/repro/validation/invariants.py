@@ -115,6 +115,7 @@ class InvariantChecker:
             "engine_audit": 0,
             "frame_audit": 0,
             "fault_audit": 0,
+            "streaming_audit": 0,
         }
         self._last_pop_time = 0.0
 
@@ -322,6 +323,87 @@ class InvariantChecker:
                     f"faults: {name} bandwidth is {actual} but the fault "
                     f"trace says it should be {expected} "
                     f"({series.last_value:.3g} of baseline {baseline})")
+
+    def audit_streaming(self, result) -> None:
+        """Audit a finished streaming run's accounting and timelines.
+
+        Checks, in order: exact record conservation (``total ==
+        processed + dropped + lost`` with ``lost`` only on a failed
+        job), sample-weight/latency-floor sanity, watermark timeline
+        ordering with value regressions allowed *only* at sanctioned
+        restart-rollback times, restart/crash count balance, and —
+        when a degradation policy promises one — a finite p99 within
+        the policy's bound (plus crash downtime and one checkpoint
+        interval of lineage replay per crash).
+        """
+        import math
+        self.checks["streaming_audit"] += 1
+        total = result.total_records
+        accounted = (result.processed_records + result.dropped_records
+                     + result.lost_records)
+        if accounted != total:
+            self._record(
+                f"streaming: record conservation broken: "
+                f"{result.processed_records} processed + "
+                f"{result.dropped_records} dropped + "
+                f"{result.lost_records} lost != {total} ingested")
+        if result.lost_records > 0 and not result.job_failed:
+            self._record(
+                f"streaming: {result.lost_records} records lost but the "
+                f"job did not fail (only a failed job may lose "
+                f"admitted records)")
+        weight_sum = sum(w for _l, _f, w in result.samples)
+        if abs(weight_sum - result.processed_records) > 1e-6:
+            self._record(
+                f"streaming: sample weights sum to {weight_sum} but "
+                f"{result.processed_records} records were processed")
+        for latency, floor, weight in result.samples:
+            if weight <= 0:
+                self._record(
+                    f"streaming: sample with non-positive weight {weight}")
+                break
+            if floor < -1e-9 or latency < floor - 1e-9:
+                self._record(
+                    f"streaming: latency {latency} below its "
+                    f"architectural floor {floor}")
+                break
+        rollbacks = list(result.rollbacks)
+        prev_t = -math.inf
+        prev_wm = -math.inf
+        for t, wm in result.watermarks:
+            if t < prev_t - 1e-9:
+                self._record(
+                    f"streaming: watermark timeline runs backwards "
+                    f"({prev_t} -> {t})")
+                break
+            if wm < prev_wm - 1e-9 and not any(
+                    abs(t - rb) <= 1e-9 for rb in rollbacks):
+                self._record(
+                    f"streaming: watermark regressed {prev_wm} -> {wm} "
+                    f"at t={t} outside any restart rollback")
+                break
+            prev_t, prev_wm = t, wm
+        expected_restarts = (len(result.crashes)
+                             - (1 if result.job_failed else 0))
+        if result.restarts != expected_restarts:
+            self._record(
+                f"streaming: {result.restarts} restart(s) recorded for "
+                f"{len(result.crashes)} crash(es) "
+                f"(job_failed={result.job_failed})")
+        if math.isfinite(result.p99_bound) and not result.job_failed:
+            p99 = result.percentile(99)
+            # Every crash can roll processing back by up to one
+            # checkpoint interval of lineage replay, and the delays
+            # compound for records caught in successive rollbacks, so
+            # the crash allowance scales with the crash count.
+            allowance = (result.p99_bound + result.downtime_seconds
+                         + len(result.crashes) * result.checkpoint_interval)
+            if not math.isfinite(p99) or p99 > allowance:
+                self._record(
+                    f"streaming: p99 latency {p99} exceeds the active "
+                    f"policy's bound {result.p99_bound} "
+                    f"(+{allowance - result.p99_bound:.3g} crash "
+                    f"allowance)")
 
     def audit_frames(self, frames) -> None:
         """Physical bounds on resampled monitoring panels."""

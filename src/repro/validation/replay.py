@@ -104,6 +104,13 @@ def _fig21(seed: int, strict: Optional[bool]) -> Any:
     return streaming_payload(fig)
 
 
+def _fig22(seed: int, strict: Optional[bool]) -> Any:
+    fig = figures.fig22_degradation(
+        seed=seed, nodes=4, load_multiples=(1.0, 1.5),
+        fault_rates=(0.0, 0.5), duration=16.0, strict=strict)
+    return streaming_payload(fig)
+
+
 def _trace01(seed: int, strict: Optional[bool]) -> Any:
     from ..config.presets import GiB, wordcount_grep_preset
     from ..harness.runner import run_traced
@@ -136,6 +143,9 @@ SCENARIOS: Dict[str, ReplayScenario] = {
     "fig21": ReplayScenario(
         "fig21", "Streaming recovery vs checkpoint interval (4 nodes, "
         "crash at 13s)", _fig21),
+    "fig22": ReplayScenario(
+        "fig22", "Streaming overload survival (4 nodes, two load "
+        "multiples x two fault rates x both policies)", _fig22),
     "trace01": ReplayScenario(
         "trace01", "Word Count span trace + Chrome export (Spark, 8 nodes)",
         _trace01),

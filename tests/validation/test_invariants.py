@@ -225,3 +225,78 @@ def test_runner_strict_mode_runs_clean():
     result = run_once("spark", WordCount(total_bytes=2 * GiB),
                       wordcount_grep_preset(2), seed=3, strict=True)
     assert result.success
+
+
+# ----------------------------------------------------------------------
+# streaming audit: clean runs pass, corrupted ledgers are flagged
+# ----------------------------------------------------------------------
+def _streaming_result(**kwargs):
+    from repro.streaming import PoissonArrivals, run_streaming
+    defaults = dict(duration=10.0, nodes=2, seed=5)
+    defaults.update(kwargs)
+    return run_streaming("flink", PoissonArrivals(200_000.0), **defaults)
+
+
+def test_streaming_audit_passes_a_clean_run():
+    checker = InvariantChecker()
+    checker.audit_streaming(_streaming_result())
+    assert not checker.violations
+    assert checker.checks["streaming_audit"] == 1
+
+
+def test_streaming_broken_conservation_is_flagged():
+    result = _streaming_result()
+    result.dropped_records += 7  # cook the books
+    checker = InvariantChecker()
+    checker.audit_streaming(result)
+    assert any("record conservation broken" in v for v in checker.violations)
+    with pytest.raises(InvariantViolation, match="conservation"):
+        checker.require_clean("cooked ledger")
+
+
+def test_streaming_loss_without_job_failure_is_flagged():
+    result = _streaming_result()
+    result.lost_records += 3
+    result.total_records += 3  # keep conservation intact: isolate the check
+    checker = InvariantChecker()
+    checker.audit_streaming(result)
+    assert any("did not fail" in v for v in checker.violations)
+
+
+def test_streaming_watermark_regression_outside_rollback_is_flagged():
+    result = _streaming_result()
+    assert len(result.watermarks) > 2
+    t, wm = result.watermarks[-1]
+    result.watermarks[-1] = (t, wm - 5.0)  # regress with no crash rollback
+    checker = InvariantChecker()
+    checker.audit_streaming(result)
+    assert any("regressed" in v for v in checker.violations)
+
+
+def test_streaming_rollback_sanctions_a_watermark_regression():
+    result = _streaming_result()
+    t, wm = result.watermarks[-1]
+    result.watermarks[-1] = (t, wm - 5.0)
+    result.rollbacks.append(t)  # a restart rollback at that instant
+    checker = InvariantChecker()
+    checker.audit_streaming(result)
+    assert not checker.violations
+
+
+def test_streaming_restart_count_mismatch_is_flagged():
+    result = _streaming_result(crash_at=4.0)
+    result.restarts += 1
+    checker = InvariantChecker()
+    checker.audit_streaming(result)
+    assert any("restart(s) recorded" in v for v in checker.violations)
+
+
+def test_streaming_p99_over_policy_bound_is_flagged():
+    from repro.streaming import resolve_policy
+    _, shedding, _ = resolve_policy("flink", "degrade")
+    result = _streaming_result(shedding=shedding)
+    result.p99_bound = 1e-6  # tighten the promise until it breaks
+    checker = InvariantChecker()
+    checker.audit_streaming(result)
+    assert any("exceeds the active policy's bound" in v
+               for v in checker.violations)
