@@ -570,7 +570,21 @@ def cmd_validate(args) -> int:
 
 
 def cmd_bench(args) -> int:
-    from .harness.bench import run_bench, write_report
+    from .harness.bench import compare_reports, run_bench, write_report
+    if args.compare:
+        import json as _json
+        path_a, path_b = args.compare
+        try:
+            with open(path_a, encoding="utf-8") as fh:
+                payload_a = _json.load(fh)
+            with open(path_b, encoding="utf-8") as fh:
+                payload_b = _json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read bench report: {exc}",
+                  file=sys.stderr)
+            return 1
+        print(compare_reports(payload_a, payload_b))
+        return 0
     report = run_bench(quick=args.quick, jobs=args.jobs, seed=args.seed,
                        label=args.label, echo=print)
     print(f"{'TOTAL':20s} {report.total_wall_seconds:8.3f}s "
@@ -802,6 +816,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--seed", type=int, default=0)
     p_bench.add_argument("--label", default="",
                          help="label recorded in the report")
+    p_bench.add_argument("--compare", nargs=2, default=None,
+                         metavar=("BENCH_A", "BENCH_B"),
+                         help="compare two existing BENCH_*.json reports "
+                              "(A = baseline) and print per-case "
+                              "speedup/regression instead of running")
     p_bench.add_argument("--out", default=None,
                          help="report path (default BENCH_<date>.json)")
     return parser

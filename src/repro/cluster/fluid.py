@@ -21,6 +21,16 @@ percent) — these become the "Disk util %", "I/O MiB/s" and
 controlled by the scheduler's ``trace_detail``: ``"full"`` records every
 rate change, ``"coarse"`` only busy/idle transitions, ``"off"`` nothing
 — sweeps that need only durations skip the trace cost entirely.
+
+Scale: reallocations are *batched*.  Callers that change many flows at
+one instant (a node starting all the transfers of a chunk, a wakeup
+finishing several flows) funnel through :meth:`FluidScheduler.transfer_many`
+and :meth:`FluidScheduler._reallocate_many`, which resolve every
+affected component once, solve all single-flow components together —
+through a numpy array pass when the batch is large enough — and refresh
+the kernel wakeup a single time.  The arithmetic is operation-for-
+operation identical to the scalar path, so traces and completion times
+are bit-identical; only the Python overhead changes.
 """
 
 from __future__ import annotations
@@ -28,7 +38,9 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+import numpy as np
 
 from .simulation import Event, Simulation, SimulationError
 from .trace import StepSeries
@@ -39,6 +51,11 @@ _EPS = 1e-12
 
 #: Valid ``trace_detail`` settings, in decreasing order of fidelity.
 TRACE_DETAIL_MODES = ("full", "coarse", "off")
+
+#: Minimum number of single-flow components in one batch before the
+#: numpy solve pays for its gather/scatter; below it the scalar loop is
+#: faster.  Both produce bit-identical rates (see _solve_singles_array).
+_VEC_MIN_SINGLES = 8
 
 
 class Capacity:
@@ -53,7 +70,7 @@ class Capacity:
     """
 
     __slots__ = ("name", "bandwidth", "flows", "throughput", "utilisation",
-                 "contention_alpha", "bw_high_water")
+                 "contention_alpha", "bw_high_water", "last_rate")
 
     def __init__(self, name: str, bandwidth: float,
                  contention_alpha: float = 0.0) -> None:
@@ -72,6 +89,13 @@ class Capacity:
         self.flows: Set["Flow"] = set()
         self.throughput = StepSeries()   # bytes/s allocated
         self.utilisation = StepSeries()  # percent of bandwidth
+        #: Aggregate rate as of the last ``_record*`` call.  Lets the
+        #: scheduler's hot paths skip the record entirely when the rate
+        #: is unchanged — the resulting series are identical because
+        #: :meth:`StepSeries.append` collapses equal-value runs anyway.
+        #: (Every rate change goes through a ``_record*`` call, so this
+        #: mirror never goes stale while tracing is on.)
+        self.last_rate: float = 0.0
 
     def effective_bandwidth(self) -> float:
         n = len(self.flows)
@@ -95,6 +119,7 @@ class Capacity:
             rate = sum(())  # int 0, matching the historical idle value
         else:
             rate = sum([f.rate for f in flows])
+        self.last_rate = rate
         series = self.throughput
         times = series.times
         values = series.values
@@ -128,9 +153,49 @@ class Capacity:
             times.append(now)
             values.append(util)
 
-    def _record_coarse(self, now: float) -> None:
+    def _record_rate(self, now: float, rate: float) -> None:
+        """Exact twin of :meth:`_record` for a rate the caller knows.
+
+        Single-flow fast paths know the aggregate (the lone flow's rate)
+        without touching the flow set; they also consult ``last_rate``
+        first and skip the call entirely when nothing changed.
+        """
+        self.last_rate = rate
+        series = self.throughput
+        times = series.times
+        values = series.values
+        if times:
+            if now == times[-1]:
+                values[-1] = rate
+            elif values[-1] != rate:
+                times.append(now)
+                values.append(rate)
+            else:
+                return
+        elif rate != series.initial:
+            times.append(now)
+            values.append(rate)
+        else:
+            return
+        util = min(100.0, 100.0 * rate / self.bandwidth)
+        series = self.utilisation
+        times = series.times
+        values = series.values
+        if times:
+            if now == times[-1]:
+                values[-1] = util
+            elif values[-1] != util:
+                times.append(now)
+                values.append(util)
+        elif util != series.initial:
+            times.append(now)
+            values.append(util)
+
+    def _record_coarse(self, now: float, rate: Optional[float] = None) -> None:
         """Trace only busy/idle transitions (``trace_detail="coarse"``)."""
-        rate = sum([f.rate for f in self.flows])
+        if rate is None:
+            rate = sum([f.rate for f in self.flows])
+        self.last_rate = rate
         if (rate > 0.0) != (self.throughput.last_value > 0.0):
             self.throughput.append(now, rate)
             self.utilisation.append(
@@ -162,7 +227,7 @@ class Flow:
 
     __slots__ = ("id", "size", "remaining", "capacities", "rate", "done",
                  "started_at", "last_update", "rate_cap", "rate_stamp",
-                 "comp", "heap_finish")
+                 "comp", "heap_finish", "prev_rate")
 
     _ids = itertools.count()
 
@@ -177,6 +242,10 @@ class Flow:
         self.remaining = float(size)
         self.capacities = tuple(capacities)
         self.rate = 0.0
+        #: Rate at the start of the last contended solve — scratch used
+        #: by :meth:`FluidScheduler._solve_multi` to detect which flows
+        #: (and therefore which capacity aggregates) actually moved.
+        self.prev_rate = 0.0
         self.done = done
         self.started_at = now
         self.last_update = now
@@ -199,6 +268,14 @@ class Flow:
                 f"remaining={self.remaining:.3g}, rate={self.rate:.3g})")
 
 
+#: A transfer request accepted by :meth:`FluidScheduler.transfer_many`:
+#: ``(size, capacities)`` or ``(size, capacities, rate_cap)``.
+TransferRequest = Union[
+    Tuple[float, Sequence[Capacity]],
+    Tuple[float, Sequence[Capacity], Optional[float]],
+]
+
+
 class FluidScheduler:
     """Owns all active flows and keeps their completion events on time.
 
@@ -210,22 +287,45 @@ class FluidScheduler:
     arrival, lazy re-derivation after removals), completions are tracked
     with a lazy heap keyed by each flow's current finish estimate, and
     single-flow components take a closed-form fast path through the
-    max–min solver.
+    max–min solver.  Batch entry points (:meth:`transfer_many`, the
+    wakeup handler) resolve all affected components once and solve the
+    single-flow ones together — via one numpy pass for large batches —
+    with bit-identical results.
+
+    ``fast_forward`` (opt-in, default off) trades exactness for speed:
+    when set to a relative tolerance ``tol``, a wakeup also *absorbs*
+    flow completions due within ``tol * max(now, 1)`` seconds — but
+    never past the next independently scheduled kernel event — and
+    delivers them at the current instant.  Each absorbed completion
+    lands at most ``tol * max(now, 1)`` seconds early; early barriers
+    compound along the critical path, so a run with ``k`` absorbed
+    completions on its critical path can finish up to a factor
+    ``1 - (1 - tol)^k`` early (see docs/performance.md for measured
+    drifts).  With ``fast_forward=None`` the scheduler is bit-identical
+    to the exact implementation.
     """
 
-    def __init__(self, sim: Simulation, trace_detail: str = "full") -> None:
+    def __init__(self, sim: Simulation, trace_detail: str = "full",
+                 fast_forward: Optional[float] = None) -> None:
         if trace_detail not in TRACE_DETAIL_MODES:
             raise ValueError(
                 f"trace_detail must be one of {TRACE_DETAIL_MODES}, "
                 f"got {trace_detail!r}")
+        if fast_forward is not None and not 0.0 < fast_forward < 1.0:
+            raise ValueError(
+                f"fast_forward must be None or in (0, 1), got {fast_forward}")
         self.sim = sim
         self.trace_detail = trace_detail
+        self.fast_forward = fast_forward
         self._flows: Set[Flow] = set()
         self._finish_heap: List = []  # (finish_time, flow_id, flow, rate_stamp)
         self._wakeup: Optional[Event] = None
         self._wakeup_time = math.inf
         self.completed_count = 0
         self.aborted_count = 0
+        #: Completions delivered early by the fast-forward mode (0 when
+        #: the mode is off — i.e. whenever bit-exactness is required).
+        self.fast_forwarded_count = 0
         self.total_bytes_moved = 0.0
         #: Completed bytes per capacity name (conservation ledger).
         self.bytes_by_capacity: Dict[str, float] = {}
@@ -254,46 +354,46 @@ class FluidScheduler:
             return done
         flow = Flow(size, capacities, done, self.sim.now, rate_cap)
         self._flows.add(flow)
-        # An arriving flow bridges the components of every flow it now
-        # shares a capacity with; if they are all exact, their union plus
-        # the new flow is exactly the new component (no traversal).
-        comps: Set[_Component] = set()
-        clean = True
-        for cap in flow.capacities:
-            for f in cap.flows:
-                c = f.comp
-                comps.add(c)
-                if c.dirty:
-                    clean = False
-        for cap in flow.capacities:
-            cap.flows.add(flow)
-        if clean and len(comps) <= 1:
-            if comps:
-                comp = comps.pop()
-                comp.flows.add(flow)
-            else:
-                comp = _Component({flow})
-            flow.comp = comp
-            self._reallocate_component(flow, comp.flows)
-        elif clean:
-            # Merge into the largest neighbour component.
-            big = max(comps, key=lambda c: len(c.flows))
-            for c in comps:
-                if c is big:
-                    continue
-                big.flows.update(c.flows)
-                for f in c.flows:
-                    f.comp = big
-            big.flows.add(flow)
-            flow.comp = big
-            self._reallocate_component(flow, big.flows)
-        else:
-            # A neighbour component is stale; re-derive lazily.
-            comp = _Component({flow})
-            comp.dirty = True
-            flow.comp = comp
-            self._reallocate_component(flow)
+        component = self._insert_flow(flow)
+        self._reallocate_component(flow, component)
         return done
+
+    def transfer_many(self, requests: Sequence[TransferRequest]) -> List[Event]:
+        """Start several flows at the current instant with one solve.
+
+        ``requests`` is a sequence of ``(size, capacities)`` or
+        ``(size, capacities, rate_cap)`` tuples; the returned events are
+        in request order.  Observably identical to calling
+        :meth:`transfer` once per request at the same simulated instant
+        — intermediate rates between the individual starts are never
+        visible to anyone (no kernel event can run in between), so the
+        per-arrival reallocations, finish-heap churn and wakeup
+        cancel/reschedule cycles are pure overhead that this entry point
+        skips.
+        """
+        sim = self.sim
+        now = sim.now
+        events: List[Event] = []
+        seeds: List[Flow] = []
+        flows = self._flows
+        for req in requests:
+            size = req[0]
+            if size < 0:
+                raise ValueError(f"flow size must be >= 0, got {size}")
+            done = Event(sim)
+            events.append(done)
+            if size <= _EPS:
+                sim._schedule(done, 0.0)
+                done.value = 0.0
+                continue
+            flow = Flow(size, req[1], done, now,
+                        req[2] if len(req) > 2 else None)
+            flows.add(flow)
+            self._insert_flow(flow)
+            seeds.append(flow)
+        if seeds:
+            self._reallocate_many(seeds)
+        return events
 
     @property
     def active_flows(self) -> int:
@@ -317,6 +417,10 @@ class FluidScheduler:
         cap.bandwidth = float(bandwidth)
         cap.bw_high_water = max(cap.bw_high_water, cap.bandwidth)
         if cap.flows:
+            # The bandwidth changed, so the utilisation trace must be
+            # re-recorded even at an unchanged rate: poison the cached
+            # aggregate so the fast paths cannot skip the record.
+            cap.last_rate = math.nan
             self._reallocate_component(next(iter(cap.flows)))
         else:
             self._record_cap(cap, self.sim.now)
@@ -350,16 +454,13 @@ class FluidScheduler:
             self.aborted_count += 1
             aborted.append(flow)
         # Survivors in the released neighbourhoods pick up the freed
-        # bandwidth.
-        seen: Set[Flow] = set()
+        # bandwidth: one batched pass over the distinct components.
+        neighbours: List[Flow] = []
         for flow in aborted:
             for cap in flow.capacities:
-                for other in list(cap.flows):
-                    if other in seen or other not in self._flows:
-                        continue
-                    component = self._component_for(other)
-                    seen.update(component)
-                    self._reallocate_component(other, component)
+                neighbours.extend(cap.flows)
+        if neighbours:
+            self._reallocate_many(neighbours)
         for flow in aborted:
             for cap in flow.capacities:
                 if not cap.flows:
@@ -373,6 +474,52 @@ class FluidScheduler:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+    def _insert_flow(self, flow: Flow) -> Optional[Set[Flow]]:
+        """Register ``flow`` on its capacities and merge components.
+
+        Returns the exact component membership when it is known (clean
+        merge), or None when a stale neighbour forces the caller to
+        re-derive lazily.  Does *not* reallocate.
+        """
+        # An arriving flow bridges the components of every flow it now
+        # shares a capacity with; if they are all exact, their union plus
+        # the new flow is exactly the new component (no traversal).
+        comps: Set[_Component] = set()
+        clean = True
+        for cap in flow.capacities:
+            for f in cap.flows:
+                c = f.comp
+                comps.add(c)
+                if c.dirty:
+                    clean = False
+        for cap in flow.capacities:
+            cap.flows.add(flow)
+        if clean and len(comps) <= 1:
+            if comps:
+                comp = comps.pop()
+                comp.flows.add(flow)
+            else:
+                comp = _Component({flow})
+            flow.comp = comp
+            return comp.flows
+        if clean:
+            # Merge into the largest neighbour component.
+            big = max(comps, key=lambda c: len(c.flows))
+            for c in comps:
+                if c is big:
+                    continue
+                big.flows.update(c.flows)
+                for f in c.flows:
+                    f.comp = big
+            big.flows.add(flow)
+            flow.comp = big
+            return big.flows
+        # A neighbour component is stale; re-derive lazily.
+        comp = _Component({flow})
+        comp.dirty = True
+        flow.comp = comp
+        return None
+
     @staticmethod
     def _component_of(seed: Flow) -> Set[Flow]:
         """Flows transitively sharing a capacity with ``seed``."""
@@ -445,61 +592,304 @@ class FluidScheduler:
 
         if len(component) == 1:
             flow, = component
+            self._solve_single(flow, now)
+            if self.checker is not None:
+                self.checker.check_max_min(self, component)
+            self._update_finish(component, now)
+            detail = self.trace_detail
+            rate = flow.rate
+            if detail == "full":
+                for cap in flow.capacities:
+                    if rate != cap.last_rate:
+                        cap._record_rate(now, rate)
+            elif detail == "coarse":
+                for cap in flow.capacities:
+                    if rate != cap.last_rate:
+                        cap._record_coarse(now, rate)
+            self._refresh_wakeup()
+            return
+
+        touched = self._solve_multi(component, now, seed.capacities)
+        if self.checker is not None:
+            self.checker.check_max_min(self, component)
+        self._update_finish(component, now)
+        detail = self.trace_detail
+        if detail == "full":
+            for cap in touched:
+                cap._record(now)
+        elif detail == "coarse":
+            for cap in touched:
+                cap._record_coarse(now)
+        self._refresh_wakeup()
+
+    def _reallocate_many(self, seeds: Sequence[Flow],
+                         refresh: bool = True) -> None:
+        """Recompute every distinct component touching ``seeds`` at once.
+
+        The batched twin of :meth:`_reallocate_component`: affected
+        components are resolved once (duplicate seeds and already-
+        finished flows are skipped), single-flow components are solved
+        together — in one numpy pass for large batches — multi-flow
+        components go through the exact progressive-filling solver, and
+        the kernel wakeup is refreshed a single time at the end.
+        Components are disjoint, so solving them in any grouping yields
+        the same rates; every individual solve is arithmetic-identical
+        to the per-seed path.  ``refresh=False`` lets a caller that
+        refreshes the kernel wakeup itself (the wakeup handler) skip
+        the intermediate refresh.
+        """
+        now = self.sim.now
+        flows = self._flows
+        seen: Set[Flow] = set()
+        singles: List[Flow] = []
+        multis: List[Set[Flow]] = []
+        # Every seed's capacities are force-recorded: seeds are exactly
+        # the flows on capacities whose membership just changed (a
+        # completion's survivors, a fresh insert), so their aggregates
+        # must be re-read even when no surviving rate moved.  Singleton
+        # seeds are force-marked too — their capacities carry no other
+        # flow, so they can never appear in a multi component's record
+        # list and the extra entries are inert.
+        force: Set[Capacity] = set()
+        for seed in seeds:
+            if seed not in flows:
+                continue
+            if seed in seen:
+                force.update(seed.capacities)
+                continue
+            component = self._component_for(seed)
+            seen.update(component)
+            if len(component) == 1:
+                singles.append(seed)
+            else:
+                multis.append(component)
+                force.update(seed.capacities)
+        checker = self.checker
+        detail = self.trace_detail
+        full = detail == "full"
+        coarse = detail == "coarse"
+        if singles:
+            heap = self._finish_heap
+            inf = math.inf
+            push = heapq.heappush
+            vec = len(singles) >= _VEC_MIN_SINGLES
+            if vec:
+                self._solve_singles_array(singles, now)
+            # One fused pass per flow: solve (unless vectorized above),
+            # audit, refresh the finish-heap entry and record the trace.
+            # Singles are disjoint components, so per-flow fusion is
+            # observably identical to the stage-by-stage order.
+            for flow in singles:
+                if not vec:
+                    # _solve_single, inlined (hot path).
+                    dt = now - flow.last_update
+                    if dt > 0:
+                        rem = flow.remaining - flow.rate * dt
+                        flow.remaining = rem if rem > 0.0 else 0.0
+                    flow.last_update = now
+                    best_share = inf
+                    for cap in flow.capacities:
+                        share = cap.bandwidth
+                        nf = len(cap.flows)
+                        if nf > 1 and cap.contention_alpha != 0.0:
+                            share = share / (
+                                1.0 + cap.contention_alpha * (nf - 1))
+                        if share < best_share - _EPS:
+                            best_share = share
+                    rate_cap = flow.rate_cap
+                    if rate_cap is not None and rate_cap < best_share - _EPS:
+                        flow.rate = rate_cap
+                    else:
+                        flow.rate = best_share
+                if checker is not None:
+                    checker.check_max_min(self, (flow,))
+                # _update_finish, inlined.
+                rate = flow.rate
+                remaining = flow.remaining
+                if rate > _EPS:
+                    finish = now + remaining / rate
+                elif remaining <= _EPS:
+                    finish = now
+                else:
+                    finish = inf
+                if finish == inf:
+                    if flow.heap_finish != inf:
+                        flow.rate_stamp += 1
+                        flow.heap_finish = inf
+                elif finish != flow.heap_finish:
+                    flow.rate_stamp += 1
+                    flow.heap_finish = finish
+                    push(heap, (finish, flow.id, flow, flow.rate_stamp))
+                if full:
+                    for cap in flow.capacities:
+                        if rate != cap.last_rate:
+                            cap._record_rate(now, rate)
+                elif coarse:
+                    for cap in flow.capacities:
+                        if rate != cap.last_rate:
+                            cap._record_coarse(now, rate)
+        for component in multis:
+            touched = self._solve_multi(component, now, force)
+            if checker is not None:
+                checker.check_max_min(self, component)
+            self._update_finish(component, now)
+            if full:
+                for cap in touched:
+                    cap._record(now)
+            elif coarse:
+                for cap in touched:
+                    cap._record_coarse(now)
+        if refresh:
+            self._refresh_wakeup()
+
+    @staticmethod
+    def _solve_single(flow: Flow, now: float) -> None:
+        """Drain + closed-form max–min solve for a one-flow component."""
+        dt = now - flow.last_update
+        if dt > 0:
+            rem = flow.remaining - flow.rate * dt
+            flow.remaining = rem if rem > 0.0 else 0.0
+        flow.last_update = now
+        # Iterate the raw capacities tuple: duplicates cannot change
+        # a min and re-recording a capacity at the same instant
+        # overwrites with the same value, so no set build is needed.
+        best_share = math.inf
+        for cap in flow.capacities:
+            # effective_bandwidth() inlined; exact components mean
+            # every capacity here carries only this flow (n == 1).
+            share = cap.bandwidth
+            n = len(cap.flows)
+            if n > 1 and cap.contention_alpha != 0.0:
+                share = share / (1.0 + cap.contention_alpha * (n - 1))
+            if share < best_share - _EPS:
+                best_share = share
+        rate_cap = flow.rate_cap
+        if rate_cap is not None and rate_cap < best_share - _EPS:
+            flow.rate = rate_cap
+        else:
+            flow.rate = best_share
+
+    @staticmethod
+    def _solve_singles_array(singles: List[Flow], now: float) -> None:
+        """Vectorized :meth:`_solve_single` over many one-flow components.
+
+        Every floating-point operation mirrors the scalar path — the
+        drain is the same subtract/clamp per element, and the capacity
+        min is the same EPS-guarded running comparison applied column-
+        wise (``where(share < best - EPS, share, best)``), so each
+        flow sees its capacities in the same order with the same
+        comparisons.  numpy's elementwise double arithmetic is IEEE-754
+        identical to CPython's scalar arithmetic, which makes the two
+        paths bit-for-bit interchangeable (property-tested in
+        tests/cluster/test_fluid_vectorized.py).  No reductions
+        (``np.sum`` pairwise summation would not be) are used.
+        """
+        n = len(singles)
+        rem = np.empty(n)
+        rate = np.empty(n)
+        last = np.empty(n)
+        rcap = np.empty(n)
+        max_caps = 1
+        for i, f in enumerate(singles):
+            rem[i] = f.remaining
+            rate[i] = f.rate
+            last[i] = f.last_update
+            rc = f.rate_cap
+            rcap[i] = math.inf if rc is None else rc
+            c = len(f.capacities)
+            if c > max_caps:
+                max_caps = c
+        dt = now - last
+        drained = rem - rate * dt
+        rem = np.where(dt > 0.0, np.where(drained > 0.0, drained, 0.0), rem)
+        if max_caps == 1:
+            # One capacity per flow: the running min is just that share
+            # (inf < share - EPS never holds for the initial inf).
+            best = np.empty(n)
+            for i, f in enumerate(singles):
+                cap = f.capacities[0]
+                share = cap.bandwidth
+                nf = len(cap.flows)
+                if nf > 1 and cap.contention_alpha != 0.0:
+                    share = share / (1.0 + cap.contention_alpha * (nf - 1))
+                best[i] = share
+        else:
+            best = np.full(n, math.inf)
+            col = np.empty(n)
+            for j in range(max_caps):
+                col.fill(math.inf)
+                for i, f in enumerate(singles):
+                    caps = f.capacities
+                    if j < len(caps):
+                        cap = caps[j]
+                        share = cap.bandwidth
+                        nf = len(cap.flows)
+                        if nf > 1 and cap.contention_alpha != 0.0:
+                            share = share / (
+                                1.0 + cap.contention_alpha * (nf - 1))
+                        col[i] = share
+                best = np.where(col < best - _EPS, col, best)
+        rates = np.where(rcap < best - _EPS, rcap, best)
+        rem_list = rem.tolist()
+        rate_list = rates.tolist()
+        for i, f in enumerate(singles):
+            f.remaining = rem_list[i]
+            f.last_update = now
+            f.rate = rate_list[i]
+
+    @staticmethod
+    def _solve_multi(component: Set[Flow], now: float, force=None):
+        """Drain + progressive-filling max–min solve (contended case).
+
+        Returns the capacities the caller must re-record: the touched
+        capacities whose *aggregate rate can have changed* — those
+        crossed by a flow whose rate differs from its pre-solve value,
+        plus any in ``force`` (a capacity container the caller marks
+        when membership changed: a flow completed, aborted or was just
+        inserted there).  A capacity whose member set and member rates
+        are both unchanged re-sums to the bitwise-identical aggregate,
+        so skipping its record is exact — on the big uniform components
+        a completion re-solves, this cuts the per-solve record work
+        from O(capacities) to O(changed).
+
+        Components where every flow crosses exactly one, *shared*
+        capacity (the dominant contended shape: a disk read and a disk
+        write on one spindle) skip the dict machinery: progressive
+        filling over a single capacity is a scalar loop whose arithmetic
+        — fair share ``residual / n``, rate-cap freezing, the clamped
+        sequential residual subtraction — is operation-for-operation the
+        general loop below with one dictionary entry.
+        """
+        any_rate_cap = False
+        shared: Optional[Capacity] = None
+        one_cap = True
+        for flow in component:
             dt = now - flow.last_update
             if dt > 0:
                 rem = flow.remaining - flow.rate * dt
                 flow.remaining = rem if rem > 0.0 else 0.0
             flow.last_update = now
-            # Iterate the raw capacities tuple: duplicates cannot change
-            # a min and re-recording a capacity at the same instant
-            # overwrites with the same value, so no set build is needed.
-            touched = flow.capacities
-            best_share = math.inf
-            for cap in touched:
-                # effective_bandwidth() inlined; exact components mean
-                # every capacity here carries only this flow (n == 1).
-                share = cap.bandwidth
-                n = len(cap.flows)
-                if n > 1 and cap.contention_alpha != 0.0:
-                    share = share / (1.0 + cap.contention_alpha * (n - 1))
-                if share < best_share - _EPS:
-                    best_share = share
-            rate_cap = flow.rate_cap
-            if rate_cap is not None and rate_cap < best_share - _EPS:
-                flow.rate = rate_cap
-            else:
-                flow.rate = best_share
-        else:
-            unfrozen: Set[Flow] = set(component)
-            residual: Dict[Capacity, float] = {}
-            load: Dict[Capacity, int] = {}
-            any_rate_cap = False
-            for flow in component:
-                dt = now - flow.last_update
-                if dt > 0:
-                    rem = flow.remaining - flow.rate * dt
-                    flow.remaining = rem if rem > 0.0 else 0.0
-                flow.last_update = now
-                flow.rate = 0.0
-                if flow.rate_cap is not None:
-                    any_rate_cap = True
-                for cap in flow.capacities:
-                    if cap not in load:
-                        residual[cap] = cap.effective_bandwidth()
-                        load[cap] = len(cap.flows)
+            flow.prev_rate = flow.rate
+            flow.rate = 0.0
+            if flow.rate_cap is not None:
+                any_rate_cap = True
+            if one_cap:
+                caps = flow.capacities
+                if len(caps) != 1:
+                    one_cap = False
+                elif shared is None:
+                    shared = caps[0]
+                elif caps[0] is not shared:
+                    one_cap = False
 
+        if one_cap:
+            # Exact components put every flow of ``shared`` in
+            # ``component``, so the load starts at len(component).
+            residual = shared.effective_bandwidth()
+            unfrozen = set(component)
+            n = len(unfrozen)
             while unfrozen:
-                # Find the bottleneck capacity: smallest fair share.
-                best_cap = None
-                best_share = math.inf
-                for cap, n in load.items():
-                    if n <= 0:
-                        continue
-                    share = residual[cap] / n
-                    if share < best_share - _EPS:
-                        best_share = share
-                        best_cap = cap
-                # Flow rate caps tighter than the fair share freeze first.
+                best_share = residual / n
                 if any_rate_cap:
                     capped = [f for f in unfrozen
                               if f.rate_cap is not None
@@ -509,23 +899,146 @@ class FluidScheduler:
                 if capped:
                     rate = min(f.rate_cap for f in capped)  # type: ignore[type-var]
                     frozen = [f for f in capped if f.rate_cap <= rate + _EPS]
-                elif best_cap is not None:
+                else:
                     rate = best_share
-                    frozen = [f for f in best_cap.flows if f in unfrozen]
-                else:  # pragma: no cover - every flow crosses >=1 capacity
-                    break
+                    frozen = list(unfrozen)
                 for flow in frozen:
                     flow.rate = rate
                     unfrozen.discard(flow)
-                    for cap in flow.capacities:
-                        r = residual[cap] - rate
-                        residual[cap] = r if r > 0.0 else 0.0
-                        load[cap] -= 1
-            touched = load  # keys == every capacity the component crosses
+                    r = residual - rate
+                    residual = r if r > 0.0 else 0.0
+                    n -= 1
+            if force is not None and shared in force:
+                return (shared,)
+            for flow in component:
+                if flow.rate != flow.prev_rate:
+                    return (shared,)
+            return ()
 
-        if self.checker is not None:
-            self.checker.check_max_min(self, component)
+        unfrozen = set(component)
+        residual_by_cap: Dict[Capacity, float] = {}
+        load: Dict[Capacity, int] = {}
+        for flow in component:
+            for cap in flow.capacities:
+                if cap not in load:
+                    residual_by_cap[cap] = cap.effective_bandwidth()
+                    load[cap] = len(cap.flows)
 
+        while unfrozen:
+            # Find the bottleneck capacity: smallest fair share.
+            best_cap = None
+            best_share = math.inf
+            run_min = math.inf
+            tie_count = 0
+            for cap, n in load.items():
+                if n <= 0:
+                    continue
+                share = residual_by_cap[cap] / n
+                # ``run_min`` (the pure running minimum) can never sit
+                # more than _EPS below ``best_share``, so anything above
+                # ``best_share`` updates neither — the common case costs
+                # one comparison, same as the plain hysteresis fold.
+                if share > best_share:
+                    pass
+                elif share < best_share - _EPS:
+                    best_share = share
+                    best_cap = cap
+                    tie_count = 1
+                    run_min = share
+                elif share == best_share:
+                    tie_count += 1
+                elif share < run_min:
+                    run_min = share
+            # Flow rate caps tighter than the fair share freeze first.
+            if any_rate_cap:
+                capped = [f for f in unfrozen
+                          if f.rate_cap is not None
+                          and f.rate_cap < best_share - _EPS]
+            else:
+                capped = None
+            if capped:
+                rate = min(f.rate_cap for f in capped)  # type: ignore[type-var]
+                frozen = [f for f in capped if f.rate_cap <= rate + _EPS]
+            elif best_cap is not None:
+                rate = best_share
+                frozen = [f for f in best_cap.flows if f in unfrozen]
+            else:  # pragma: no cover - every flow crosses >=1 capacity
+                break
+            for flow in frozen:
+                flow.rate = rate
+                unfrozen.discard(flow)
+                for cap in flow.capacities:
+                    r = residual_by_cap[cap] - rate
+                    residual_by_cap[cap] = r if r > 0.0 else 0.0
+                    load[cap] -= 1
+            # Tie batching: components built from identical pipelines
+            # (the HDFS replication ring at scale) leave *many*
+            # capacities with bitwise-equal fair shares, and the loop
+            # above would burn one full bottleneck scan per tied
+            # capacity — O(C^2) per solve.  When the scan found exact
+            # ties (and the fold reached the true minimum: near-ties
+            # within _EPS disable the shortcut, preserving the
+            # hysteresis semantics), consecutive rounds provably freeze
+            # each tied capacity at the same ``best_share`` in scan
+            # order, so they are executed here in one pass.  Any
+            # ambiguity — a touched capacity landing at or below
+            # ``m + _EPS``, a tie drifting off ``m`` — stops the batch
+            # and returns to the exact fold, so the frozen rates are
+            # bit-identical to the unbatched loop by construction.
+            if (capped is None and not any_rate_cap and tie_count > 1
+                    and best_share == run_min and unfrozen):
+                m = best_share
+                ties = []
+                clean = True
+                for cap, n in load.items():
+                    if n <= 0:
+                        continue
+                    share = residual_by_cap[cap] / n
+                    if share == m:
+                        ties.append(cap)
+                    elif not share > m + _EPS:
+                        clean = False
+                        break
+                if clean:
+                    for cap in ties:
+                        n = load[cap]
+                        if n <= 0:
+                            # Fully frozen via a neighbour: the exact
+                            # fold would skip it too.
+                            continue
+                        share = residual_by_cap[cap] / n
+                        if share != m:
+                            if share > m + _EPS:
+                                # No longer the bottleneck: the fold
+                                # would pass over it to the next tie.
+                                continue
+                            break  # ambiguous/below m: refold exactly
+                        stop = False
+                        for flow in [f for f in cap.flows
+                                     if f in unfrozen]:
+                            flow.rate = m
+                            unfrozen.discard(flow)
+                            for c2 in flow.capacities:
+                                r = residual_by_cap[c2] - m
+                                residual_by_cap[c2] = r if r > 0.0 else 0.0
+                                n2 = load[c2] - 1
+                                load[c2] = n2
+                                if n2 > 0:
+                                    s2 = residual_by_cap[c2] / n2
+                                    if s2 != m and not s2 > m + _EPS:
+                                        stop = True
+                        if stop:
+                            break
+        changed: Set[Capacity] = set()
+        for flow in component:
+            if flow.rate != flow.prev_rate:
+                changed.update(flow.capacities)
+        if force:
+            changed.update(force)
+        return [cap for cap in load if cap in changed]
+
+    def _update_finish(self, component, now: float) -> None:
+        """Refresh the lazy finish-heap entries for solved flows."""
         heap = self._finish_heap
         inf = math.inf
         for flow in component:
@@ -547,14 +1060,6 @@ class FluidScheduler:
                 heapq.heappush(heap, (finish, flow.id, flow, flow.rate_stamp))
             # else: the valid entry already in the heap has this exact
             # finish time — keep it instead of pushing a duplicate.
-        detail = self.trace_detail
-        if detail == "full":
-            for cap in touched:
-                cap._record(now)
-        elif detail == "coarse":
-            for cap in touched:
-                cap._record_coarse(now)
-        self._refresh_wakeup()
 
     def _refresh_wakeup(self) -> None:
         """Point the kernel wakeup at the earliest *valid* finish."""
@@ -598,50 +1103,81 @@ class FluidScheduler:
         heap = self._finish_heap
         flows = self._flows
         finished: List[Flow] = []
+        cutoff = now + 1e-9
+        ff = self.fast_forward
+        if ff is not None:
+            # Fast-forward: also absorb completions due within the
+            # relative tolerance, but never past the next independently
+            # scheduled kernel event (nothing else can observe the
+            # intermediate rates before it fires).
+            horizon = now + ff * (now if now > 1.0 else 1.0)
+            nxt = self.sim.peek()
+            if nxt < horizon:
+                horizon = nxt
+            if horizon > cutoff:
+                cutoff = horizon
+        pop = heapq.heappop
         while heap:
-            finish, _fid, flow, stamp = heap[0]
-            if stamp != flow.rate_stamp or flow not in flows:
-                heapq.heappop(heap)
+            entry = heap[0]
+            flow = entry[2]
+            if entry[3] != flow.rate_stamp or flow not in flows:
+                pop(heap)
                 continue
-            if finish > now + 1e-9:
+            if entry[0] > cutoff:
                 break
-            heapq.heappop(heap)
+            pop(heap)
             finished.append(flow)
-        released: Set[Capacity] = set()
-        neighbours: Set[Flow] = set()
+        # Duplicates in these lists are harmless: reallocation dedups
+        # seeds, and the idle-record loop below is idempotent.
+        released: List[Capacity] = []
+        neighbours: List[Flow] = []
         ledger = self.bytes_by_capacity
         for flow in finished:
             dt = now - flow.last_update
             rem = flow.remaining - flow.rate * dt
-            flow.remaining = rem if rem > 0.0 else 0.0
+            rem = rem if rem > 0.0 else 0.0
+            if ff is not None and rem > 0.0:
+                # Absorbed early by fast-forward: the residual bytes are
+                # accounted as moved (the ledger uses flow.size); only
+                # the completion timestamp is approximate.
+                rem = 0.0
+                self.fast_forwarded_count += 1
+            flow.remaining = rem
             flow.last_update = now
             flows.discard(flow)
-            self._drop_from_component(flow)
+            # _drop_from_component, inlined (hot path).
+            comp = flow.comp
+            if comp is not None:
+                cflows = comp.flows
+                cflows.discard(flow)
+                if len(cflows) > 1:
+                    comp.dirty = True
+                flow.comp = None
             size = flow.size
             for cap in flow.capacities:
-                cap.flows.discard(flow)
-                released.add(cap)
-                neighbours.update(cap.flows)
-                ledger[cap.name] = ledger.get(cap.name, 0.0) + size
+                capflows = cap.flows
+                capflows.discard(flow)
+                released.append(cap)
+                if capflows:
+                    neighbours.extend(capflows)
+                name = cap.name
+                ledger[name] = ledger.get(name, 0.0) + size
             self.completed_count += 1
             self.total_bytes_moved += size
-        # Reallocate the neighbourhoods that lost a competitor.
-        seen: Set[Flow] = set()
-        for flow in neighbours:
-            if flow in seen or flow not in self._flows:
-                continue
-            component = self._component_for(flow)
-            seen.update(component)
-            self._reallocate_component(flow, component)
+        # Reallocate the neighbourhoods that lost a competitor — one
+        # batched pass over the distinct components (the final
+        # _refresh_wakeup below covers the batch's heap updates).
+        if neighbours:
+            self._reallocate_many(neighbours, refresh=False)
         detail = self.trace_detail
         if detail == "full":
             for cap in released:
-                if not cap.flows:
-                    cap._record(now)
+                if cap.last_rate != 0 and not cap.flows:
+                    cap._record_rate(now, 0)
         elif detail == "coarse":
             for cap in released:
-                if not cap.flows:
-                    cap._record_coarse(now)
+                if cap.last_rate != 0 and not cap.flows:
+                    cap._record_coarse(now, 0)
         # Deliver completions after rates are consistent.
         hook = self.flow_hook
         if hook is not None:

@@ -64,7 +64,13 @@ class Event:
         self.triggered = True
         self.ok = True
         self.value = value
-        self.sim._dispatch(self)
+        # Simulation._dispatch, inlined: succeed() runs once per flow
+        # completion and once per process resumption.
+        callbacks = self.callbacks
+        self.callbacks = None
+        if callbacks:
+            for cb in callbacks:
+                cb(self)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -74,7 +80,11 @@ class Event:
         self.triggered = True
         self.ok = False
         self.value = exception
-        self.sim._dispatch(self)
+        callbacks = self.callbacks
+        self.callbacks = None
+        if callbacks:
+            for cb in callbacks:
+                cb(self)
         return self
 
 

@@ -6,17 +6,25 @@ capacities, memory accounts) records its state changes as a
 The monitoring layer later resamples these series onto a uniform grid to
 produce the CPU% / disk util% / MiB/s plots from the paper.
 
-The representation is two parallel lists (``times``, ``values``), with
-``values[i]`` holding between ``times[i]`` (inclusive) and ``times[i+1]``
-(exclusive).  Appends must be monotone in time; appending at an existing
-last timestamp overwrites the last value, which is what a resource wants
-when several state changes happen at the same simulated instant.
+The representation is two parallel ``array('d')`` buffers (``times``,
+``values``), with ``values[i]`` holding between ``times[i]`` (inclusive)
+and ``times[i+1]`` (exclusive).  Compact C-double storage (8 bytes per
+point instead of a 24+-byte boxed float per list slot) with the same
+amortized-doubling append keeps 1000-node runs — millions of recorded
+points across ~5000 capacities — inside cache-friendly memory, at an
+API indistinguishable from the former plain lists (indexing, slicing,
+``bisect``, iteration all behave identically; stored values are the
+same IEEE-754 doubles CPython floats are).  Appends must be monotone in
+time; appending at an existing last timestamp overwrites the last
+value, which is what a resource wants when several state changes happen
+at the same simulated instant.
 """
 
 from __future__ import annotations
 
 import bisect
 import math
+from array import array
 from typing import Iterable, Iterator, List, Sequence, Tuple
 
 __all__ = ["StepSeries", "merge_step_series", "check_series_bounds"]
@@ -28,8 +36,8 @@ class StepSeries:
     __slots__ = ("times", "values", "initial")
 
     def __init__(self, initial: float = 0.0) -> None:
-        self.times: List[float] = []
-        self.values: List[float] = []
+        self.times = array("d")
+        self.values = array("d")
         self.initial = float(initial)
 
     # ------------------------------------------------------------------

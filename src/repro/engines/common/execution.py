@@ -568,12 +568,11 @@ class PhaseExecutor:
                       both_io: float) -> Event:
         cluster = self.cluster
         fluid = cluster.fluid
-        events = []
+        requests = []
         jitter = self._jitter()
         if chunk.cpu_core_seconds > 0:
-            events.append(fluid.transfer(chunk.cpu_core_seconds * jitter,
-                                         [node.cpu],
-                                         rate_cap=chunk.cpu_slots))
+            requests.append((chunk.cpu_core_seconds * jitter,
+                             (node.cpu,), chunk.cpu_slots))
         io_factor = jitter
         if both_io > 0:
             # Reads and writes interleaving on one spindle: seek
@@ -581,17 +580,21 @@ class PhaseExecutor:
             io_factor *= (1.0 + self.io_interference_penalty * both_io) * \
                 self._run_io_factor
         if chunk.disk_read_bytes > 0:
-            events.append(fluid.transfer(chunk.disk_read_bytes * io_factor,
-                                         [node.disk]))
+            requests.append((chunk.disk_read_bytes * io_factor,
+                             (node.disk,)))
         if chunk.disk_write_bytes > 0:
-            events.append(fluid.transfer(chunk.disk_write_bytes * io_factor,
-                                         [node.disk]))
+            requests.append((chunk.disk_write_bytes * io_factor,
+                             (node.disk,)))
         if chunk.net_in_bytes > 0:
-            events.append(fluid.transfer(chunk.net_in_bytes * jitter,
-                                         [node.nic_in]))
+            requests.append((chunk.net_in_bytes * jitter,
+                             (node.nic_in,)))
         if chunk.net_out_bytes > 0:
-            events.append(fluid.transfer(chunk.net_out_bytes * jitter,
-                                         [node.nic_out]))
+            requests.append((chunk.net_out_bytes * jitter,
+                             (node.nic_out,)))
+        # All the chunk's flows start at this same instant: one batched
+        # solve instead of a reallocation per transfer (bit-identical —
+        # nothing can observe the intermediate rates).
+        events = fluid.transfer_many(requests) if requests else []
         if chunk.hdfs_write_bytes > 0:
             if self.hdfs is not None:
                 events.append(self.hdfs.write_bytes(

@@ -35,6 +35,12 @@ class EngineRunResult:
     failure_kind: Optional[str] = None
     #: Free-form counters (shuffled bytes, spilled bytes, gc factor...).
     metrics: Dict[str, float] = field(default_factory=dict)
+    #: Kernel events dispatched by the deployment that produced this
+    #: result (set by the harness runner; ``None`` when the result was
+    #: built outside a simulated run).  Carried as a field — not a
+    #: ``metrics`` entry — so digest payloads, which hash the metrics
+    #: dict, are unaffected.
+    sim_events: Optional[int] = None
     #: Physical barrier windows (start, end): one per executed stage on
     #: Spark (display spans may merge several); empty for pipelined
     #: Flink jobs.  Used by the failure-recovery analysis.

@@ -257,6 +257,7 @@ def run_with_faults(engine_name: str, workload: Workload,
         if not result.success:
             break
     assert merged is not None
+    merged.sim_events = cluster.sim.steps_executed
 
     ledger = state.ledger
     faulted = FaultedRunResult(

@@ -19,7 +19,12 @@ the main cost profiles —
 * ``streaming_degrade``   — both engines at 1.5x their stability
   boundary with repeated crashes and the degradation policies active
   (backoff restarts, shedding, adaptive batching): the per-slice
-  policy-decision overhead of the fig22 campaign.
+  policy-decision overhead of the fig22 campaign;
+* ``scale_1000``          — a 1000-node cluster (1 TiB Tera Sort on
+  flink, Page Rank on spark): the giant-component regime where the
+  HDFS replication ring chains every node's pipeline together.  One
+  workload per engine keeps the case under a minute while still
+  exercising both engines' 1000-node paths.
 
 — and reports wall-clock plus simulated events/second for each, so a
 perf regression (or win) in any layer shows up as a number, not a
@@ -36,6 +41,7 @@ wall-clock changes.
 from __future__ import annotations
 
 import json
+import math
 import os
 import platform
 import time
@@ -52,14 +58,15 @@ from .parallel import parallel_map, resolve_jobs
 from .runner import run_once
 
 __all__ = ["BenchCase", "BenchReport", "BENCH_CASE_NAMES", "run_bench",
-           "write_report", "default_report_path"]
+           "write_report", "default_report_path", "compare_reports"]
 
 GiB = float(2**30)
 TiB = float(2**40)
 
 BENCH_CASE_NAMES = ("batch_terasort", "iterative_pagerank",
                     "fault_recovery", "sweep_wordcount",
-                    "streaming_pair", "streaming_degrade")
+                    "streaming_pair", "streaming_degrade",
+                    "scale_1000")
 
 
 @dataclass
@@ -69,8 +76,8 @@ class BenchCase:
     name: str
     wall_seconds: float
     runs: int
-    #: Total kernel events dispatched, when the case tracks them (the
-    #: two engine-pair cases); figure/sweep cases report ``None``.
+    #: Total kernel events dispatched across the case's runs (every
+    #: case tracks them, so every case reports a throughput).
     sim_events: Optional[int] = None
 
     @property
@@ -181,8 +188,9 @@ def _case_fault_recovery(quick: bool, seed: int,
     failed = [c for c in fig.cells if not c.success]
     if failed:
         raise RuntimeError(f"bench fault case failed: {failed[0].failure}")
+    events = sum(c.sim_events or 0 for c in fig.cells)
     return BenchCase(name="fault_recovery", wall_seconds=wall,
-                     runs=len(fig.cells))
+                     runs=len(fig.cells), sim_events=events or None)
 
 
 def _case_sweep_wordcount(quick: bool, seed: int,
@@ -201,8 +209,9 @@ def _case_sweep_wordcount(quick: bool, seed: int,
     bad = [r for r in rows if r["failure"]]
     if bad:
         raise RuntimeError(f"bench sweep case failed: {bad[0]['failure']}")
+    events = sum(int(r.get("sim_events") or 0) for r in rows)
     return BenchCase(name="sweep_wordcount", wall_seconds=wall,
-                     runs=len(rows) * trials)
+                     runs=len(rows) * trials, sim_events=events or None)
 
 
 def _bench_streaming_run(engine: str, rate: float, duration: float,
@@ -265,6 +274,33 @@ def _case_streaming_degrade(quick: bool, seed: int,
                      runs=len(tasks), sim_events=sum(events))
 
 
+def _case_scale_1000(quick: bool, seed: int,
+                     jobs: Optional[int]) -> BenchCase:
+    """1000 nodes: the regime the vectorized kernel unlocked.
+
+    Every node writes its output through the HDFS replication ring, so
+    the concurrent pipelines chain the whole cluster into one
+    ~2-flows-per-node component; before tie batching and dirty-capacity
+    record skipping this case did not finish in any reasonable time.
+    Sized at 1 GiB of Tera Sort input per node; one workload per engine
+    (flink sorts, spark ranks) keeps the full case under a minute.
+    """
+    nodes = 100 if quick else 1000
+    cfg_sort = terasort_preset(nodes)
+    cfg_rank = small_graph_preset(nodes)
+    sort = TeraSort(nodes * GiB,
+                    num_partitions=cfg_sort.flink.default_parallelism)
+    rank = PageRank(SMALL_GRAPH, iterations=2 if quick else 5,
+                    edge_partitions=cfg_rank.spark.edge_partitions)
+    tasks = [("flink", sort, cfg_sort, seed),
+             ("spark", rank, cfg_rank, seed)]
+    t0 = time.perf_counter()
+    events = parallel_map(_bench_run, tasks, jobs=jobs)
+    wall = time.perf_counter() - t0
+    return BenchCase(name="scale_1000", wall_seconds=wall,
+                     runs=len(tasks), sim_events=sum(events))
+
+
 _CASES = {
     "batch_terasort": _case_batch_terasort,
     "iterative_pagerank": _case_iterative_pagerank,
@@ -272,6 +308,7 @@ _CASES = {
     "sweep_wordcount": _case_sweep_wordcount,
     "streaming_pair": _case_streaming_pair,
     "streaming_degrade": _case_streaming_degrade,
+    "scale_1000": _case_scale_1000,
 }
 
 
@@ -291,6 +328,51 @@ def run_bench(quick: bool = False, jobs: Optional[int] = None,
             echo(f"{name:20s} {case.wall_seconds:8.3f}s "
                  f"runs={case.runs}{ev}")
     return report
+
+
+def compare_reports(a: Dict[str, object], b: Dict[str, object]) -> str:
+    """Render a per-case comparison of two report payloads (``b vs a``).
+
+    ``a`` and ``b`` are parsed ``BENCH_<date>.json`` payloads (``a`` the
+    baseline).  Speedup compares events/second when both reports carry
+    it and falls back to the inverse wall-clock ratio otherwise (older
+    reports predate universal event tracking); cases present in only
+    one report are flagged instead of silently dropped.  Comparing a
+    ``--quick`` report against a full one is almost always a mistake,
+    so the header calls the labels out.
+    """
+    cases_a: Dict[str, Dict] = dict(a.get("cases", {}))  # type: ignore[arg-type]
+    cases_b: Dict[str, Dict] = dict(b.get("cases", {}))  # type: ignore[arg-type]
+    lines = [f"baseline: {a.get('label', '?')} @ {a.get('date', '?')}   "
+             f"candidate: {b.get('label', '?')} @ {b.get('date', '?')}",
+             f"{'case':20s} {'base ev/s':>12s} {'cand ev/s':>12s} "
+             f"{'speedup':>8s}"]
+    order = [n for n in BENCH_CASE_NAMES
+             if n in cases_a or n in cases_b]
+    order += [n for n in cases_a if n not in order]
+    order += [n for n in cases_b if n not in order]
+    for name in order:
+        ca, cb = cases_a.get(name), cases_b.get(name)
+        if ca is None or cb is None:
+            side = "baseline" if cb is None else "candidate"
+            lines.append(f"{name:20s} {'—':>12s} {'—':>12s} "
+                         f"{side} only")
+            continue
+        ea, eb = ca.get("events_per_second"), cb.get("events_per_second")
+        if ea and eb:
+            ratio = float(eb) / float(ea)
+            sa, sb = f"{float(ea):,.1f}", f"{float(eb):,.1f}"
+        else:
+            wa, wb = float(ca["wall_seconds"]), float(cb["wall_seconds"])
+            ratio = wa / wb if wb > 0 else math.inf
+            sa, sb = f"{wa:.3f}s", f"{wb:.3f}s"
+        tag = "" if 0.95 <= ratio <= 1.05 else (
+            "  <-- faster" if ratio > 1 else "  <-- REGRESSION")
+        lines.append(f"{name:20s} {sa:>12s} {sb:>12s} {ratio:7.2f}x{tag}")
+    lines.append(f"{'total wall':20s} "
+                 f"{float(a.get('total_wall_seconds', 0)):>11.3f}s "
+                 f"{float(b.get('total_wall_seconds', 0)):>11.3f}s")
+    return "\n".join(lines)
 
 
 def default_report_path(directory: Optional[Path] = None) -> Path:

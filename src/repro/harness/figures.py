@@ -555,6 +555,12 @@ class FaultCell:
     retries: int = 0
     restarts: int = 0
     failure: Optional[str] = None
+    #: Kernel events behind this data point.  The shared fault-free
+    #: baseline is charged to the *first* cell of its task, so summing
+    #: ``sim_events`` over a figure gives the campaign total exactly.
+    #: (``fault_payload`` enumerates its fields, so this one stays out
+    #: of the golden digests.)
+    sim_events: Optional[int] = None
 
     @property
     def simulated_overhead(self) -> float:
@@ -592,12 +598,15 @@ def _fault_cells_task(engine: str, workload: Workload,
     from .runner import run_once
     baseline = run_once(engine, workload, cfg, seed=seed, strict=strict)
     cells: List[FaultCell] = []
+    pending_events = baseline.sim_events or 0
     for fraction in fractions:
         if not baseline.success:
             cells.append(FaultCell(
                 engine=engine, workload=workload.name, nodes=nodes,
                 fail_at_fraction=fraction, success=False,
-                failure=baseline.failure))
+                failure=baseline.failure,
+                sim_events=pending_events or None))
+            pending_events = 0
             continue
         plan = FaultPlan.single_crash(fraction, node=1,
                                       restart_after=0.0)
@@ -615,7 +624,9 @@ def _fault_cells_task(engine: str, workload: Workload,
                 engine, baseline, fraction, cfg.nodes),
             retries=faulted.retry_attempts,
             restarts=len(faulted.restarts),
-            failure=faulted.result.failure))
+            failure=faulted.result.failure,
+            sim_events=pending_events + (faulted.result.sim_events or 0)))
+        pending_events = 0
     return cells
 
 

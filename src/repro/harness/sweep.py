@@ -59,10 +59,12 @@ def _combo_task(engine: str, workload: Workload, config: ExperimentConfig,
     """
     durations: List[float] = []
     failure: Optional[str] = None
+    sim_events = 0
     for t in range(trials):
         result = run_once(engine, workload, config,
                           seed=base_seed + 1000 * t, strict=strict,
                           trace_detail="off")
+        sim_events += result.sim_events or 0
         if result.success:
             durations.append(result.duration)
         elif failure is None:
@@ -76,6 +78,7 @@ def _combo_task(engine: str, workload: Workload, config: ExperimentConfig,
     else:
         row["mean_seconds"] = math.nan
     row["failure"] = failure or ""
+    row["sim_events"] = sim_events
     return row
 
 

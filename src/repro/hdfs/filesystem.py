@@ -114,15 +114,19 @@ class HDFS:
         repl = self.replication if replication is None else max(1, replication)
         repl = min(repl, self.cluster.num_nodes)
         self.bytes_written += nbytes * repl
-        events = [self.cluster.disk_write(writer, nbytes, rate_cap=rate_cap)]
+        # The whole pipeline starts at one instant: batch the flows into
+        # a single fluid solve (bit-identical to per-flow starts).
+        writer.charge_disk_space(nbytes)
+        requests = [(nbytes, (writer.disk,), rate_cap)]
         # Deterministic replica targets: next nodes in ring order.
         for r in range(1, repl):
             target_index = (writer_index + r) % self.cluster.num_nodes
             target = self.cluster.node(target_index)
             if target is writer:
                 continue
-            events.append(self.cluster.transfer(writer, target, nbytes,
-                                                rate_cap=rate_cap))
-            events.append(self.cluster.disk_write(target, nbytes,
-                                                  rate_cap=rate_cap))
+            requests.append((nbytes, (writer.nic_out, target.nic_in),
+                             rate_cap))
+            target.charge_disk_space(nbytes)
+            requests.append((nbytes, (target.disk,), rate_cap))
+        events = self.cluster.fluid.transfer_many(requests)
         return self.cluster.sim.all_of(events)

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+import numpy as np
+
 from ..cluster.node import Node
 from ..cluster.topology import Cluster
 from ..cluster.trace import StepSeries
@@ -74,28 +76,32 @@ class ClusterMonitor:
             raise ValueError(f"empty window [{start}, {end}]")
         scale = self._scale(metric)
         grid: Optional[List[float]] = None
-        per_node_values: List[List[float]] = []
+        acc: Optional[np.ndarray] = None
+        n = 0
+        # Accumulate across nodes with elementwise numpy adds *in node
+        # order* — the same scalar additions the old per-bucket
+        # ``sum()`` generator performed (sequential, starting from
+        # zero), so the aggregated panels are bit-identical while the
+        # per-bucket Python overhead drops to one vector op per node.
+        # No numpy reductions (pairwise summation would reorder the
+        # additions) are used.
         for node in self.cluster.nodes:
             series = self._node_series(node, metric)
-            node_total: Optional[List[float]] = None
+            node_total: Optional[np.ndarray] = None
             for s in series:
                 times, means = s.sample(start, end, step)
                 if grid is None:
                     grid = times
-                if node_total is None:
-                    node_total = [v * scale for v in means]
-                else:
-                    node_total = [a + v * scale
-                                  for a, v in zip(node_total, means)]
-            per_node_values.append(node_total or [])
-        assert grid is not None
-        n = len(per_node_values)
-        mean = [sum(vals[i] for vals in per_node_values) / n
-                for i in range(len(grid))]
-        total = [sum(vals[i] for vals in per_node_values)
-                 for i in range(len(grid))]
-        return MetricFrame(metric=metric, times=grid, mean=mean,
-                           total=total, num_nodes=n)
+                    acc = np.zeros(len(grid))
+                vals = np.asarray(means) * scale
+                node_total = vals if node_total is None else node_total + vals
+            n += 1
+            if node_total is not None:
+                acc += node_total
+        assert grid is not None and acc is not None
+        return MetricFrame(metric=metric, times=grid,
+                           mean=(acc / n).tolist(), total=acc.tolist(),
+                           num_nodes=n)
 
     def snapshot(self, start: float, end: float, step: float = 1.0
                  ) -> Dict[Metric, MetricFrame]:

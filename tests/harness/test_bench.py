@@ -23,14 +23,11 @@ def test_quick_suite_runs_every_case(quick_report):
 
 
 def test_engine_cases_track_sim_events(quick_report):
-    by_name = {c.name: c for c in quick_report.cases}
-    for name in ("batch_terasort", "iterative_pagerank"):
-        case = by_name[name]
+    # Every case — including the composite figure/sweep harness calls —
+    # tracks kernel events, so every case reports a throughput.
+    for case in quick_report.cases:
         assert case.sim_events and case.sim_events > 0
         assert case.events_per_second > 0
-    # Figure/sweep cases time composite harness calls, no event count.
-    assert by_name["sweep_wordcount"].sim_events is None
-    assert by_name["sweep_wordcount"].events_per_second is None
 
 
 def test_quick_suite_event_counts_deterministic(quick_report):

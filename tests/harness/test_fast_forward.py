@@ -1,0 +1,97 @@
+"""Tests for the opt-in calibrated fast-forward mode.
+
+The mode's contract has three parts, each pinned here: off means
+*bit-identical* (the default path is untouched), on means durations
+drift by at most the requested relative tolerance (absorbed
+completions land at most ``tol * now`` early), and strict invariant
+checking rejects it outright (absorbed completions break exact byte
+conservation by construction).
+"""
+
+import pytest
+
+from repro.config.presets import small_graph_preset, terasort_preset
+from repro.harness.runner import run_once
+from repro.workloads import PageRank, TeraSort
+from repro.workloads.datagen.graphs import SMALL_GRAPH
+
+GiB = float(2**30)
+
+#: The requested relative tolerance: with ``fast_forward=TOL`` every
+#: individual completion is delivered at most ``TOL * now`` seconds
+#: early.
+TOL = 0.01
+
+#: The pinned end-to-end bound.  Early completions compound along the
+#: critical path — an absorbed barrier lets the next stage start early,
+#: whose own completions are absorbed again — so a run with ``k``
+#: absorbed completions on its critical path can finish up to a factor
+#: ``1 - (1 - TOL)^k`` early.  The suite's iterative workload chains
+#: roughly ten stage barriers, hence the 10x budget (measured drift:
+#: ~0.2% for the single-shuffle sort, ~7% for 3-iteration Page Rank).
+END_TO_END = 10 * TOL
+
+
+def _cases():
+    cfg_sort = terasort_preset(4)
+    sort = TeraSort(8 * GiB,
+                    num_partitions=cfg_sort.flink.default_parallelism)
+    cfg_rank = small_graph_preset(8)
+    rank = PageRank(SMALL_GRAPH, iterations=3,
+                    edge_partitions=cfg_rank.spark.edge_partitions)
+    return [("flink", sort, cfg_sort), ("spark", rank, cfg_rank)]
+
+
+@pytest.mark.parametrize("engine,workload,cfg", _cases(),
+                         ids=["flink-terasort", "spark-pagerank"])
+def test_fast_forward_duration_within_pinned_tolerance(engine, workload,
+                                                       cfg):
+    exact = run_once(engine, workload, cfg, seed=0, strict=False)
+    assert exact.success
+    ff = run_once(engine, workload, cfg, seed=0, strict=False,
+                  fast_forward=TOL, keep_deployment=True)
+    assert ff.success
+    deployment = ff.metrics.pop("_deployment")
+    fluid = deployment.cluster.fluid
+    # The mode must actually engage on these workloads — a vacuous
+    # pass (zero absorbed completions) would pin nothing.
+    assert fluid.fast_forwarded_count > 0
+    # Completions only ever move *early*; the end-to-end drift stays
+    # inside the pinned compounded budget.
+    assert ff.duration <= exact.duration * (1 + 1e-9)
+    assert ff.duration >= exact.duration * (1 - END_TO_END) - 1e-9
+
+
+def test_fast_forward_off_is_bit_identical():
+    cfg = terasort_preset(4)
+    workload = TeraSort(8 * GiB,
+                        num_partitions=cfg.flink.default_parallelism)
+    explicit_off = run_once("flink", workload, cfg, seed=0, strict=False,
+                            fast_forward=None, keep_deployment=True)
+    default = run_once("flink", workload, cfg, seed=0, strict=False,
+                       keep_deployment=True)
+    dep_off = explicit_off.metrics.pop("_deployment")
+    dep_default = default.metrics.pop("_deployment")
+    assert dep_off.cluster.fluid.fast_forwarded_count == 0
+    assert dep_default.cluster.fluid.fast_forwarded_count == 0
+    # Exact equality everywhere: same durations, same event count.
+    assert explicit_off.duration == default.duration
+    assert explicit_off.sim_events == default.sim_events
+    assert explicit_off.metrics == default.metrics
+
+
+def test_fast_forward_rejected_in_strict_mode():
+    cfg = terasort_preset(4)
+    workload = TeraSort(8 * GiB,
+                        num_partitions=cfg.flink.default_parallelism)
+    with pytest.raises(ValueError, match="strict"):
+        run_once("flink", workload, cfg, seed=0, strict=True,
+                 fast_forward=TOL)
+
+
+@pytest.mark.parametrize("bad", [0.0, 1.0, -0.5, 2.0])
+def test_fast_forward_tolerance_domain(bad):
+    from repro.cluster.fluid import FluidScheduler
+    from repro.cluster.simulation import Simulation
+    with pytest.raises(ValueError, match="fast_forward"):
+        FluidScheduler(Simulation(), fast_forward=bad)

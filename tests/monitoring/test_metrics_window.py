@@ -1,0 +1,74 @@
+"""Regression tests for the bisect-based metric window selection.
+
+``MetricFrame.values_between`` used to scan every bucket
+(``[v for t, v in zip(times, mean) if start <= t < end]``); it now
+locates the window with two bisects.  The old scan is kept here as the
+reference implementation and the new one must match it exactly —
+including on the half-open boundary, empty windows, reversed windows
+and endpoints falling exactly on grid points.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.monitoring.metrics import Metric, MetricFrame
+
+
+def _old_values_between(frame, start, end):
+    """The pre-bisect O(n) implementation, verbatim."""
+    return [v for t, v in zip(frame.times, frame.mean)
+            if start <= t < end]
+
+
+def _frame(times, mean):
+    return MetricFrame(metric=Metric.CPU_PERCENT, times=list(times),
+                       mean=list(mean), total=list(mean))
+
+
+@st.composite
+def frames_and_windows(draw):
+    n = draw(st.integers(0, 60))
+    step = draw(st.floats(0.1, 10.0))
+    t0 = draw(st.floats(0.0, 100.0))
+    times = [t0 + i * step for i in range(n)]
+    mean = [draw(st.floats(0.0, 100.0)) for _ in range(n)]
+    # Windows that often land exactly on grid points: boundary
+    # behaviour (half-open [start, end)) is where a bisect port can
+    # silently diverge from the scan it replaced.
+    def endpoint():
+        if times and draw(st.booleans()):
+            return draw(st.sampled_from(times))
+        return draw(st.floats(-50.0, t0 + 60.0 * step))
+    return times, mean, endpoint(), endpoint()
+
+
+@settings(deadline=None, max_examples=120)
+@given(frames_and_windows())
+def test_values_between_matches_old_scan(data):
+    times, mean, start, end = data
+    frame = _frame(times, mean)
+    assert frame.values_between(start, end) == \
+        _old_values_between(frame, start, end)
+
+
+@settings(deadline=None, max_examples=60)
+@given(frames_and_windows())
+def test_average_between_matches_old_scan(data):
+    times, mean, start, end = data
+    frame = _frame(times, mean)
+    vals = _old_values_between(frame, start, end)
+    expected = float(np.mean(vals)) if vals else 0.0
+    assert frame.average_between(start, end) == expected
+
+
+def test_window_boundaries_are_half_open():
+    frame = _frame([0.0, 1.0, 2.0, 3.0], [10.0, 20.0, 30.0, 40.0])
+    # start inclusive, end exclusive — exactly like the old scan.
+    assert frame.values_between(1.0, 3.0) == [20.0, 30.0]
+    assert frame.values_between(1.0, 3.0 + 1e-12) == [20.0, 30.0, 40.0]
+    assert frame.values_between(0.0, 0.0) == []
+    assert frame.values_between(2.5, 1.5) == []
+    assert frame.values_between(-10.0, 100.0) == [10.0, 20.0, 30.0, 40.0]
+    assert frame.average_between(1.0, 3.0) == pytest.approx(25.0)
+    assert frame.average_between(5.0, 6.0) == 0.0
