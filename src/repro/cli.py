@@ -42,6 +42,14 @@ Commands
     stability boundary x stochastic fault rates x degradation
     policies — restart strategies, load shedding, adaptive batching).
     Checkpointable and resumable like ``resilience``.
+``tenancy``
+    Run the multi-tenant scheduling campaign (``fig23``): a seeded
+    Poisson mix of Spark and Flink jobs shares one cluster under a
+    queue policy (``fifo`` / ``fair`` / ``capacity``) with quotas,
+    admission control and engine-faithful preemption (Spark lineage
+    re-execution vs Flink restart); reports per-policy job slowdown,
+    queue wait vs utilization and Jain fairness vs offered load.
+    Checkpointable and resumable like ``resilience``.
 ``validate``
     Self-check the simulator: run the replay scenarios under strict
     invariant checking; with ``--replay``, also compare their trace
@@ -66,6 +74,8 @@ python -m repro streaming --recovery --crash-at 23 \\
     --checkpoint runs/fig21 --resume
 python -m repro streaming --degrade --load-multiples 1.0 1.5 2.0 \\
     --fault-rates 0 0.5 --checkpoint runs/fig22 --resume
+python -m repro tenancy --policies fifo fair --loads 0.3 0.6 0.9 \\
+    --checkpoint runs/fig23 --resume
 python -m repro validate --replay
 """
 
@@ -168,6 +178,7 @@ def cmd_list(_args) -> int:
     print("fault figures: fig18")
     print("resilience figures: fig19")
     print("streaming figures: fig20 fig21 fig22")
+    print("tenancy figures: fig23")
     print("tables: table7")
     return 0
 
@@ -253,6 +264,21 @@ def cmd_figure(args) -> int:
             checkpoint.close()
         print(fig.describe())
         return 1 if (fig.gaps and args.strict) else 0
+    if fig_id == "fig23":
+        from .scheduler.sweep import (DEFAULT_JOBS_TARGET, DEFAULT_LOADS,
+                                      DEFAULT_POLICIES, default_templates,
+                                      tenancy_campaign_fingerprint)
+        checkpoint = _open_checkpoint(args, tenancy_campaign_fingerprint(
+            "fig23", DEFAULT_POLICIES, DEFAULT_LOADS, args.trials, 8,
+            args.seed, 0.0, DEFAULT_JOBS_TARGET,
+            [t.name for t in default_templates(8)]))
+        fig = figure_registry.fig23_tenancy(
+            seed=args.seed, trials=args.trials, strict=strict,
+            jobs=args.jobs, checkpoint=checkpoint)
+        if checkpoint is not None:
+            checkpoint.close()
+        print(fig.describe())
+        return 1 if (fig.gaps and args.strict) else 0
     if fig_id in ("fig20", "fig21"):
         from .streaming.sweep import (ARRIVAL_KINDS,
                                       DEFAULT_CHECKPOINT_INTERVALS,
@@ -299,7 +325,7 @@ def cmd_figure(args) -> int:
                   f"({c.retries} retries, {c.restarts} restarts)")
         return 0
     known = (sorted(FIGURES) + sorted(RESOURCE_FIGURES)
-             + ["fig18", "fig19", "fig20", "fig21", "fig22"])
+             + ["fig18", "fig19", "fig20", "fig21", "fig22", "fig23"])
     print(f"unknown figure {fig_id!r}; try one of {known}",
           file=sys.stderr)
     return 2
@@ -390,6 +416,41 @@ def cmd_streaming(args) -> int:
         batch_interval=args.batch_interval, crash_at=crash_at,
         strict=args.strict or None, jobs=args.jobs, timeout=args.timeout,
         retries=args.retries, checkpoint=checkpoint)
+    if checkpoint is not None:
+        checkpoint.close()
+    print(fig.describe())
+    if fig.gaps:
+        print(f"{len(fig.gaps)} cell(s) missing (worker crash/timeout); "
+              f"rerun with --checkpoint/--resume to fill them in",
+              file=sys.stderr)
+        if args.strict:
+            return 1
+    return 0
+
+
+def cmd_tenancy(args) -> int:
+    from .scheduler.sweep import (default_queues, default_templates,
+                                  tenancy_campaign_fingerprint,
+                                  tenancy_sweep)
+    policies = tuple(args.policies)
+    loads = tuple(args.loads)
+    nodes = args.nodes
+    jobs_target = args.jobs_per_cell
+    if args.quick:
+        nodes = min(nodes, 4)
+        loads = (0.5, 0.9)
+        jobs_target = min(jobs_target, 6)
+    templates = default_templates(nodes)
+    checkpoint = _open_checkpoint(args, tenancy_campaign_fingerprint(
+        "fig23", policies, loads, args.trials, nodes, args.seed,
+        args.crash_rate, jobs_target, [t.name for t in templates]))
+    fig = tenancy_sweep(
+        policies=policies, loads=loads, trials=args.trials, nodes=nodes,
+        seed=args.seed, jobs_target=jobs_target,
+        crash_rate=args.crash_rate, templates=templates,
+        queues=default_queues(nodes), strict=args.strict or None,
+        jobs=args.jobs, timeout=args.timeout, retries=args.retries,
+        checkpoint=checkpoint)
     if checkpoint is not None:
         checkpoint.close()
     print(fig.describe())
@@ -615,7 +676,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="audit simulator invariants during the run")
 
     p_fig = sub.add_parser("figure", help="regenerate a paper figure")
-    p_fig.add_argument("id", help="fig01..fig22")
+    p_fig.add_argument("id", help="fig01..fig23")
     p_fig.add_argument("--trials", type=int, default=3)
     p_fig.add_argument("--seed", type=int, default=0)
     p_fig.add_argument("--strict", action="store_true",
@@ -795,6 +856,48 @@ def build_parser() -> argparse.ArgumentParser:
     p_str.add_argument("--strict", action="store_true",
                        help="audit invariants; exit non-zero on gaps")
 
+    p_ten = sub.add_parser(
+        "tenancy",
+        help="multi-tenant scheduling campaign: job slowdown / queue "
+             "wait / fairness vs offered load per queue policy (fig23), "
+             "crash-safe and resumable")
+    p_ten.add_argument("--policies", nargs="+",
+                       choices=("fifo", "fair", "capacity"),
+                       default=["fifo", "fair", "capacity"])
+    p_ten.add_argument("--loads", type=float, nargs="+",
+                       default=[0.3, 0.6, 0.9],
+                       help="offered load as a fraction of cluster "
+                            "capacity (arrival rate x mean job "
+                            "node-seconds / nodes)")
+    p_ten.add_argument("--trials", type=int, default=1)
+    p_ten.add_argument("--nodes", type=int, default=8)
+    p_ten.add_argument("--jobs-per-cell", type=int, default=12,
+                       dest="jobs_per_cell",
+                       help="expected job arrivals per campaign cell")
+    p_ten.add_argument("--crash-rate", type=float, default=0.0,
+                       help="expected node crashes per node per arrival "
+                            "window (compiled, deterministic)")
+    p_ten.add_argument("--quick", action="store_true",
+                       help="shrunken campaign (4 nodes, two loads, ~6 "
+                            "jobs/cell) for CI smoke")
+    p_ten.add_argument("--seed", type=int, default=0)
+    p_ten.add_argument("--jobs", type=int, default=None,
+                       help="worker processes (default: $REPRO_JOBS or "
+                            "serial); figures are identical at any count")
+    p_ten.add_argument("--timeout", type=float, default=None,
+                       help="per-cell wall-clock timeout in seconds")
+    p_ten.add_argument("--retries", type=int, default=1,
+                       help="retry budget per failed cell")
+    p_ten.add_argument("--checkpoint", default=None, metavar="DIR",
+                       help="journal every finished cell to DIR")
+    p_ten.add_argument("--resume", action="store_true",
+                       help="resume a killed campaign from "
+                            "--checkpoint DIR (digest-identical to an "
+                            "uninterrupted run)")
+    p_ten.add_argument("--strict", action="store_true",
+                       help="audit scheduling invariants; exit non-zero "
+                            "on gaps")
+
     p_val = sub.add_parser(
         "validate", help="strict invariant self-check / golden replay")
     p_val.add_argument("--replay", action="store_true",
@@ -832,6 +935,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "table7": cmd_table7, "explain": cmd_explain,
                 "faults": cmd_faults, "trace": cmd_trace,
                 "resilience": cmd_resilience, "streaming": cmd_streaming,
+                "tenancy": cmd_tenancy,
                 "validate": cmd_validate, "bench": cmd_bench}
     return handlers[args.command](args)
 

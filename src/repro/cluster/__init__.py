@@ -6,6 +6,7 @@ of it, HDFS (``repro.hdfs``) stores blocks in it, and the monitoring
 layer (``repro.monitoring``) reads its resource traces.
 """
 
+from .allocation import fractional_max_min, grant_integer_max_min
 from .fluid import Capacity, Flow, FluidScheduler
 from .memory import MemoryAccount, OutOfMemoryError
 from .node import GRID5000_PARAVANCE, HardwareSpec, Node
@@ -20,5 +21,6 @@ __all__ = [
     "Event", "Flow", "FluidScheduler", "GRID5000_PARAVANCE", "HardwareSpec",
     "InsufficientBuffersError", "Interrupt", "MemoryAccount", "Node",
     "OutOfMemoryError", "Process", "Simulation", "SimulationError",
-    "StepSeries", "Timeout", "merge_step_series",
+    "StepSeries", "Timeout", "fractional_max_min",
+    "grant_integer_max_min", "merge_step_series",
 ]

@@ -20,6 +20,10 @@ the main cost profiles —
   boundary with repeated crashes and the degradation policies active
   (backoff restarts, shedding, adaptive batching): the per-slice
   policy-decision overhead of the fig22 campaign;
+* ``tenancy_mix``         — the fig23 multi-tenant campaign cell
+  profile: profile four job templates through the legacy path, then
+  run the three queue policies (FIFO, fair share, capacity) over the
+  same compiled Poisson arrival mix on one shared cluster;
 * ``scale_1000``          — a 1000-node cluster (1 TiB Tera Sort on
   flink, Page Rank on spark): the giant-component regime where the
   HDFS replication ring chains every node's pipeline together.  One
@@ -66,7 +70,7 @@ TiB = float(2**40)
 BENCH_CASE_NAMES = ("batch_terasort", "iterative_pagerank",
                     "fault_recovery", "sweep_wordcount",
                     "streaming_pair", "streaming_degrade",
-                    "scale_1000")
+                    "tenancy_mix", "scale_1000")
 
 
 @dataclass
@@ -274,6 +278,35 @@ def _case_streaming_degrade(quick: bool, seed: int,
                      runs=len(tasks), sim_events=sum(events))
 
 
+def _case_tenancy_mix(quick: bool, seed: int,
+                      jobs: Optional[int]) -> BenchCase:
+    """The fig23 cell profile: template profiling (four legacy runs)
+    plus the three-policy tenancy campaign over one compiled mix.
+
+    The scheduler's own event loop is cheap (hundreds of events); the
+    case exists to time the end-to-end campaign path — profiling runs,
+    plan compilation, policy allocation and audits — that every fig23
+    cell pays."""
+    from ..scheduler import profile_templates, tenancy_sweep
+    from ..scheduler.sweep import default_templates
+    nodes = 4 if quick else 8
+    loads = (0.5, 0.9) if quick else (0.3, 0.6, 0.9)
+    jobs_target = 6 if quick else 12
+    t0 = time.perf_counter()
+    profiles = profile_templates(default_templates(nodes), seed=seed)
+    fig = tenancy_sweep(loads=loads, nodes=nodes, seed=seed,
+                        jobs_target=jobs_target, jobs=jobs)
+    wall = time.perf_counter() - t0
+    if fig.gaps:
+        raise RuntimeError(
+            f"bench tenancy case failed: {fig.gaps[0].gap_detail}")
+    events = (sum(p.sim_events for p in profiles.values())
+              + sum(c.events for c in fig.cells))
+    return BenchCase(name="tenancy_mix", wall_seconds=wall,
+                     runs=len(profiles) + len(fig.cells),
+                     sim_events=events or None)
+
+
 def _case_scale_1000(quick: bool, seed: int,
                      jobs: Optional[int]) -> BenchCase:
     """1000 nodes: the regime the vectorized kernel unlocked.
@@ -308,6 +341,7 @@ _CASES = {
     "sweep_wordcount": _case_sweep_wordcount,
     "streaming_pair": _case_streaming_pair,
     "streaming_degrade": _case_streaming_degrade,
+    "tenancy_mix": _case_tenancy_mix,
     "scale_1000": _case_scale_1000,
 }
 

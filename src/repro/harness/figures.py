@@ -44,6 +44,7 @@ __all__ = [
     "fig19_resilience", "fig20_streaming_latency",
     "fig21_streaming_recovery",
     "fig22_degradation",
+    "fig23_tenancy",
 ]
 
 GiB = float(2**30)
@@ -797,3 +798,40 @@ def fig22_degradation(seed: int = 0, nodes: int = 8,
         nodes=nodes, seed=seed,
         duration=duration if duration is not None else DEFAULT_DURATION,
         strict=strict, jobs=jobs, timeout=timeout, checkpoint=checkpoint)
+
+
+# ----------------------------------------------------------------------
+# Fig. 23 (extension) — multi-tenant cluster scheduling
+# ----------------------------------------------------------------------
+def fig23_tenancy(seed: int = 0, nodes: int = 8,
+                  policies: Optional[Sequence[str]] = None,
+                  loads: Optional[Sequence[float]] = None,
+                  trials: int = 1,
+                  jobs_target: Optional[int] = None,
+                  crash_rate: float = 0.0,
+                  strict: Optional[bool] = None,
+                  jobs: Optional[int] = None,
+                  timeout: Optional[float] = None,
+                  checkpoint=None):
+    """Multi-tenant scheduling: per-policy job slowdown, queue wait vs
+    utilization, and Jain fairness vs offered load.
+
+    The paper ran one job per cluster; this figure shares one cluster
+    between a seeded Poisson mix of jobs (both engines, two queues)
+    admitted under FIFO, fair-share or capacity scheduling with
+    engine-faithful preemption loss (Spark lineage vs Flink restart —
+    see :mod:`repro.scheduler`).  Deterministic per seed and
+    bit-identical at any job count; pass ``checkpoint`` to journal
+    cells and resume a killed campaign.
+    """
+    from ..scheduler.sweep import (DEFAULT_JOBS_TARGET, DEFAULT_LOADS,
+                                   DEFAULT_POLICIES, tenancy_sweep)
+    return tenancy_sweep(
+        policies=(tuple(policies) if policies is not None
+                  else DEFAULT_POLICIES),
+        loads=tuple(loads) if loads is not None else DEFAULT_LOADS,
+        trials=trials, nodes=nodes, seed=seed,
+        jobs_target=(jobs_target if jobs_target is not None
+                     else DEFAULT_JOBS_TARGET),
+        crash_rate=crash_rate, strict=strict, jobs=jobs,
+        timeout=timeout, checkpoint=checkpoint, figure_id="fig23")

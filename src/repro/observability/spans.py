@@ -37,7 +37,12 @@ __all__ = ["Span", "SpanTracer", "SpanTree", "FlowRecord", "SPAN_KINDS"]
 
 #: Valid span kinds, outermost first.  A child's kind must sit strictly
 #: deeper than its parent's (a task cannot contain an operator).
-SPAN_KINDS = ("run", "job", "stage", "operator", "task")
+#: ``queued``/``preempted`` are the cluster scheduler's wait intervals
+#: (:mod:`repro.scheduler`): they nest under ``job`` spans and sit at
+#: the deep end so the strict-deepening rule keeps holding for the
+#: engine trees, which never record them.
+SPAN_KINDS = ("run", "job", "stage", "operator", "task",
+              "queued", "preempted")
 
 _DEPTH = {kind: i for i, kind in enumerate(SPAN_KINDS)}
 

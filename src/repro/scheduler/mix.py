@@ -1,0 +1,175 @@
+"""Seedable workload mixes, compiled into frozen tenancy plans.
+
+The PR 5/6 discipline: **randomness is spent at compile time**.  A
+:class:`WorkloadMix` describes a Poisson job-arrival process over a set
+of :class:`~repro.scheduler.jobs.JobTemplate` shapes;
+:meth:`WorkloadMix.compile` consumes one seeded generator in a fixed
+order (gap, template choice, gap, template choice, ...) and emits a
+frozen :class:`TenancyPlan` — pure data with a digest, so a whole
+tenancy campaign is pinned by its plan digests and bit-identical at any
+``--jobs`` value and across ``--resume``.
+
+Crash schedules reuse the PR 5 stochastic fault compiler: a
+:class:`~repro.resilience.stochastic.StochasticFaultModel` with only a
+crash rate, compiled and resolved over the arrival window, filtered to
+its :class:`~repro.faults.plan.NodeCrash` events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..faults.plan import NodeCrash
+from ..resilience.stochastic import StochasticFaultModel
+from ..validation.digest import digest_payload
+from .jobs import JobTemplate
+
+__all__ = ["CrashEvent", "TenancyPlan", "WorkloadMix",
+           "compile_crash_plan", "simultaneous_plan"]
+
+#: One scheduled node crash: (absolute seconds, node index, revive
+#: delay in seconds or None for a machine that never returns).
+CrashEvent = Tuple[float, int, Optional[float]]
+
+
+@dataclass(frozen=True)
+class TenancyPlan:
+    """A compiled arrival schedule: pure data, digest-pinned.
+
+    ``arrivals`` is a tuple of ``(at_seconds, template_index)`` in
+    non-decreasing time order.  The plan carries its templates so a
+    cell task can rebuild jobs without re-consulting the mix.
+    """
+
+    templates: Tuple[JobTemplate, ...]
+    arrivals: Tuple[Tuple[float, int], ...]
+    arrival_rate: float
+    horizon: float
+    seed: int
+
+    def __post_init__(self) -> None:
+        last = 0.0
+        for at, idx in self.arrivals:
+            if at < last:
+                raise ValueError(
+                    f"arrivals must be time-ordered; {at} after {last}")
+            if not 0 <= idx < len(self.templates):
+                raise ValueError(f"arrival names template #{idx}; plan "
+                                 f"has {len(self.templates)}")
+            last = at
+
+    def __len__(self) -> int:
+        return len(self.arrivals)
+
+    def payload(self) -> Dict[str, Any]:
+        return {
+            "templates": [t.payload() for t in self.templates],
+            "arrivals": [[at, idx] for at, idx in self.arrivals],
+            "arrival_rate": self.arrival_rate,
+            "horizon": self.horizon,
+            "seed": self.seed,
+        }
+
+    def digest(self) -> str:
+        return digest_payload(self.payload())
+
+
+def simultaneous_plan(templates: Sequence[JobTemplate],
+                      at: float = 0.0) -> TenancyPlan:
+    """All-at-once plan: one arrival per template, in template order.
+
+    The differential tests' workhorse — a FIFO queue with capacity 1
+    must run these serially in exactly this order.
+    """
+    return TenancyPlan(
+        templates=tuple(templates),
+        arrivals=tuple((at, i) for i in range(len(templates))),
+        arrival_rate=0.0, horizon=at, seed=0)
+
+
+@dataclass(frozen=True)
+class WorkloadMix:
+    """A Poisson arrival process over weighted job templates.
+
+    ``arrival_rate`` is jobs per simulated second; ``horizon`` bounds
+    the arrival window (jobs land in ``[0, horizon)``; the simulation
+    then drains the backlog).  ``weights`` biases the template choice
+    (uniform when omitted).
+    """
+
+    templates: Tuple[JobTemplate, ...]
+    arrival_rate: float
+    horizon: float
+    weights: Optional[Tuple[float, ...]] = None
+
+    def validate(self) -> None:
+        if not self.templates:
+            raise ValueError("a workload mix needs at least one template")
+        if not self.arrival_rate > 0:
+            raise ValueError(
+                f"arrival_rate must be > 0, got {self.arrival_rate}")
+        if not self.horizon > 0:
+            raise ValueError(f"horizon must be > 0, got {self.horizon}")
+        if self.weights is not None:
+            if len(self.weights) != len(self.templates):
+                raise ValueError(
+                    f"{len(self.weights)} weight(s) for "
+                    f"{len(self.templates)} template(s)")
+            if any(w < 0 for w in self.weights) or sum(self.weights) <= 0:
+                raise ValueError(f"invalid weights {self.weights}")
+
+    def compile(self, seed: int) -> TenancyPlan:
+        """Draw one realisation of the arrival process.
+
+        Deterministic: one ``default_rng(seed)`` stream consumed in a
+        fixed interleaved order — exponential gap, then template
+        choice, per arrival — so the same ``(mix, seed)`` always
+        compiles to a byte-identical plan (same convention as
+        :meth:`repro.resilience.stochastic.StochasticFaultModel.compile`).
+        """
+        self.validate()
+        rng = np.random.default_rng(seed)
+        if self.weights is None:
+            probs = None
+        else:
+            total = sum(self.weights)
+            probs = [w / total for w in self.weights]
+        arrivals = []
+        t = 0.0
+        while True:
+            t += float(rng.exponential(1.0 / self.arrival_rate))
+            if t >= self.horizon:
+                break
+            idx = int(rng.choice(len(self.templates), p=probs))
+            arrivals.append((t, idx))
+        return TenancyPlan(
+            templates=tuple(self.templates), arrivals=tuple(arrivals),
+            arrival_rate=self.arrival_rate, horizon=self.horizon,
+            seed=seed)
+
+
+def compile_crash_plan(seed: int, num_nodes: int, crash_rate: float,
+                       window: float,
+                       restart_after: Optional[float] = 0.05
+                       ) -> Tuple[CrashEvent, ...]:
+    """Compile mid-campaign node crashes over an absolute window.
+
+    ``crash_rate`` is expected crashes per node per window (the PR 5
+    convention); ``restart_after`` is the machine-return delay as a
+    window fraction (None = never returns).  The stochastic model
+    compiles a relative plan which ``resolve(window)`` scales to
+    absolute seconds; only the :class:`NodeCrash` events survive the
+    filter — the scheduler models whole-node loss, not slowdowns.
+    """
+    if crash_rate <= 0:
+        return ()
+    model = StochasticFaultModel(crash_rate=crash_rate,
+                                 restart_after=restart_after)
+    plan = model.compile(seed, num_nodes).resolve(window)
+    crashes = [(ev.at, ev.node, ev.restart_after)
+               for ev in plan.events if isinstance(ev, NodeCrash)]
+    crashes.sort(key=lambda c: (c[0], c[1]))
+    return tuple(crashes)

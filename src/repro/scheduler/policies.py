@@ -1,0 +1,206 @@
+"""Queue policies: FIFO, fair share and capacity scheduling.
+
+A policy answers one question, deterministically: given the runnable
+jobs, the alive-node count and the queue configuration, how many whole
+nodes does each job hold *right now*?  The scheduler core re-asks at
+every event (arrival, completion, crash, revive); preemption is not a
+policy verb but an emergent transition — a started job whose grant
+drops to zero has been preempted, and the core charges the
+engine-specific loss (:mod:`repro.scheduler.core`).
+
+All three policies honour the same queue machinery:
+
+* ``quota`` — a hard ceiling on a queue's concurrent nodes (the
+  capacity-scheduler "maximum capacity"; audited never exceeded);
+* ``max_jobs`` — admission control, enforced at arrival time by the
+  core (a queue at ``max_jobs`` rejects, it does not wait).
+
+``allocate`` returns ``(grants, eligible, queue_grants)``: grants by
+job index, the indices the policy actually considered (FIFO's
+``capacity_jobs`` concurrency cap makes considered != runnable — the
+work-conservation audit must not flag nodes a capacity-1 queue
+deliberately leaves idle), and per-queue grant totals for the quota
+audit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..cluster.allocation import grant_integer_max_min
+
+__all__ = ["CapacityPolicy", "FairSharePolicy", "FifoPolicy",
+           "POLICY_NAMES", "QueueConfig", "make_policy"]
+
+POLICY_NAMES = ("fifo", "fair", "capacity")
+
+
+@dataclass(frozen=True)
+class QueueConfig:
+    """One queue: node quota + admission cap (None = unlimited)."""
+
+    name: str
+    quota: Optional[int] = None
+    max_jobs: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.quota is not None and self.quota < 0:
+            raise ValueError(f"quota must be >= 0, got {self.quota}")
+        if self.max_jobs is not None and self.max_jobs < 1:
+            raise ValueError(f"max_jobs must be >= 1, got {self.max_jobs}")
+
+    def payload(self) -> Dict[str, Any]:
+        return {"name": self.name, "quota": self.quota,
+                "max_jobs": self.max_jobs}
+
+
+def _quota(queues: Mapping[str, QueueConfig], name: str) -> Optional[int]:
+    qc = queues.get(name)
+    return qc.quota if qc is not None else None
+
+
+def _fifo_order(jobs: Sequence) -> List:
+    """Strict service order: priority desc, then arrival, then index."""
+    return sorted(jobs, key=lambda j: (-j.priority, j.arrival, j.index))
+
+
+def _queue_names(jobs: Sequence) -> List[str]:
+    return sorted({j.queue for j in jobs})
+
+
+Allocation = Tuple[Dict[int, int], Tuple[int, ...], Dict[str, int]]
+
+
+def _walk(order: Sequence, capacity: int,
+          queues: Mapping[str, QueueConfig],
+          queue_caps: Optional[Mapping[str, int]] = None) -> Allocation:
+    """Greedy in-order grant: each job takes what width, the remaining
+    capacity and its queue's headroom allow.  Shared by FIFO (global
+    order, quota headroom) and the capacity policy's intra-queue pass
+    (per-queue budgets from the guaranteed-share split)."""
+    grants: Dict[int, int] = {}
+    queue_used: Dict[str, int] = {}
+    remaining = capacity
+    for job in order:
+        if queue_caps is not None:
+            headroom = queue_caps.get(job.queue, 0) \
+                - queue_used.get(job.queue, 0)
+        else:
+            quota = _quota(queues, job.queue)
+            headroom = (remaining if quota is None
+                        else quota - queue_used.get(job.queue, 0))
+        grant = max(0, min(job.width, remaining, headroom))
+        grants[job.index] = grant
+        queue_used[job.queue] = queue_used.get(job.queue, 0) + grant
+        remaining -= grant
+    return grants, tuple(j.index for j in order), queue_used
+
+
+@dataclass(frozen=True)
+class FifoPolicy:
+    """First come, first served, priorities first.
+
+    Jobs are served in (priority desc, arrival, index) order; each gets
+    its full width while capacity and its queue's quota allow, so a
+    wide head-of-line job can drain the cluster — exactly the behaviour
+    the fair policy exists to fix.  ``capacity_jobs`` additionally caps
+    how many jobs run concurrently: with ``capacity_jobs=1`` the
+    cluster becomes a serial batch queue, which the differential test
+    pins against the serial concatenation of individual runs.
+    """
+
+    capacity_jobs: Optional[int] = None
+    name: str = "fifo"
+
+    def __post_init__(self) -> None:
+        if self.capacity_jobs is not None and self.capacity_jobs < 1:
+            raise ValueError(
+                f"capacity_jobs must be >= 1, got {self.capacity_jobs}")
+
+    def allocate(self, jobs: Sequence, capacity: int,
+                 queues: Mapping[str, QueueConfig]) -> Allocation:
+        order = _fifo_order(jobs)
+        if self.capacity_jobs is not None:
+            order = order[:self.capacity_jobs]
+        return _walk(order, capacity, queues)
+
+
+@dataclass(frozen=True)
+class FairSharePolicy:
+    """Two-level integer max-min: across queues, then across jobs.
+
+    Queue demands (total width, capped by quota) split the capacity by
+    whole-node water filling; each queue's grant then splits among its
+    jobs the same way, older jobs first on ties.  Every grant therefore
+    sits within one node of the exact fractional fair share (audited),
+    and with identical full-width jobs the cluster degenerates to
+    processor sharing — the M/G/1-PS differential oracle.
+    """
+
+    name: str = "fair"
+
+    def allocate(self, jobs: Sequence, capacity: int,
+                 queues: Mapping[str, QueueConfig]) -> Allocation:
+        grants: Dict[int, int] = {}
+        queue_grants: Dict[str, int] = {}
+        names = _queue_names(jobs)
+        by_queue = {q: sorted((j for j in jobs if j.queue == q),
+                              key=lambda j: (j.arrival, j.index))
+                    for q in names}
+        demands = []
+        for q in names:
+            want = sum(j.width for j in by_queue[q])
+            quota = _quota(queues, q)
+            demands.append(want if quota is None else min(want, quota))
+        shares = grant_integer_max_min(demands, capacity)
+        for q, share in zip(names, shares):
+            members = by_queue[q]
+            inner = grant_integer_max_min([j.width for j in members], share)
+            for job, grant in zip(members, inner):
+                grants[job.index] = grant
+            queue_grants[q] = sum(inner)
+        eligible = tuple(j.index for q in names for j in by_queue[q])
+        return grants, eligible, queue_grants
+
+
+@dataclass(frozen=True)
+class CapacityPolicy:
+    """Guaranteed queue shares, FIFO within each queue.
+
+    The YARN-capacity-scheduler shape: capacity splits *between queues*
+    by integer max-min over quota-capped demands (so no queue can
+    starve another below its fair share, and idle capacity flows to
+    queues with demand), while *within* a queue jobs are served in
+    strict FIFO priority order with their full widths.
+    """
+
+    name: str = "capacity"
+
+    def allocate(self, jobs: Sequence, capacity: int,
+                 queues: Mapping[str, QueueConfig]) -> Allocation:
+        names = _queue_names(jobs)
+        by_queue = {q: _fifo_order([j for j in jobs if j.queue == q])
+                    for q in names}
+        demands = []
+        for q in names:
+            want = sum(j.width for j in by_queue[q])
+            quota = _quota(queues, q)
+            demands.append(want if quota is None else min(want, quota))
+        shares = grant_integer_max_min(demands, capacity)
+        queue_caps = {q: share for q, share in zip(names, shares)}
+        order = [j for q in names for j in by_queue[q]]
+        grants, eligible, queue_grants = _walk(
+            order, capacity, queues, queue_caps=queue_caps)
+        return grants, eligible, queue_grants
+
+
+def make_policy(name: str):
+    """Policy registry for the campaign / CLI layer."""
+    if name == "fifo":
+        return FifoPolicy()
+    if name == "fair":
+        return FairSharePolicy()
+    if name == "capacity":
+        return CapacityPolicy()
+    raise ValueError(f"unknown policy {name!r}; one of {POLICY_NAMES}")

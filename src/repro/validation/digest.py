@@ -34,6 +34,7 @@ __all__ = [
     "fault_payload",
     "trace_payload",
     "streaming_payload",
+    "tenancy_payload",
 ]
 
 
@@ -171,6 +172,25 @@ def streaming_payload(fig) -> Dict[str, Any]:
         "figure_id": fig.figure_id,
         "nodes": fig.nodes,
         "duration": fig.duration,
+        "cells": [cell.payload() for cell in fig.cells],
+    }
+
+
+def tenancy_payload(fig) -> Dict[str, Any]:
+    """Observable output of the fig23 multi-tenancy campaign.
+
+    Every cell's payload is included — compiled arrival-plan digest,
+    per-job slowdowns and waits, fairness index, preemption and crash
+    counts — so a change to the mix compiler, any queue policy, the
+    preemption loss models or the campaign layer changes the digest.
+    Gap cells are observable too.
+    """
+    return {
+        "figure_id": fig.figure_id,
+        "nodes": fig.nodes,
+        "loads": list(fig.loads),
+        "policies": list(fig.policies),
+        "trials": fig.trials,
         "cells": [cell.payload() for cell in fig.cells],
     }
 

@@ -116,6 +116,7 @@ class InvariantChecker:
             "frame_audit": 0,
             "fault_audit": 0,
             "streaming_audit": 0,
+            "scheduling_audit": 0,
         }
         self._last_pop_time = 0.0
 
@@ -404,6 +405,196 @@ class InvariantChecker:
                     f"policy's bound {result.p99_bound} "
                     f"(+{allowance - result.p99_bound:.3g} crash "
                     f"allowance)")
+
+    def audit_scheduling(self, result) -> None:
+        """Audit a finished tenancy run (:mod:`repro.scheduler`).
+
+        Checks, in order: snapshot sanity (nondecreasing times, grants
+        within width and alive capacity, per-queue totals consistent
+        and never above quota), **work conservation** (capacity left
+        idle only when every eligible job is already at width or its
+        queue is at quota), **fair-share accuracy** (each queue and
+        each job within one node of the exact fractional max–min
+        share), the job **ledger** (completed + failed + rejected ==
+        submitted, all statuses terminal), and per-job accounting
+        (``executed == useful + wasted``, waste only with a recorded
+        preemption or crash, slowdown >= 1, ordered timestamps).
+        """
+        import math
+        self.checks["scheduling_audit"] += 1
+        tol = self.tolerance
+        records = {r.index: r for r in result.records}
+        quotas = dict(result.queue_quotas)
+
+        prev_time = -math.inf
+        for snap in result.snapshots:
+            at = f"t={snap.time:g} ({snap.cause})"
+            if snap.time < prev_time - tol:
+                self._record(f"scheduling: snapshot times run backwards "
+                             f"({prev_time} -> {snap.time})")
+            prev_time = snap.time
+            if not 0 <= snap.capacity <= result.nodes:
+                self._record(f"scheduling: {at}: capacity "
+                             f"{snap.capacity} outside [0, {result.nodes}]")
+            total = sum(snap.grants.values())
+            if total > snap.capacity:
+                self._record(f"scheduling: {at}: {total} node(s) granted "
+                             f"on {snap.capacity} alive")
+            queue_totals: Dict[str, int] = {}
+            for index, grant in snap.grants.items():
+                record = records.get(index)
+                if record is None:
+                    self._record(f"scheduling: {at}: grant for unknown "
+                                 f"job #{index}")
+                    continue
+                if grant < 0 or grant > record.width:
+                    self._record(
+                        f"scheduling: {at}: job #{index} granted {grant} "
+                        f"outside [0, width={record.width}]")
+                queue_totals[record.queue] = \
+                    queue_totals.get(record.queue, 0) + grant
+            for queue in set(queue_totals) | set(snap.queue_grants):
+                mine = queue_totals.get(queue, 0)
+                theirs = snap.queue_grants.get(queue, 0)
+                if mine != theirs:
+                    self._record(
+                        f"scheduling: {at}: queue {queue!r} grant total "
+                        f"{theirs} disagrees with the job grants "
+                        f"summing to {mine}")
+            for queue, granted in snap.queue_grants.items():
+                quota = quotas.get(queue)
+                if quota is not None and granted > quota:
+                    self._record(
+                        f"scheduling: {at}: queue {queue!r} holds "
+                        f"{granted} node(s) over its quota {quota}")
+            if total < snap.capacity:
+                for index in snap.eligible:
+                    record = records.get(index)
+                    if record is None:
+                        continue
+                    grant = snap.grants.get(index, 0)
+                    if grant >= record.width:
+                        continue
+                    quota = quotas.get(record.queue)
+                    at_quota = (quota is not None and
+                                snap.queue_grants.get(record.queue, 0)
+                                >= quota)
+                    if not at_quota:
+                        self._record(
+                            f"scheduling: {at}: work conservation broken: "
+                            f"{snap.capacity - total} node(s) idle while "
+                            f"eligible job #{index} holds {grant} of "
+                            f"width {record.width} and queue "
+                            f"{record.queue!r} is under quota")
+                        break
+            if result.policy == "fair":
+                self._audit_fair_snapshot(snap, records, quotas)
+
+        terminal = {"completed", "failed", "rejected"}
+        counts = {"completed": 0, "failed": 0, "rejected": 0}
+        for record in result.records:
+            if record.status not in terminal:
+                self._record(f"scheduling: job #{record.index} ended the "
+                             f"run in non-terminal state "
+                             f"{record.status!r}")
+                continue
+            counts[record.status] += 1
+        if sum(counts.values()) != result.submitted:
+            self._record(
+                f"scheduling: ledger broken: {counts['completed']} "
+                f"completed + {counts['failed']} failed + "
+                f"{counts['rejected']} rejected != {result.submitted} "
+                f"submitted")
+
+        for record in result.records:
+            who = f"job #{record.index} ({record.template})"
+            if record.executed < -tol or record.wasted < -tol:
+                self._record(f"scheduling: {who} has negative accounting "
+                             f"(executed={record.executed}, "
+                             f"wasted={record.wasted})")
+            if record.wasted > tol * max(1.0, record.service) and \
+                    record.preemptions + record.crashes == 0:
+                self._record(
+                    f"scheduling: {who} wasted {record.wasted:.3g}s with "
+                    f"no recorded preemption or crash")
+            if record.status == "rejected":
+                if record.start is not None or record.executed > tol:
+                    self._record(f"scheduling: rejected {who} ran anyway")
+                continue
+            if record.status == "completed":
+                scale = max(1.0, record.service + record.wasted)
+                if record.completion is None:
+                    self._record(f"scheduling: completed {who} has no "
+                                 f"completion time")
+                    continue
+                if abs(record.executed
+                       - (record.service + record.wasted)) > tol * scale:
+                    self._record(
+                        f"scheduling: {who} re-execution ledger broken: "
+                        f"executed {record.executed:.6g} != service "
+                        f"{record.service:.6g} + wasted "
+                        f"{record.wasted:.6g}")
+                if record.start is None or \
+                        not (record.arrival - tol <= record.start
+                             <= record.completion + tol):
+                    self._record(
+                        f"scheduling: {who} timestamps out of order "
+                        f"(arrival={record.arrival}, "
+                        f"start={record.start}, "
+                        f"completion={record.completion})")
+                elapsed = record.completion - record.arrival
+                if elapsed < record.service - tol * max(1.0, record.service):
+                    self._record(
+                        f"scheduling: {who} finished in {elapsed:.6g}s, "
+                        f"faster than its service time "
+                        f"{record.service:.6g}s (slowdown < 1)")
+                if record.wait > elapsed + tol:
+                    self._record(f"scheduling: {who} waited "
+                                 f"{record.wait:.6g}s of a "
+                                 f"{elapsed:.6g}s lifetime")
+            elif record.status == "failed" and not record.failure:
+                self._record(f"scheduling: failed {who} carries no "
+                             f"failure reason")
+
+    def _audit_fair_snapshot(self, snap, records, quotas) -> None:
+        """Fair policy: every queue and job within one node of its
+        exact fractional max–min share."""
+        from ..cluster.allocation import fractional_max_min
+        tol = self.tolerance
+        at = f"t={snap.time:g} ({snap.cause})"
+        members: Dict[str, List] = {}
+        for index in snap.eligible:
+            record = records.get(index)
+            if record is not None:
+                members.setdefault(record.queue, []).append(record)
+        names = sorted(members)
+        demands = []
+        for queue in names:
+            want = sum(r.width for r in members[queue])
+            quota = quotas.get(queue)
+            demands.append(want if quota is None else min(want, quota))
+        exact = fractional_max_min(demands, snap.capacity)
+        for queue, share in zip(names, exact):
+            granted = snap.queue_grants.get(queue, 0)
+            if abs(granted - share) > 1.0 + tol:
+                self._record(
+                    f"scheduling: {at}: fair share broken across "
+                    f"queues: {queue!r} holds {granted} node(s), exact "
+                    f"share is {share:.3f}")
+        for queue in names:
+            jobs = sorted(members[queue],
+                          key=lambda r: (r.arrival, r.index))
+            inner = fractional_max_min(
+                [r.width for r in jobs],
+                snap.queue_grants.get(queue, 0))
+            for record, share in zip(jobs, inner):
+                granted = snap.grants.get(record.index, 0)
+                if abs(granted - share) > 1.0 + tol:
+                    self._record(
+                        f"scheduling: {at}: fair share broken within "
+                        f"queue {queue!r}: job #{record.index} holds "
+                        f"{granted} node(s), exact share is "
+                        f"{share:.3f}")
 
     def audit_frames(self, frames) -> None:
         """Physical bounds on resampled monitoring panels."""

@@ -30,7 +30,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 from ..harness import figures
 from .digest import (digest_payload, fault_payload, resilience_payload,
                      resource_payload, scaling_payload, streaming_payload,
-                     table_payload, trace_payload)
+                     table_payload, tenancy_payload, trace_payload)
 
 __all__ = [
     "ReplayScenario",
@@ -111,6 +111,13 @@ def _fig22(seed: int, strict: Optional[bool]) -> Any:
     return streaming_payload(fig)
 
 
+def _fig23(seed: int, strict: Optional[bool]) -> Any:
+    fig = figures.fig23_tenancy(
+        seed=seed, nodes=4, loads=(0.5, 0.9), trials=1, jobs_target=6,
+        strict=strict)
+    return tenancy_payload(fig)
+
+
 def _trace01(seed: int, strict: Optional[bool]) -> Any:
     from ..config.presets import GiB, wordcount_grep_preset
     from ..harness.runner import run_traced
@@ -146,6 +153,9 @@ SCENARIOS: Dict[str, ReplayScenario] = {
     "fig22": ReplayScenario(
         "fig22", "Streaming overload survival (4 nodes, two load "
         "multiples x two fault rates x both policies)", _fig22),
+    "fig23": ReplayScenario(
+        "fig23", "Multi-tenant scheduling (4 nodes, three policies x "
+        "two loads)", _fig23),
     "trace01": ReplayScenario(
         "trace01", "Word Count span trace + Chrome export (Spark, 8 nodes)",
         _trace01),

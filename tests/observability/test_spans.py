@@ -79,7 +79,8 @@ def test_unknown_kind_rejected():
     tr = SpanTracer()
     with pytest.raises(ValueError, match="unknown span kind"):
         tr.begin("query", "q", 0.0)
-    assert SPAN_KINDS == ("run", "job", "stage", "operator", "task")
+    assert SPAN_KINDS == ("run", "job", "stage", "operator", "task",
+                          "queued", "preempted")
 
 
 def test_record_defaults_parent_to_innermost_open():

@@ -1,0 +1,87 @@
+"""Property tests for the whole-node max–min allocators.
+
+The audited contract of ``grant_integer_max_min`` (the primitive under
+both the fair-share and capacity policies):
+
+* feasibility — ``0 <= grant_i <= demand_i``;
+* work conservation — ``sum(grants) == min(capacity, sum(demands))``;
+* fairness — every grant within one node of the exact fractional
+  max–min share (``fractional_max_min``), the "within one task-granule
+  of exact fair shares" scheduling invariant;
+* determinism — pure function of its arguments.
+
+``fractional_max_min`` itself is checked against the classical
+water-filling characterisation: unsaturated demands all receive the
+same water level, saturated demands receive exactly their demand.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.allocation import (fractional_max_min,
+                                      grant_integer_max_min)
+
+demand_lists = st.lists(st.integers(min_value=0, max_value=40),
+                        min_size=1, max_size=12)
+capacities = st.integers(min_value=0, max_value=80)
+
+
+@settings(max_examples=200, deadline=None)
+@given(demands=demand_lists, capacity=capacities)
+def test_integer_grants_are_feasible_and_work_conserving(demands, capacity):
+    grants = grant_integer_max_min(demands, capacity)
+    assert len(grants) == len(demands)
+    for grant, demand in zip(grants, demands):
+        assert 0 <= grant <= demand
+    assert sum(grants) == min(capacity, sum(demands))
+
+
+@settings(max_examples=200, deadline=None)
+@given(demands=demand_lists, capacity=capacities)
+def test_integer_grants_track_fractional_shares_within_one(demands,
+                                                           capacity):
+    grants = grant_integer_max_min(demands, capacity)
+    exact = fractional_max_min(demands, capacity)
+    for grant, share in zip(grants, exact):
+        assert abs(grant - share) <= 1.0 + 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(demands=demand_lists, capacity=capacities)
+def test_fractional_waterfill_characterisation(demands, capacity):
+    shares = fractional_max_min(demands, capacity)
+    assert sum(shares) == pytest.approx(min(capacity, sum(demands)))
+    unsaturated = [s for s, d in zip(shares, demands) if s < d - 1e-9]
+    saturated = [(s, d) for s, d in zip(shares, demands)
+                 if s >= d - 1e-9]
+    for share, demand in saturated:
+        assert share == pytest.approx(demand)
+    if unsaturated:
+        level = max(unsaturated)
+        for share in unsaturated:
+            assert share == pytest.approx(level)
+        # No saturated demand sits above the water level.
+        for share, _demand in saturated:
+            assert share <= level + 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(demands=demand_lists, capacity=capacities)
+def test_allocators_are_deterministic(demands, capacity):
+    assert (grant_integer_max_min(demands, capacity)
+            == grant_integer_max_min(list(demands), capacity))
+    assert (fractional_max_min(demands, capacity)
+            == fractional_max_min(list(demands), capacity))
+
+
+def test_integer_tie_break_prefers_lower_index():
+    # 3 identical demands, capacity 4: the spare node goes to index 0.
+    assert grant_integer_max_min([2, 2, 2], 4) == [2, 1, 1]
+
+
+def test_examples():
+    assert grant_integer_max_min([], 8) == []
+    assert grant_integer_max_min([5, 5], 0) == [0, 0]
+    assert grant_integer_max_min([1, 10], 8) == [1, 7]
+    assert fractional_max_min([1, 10], 8) == pytest.approx([1.0, 7.0])
+    assert fractional_max_min([4, 4], 4) == pytest.approx([2.0, 2.0])

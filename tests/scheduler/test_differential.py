@@ -1,0 +1,128 @@
+"""Differential tests: the scheduler versus independently-derivable
+truths.
+
+Two oracles, neither of which shares code with the event loop:
+
+* **serial concatenation** — a FIFO queue with ``capacity_jobs=1`` on a
+  cluster wide enough for every job runs them one after another, so
+  each completion time must equal the exact left-fold float sum of the
+  preceding service times (``==``, not approx: the core transfers the
+  remainder verbatim at rate 1.0);
+* **M/G/1 processor sharing** — identical full-width jobs under fair
+  share degrade the cluster into a single processor-sharing server, so
+  the mean slowdown over a long Poisson arrival run must match the
+  analytic ``1/(1 - rho)`` (PS sojourn is insensitive to the service
+  distribution).  Tolerance calibrated at 2000 jobs / 10% warmup /
+  3-seed mean: observed rel error 0.0003 (rho=0.5) and 0.014
+  (rho=0.7); pinned at 0.05.
+"""
+
+import numpy as np
+import pytest
+
+from repro.scheduler import (FairSharePolicy, FifoPolicy, JobTemplate,
+                             profile_templates, run_tenancy,
+                             simultaneous_plan)
+from repro.scheduler.mix import TenancyPlan
+
+
+def tpl(name, engine="spark", workload="wordcount", width=4):
+    return JobTemplate(name=name, engine=engine, workload=workload,
+                       width=width)
+
+
+# ----------------------------------------------------------------------
+# FIFO capacity-1 == serial concatenation, exactly
+# ----------------------------------------------------------------------
+def _assert_serial(templates, services, nodes):
+    plan = simultaneous_plan(templates)
+    res = run_tenancy(plan, FifoPolicy(capacity_jobs=1), services,
+                      nodes=nodes, strict=True)
+    cumulative = 0.0
+    for rec, template in zip(res.records, templates):
+        assert rec.status == "completed"
+        assert rec.start == cumulative
+        cumulative = cumulative + services[template.name]  # left fold
+        assert rec.completion == cumulative  # bitwise
+    assert res.makespan == cumulative
+    # Each job alone must also finish at exactly its service time.
+    for template in templates:
+        alone = run_tenancy(simultaneous_plan([template]), FifoPolicy(),
+                            services, nodes=nodes, strict=True)
+        assert alone.records[0].completion == services[template.name]
+
+
+def test_fifo_capacity_one_is_serial_concatenation_synthetic():
+    # Awkward float services on purpose: the identity must hold for
+    # whatever bit patterns the profiler emits, not just round numbers.
+    templates = [tpl("a"), tpl("b", engine="flink"), tpl("c"),
+                 tpl("d", engine="flink")]
+    services = {"a": 107.10389146119965, "b": 93.2077829223993,
+                "c": 55.103918273645561, "d": 12.000000000000002}
+    _assert_serial(templates, services, nodes=4)
+
+
+def test_fifo_capacity_one_is_serial_concatenation_profiled():
+    # The same identity over real profiled service times.
+    templates = [tpl("wc-spark", workload="wordcount"),
+                 tpl("grep-flink", engine="flink", workload="grep")]
+    profiles = profile_templates(templates, seed=3, strict=True)
+    services = {n: p.service_seconds for n, p in profiles.items()}
+    _assert_serial(templates, services, nodes=4)
+
+
+def test_fifo_capacity_one_order_is_priority_then_arrival():
+    templates = [tpl("lo"), tpl("hi")]
+    hi = JobTemplate(name="hi", engine="spark", workload="wordcount",
+                     width=4, priority=1)
+    plan = simultaneous_plan([templates[0], hi])
+    services = {"lo": 10.0, "hi": 5.0}
+    res = run_tenancy(plan, FifoPolicy(capacity_jobs=1), services,
+                      nodes=4, strict=True)
+    by_name = {r.template: r for r in res.records}
+    assert by_name["hi"].completion == 5.0
+    assert by_name["lo"].completion == 15.0
+
+
+# ----------------------------------------------------------------------
+# fair share == M/G/1 processor sharing
+# ----------------------------------------------------------------------
+PS_NODES = 12
+PS_JOBS = 2000
+PS_SEEDS = (0, 1, 2)
+PS_TOL = 0.05  # calibrated; see module docstring
+
+
+def _ps_mean_slowdown(rho, seed):
+    service = 1.0
+    lam = rho / service
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1.0 / lam, size=PS_JOBS)
+    times = np.cumsum(gaps)
+    template = JobTemplate(name="j", engine="spark",
+                           workload="wordcount", width=PS_NODES)
+    plan = TenancyPlan(templates=(template,),
+                       arrivals=tuple((float(t), 0) for t in times),
+                       arrival_rate=lam, horizon=float(times[-1]),
+                       seed=seed)
+    res = run_tenancy(plan, FairSharePolicy(), {"j": service},
+                      nodes=PS_NODES, strict=True)
+    assert res.completed == PS_JOBS
+    # Discard the empty-system warmup transient.
+    return float(np.mean(res.slowdowns()[PS_JOBS // 10:]))
+
+
+@pytest.mark.parametrize("rho", [0.5, 0.7])
+def test_fair_share_matches_processor_sharing_slowdown(rho):
+    analytic = 1.0 / (1.0 - rho)
+    observed = float(np.mean([_ps_mean_slowdown(rho, s)
+                              for s in PS_SEEDS]))
+    assert observed == pytest.approx(analytic, rel=PS_TOL), (
+        f"fair share diverged from M/G/1-PS at rho={rho}: "
+        f"observed {observed:.3f} vs analytic {analytic:.3f}")
+
+
+def test_ps_slowdown_grows_with_load():
+    low = np.mean([_ps_mean_slowdown(0.5, s) for s in PS_SEEDS])
+    high = np.mean([_ps_mean_slowdown(0.7, s) for s in PS_SEEDS])
+    assert high > low

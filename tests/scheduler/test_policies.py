@@ -1,0 +1,143 @@
+"""Unit tests for the queue policies' allocate() contract.
+
+``allocate(jobs, capacity, queues)`` returns ``(grants, eligible,
+queue_grants)``; the tests pin the deterministic order semantics of
+each policy — FIFO's strict priority/arrival order, fair share's
+two-level integer max–min, and the capacity scheduler's guaranteed
+inter-queue shares with intra-queue FIFO — plus quota ceilings and
+the ``capacity_jobs`` concurrency cap.
+"""
+
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.scheduler.policies import (CapacityPolicy, FairSharePolicy,
+                                      FifoPolicy, QueueConfig,
+                                      make_policy)
+
+
+@dataclass
+class J:
+    """Minimal job view: what a policy is allowed to read."""
+
+    index: int
+    width: int
+    queue: str = "default"
+    priority: int = 0
+    arrival: float = 0.0
+
+
+def test_fifo_serves_priority_then_arrival_order():
+    jobs = [J(0, 4, arrival=1.0), J(1, 4, arrival=0.0),
+            J(2, 4, arrival=2.0, priority=1)]
+    grants, eligible, _ = FifoPolicy().allocate(jobs, 8, {})
+    # priority-1 job first, then the earliest arrival.
+    assert grants == {2: 4, 1: 4, 0: 0}
+    assert eligible == (2, 1, 0)
+
+
+def test_fifo_head_of_line_can_drain_the_cluster():
+    jobs = [J(0, 8), J(1, 2, arrival=1.0)]
+    grants, _, _ = FifoPolicy().allocate(jobs, 8, {})
+    assert grants == {0: 8, 1: 0}
+
+
+def test_fifo_respects_queue_quota():
+    queues = {"batch": QueueConfig("batch", quota=3)}
+    jobs = [J(0, 4, queue="batch"), J(1, 4, queue="batch", arrival=1.0),
+            J(2, 4, queue="prod", arrival=2.0)]
+    grants, _, queue_grants = FifoPolicy().allocate(jobs, 8, queues)
+    assert grants == {0: 3, 1: 0, 2: 4}
+    assert queue_grants == {"batch": 3, "prod": 4}
+
+
+def test_fifo_capacity_jobs_limits_concurrency_and_eligibility():
+    jobs = [J(0, 2), J(1, 2, arrival=1.0), J(2, 2, arrival=2.0)]
+    grants, eligible, _ = FifoPolicy(capacity_jobs=1).allocate(jobs, 8, {})
+    assert grants == {0: 2}
+    # Jobs beyond the cap are not eligible: the work-conservation audit
+    # must not flag the nodes a capacity-1 queue deliberately idles.
+    assert eligible == (0,)
+
+
+def test_fifo_capacity_jobs_validation():
+    with pytest.raises(ValueError):
+        FifoPolicy(capacity_jobs=0)
+
+
+def test_fair_splits_between_queues_then_jobs():
+    jobs = [J(0, 4, queue="a"), J(1, 4, queue="a", arrival=1.0),
+            J(2, 4, queue="b")]
+    grants, eligible, queue_grants = FairSharePolicy().allocate(
+        jobs, 8, {})
+    assert queue_grants == {"a": 4, "b": 4}
+    # Within queue a, ties break toward the earlier arrival.
+    assert grants == {0: 2, 1: 2, 2: 4}
+    assert set(eligible) == {0, 1, 2}
+
+
+def test_fair_respects_quota_and_redistributes():
+    queues = {"a": QueueConfig("a", quota=2)}
+    jobs = [J(0, 4, queue="a"), J(1, 4, queue="b")]
+    grants, _, queue_grants = FairSharePolicy().allocate(jobs, 8, queues)
+    assert queue_grants == {"a": 2, "b": 4}
+    assert grants == {0: 2, 1: 4}
+
+
+def test_fair_identical_jobs_get_near_equal_shares():
+    jobs = [J(i, 8, arrival=float(i)) for i in range(3)]
+    grants, _, _ = FairSharePolicy().allocate(jobs, 8, {})
+    assert sorted(grants.values(), reverse=True) == [3, 3, 2]
+    # The spare nodes go to the older jobs.
+    assert grants[0] >= grants[1] >= grants[2]
+
+
+def test_capacity_guarantees_queue_shares_with_fifo_within():
+    queues = {}
+    jobs = [J(0, 6, queue="a"), J(1, 6, queue="a", arrival=1.0),
+            J(2, 6, queue="b")]
+    grants, _, queue_grants = CapacityPolicy().allocate(jobs, 8, queues)
+    # Queues split 4/4; within a, strict FIFO gives the head job all 4.
+    assert queue_grants == {"a": 4, "b": 4}
+    assert grants == {0: 4, 1: 0, 2: 4}
+
+
+def test_capacity_idle_share_flows_to_demanding_queue():
+    jobs = [J(0, 2, queue="a"), J(1, 8, queue="b")]
+    grants, _, queue_grants = CapacityPolicy().allocate(jobs, 8, {})
+    # a only demands 2, so b's share grows to 6.
+    assert queue_grants == {"a": 2, "b": 6}
+    assert grants == {0: 2, 1: 6}
+
+
+def test_capacity_respects_quota():
+    queues = {"b": QueueConfig("b", quota=3)}
+    jobs = [J(0, 8, queue="a"), J(1, 8, queue="b")]
+    grants, _, queue_grants = CapacityPolicy().allocate(jobs, 8, queues)
+    assert queue_grants == {"a": 5, "b": 3}
+    assert grants == {0: 5, 1: 3}
+
+
+def test_policies_are_work_conserving_when_demand_suffices():
+    jobs = [J(0, 5, queue="a"), J(1, 5, queue="b", arrival=1.0)]
+    for policy in (FifoPolicy(), FairSharePolicy(), CapacityPolicy()):
+        grants, _, _ = policy.allocate(jobs, 8, {})
+        assert sum(grants.values()) == 8, policy.name
+
+
+def test_make_policy_registry():
+    assert make_policy("fifo").name == "fifo"
+    assert make_policy("fair").name == "fair"
+    assert make_policy("capacity").name == "capacity"
+    with pytest.raises(ValueError):
+        make_policy("yarn")
+
+
+def test_queue_config_validation():
+    with pytest.raises(ValueError):
+        QueueConfig("q", quota=-1)
+    with pytest.raises(ValueError):
+        QueueConfig("q", max_jobs=0)
+    assert QueueConfig("q", quota=2, max_jobs=3).payload() == {
+        "name": "q", "quota": 2, "max_jobs": 3}

@@ -18,6 +18,7 @@ ROOT = pathlib.Path(__file__).resolve().parent.parent
                                   "docs/observability.md",
                                   "docs/performance.md",
                                   "docs/resilience.md",
+                                  "docs/scheduling.md",
                                   "docs/streaming.md",
                                   "docs/validation.md"])
 def test_doc_exists_and_nonempty(name):

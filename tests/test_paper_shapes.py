@@ -133,3 +133,38 @@ def test_determinism_across_engines_and_seeds():
     assert a == b
     c = duration("flink", wl, cfg, seed=10)
     assert a != c  # jitter responds to the seed
+
+
+# ----------------------------------------------------------------------
+# fig23: multi-tenant scheduling (beyond the paper's one-job clusters)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def fig23():
+    from repro.harness.figures import fig23_tenancy
+    return fig23_tenancy(nodes=4, loads=(0.5, 0.9), trials=1,
+                         jobs_target=6, strict=True)
+
+
+def test_fig23_fair_share_is_fairest_and_never_queues(fig23):
+    """Processor sharing admits everyone immediately (no head-of-line
+    wait) and equalises slowdowns: highest Jain index at every load."""
+    for load in (0.5, 0.9):
+        cells = {p: fig23.at(p, load)[0]
+                 for p in ("fifo", "fair", "capacity")}
+        assert cells["fair"].mean_wait == 0.0
+        assert cells["fifo"].mean_wait > 0.0
+        assert cells["fair"].jain == max(c.jain for c in cells.values())
+
+
+def test_fig23_contention_grows_with_offered_load(fig23):
+    for policy in ("fifo", "fair", "capacity"):
+        low = fig23.at(policy, 0.5)[0]
+        high = fig23.at(policy, 0.9)[0]
+        assert high.mean_slowdown > low.mean_slowdown >= 1.0
+        assert high.utilization > low.utilization
+
+
+def test_fig23_no_jobs_lost_without_faults(fig23):
+    for cell in fig23.cells:
+        assert cell.failed == 0 and cell.rejected == 0
+        assert cell.completed == cell.submitted

@@ -18,7 +18,7 @@ import pytest
 from repro.harness import figures as F
 from repro.validation.digest import (digest_payload, resource_payload,
                                      scaling_payload, streaming_payload,
-                                     table_payload)
+                                     table_payload, tenancy_payload)
 
 SEED = 20160913  # the paper's CLUSTER 2016 presentation date
 
@@ -69,6 +69,10 @@ FIGURES = [
                             load_multiples=(1.0, 1.5),
                             fault_rates=(0.0, 0.5), duration=12.0,
                             strict=True)))),
+    ("fig23", lambda: digest_payload(tenancy_payload(
+        F.fig23_tenancy(seed=SEED, nodes=4, loads=(0.5, 0.9),
+                        trials=1, jobs_target=6, crash_rate=0.5,
+                        strict=True)))),
 ]
 
 
