@@ -347,7 +347,7 @@ def cmd_resilience(args) -> int:
         trials=args.trials, nodes=args.nodes, seed=args.seed,
         stragglers=args.stragglers, strict=args.strict or None,
         jobs=args.jobs, timeout=args.timeout, retries=args.retries,
-        checkpoint=checkpoint)
+        backoff=args.task_backoff, checkpoint=checkpoint)
     if checkpoint is not None:
         checkpoint.close()
     print(fig.describe())
@@ -383,7 +383,7 @@ def cmd_streaming(args) -> int:
             duration=args.duration, batch_interval=args.batch_interval,
             strict=args.strict or None, jobs=args.jobs,
             timeout=args.timeout, retries=args.retries,
-            checkpoint=checkpoint)
+            backoff=args.task_backoff, checkpoint=checkpoint)
         if checkpoint is not None:
             checkpoint.close()
         print(fig.describe())
@@ -415,7 +415,8 @@ def cmd_streaming(args) -> int:
         nodes=args.nodes, seed=args.seed, duration=args.duration,
         batch_interval=args.batch_interval, crash_at=crash_at,
         strict=args.strict or None, jobs=args.jobs, timeout=args.timeout,
-        retries=args.retries, checkpoint=checkpoint)
+        retries=args.retries, backoff=args.task_backoff,
+        checkpoint=checkpoint)
     if checkpoint is not None:
         checkpoint.close()
     print(fig.describe())
@@ -450,7 +451,7 @@ def cmd_tenancy(args) -> int:
         crash_rate=args.crash_rate, templates=templates,
         queues=default_queues(nodes), strict=args.strict or None,
         jobs=args.jobs, timeout=args.timeout, retries=args.retries,
-        checkpoint=checkpoint)
+        backoff=args.task_backoff, checkpoint=checkpoint)
     if checkpoint is not None:
         checkpoint.close()
     print(fig.describe())
@@ -460,6 +461,88 @@ def cmd_tenancy(args) -> int:
               file=sys.stderr)
         if args.strict:
             return 1
+    return 0
+
+
+def cmd_serve(args) -> int:
+    import asyncio
+    from .serve import AdvisorService
+    store = None
+    if args.cache:
+        from .harness.checkpoint import CheckpointStore
+        store = CheckpointStore(
+            args.cache, {"campaign": "serve-cache", "version": 1},
+            resume=True, on_corrupt="quarantine")
+        if store.quarantined_keys:
+            print(f"cache journal: quarantined "
+                  f"{len(store.quarantined_keys)} corrupt record(s)",
+                  file=sys.stderr)
+
+    async def run() -> None:
+        service = AdvisorService(
+            host=args.host, port=args.port, jobs=args.jobs or 2,
+            queue_limit=args.queue_limit,
+            default_deadline=args.deadline,
+            client_timeout=args.client_timeout,
+            task_timeout=args.timeout or 30.0, retries=args.retries,
+            backoff=args.task_backoff,
+            breaker_threshold=args.breaker_threshold,
+            breaker_reset=args.breaker_reset,
+            drain_grace=args.drain_grace, cache_store=store)
+        await service.start()
+        service.install_signal_handlers()
+        print(f"repro serve listening on "
+              f"http://{service.host}:{service.port} "
+              f"(workers={service.pool.jobs}, "
+              f"queue_limit={service.queue_limit})", flush=True)
+        await service.serve_forever()
+        print(f"drained; {service.ledger.describe()}", flush=True)
+
+    asyncio.run(run())
+    return 0
+
+
+def cmd_plan(args) -> int:
+    import json as _json
+    from .serve import CapacityQuery, PlanError, plan_capacity_sync
+    try:
+        query = CapacityQuery(
+            workload=args.workload, slo_seconds=args.slo,
+            engines=tuple(args.engines),
+            nodes_candidates=tuple(args.nodes_candidates),
+            seed=args.seed, data_scale=args.data_scale)
+    except PlanError as exc:
+        print(f"invalid query: {exc}", file=sys.stderr)
+        return 2
+    payload = plan_capacity_sync(
+        query, jobs=args.jobs, timeout=args.timeout,
+        retries=args.retries, backoff=args.task_backoff)
+    if args.json:
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+        return 0 if payload["answer"]["feasible"] else 1
+    answer = payload["answer"]
+    print(f"query {payload['query_digest'][:12]}: {args.workload} "
+          f"under {args.slo:g}s SLO "
+          f"({len(payload['cells'])} candidate(s) considered)")
+    for cell in payload["cells"]:
+        result = cell["result"]
+        verdict = (f"{result['duration']:.1f}s" if result["duration"]
+                   is not None else f"infeasible ({result['reason']})")
+        overrides = ", ".join(f"{k}={v}" for k, v in
+                              cell["candidate"]["overrides"].items())
+        print(f"  {cell['candidate']['engine']:>5} x "
+              f"{cell['candidate']['nodes']:>3} nodes"
+              + (f" [{overrides}]" if overrides else "")
+              + f": {verdict}")
+    if not answer["feasible"]:
+        print(f"no feasible configuration: {answer['reason']}")
+        return 1
+    overrides = ", ".join(f"{k}={v}" for k, v in
+                          answer["overrides"].items()) or "preset"
+    print(f"answer: {answer['engine']} x {answer['nodes']} nodes "
+          f"({overrides}) -> {answer['duration']:.1f}s "
+          f"({answer['headroom_seconds']:.1f}s headroom) "
+          f"[{payload['answer_digest'][:12]}]")
     return 0
 
 
@@ -778,12 +861,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_res.add_argument("--jobs", type=int, default=None,
                        help="worker processes (default: $REPRO_JOBS or "
                             "serial); curves are identical at any count")
-    p_res.add_argument("--timeout", type=float, default=None,
+    p_res.add_argument("--timeout", "--task-timeout", type=float,
+                       default=None, dest="timeout",
                        help="per-cell wall-clock timeout in seconds "
                             "(parallel runs only); a timed-out cell "
                             "becomes a gap, not a campaign abort")
-    p_res.add_argument("--retries", type=int, default=1,
+    p_res.add_argument("--retries", "--task-retries", type=int,
+                       default=1, dest="retries",
                        help="retry budget per failed cell")
+    p_res.add_argument("--task-backoff", type=float, default=0.5,
+                       dest="task_backoff",
+                       help="base delay before retrying a failed cell; "
+                            "doubles per attempt")
     p_res.add_argument("--checkpoint", default=None, metavar="DIR",
                        help="journal every finished cell to DIR")
     p_res.add_argument("--resume", action="store_true",
@@ -843,10 +932,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_str.add_argument("--jobs", type=int, default=None,
                        help="worker processes (default: $REPRO_JOBS or "
                             "serial); curves are identical at any count")
-    p_str.add_argument("--timeout", type=float, default=None,
+    p_str.add_argument("--timeout", "--task-timeout", type=float,
+                       default=None, dest="timeout",
                        help="per-cell wall-clock timeout in seconds")
-    p_str.add_argument("--retries", type=int, default=1,
+    p_str.add_argument("--retries", "--task-retries", type=int,
+                       default=1, dest="retries",
                        help="retry budget per failed cell")
+    p_str.add_argument("--task-backoff", type=float, default=0.5,
+                       dest="task_backoff",
+                       help="base delay before retrying a failed cell; "
+                            "doubles per attempt")
     p_str.add_argument("--checkpoint", default=None, metavar="DIR",
                        help="journal every finished cell to DIR")
     p_str.add_argument("--resume", action="store_true",
@@ -884,10 +979,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_ten.add_argument("--jobs", type=int, default=None,
                        help="worker processes (default: $REPRO_JOBS or "
                             "serial); figures are identical at any count")
-    p_ten.add_argument("--timeout", type=float, default=None,
+    p_ten.add_argument("--timeout", "--task-timeout", type=float,
+                       default=None, dest="timeout",
                        help="per-cell wall-clock timeout in seconds")
-    p_ten.add_argument("--retries", type=int, default=1,
+    p_ten.add_argument("--retries", "--task-retries", type=int,
+                       default=1, dest="retries",
                        help="retry budget per failed cell")
+    p_ten.add_argument("--task-backoff", type=float, default=0.5,
+                       dest="task_backoff",
+                       help="base delay before retrying a failed cell; "
+                            "doubles per attempt")
     p_ten.add_argument("--checkpoint", default=None, metavar="DIR",
                        help="journal every finished cell to DIR")
     p_ten.add_argument("--resume", action="store_true",
@@ -897,6 +998,87 @@ def build_parser() -> argparse.ArgumentParser:
     p_ten.add_argument("--strict", action="store_true",
                        help="audit scheduling invariants; exit non-zero "
                             "on gaps")
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="long-running capacity-advisor service (asyncio + "
+             "process-isolated workers, circuit breaker, verified "
+             "cache, graceful SIGTERM drain); see docs/serving.md")
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument("--port", type=int, default=7472,
+                       help="TCP port (0 picks a free one and prints it)")
+    p_srv.add_argument("--jobs", type=int, default=None,
+                       help="simulation worker processes (default 2)")
+    p_srv.add_argument("--queue-limit", type=int, default=8,
+                       dest="queue_limit",
+                       help="max concurrent plan requests before "
+                            "shedding with 429")
+    p_srv.add_argument("--deadline", type=float, default=30.0,
+                       help="default per-request deadline in seconds "
+                            "(overridable per request via "
+                            "deadline_seconds)")
+    p_srv.add_argument("--client-timeout", type=float, default=5.0,
+                       dest="client_timeout",
+                       help="seconds a client may take to deliver its "
+                            "request before a 408")
+    p_srv.add_argument("--timeout", "--task-timeout", type=float,
+                       default=None, dest="timeout",
+                       help="per-simulation wall-clock timeout "
+                            "(default 30s)")
+    p_srv.add_argument("--retries", "--task-retries", type=int,
+                       default=1, dest="retries",
+                       help="retry budget per crashed/timed-out "
+                            "simulation")
+    p_srv.add_argument("--task-backoff", type=float, default=0.05,
+                       dest="task_backoff",
+                       help="base retry delay; doubles per attempt")
+    p_srv.add_argument("--breaker-threshold", type=int, default=5,
+                       dest="breaker_threshold",
+                       help="consecutive worker failures that trip the "
+                            "circuit breaker")
+    p_srv.add_argument("--breaker-reset", type=float, default=0.5,
+                       dest="breaker_reset",
+                       help="initial open window in seconds (doubles "
+                            "per consecutive trip)")
+    p_srv.add_argument("--drain-grace", type=float, default=10.0,
+                       dest="drain_grace",
+                       help="seconds SIGTERM waits for in-flight "
+                            "requests before shedding them")
+    p_srv.add_argument("--cache", default=None, metavar="DIR",
+                       help="persist the answer cache to DIR (checksum-"
+                            "verified journal; survives restarts)")
+
+    p_pln = sub.add_parser(
+        "plan",
+        help="one-shot capacity plan: smallest cluster x engine x "
+             "config meeting an SLO (the serve endpoint, offline)")
+    p_pln.add_argument("--workload", choices=WORKLOADS, required=True)
+    p_pln.add_argument("--slo", type=float, required=True,
+                       help="makespan SLO in (simulated) seconds")
+    p_pln.add_argument("--engines", nargs="+",
+                       choices=("spark", "flink"),
+                       default=["spark", "flink"])
+    p_pln.add_argument("--nodes-candidates", type=int, nargs="+",
+                       default=[2, 4, 8, 16, 32], dest="nodes_candidates",
+                       help="cluster sizes to consider, ascending")
+    p_pln.add_argument("--data-scale", type=float, default=1.0,
+                       dest="data_scale",
+                       help="shrink byte-sized datasets to this "
+                            "fraction (what-if planning)")
+    p_pln.add_argument("--seed", type=int, default=0)
+    p_pln.add_argument("--jobs", type=int, default=None,
+                       help="worker processes (default: $REPRO_JOBS or "
+                            "serial)")
+    p_pln.add_argument("--timeout", "--task-timeout", type=float,
+                       default=None, dest="timeout",
+                       help="per-candidate wall-clock timeout")
+    p_pln.add_argument("--retries", "--task-retries", type=int,
+                       default=1, dest="retries")
+    p_pln.add_argument("--task-backoff", type=float, default=0.5,
+                       dest="task_backoff",
+                       help="base retry delay; doubles per attempt")
+    p_pln.add_argument("--json", action="store_true",
+                       help="print the full plan payload as JSON")
 
     p_val = sub.add_parser(
         "validate", help="strict invariant self-check / golden replay")
@@ -935,9 +1117,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "table7": cmd_table7, "explain": cmd_explain,
                 "faults": cmd_faults, "trace": cmd_trace,
                 "resilience": cmd_resilience, "streaming": cmd_streaming,
-                "tenancy": cmd_tenancy,
+                "tenancy": cmd_tenancy, "serve": cmd_serve,
+                "plan": cmd_plan,
                 "validate": cmd_validate, "bench": cmd_bench}
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except KeyboardInterrupt:
+        # Workers ignore SIGINT and the coordinators tear them down in
+        # their finally blocks, so a single line is the whole story —
+        # no multiprocess traceback spew.
+        print(f"\ninterrupted: {args.command} stopped cleanly "
+              f"(checkpointed work is safe; rerun with --resume where "
+              f"supported)", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -13,6 +13,14 @@ The design is a journaled, atomic-write result store:
   per finished unit of work, flushed and fsynced before the harness
   moves on.  A crash can only ever truncate the *final* line, which the
   loader detects and discards — every fully-written record survives.
+* every record carries a ``sha`` — the canonical digest of its payload
+  — so *mid-file* corruption (bit flips, partial overwrites, anything
+  beyond the crash-truncated tail) is detected on load instead of
+  silently resuming from bad state.  ``on_corrupt="error"`` (the
+  default, right for campaigns) raises a :class:`CheckpointError`
+  naming the record; ``on_corrupt="quarantine"`` (what the serving
+  cache uses) moves the bad record to ``quarantine.jsonl`` and drops
+  it, so its unit simply recomputes — a corrupt entry is never served.
 
 Because every unit of work is a deterministic function of its key, a
 resumed campaign replays the journal for finished units and recomputes
@@ -29,7 +37,7 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import Any, Dict, Iterator, Optional
+from typing import Any, Dict, Iterator, List, Optional
 
 from ..validation.digest import digest_payload
 
@@ -37,6 +45,7 @@ __all__ = ["CheckpointError", "CheckpointStore"]
 
 MANIFEST_NAME = "manifest.json"
 JOURNAL_NAME = "journal.jsonl"
+QUARANTINE_NAME = "quarantine.jsonl"
 
 
 class CheckpointError(RuntimeError):
@@ -66,13 +75,27 @@ class CheckpointStore:
       replayed (tolerating one crash-truncated trailing line);
     * existing store, ``resume=False`` — :class:`CheckpointError`: an
       unexpected leftover store is surfaced, never silently clobbered.
+
+    ``on_corrupt`` picks the policy for records whose stored ``sha``
+    no longer matches their payload (or interior lines that are not
+    JSON at all): ``"error"`` raises :class:`CheckpointError`;
+    ``"quarantine"`` appends the bad line to ``quarantine.jsonl``,
+    drops the record and lists its key in :attr:`quarantined_keys`.
+    Records written before checksums existed (no ``sha`` field) are
+    accepted as-is for backward compatibility.
     """
 
-    def __init__(self, root, fingerprint: Any, resume: bool = False) -> None:
+    def __init__(self, root, fingerprint: Any, resume: bool = False,
+                 on_corrupt: str = "error") -> None:
+        if on_corrupt not in ("error", "quarantine"):
+            raise ValueError(f"on_corrupt must be 'error' or "
+                             f"'quarantine', got {on_corrupt!r}")
         self.root = Path(root)
+        self.on_corrupt = on_corrupt
         self.fingerprint_digest = digest_payload(fingerprint)
         self._records: Dict[str, Any] = {}
         self._truncated_tail = False
+        self.quarantined_keys: List[str] = []
         manifest = self.root / MANIFEST_NAME
         if manifest.exists():
             if not resume:
@@ -127,10 +150,47 @@ class CheckpointStore:
                     # never completed, so its unit simply re-runs.
                     self._truncated_tail = True
                     continue
-                raise CheckpointError(
-                    f"corrupt journal record at {journal}:{lineno + 1} "
-                    f"(not the trailing line, so not crash truncation)")
-            self._records[record["key"]] = record["payload"]
+                self._reject_corrupt(
+                    journal, lineno, line, key=None,
+                    why="not JSON (not the trailing line, so not crash "
+                        "truncation)")
+                continue
+            key = record.get("key")
+            if not isinstance(key, str) or "payload" not in record:
+                self._reject_corrupt(journal, lineno, line, key=None,
+                                     why="missing key/payload fields")
+                continue
+            recorded_sha = record.get("sha")
+            if recorded_sha is not None:
+                actual = digest_payload(record["payload"])
+                if actual != recorded_sha:
+                    self._reject_corrupt(
+                        journal, lineno, line, key=key,
+                        why=f"payload checksum {actual[:12]}... does not "
+                            f"match the recorded sha "
+                            f"{str(recorded_sha)[:12]}... (mid-file "
+                            f"corruption: bit flip or partial overwrite)")
+                    continue
+            self._records[key] = record["payload"]
+
+    def _reject_corrupt(self, journal: Path, lineno: int, line: str,
+                        key: Optional[str], why: str) -> None:
+        """Apply the ``on_corrupt`` policy to one bad journal line."""
+        where = f"{journal}:{lineno + 1}"
+        if self.on_corrupt == "error":
+            raise CheckpointError(
+                f"corrupt journal record at {where}"
+                + (f" (key {key!r})" if key else "") + f": {why}")
+        with open(self.root / QUARANTINE_NAME, "a",
+                  encoding="utf-8") as fh:
+            fh.write(json.dumps({"line": lineno + 1, "key": key,
+                                 "why": why, "raw": line},
+                                sort_keys=True) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        if key is not None:
+            self._records.pop(key, None)
+            self.quarantined_keys.append(key)
 
     # ------------------------------------------------------------------
     @property
@@ -154,10 +214,14 @@ class CheckpointStore:
         return self._records.get(key)
 
     def save(self, key: str, payload: Any) -> None:
-        """Append one completed record; durable before returning."""
+        """Append one completed record; durable before returning.
+
+        The record carries the canonical digest of its payload, so a
+        later load detects any in-file corruption of this line."""
         if key in self._records:
             return
-        line = json.dumps({"key": key, "payload": payload},
+        line = json.dumps({"key": key, "payload": payload,
+                           "sha": digest_payload(payload)},
                           sort_keys=True)
         self._journal.write(line + "\n")
         self._journal.flush()

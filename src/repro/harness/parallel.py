@@ -32,6 +32,7 @@ Two entry points share this contract:
 from __future__ import annotations
 
 import os
+import signal
 import time
 from dataclasses import dataclass
 from multiprocessing import get_context
@@ -114,6 +115,21 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     return jobs
 
 
+def _ignore_sigint() -> None:
+    """Worker initializer: leave Ctrl-C to the coordinator.
+
+    A terminal SIGINT goes to the whole foreground process group, so
+    without this every worker would print its own ``KeyboardInterrupt``
+    traceback on top of the coordinator's message.  Workers ignore the
+    signal; the coordinator notices the interrupt, terminates them and
+    reports once.
+    """
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
+
+
 def _args_repr(args: Tuple, limit: int = 200) -> str:
     try:
         text = repr(tuple(args))
@@ -192,13 +208,23 @@ def parallel_map(fn: Callable, tasks: Sequence[Tuple],
             results.append(result)
         return results
     workers = min(jobs, len(tasks))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
+    with ProcessPoolExecutor(max_workers=workers,
+                             initializer=_ignore_sigint) as pool:
         futures = [pool.submit(_call_identified, fn, i, t)
                    for i, t in enumerate(tasks)]
         results = []
         for i, f in enumerate(futures):
             try:
                 result = f.result()
+            except KeyboardInterrupt:
+                # Drain fast: cancel queued tasks, kill the workers (they
+                # ignore SIGINT) and let the caller report once.
+                for fut in futures:
+                    fut.cancel()
+                for proc in getattr(pool, "_processes", {}).values():
+                    proc.terminate()
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
             except BrokenProcessPool as err:
                 candidates = [
                     j for j, fut in enumerate(futures)
@@ -230,6 +256,7 @@ def _robust_child(fn: Callable, index: int, args: Tuple, conn) -> None:
     them.  A worker that dies before sending anything is detected by
     the parent as a crash.
     """
+    _ignore_sigint()
     try:
         try:
             result = fn(*args)

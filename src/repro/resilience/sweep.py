@@ -267,6 +267,7 @@ def resilience_sweep(
         stragglers: int = 0,
         strict: Optional[bool] = None, jobs: Optional[int] = None,
         timeout: Optional[float] = None, retries: int = 1,
+        backoff: float = 0.5,
         checkpoint: Optional[CheckpointStore] = None,
         figure_id: str = "fig19") -> ResilienceFigure:
     """Run the full resilience campaign and assemble the figure.
@@ -316,7 +317,8 @@ def resilience_sweep(
 
         fresh, failures = robust_map(
             _cell_task, [tasks[i] for i in pending], jobs=jobs,
-            timeout=timeout, retries=retries, on_result=_journal)
+            timeout=timeout, retries=retries, backoff=backoff,
+            on_result=_journal)
         for pos, result in zip(pending, fresh):
             results[pos] = result
 

@@ -274,6 +274,7 @@ def tenancy_sweep(
         queues: Optional[Sequence[QueueConfig]] = None,
         strict: Optional[bool] = None, jobs: Optional[int] = None,
         timeout: Optional[float] = None, retries: int = 1,
+        backoff: float = 0.5,
         checkpoint: Optional[CheckpointStore] = None,
         figure_id: str = "fig23") -> TenancyFigure:
     """Run the full tenancy campaign and assemble the figure.
@@ -335,7 +336,8 @@ def tenancy_sweep(
 
         fresh, failures = robust_map(
             _cell_task, [tasks[i] for i in pending], jobs=jobs,
-            timeout=timeout, retries=retries, on_result=_journal)
+            timeout=timeout, retries=retries, backoff=backoff,
+            on_result=_journal)
         for pos, result in zip(pending, fresh):
             results[pos] = result
 

@@ -1,0 +1,127 @@
+"""Circuit breaker around the simulation worker pool.
+
+A long-running service cannot afford to keep throwing requests at a
+worker pool that is crashing or timing out on every task: each doomed
+attempt holds an admission slot for the full task timeout, so a sick
+pool converts overload into wedging.  The breaker converts it into
+explicit, bounded failure instead:
+
+* **closed** — normal operation.  Consecutive attempt failures are
+  counted; ``threshold`` of them in a row *trips* the breaker.
+* **open** — requests are shed at admission (fail fast, with a
+  retry-after hint) until ``reset_timeout`` has elapsed.  Each
+  consecutive re-trip doubles the open window up to ``max_timeout``.
+* **half-open** — after the window, the next admitted request acts as
+  the probe: its pool attempts are allowed through.  A success closes
+  the breaker (and resets the backoff); a failure re-opens it with a
+  doubled window.
+
+The clock is injectable, so every transition is unit-testable without
+sleeping; transitions are reported through ``on_transition`` for the
+serving ledger.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+__all__ = ["CircuitBreaker"]
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with exponential reset backoff.
+
+    Not thread-safe by design: the service drives it from a single
+    asyncio event loop.
+    """
+
+    def __init__(self, threshold: int = 5, reset_timeout: float = 1.0,
+                 max_timeout: float = 60.0,
+                 clock: Callable[[], float] = time.monotonic,
+                 on_transition: Optional[Callable[[str, str], None]] = None
+                 ) -> None:
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        if reset_timeout <= 0:
+            raise ValueError(
+                f"reset_timeout must be > 0, got {reset_timeout}")
+        self.threshold = threshold
+        self.reset_timeout = reset_timeout
+        self.max_timeout = max_timeout
+        self._clock = clock
+        self._on_transition = on_transition
+        self._consecutive_failures = 0
+        self._open = False
+        self._open_until = 0.0
+        self._consecutive_trips = 0
+        self.trips = 0
+        self.recoveries = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """``"closed"`` | ``"open"`` | ``"half_open"`` (time-aware)."""
+        if not self._open:
+            return "closed"
+        if self._clock() < self._open_until:
+            return "open"
+        return "half_open"
+
+    def blocking(self) -> bool:
+        """True while admission should shed (open, window not elapsed)."""
+        return self.state == "open"
+
+    def retry_after(self) -> float:
+        """Seconds until the open window elapses (0 when not blocking)."""
+        if not self.blocking():
+            return 0.0
+        return max(0.0, self._open_until - self._clock())
+
+    # ------------------------------------------------------------------
+    def record_success(self) -> None:
+        """One pool attempt completed; half-open probes recover here."""
+        if self._open:
+            self.recoveries += 1
+            self._transition(self.state, "closed")
+            self._open = False
+            self._consecutive_trips = 0
+        self._consecutive_failures = 0
+
+    def record_failure(self) -> None:
+        """One pool attempt crashed or timed out."""
+        self._consecutive_failures += 1
+        if self._open:
+            if self.state == "half_open":
+                # The probe failed: re-open with a doubled window.
+                self._trip("half_open")
+            return
+        if self._consecutive_failures >= self.threshold:
+            self._trip("closed")
+
+    def _trip(self, previous: str) -> None:
+        self._consecutive_trips += 1
+        self.trips += 1
+        window = min(
+            self.reset_timeout * (2.0 ** (self._consecutive_trips - 1)),
+            self.max_timeout)
+        self._open = True
+        self._open_until = self._clock() + window
+        self._transition(previous, "open")
+
+    def _transition(self, previous: str, state: str) -> None:
+        if self._on_transition is not None and previous != state:
+            self._on_transition(previous, state)
+
+    def snapshot(self) -> dict:
+        return {
+            "state": self.state,
+            "consecutive_failures": self._consecutive_failures,
+            "trips": self.trips,
+            "recoveries": self.recoveries,
+            "retry_after": self.retry_after(),
+        }
+
+    def __repr__(self) -> str:
+        return (f"CircuitBreaker(state={self.state!r}, "
+                f"trips={self.trips}, recoveries={self.recoveries})")

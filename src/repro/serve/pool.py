@@ -1,0 +1,197 @@
+"""Process-isolated worker pool for the asyncio service.
+
+:func:`~repro.harness.parallel.robust_map` gives batch campaigns
+process isolation, per-task timeouts and bounded retry — but it blocks
+its caller, and a service needs the same guarantees *per request*,
+concurrently, with real cancellation: when a request's deadline fires
+or the service drains, the simulation work in flight for it must stop
+consuming a core, not just be abandoned.
+
+:class:`AsyncWorkerPool` runs each task attempt in its own forked
+process (reusing :func:`repro.harness.parallel._robust_child`, so a
+crash or SIGKILL can only take down that attempt) and awaits the result
+pipe on the event loop.  Guarantees:
+
+* a worker that dies raises :class:`TaskCrashed` (retried with
+  exponential backoff up to ``retries``);
+* an attempt exceeding ``task_timeout`` is SIGKILLed and raises
+  :class:`TaskTimedOut` (also retried);
+* cancelling the awaiting coroutine — a request deadline, a drain —
+  SIGKILLs the in-flight child *before* the cancellation propagates:
+  no orphaned simulation keeps burning CPU for an answer nobody wants;
+* every attempt outcome is reported to the optional circuit breaker
+  and counted on the serving ledger, so the accounting always balances.
+
+``chaos`` is the deterministic fault-injection hook for the chaos
+harness: consulted before each attempt with ``(tag, attempt)``, it may
+return ``"kill"`` to replace the worker with one that SIGKILLs itself
+immediately — a real process death, with none of the nondeterminism of
+racing a signal against real work.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+from multiprocessing import get_context
+from typing import Any, Callable, Optional, Tuple
+
+from ..harness.parallel import _robust_child
+from .breaker import CircuitBreaker
+from .ledger import ServingLedger
+
+__all__ = ["AsyncWorkerPool", "TaskCrashed", "TaskTimedOut",
+           "TaskFailed", "PoolError"]
+
+
+class PoolError(RuntimeError):
+    """Base class for attempt failures inside the pool."""
+
+
+class TaskCrashed(PoolError):
+    """The worker process died before reporting a result."""
+
+
+class TaskTimedOut(PoolError):
+    """The attempt exceeded the per-task timeout and was killed."""
+
+
+class TaskFailed(PoolError):
+    """The task function raised inside the worker (not retried: the
+    task is deterministic, so the exception is too)."""
+
+    def __init__(self, error_type: str, message: str) -> None:
+        super().__init__(f"{error_type}: {message}")
+        self.error_type = error_type
+        self.message = message
+
+
+def _chaos_suicide() -> None:  # pragma: no cover - dies immediately
+    """Chaos worker body: a real, immediate SIGKILL death."""
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+class AsyncWorkerPool:
+    """Bounded async fan-out of module-level functions to processes."""
+
+    def __init__(self, jobs: int = 2, task_timeout: float = 30.0,
+                 retries: int = 1, backoff: float = 0.05,
+                 ledger: Optional[ServingLedger] = None,
+                 breaker: Optional[CircuitBreaker] = None,
+                 chaos: Optional[Callable[[str, int],
+                                          Optional[str]]] = None) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if task_timeout <= 0:
+            raise ValueError(
+                f"task_timeout must be > 0, got {task_timeout}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        self.jobs = jobs
+        self.task_timeout = task_timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.ledger = ledger if ledger is not None else ServingLedger()
+        self.breaker = breaker
+        self.chaos = chaos
+        self._slots = asyncio.Semaphore(jobs)
+        self._ctx = get_context()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    async def run(self, fn: Callable, args: Tuple, tag: str = "") -> Any:
+        """Run ``fn(*args)`` in a worker; retry crashes and timeouts.
+
+        ``tag`` identifies the task to the chaos hook and in errors.
+        Raises :class:`TaskFailed` on an in-task exception (first
+        attempt — deterministic), or :class:`TaskCrashed` /
+        :class:`TaskTimedOut` once the retry budget is exhausted.
+        """
+        if self._closed:
+            raise PoolError("pool is closed")
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                result = await self._attempt(fn, args, tag, attempt)
+            except (TaskCrashed, TaskTimedOut) as exc:
+                if self.breaker is not None:
+                    self.breaker.record_failure()
+                if attempt > self.retries:
+                    self.ledger.sim_exhausted += 1
+                    raise type(exc)(
+                        f"{exc} [task {tag or getattr(fn, '__name__', fn)}"
+                        f" gave up after {attempt} attempt(s)]") from exc
+                self.ledger.sim_retried += 1
+                delay = self.backoff * (2.0 ** (attempt - 1))
+                await asyncio.sleep(delay)
+                continue
+            except TaskFailed:
+                # Deterministic in-task exception: retrying recomputes
+                # the same raise.  Not a pool-health signal.
+                raise
+            if self.breaker is not None:
+                self.breaker.record_success()
+            return result
+
+    async def _attempt(self, fn: Callable, args: Tuple, tag: str,
+                       attempt: int) -> Any:
+        async with self._slots:
+            loop = asyncio.get_running_loop()
+            action = self.chaos(tag, attempt) if self.chaos else None
+            parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+            if action == "kill":
+                proc = self._ctx.Process(target=_chaos_suicide)
+            else:
+                proc = self._ctx.Process(
+                    target=_robust_child, args=(fn, 0, args, child_conn))
+            self.ledger.sim_attempts += 1
+            proc.start()
+            child_conn.close()
+            readable: asyncio.Future = loop.create_future()
+            fd = parent_conn.fileno()
+            loop.add_reader(fd, lambda: (not readable.done()
+                                         and readable.set_result(None)))
+            try:
+                try:
+                    # asyncio.wait, not wait_for: on 3.10/3.11 a
+                    # wait_for whose inner future completes in the same
+                    # tick as a cancellation SWALLOWS the cancellation
+                    # (gh-86296) — here that would leave a drained
+                    # request's retry loop running to its full deadline.
+                    done, _ = await asyncio.wait(
+                        (readable,), timeout=self.task_timeout)
+                    if not done:
+                        self.ledger.sim_timeout += 1
+                        raise TaskTimedOut(
+                            f"attempt {attempt} exceeded the "
+                            f"{self.task_timeout}s task timeout")
+                except asyncio.CancelledError:
+                    # Real cancellation: the deadline/drain kills the
+                    # in-flight simulation, it does not orphan it.
+                    self.ledger.sim_cancelled += 1
+                    raise
+                try:
+                    kind_payload = parent_conn.recv()
+                except (EOFError, OSError):
+                    self.ledger.sim_crashed += 1
+                    raise TaskCrashed(
+                        f"worker exited with code {proc.exitcode} before "
+                        f"reporting (attempt {attempt})") from None
+                if kind_payload[0] == "ok":
+                    self.ledger.sim_ok += 1
+                    return kind_payload[1]
+                self.ledger.sim_error += 1
+                raise TaskFailed(kind_payload[1], kind_payload[2])
+            finally:
+                loop.remove_reader(fd)
+                if proc.is_alive():
+                    proc.kill()
+                proc.join()
+                parent_conn.close()
+
+    async def close(self) -> None:
+        """Refuse new work (in-flight attempts own their processes and
+        clean up in their ``finally`` blocks)."""
+        self._closed = True

@@ -249,6 +249,7 @@ def streaming_sweep(
         crash_at: Optional[float] = None,
         strict: Optional[bool] = None, jobs: Optional[int] = None,
         timeout: Optional[float] = None, retries: int = 1,
+        backoff: float = 0.5,
         checkpoint: Optional[CheckpointStore] = None) -> StreamingFigure:
     """Run a streaming campaign and assemble the figure.
 
@@ -313,7 +314,8 @@ def streaming_sweep(
 
         fresh, failures = robust_map(
             _cell_task, [tasks[i] for i in pending], jobs=jobs,
-            timeout=timeout, retries=retries, on_result=_journal)
+            timeout=timeout, retries=retries, backoff=backoff,
+            on_result=_journal)
         for pos, result in zip(pending, fresh):
             results[pos] = result
 
@@ -529,6 +531,7 @@ def degradation_sweep(
         batch_interval: float = 1.0,
         strict: Optional[bool] = None, jobs: Optional[int] = None,
         timeout: Optional[float] = None, retries: int = 1,
+        backoff: float = 0.5,
         checkpoint: Optional[CheckpointStore] = None
 ) -> DegradationFigure:
     """Run the fig22 degradation campaign and assemble the figure.
@@ -576,7 +579,8 @@ def degradation_sweep(
 
         fresh, failures = robust_map(
             _degrade_task, [tasks[i] for i in pending], jobs=jobs,
-            timeout=timeout, retries=retries, on_result=_journal)
+            timeout=timeout, retries=retries, backoff=backoff,
+            on_result=_journal)
         for pos, result in zip(pending, fresh):
             results[pos] = result
 

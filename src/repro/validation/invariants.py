@@ -117,6 +117,7 @@ class InvariantChecker:
             "fault_audit": 0,
             "streaming_audit": 0,
             "scheduling_audit": 0,
+            "serving_audit": 0,
         }
         self._last_pop_time = 0.0
 
@@ -405,6 +406,101 @@ class InvariantChecker:
                     f"policy's bound {result.p99_bound} "
                     f"(+{allowance - result.p99_bound:.3g} crash "
                     f"allowance)")
+
+    def audit_serving(self, snapshot) -> None:
+        """Audit a :class:`~repro.serve.ledger.ServingLedger` snapshot.
+
+        The serving counterpart of :meth:`audit_streaming`'s record
+        conservation: every request the service received must sit in
+        exactly one terminal bucket, and the buckets must balance.
+
+        Checks, in order: non-negative counters; **request
+        conservation** (``received == admitted + rejected_invalid +
+        rejected_slow`` and ``admitted == completed + shed + failed +
+        in_flight``); shed/failed decompositions (``shed ==
+        shed_queue_full + shed_breaker + shed_drain``, ``failed ==
+        failed_deadline + failed_worker + failed_internal``); cache-hit
+        completions and cache hits/misses/quarantines within their
+        lookup totals (a quarantined entry must have counted as a
+        miss, never a hit); breaker recoveries needing trips;
+        **simulation-attempt conservation** (``sim_attempts == sim_ok +
+        sim_crashed + sim_timeout + sim_error + sim_cancelled`` and
+        every crash/timeout either retried or exhausted); and — after
+        a drain (``draining=True``) — an empty house (``in_flight ==
+        0``).
+        """
+        self.checks["serving_audit"] += 1
+        s = dict(snapshot)
+        for name, value in s.items():
+            if isinstance(value, int) and name != "in_flight" and value < 0:
+                self._record(f"serving: counter {name} is negative "
+                             f"({value})")
+        shed = (s["shed_queue_full"] + s["shed_breaker"]
+                + s["shed_drain"])
+        failed = (s["failed_deadline"] + s["failed_worker"]
+                  + s["failed_internal"])
+        if s.get("shed", shed) != shed:
+            self._record(f"serving: shed total {s['shed']} != "
+                         f"queue_full {s['shed_queue_full']} + breaker "
+                         f"{s['shed_breaker']} + drain {s['shed_drain']}")
+        if s.get("failed", failed) != failed:
+            self._record(f"serving: failed total {s['failed']} != "
+                         f"deadline {s['failed_deadline']} + worker "
+                         f"{s['failed_worker']} + internal "
+                         f"{s['failed_internal']}")
+        if s["received"] != (s["admitted"] + s["rejected_invalid"]
+                             + s["rejected_slow"]):
+            self._record(
+                f"serving: request conservation broken at admission: "
+                f"{s['admitted']} admitted + {s['rejected_invalid']} "
+                f"invalid + {s['rejected_slow']} slow != "
+                f"{s['received']} received")
+        if s["admitted"] != s["completed"] + shed + failed + s["in_flight"]:
+            self._record(
+                f"serving: request conservation broken after admission: "
+                f"{s['completed']} completed + {shed} shed + {failed} "
+                f"failed + {s['in_flight']} in flight != "
+                f"{s['admitted']} admitted")
+        if s["in_flight"] < 0:
+            self._record(f"serving: in_flight gauge is negative "
+                         f"({s['in_flight']})")
+        if s["completed_cache_hits"] > s["completed"]:
+            self._record(
+                f"serving: {s['completed_cache_hits']} cache-hit "
+                f"completions exceed {s['completed']} completions")
+        if s["cache_hits"] + s["cache_misses"] != s["cache_lookups"]:
+            self._record(
+                f"serving: cache hits {s['cache_hits']} + misses "
+                f"{s['cache_misses']} != lookups {s['cache_lookups']}")
+        if s["cache_quarantined"] > s["cache_misses"]:
+            self._record(
+                f"serving: {s['cache_quarantined']} quarantined cache "
+                f"entries exceed {s['cache_misses']} misses (a corrupt "
+                f"entry must count as a miss, never a hit)")
+        if s["breaker_recoveries"] > s["breaker_trips"]:
+            self._record(
+                f"serving: {s['breaker_recoveries']} breaker "
+                f"recovery(ies) but only {s['breaker_trips']} trip(s)")
+        accounted = (s["sim_ok"] + s["sim_crashed"] + s["sim_timeout"]
+                     + s["sim_error"] + s["sim_cancelled"])
+        if s["sim_attempts"] != accounted:
+            self._record(
+                f"serving: simulation attempt conservation broken: "
+                f"{s['sim_ok']} ok + {s['sim_crashed']} crashed + "
+                f"{s['sim_timeout']} timed out + {s['sim_error']} "
+                f"errored + {s['sim_cancelled']} cancelled != "
+                f"{s['sim_attempts']} attempts")
+        if s["sim_retried"] + s["sim_exhausted"] != (s["sim_crashed"]
+                                                     + s["sim_timeout"]):
+            self._record(
+                f"serving: every crashed/timed-out attempt must be "
+                f"retried or exhausted: {s['sim_retried']} retried + "
+                f"{s['sim_exhausted']} exhausted != {s['sim_crashed']} "
+                f"crashed + {s['sim_timeout']} timed out")
+        if s.get("draining") and s["in_flight"] != 0:
+            self._record(
+                f"serving: {s['in_flight']} request(s) still in flight "
+                f"after the drain completed")
 
     def audit_scheduling(self, result) -> None:
         """Audit a finished tenancy run (:mod:`repro.scheduler`).

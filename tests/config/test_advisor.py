@@ -150,3 +150,62 @@ def test_advice_str_renders():
     cfg = FlinkConfig(default_parallelism=2 * 16 * 4, task_slots=16)
     advice = advise_flink(cfg, nodes=2)
     assert "[fatal]" in str(advice[0])
+
+# ----------------------------------------------------------------------
+# severity-path completeness: every Advice severity is reachable for
+# both engines, and every emitted Advice cites the paper
+# ----------------------------------------------------------------------
+def spark_advice_corpus():
+    """Configs chosen so fatal, warning and hint all appear."""
+    corpus = []
+    # warning (parallelism < 2x cores) on a 1-node toy config.
+    corpus.append(advise_spark(SparkConfig(default_parallelism=16),
+                               nodes=1))
+    # hint (parallelism > 8x cores) plus the java-serializer hint.
+    corpus.append(advise_spark(
+        SparkConfig(default_parallelism=16 * 16 * 16),
+        nodes=16))
+    # fatal: the graph preset at 2 nodes can't hold its edge partitions.
+    cfg = small_graph_preset(2)
+    plan = PageRank(SMALL_GRAPH,
+                    edge_partitions=cfg.spark.edge_partitions
+                    ).spark_jobs()[0]
+    corpus.append(advise_spark(cfg.spark, nodes=2, plan=plan))
+    return corpus
+
+
+def flink_advice_corpus():
+    corpus = []
+    # fatal: parallelism needs more slots per node than configured.
+    corpus.append(advise_flink(
+        FlinkConfig(default_parallelism=2 * 16 * 4, task_slots=16),
+        nodes=2))
+    # warning: slots within 2x of the requirement; hint: on-heap.
+    corpus.append(advise_flink(
+        FlinkConfig(default_parallelism=2 * 16, task_slots=16,
+                    off_heap=False),
+        nodes=2))
+    return corpus
+
+
+def test_every_spark_severity_is_reachable():
+    seen = set()
+    for advice in spark_advice_corpus():
+        seen |= severities(advice)
+    assert seen == {"fatal", "warning", "hint"}
+
+
+def test_every_flink_severity_is_reachable():
+    seen = set()
+    for advice in flink_advice_corpus():
+        seen |= severities(advice)
+    assert seen == {"fatal", "warning", "hint"}
+
+
+def test_every_advice_cites_the_paper():
+    for advice_list in spark_advice_corpus() + flink_advice_corpus():
+        assert advice_list, "corpus entries must produce advice"
+        for advice in advice_list:
+            assert advice.paper_ref, f"{advice.parameter} lacks a ref"
+            assert advice.message
+            assert advice.severity in ("fatal", "warning", "hint")

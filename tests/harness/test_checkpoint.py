@@ -100,6 +100,68 @@ def test_corrupt_interior_record_is_an_error(tmp_path):
         CheckpointStore(tmp_path / "s", "fp", resume=True)
 
 
+def test_records_carry_their_own_checksum(tmp_path):
+    with CheckpointStore(tmp_path / "s", "fp") as store:
+        store.save("a", {"duration": 81.5})
+    record = json.loads(
+        (tmp_path / "s" / "journal.jsonl").read_text().splitlines()[0])
+    assert record["sha"] == digest_payload({"duration": 81.5})
+
+
+def test_midfile_bitflip_is_detected_not_loaded(tmp_path):
+    # A flipped payload with an intact JSON line: invisible to the old
+    # parse-only check, caught by the per-record checksum.
+    with CheckpointStore(tmp_path / "s", "fp") as store:
+        store.save("a", {"duration": 81.5})
+        store.save("b", {"duration": 99.0})
+    journal = tmp_path / "s" / "journal.jsonl"
+    lines = [json.loads(line) for line in
+             journal.read_text().splitlines()]
+    lines[0]["payload"] = {"duration": 18.5}  # flip, keep the old sha
+    journal.write_text("\n".join(json.dumps(r, sort_keys=True)
+                                 for r in lines) + "\n")
+    with pytest.raises(CheckpointError,
+                       match="checksum .* does not match"):
+        CheckpointStore(tmp_path / "s", "fp", resume=True)
+
+
+def test_quarantine_mode_skips_corrupt_records_and_logs_them(tmp_path):
+    with CheckpointStore(tmp_path / "s", "fp") as store:
+        store.save("a", {"duration": 81.5})
+        store.save("b", {"duration": 99.0})
+    journal = tmp_path / "s" / "journal.jsonl"
+    lines = [json.loads(line) for line in
+             journal.read_text().splitlines()]
+    lines[0]["payload"] = {"duration": 18.5}
+    journal.write_text("\n".join(json.dumps(r, sort_keys=True)
+                                 for r in lines) + "\n")
+    with CheckpointStore(tmp_path / "s", "fp", resume=True,
+                         on_corrupt="quarantine") as store:
+        assert store.quarantined_keys == ["a"]
+        assert "a" not in store
+        assert store.load("b") == {"duration": 99.0}
+    quarantine = tmp_path / "s" / "quarantine.jsonl"
+    entry = json.loads(quarantine.read_text().splitlines()[0])
+    assert entry["key"] == "a"
+    assert "checksum" in entry["why"]
+
+
+def test_checksumless_legacy_records_still_load(tmp_path):
+    with CheckpointStore(tmp_path / "s", "fp") as store:
+        store.save("a", {"duration": 81.5})
+    journal = tmp_path / "s" / "journal.jsonl"
+    record = json.loads(journal.read_text().splitlines()[0])
+    del record["sha"]
+    journal.write_text(json.dumps(record, sort_keys=True) + "\n")
+    with CheckpointStore(tmp_path / "s", "fp", resume=True) as store:
+        assert store.load("a") == {"duration": 81.5}
+
+
+def test_on_corrupt_rejects_unknown_modes(tmp_path):
+    with pytest.raises(ValueError, match="on_corrupt"):
+        CheckpointStore(tmp_path / "s", "fp", on_corrupt="ignore")
+
+
 # ----------------------------------------------------------------------
 # resume identity: sweep / figure / resilience
 # ----------------------------------------------------------------------

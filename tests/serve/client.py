@@ -1,0 +1,54 @@
+"""Minimal raw-socket HTTP client for exercising AdvisorService.
+
+Deliberately not ``urllib``: the chaos tests need to do rude things —
+half-sent requests, abandoned sockets — that a polite client hides.
+"""
+
+import asyncio
+import json
+
+
+async def request(port, method, path, body=None, timeout=30.0,
+                  host="127.0.0.1"):
+    """One request/response cycle; returns (status, parsed_body)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        data = b""
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+        head = (f"{method} {path} HTTP/1.1\r\n"
+                f"Host: {host}\r\n"
+                f"Content-Length: {len(data)}\r\n"
+                f"\r\n").encode("ascii")
+        writer.write(head + data)
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.read(), timeout)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+    status_line, _, rest = raw.partition(b"\r\n")
+    status = int(status_line.split(b" ")[1])
+    _headers, _, payload = rest.partition(b"\r\n\r\n")
+    return status, json.loads(payload)
+
+
+async def slow_request(port, timeout=30.0, host="127.0.0.1"):
+    """Send half a request line and stall; returns the status the
+    service answers with once its client timeout fires."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(b"POST /v1/pl")  # ...and never finish
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.read(), timeout)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+    if not raw:
+        return None
+    return int(raw.partition(b"\r\n")[0].split(b" ")[1])

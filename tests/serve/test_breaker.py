@@ -1,0 +1,135 @@
+"""Circuit-breaker state machine, driven by a fake clock."""
+
+import pytest
+
+from repro.serve import CircuitBreaker
+
+
+class Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def make(threshold=3, reset=1.0, max_timeout=8.0):
+    clock = Clock()
+    breaker = CircuitBreaker(threshold=threshold, reset_timeout=reset,
+                             max_timeout=max_timeout, clock=clock)
+    return breaker, clock
+
+
+def test_starts_closed_and_stays_closed_below_threshold():
+    breaker, _clock = make(threshold=3)
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state == "closed"
+    assert not breaker.blocking()
+    assert breaker.retry_after() == 0.0
+
+
+def test_success_resets_the_consecutive_count():
+    breaker, _clock = make(threshold=3)
+    for _ in range(10):
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+    assert breaker.state == "closed"
+    assert breaker.trips == 0
+
+
+def test_threshold_failures_trip_it_open():
+    breaker, clock = make(threshold=3, reset=1.0)
+    for _ in range(3):
+        breaker.record_failure()
+    assert breaker.state == "open"
+    assert breaker.blocking()
+    assert breaker.trips == 1
+    assert breaker.retry_after() == pytest.approx(1.0)
+    clock.now = 0.4
+    assert breaker.retry_after() == pytest.approx(0.6)
+
+
+def test_window_elapsing_half_opens_without_a_call():
+    breaker, clock = make(threshold=1, reset=1.0)
+    breaker.record_failure()
+    assert breaker.state == "open"
+    clock.now = 1.0
+    assert breaker.state == "half_open"
+    assert not breaker.blocking()
+
+
+def test_half_open_probe_success_recovers():
+    breaker, clock = make(threshold=1, reset=1.0)
+    breaker.record_failure()
+    clock.now = 1.5
+    assert breaker.state == "half_open"
+    breaker.record_success()
+    assert breaker.state == "closed"
+    assert breaker.recoveries == 1
+    # ...and the backoff is reset: the next trip opens for the base
+    # window again.
+    breaker.record_failure()
+    assert breaker.retry_after() == pytest.approx(1.0)
+
+
+def test_half_open_probe_failure_doubles_the_window():
+    breaker, clock = make(threshold=1, reset=1.0, max_timeout=16.0)
+    breaker.record_failure()          # trip 1: window 1.0
+    clock.now = 1.0
+    assert breaker.state == "half_open"
+    breaker.record_failure()          # trip 2: window 2.0
+    assert breaker.state == "open"
+    assert breaker.retry_after() == pytest.approx(2.0)
+    clock.now = 3.0
+    breaker.record_failure()          # trip 3: window 4.0
+    assert breaker.retry_after() == pytest.approx(4.0)
+    assert breaker.trips == 3
+
+
+def test_window_growth_is_capped_at_max_timeout():
+    breaker, clock = make(threshold=1, reset=1.0, max_timeout=4.0)
+    breaker.record_failure()
+    for _ in range(6):
+        clock.now += 100.0
+        assert breaker.state == "half_open"
+        breaker.record_failure()
+    assert breaker.retry_after() <= 4.0 + 1e-9
+
+
+def test_open_breaker_absorbs_failures_without_retripping():
+    breaker, _clock = make(threshold=2, reset=10.0)
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.trips == 1
+    breaker.record_failure()   # still inside the open window
+    assert breaker.trips == 1
+    assert breaker.state == "open"
+
+
+def test_transitions_are_reported():
+    seen = []
+    clock = Clock()
+    breaker = CircuitBreaker(threshold=1, reset_timeout=1.0, clock=clock,
+                             on_transition=lambda p, s: seen.append((p, s)))
+    breaker.record_failure()
+    clock.now = 1.0
+    breaker.record_success()
+    assert seen == [("closed", "open"), ("half_open", "closed")]
+
+
+def test_snapshot_and_repr():
+    breaker, _clock = make(threshold=1)
+    breaker.record_failure()
+    snap = breaker.snapshot()
+    assert snap["state"] == "open"
+    assert snap["trips"] == 1
+    assert "open" in repr(breaker)
+
+
+def test_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        CircuitBreaker(threshold=0)
+    with pytest.raises(ValueError):
+        CircuitBreaker(reset_timeout=0.0)

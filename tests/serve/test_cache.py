@@ -1,0 +1,95 @@
+"""Digest-verified cache: corrupt entries are quarantined, never served."""
+
+import json
+
+from repro.harness.checkpoint import CheckpointStore
+from repro.serve import DigestCache
+from repro.validation.digest import digest_payload
+
+
+def test_miss_then_hit():
+    cache = DigestCache()
+    assert cache.get("k") is None
+    cache.put("k", {"answer": 42})
+    assert cache.get("k") == {"answer": 42}
+    snap = cache.snapshot()
+    assert snap == {"entries": 1, "lookups": 2, "hits": 1,
+                    "misses": 1, "quarantined": 0}
+
+
+def test_put_is_idempotent_per_key():
+    cache = DigestCache()
+    cache.put("k", {"v": 1})
+    cache.put("k", {"v": 2})   # first write wins; results are
+    assert cache.get("k") == {"v": 1}  # deterministic per key anyway
+    assert len(cache) == 1
+
+
+def test_corrupt_entry_is_quarantined_not_served():
+    cache = DigestCache()
+    cache.put("k", {"answer": 42})
+    assert cache.corrupt("k")
+    got = cache.get("k")
+    assert got is None, "a corrupt entry must never be served"
+    assert cache.quarantined_keys == ["k"]
+    snap = cache.snapshot()
+    assert snap["quarantined"] == 1
+    assert snap["misses"] == 1 and snap["hits"] == 0
+    # Recompute path: a fresh put re-populates and verifies again.
+    cache.put("k", {"answer": 42})
+    assert cache.get("k") == {"answer": 42}
+
+
+def test_corrupt_on_missing_key_reports_false():
+    cache = DigestCache()
+    assert not cache.corrupt("nope")
+
+
+def test_payloads_survive_json_canonicalisation():
+    # Tuples become lists through a journal round-trip; the digest
+    # treats them identically, so persisted entries still verify.
+    cache = DigestCache()
+    cache.put("k", {"pair": (1, 2)})
+    assert digest_payload({"pair": (1, 2)}) == digest_payload(
+        {"pair": [1, 2]})
+    assert cache.get("k") == {"pair": (1, 2)}
+
+
+def test_persistent_cache_survives_restart(tmp_path):
+    store = CheckpointStore(tmp_path / "cache", {"v": 1})
+    cache = DigestCache(store=store)
+    cache.put("answer:abc", {"duration": 81.5})
+    store.close()
+
+    store2 = CheckpointStore(tmp_path / "cache", {"v": 1}, resume=True)
+    cache2 = DigestCache(store=store2)
+    assert cache2.get("answer:abc") == {"duration": 81.5}
+    assert cache2.snapshot()["hits"] == 1
+    store2.close()
+
+
+def test_on_disk_corruption_is_caught_at_reload(tmp_path):
+    store = CheckpointStore(tmp_path / "cache", {"v": 1})
+    cache = DigestCache(store=store)
+    cache.put("good", {"v": 1})
+    cache.put("bad", {"v": 2})
+    store.close()
+
+    journal = tmp_path / "cache" / "journal.jsonl"
+    lines = journal.read_text().splitlines()
+    doctored = []
+    for line in lines:
+        record = json.loads(line)
+        if record["key"] == "bad":
+            record["payload"] = {"v": 666}  # flip bits, keep old sha
+        doctored.append(json.dumps(record, sort_keys=True))
+    journal.write_text("\n".join(doctored) + "\n")
+
+    store2 = CheckpointStore(tmp_path / "cache", {"v": 1}, resume=True,
+                             on_corrupt="quarantine")
+    cache2 = DigestCache(store=store2)
+    assert cache2.get("good") == {"v": 1}
+    assert cache2.get("bad") is None, (
+        "a journal record with a broken checksum must not reach reads")
+    assert store2.quarantined_keys == ["bad"]
+    store2.close()

@@ -1,0 +1,176 @@
+"""AsyncWorkerPool: isolation, retry, timeout, real cancellation."""
+
+import asyncio
+import os
+import time
+
+import pytest
+
+from repro.serve import (AsyncWorkerPool, CircuitBreaker, ServingLedger,
+                         TaskCrashed, TaskFailed, TaskTimedOut)
+
+
+def _square(x):
+    return x * x
+
+
+def _crash():
+    os._exit(3)
+
+
+def _raise():
+    raise ValueError("deterministic failure")
+
+
+def _sleep_forever():
+    time.sleep(600)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def test_runs_a_function_in_a_worker():
+    async def main():
+        pool = AsyncWorkerPool(jobs=2)
+        result = await pool.run(_square, (7,))
+        assert result == 49
+        snap = pool.ledger.snapshot()
+        assert snap["sim_attempts"] == 1 and snap["sim_ok"] == 1
+    run(main())
+
+
+def test_concurrent_tasks_all_complete():
+    async def main():
+        pool = AsyncWorkerPool(jobs=2)
+        results = await asyncio.gather(
+            *(pool.run(_square, (i,)) for i in range(6)))
+        assert results == [i * i for i in range(6)]
+        assert pool.ledger.sim_ok == 6
+    run(main())
+
+
+def test_worker_crash_is_retried_then_reported():
+    async def main():
+        pool = AsyncWorkerPool(jobs=1, retries=1, backoff=0.01)
+        with pytest.raises(TaskCrashed) as err:
+            await pool.run(_crash, (), tag="boom")
+        assert "gave up after 2 attempt(s)" in str(err.value)
+        snap = pool.ledger.snapshot()
+        assert snap["sim_crashed"] == 2
+        assert snap["sim_retried"] == 1
+        assert snap["sim_exhausted"] == 1
+    run(main())
+
+
+def test_timeout_kills_the_worker():
+    async def main():
+        pool = AsyncWorkerPool(jobs=1, task_timeout=0.3, retries=0)
+        start = time.monotonic()
+        with pytest.raises(TaskTimedOut):
+            await pool.run(_sleep_forever, ())
+        assert time.monotonic() - start < 5.0, (
+            "the hung worker must be killed, not joined to completion")
+        assert pool.ledger.sim_timeout == 1
+    run(main())
+
+
+def test_task_exception_is_not_retried():
+    async def main():
+        pool = AsyncWorkerPool(jobs=1, retries=3, backoff=0.01)
+        with pytest.raises(TaskFailed) as err:
+            await pool.run(_raise, ())
+        assert err.value.error_type == "ValueError"
+        assert "deterministic failure" in err.value.message
+        assert pool.ledger.sim_attempts == 1, (
+            "a deterministic exception re-raises identically; retrying "
+            "it would just burn workers")
+    run(main())
+
+
+def test_cancellation_kills_the_inflight_child():
+    async def main():
+        pool = AsyncWorkerPool(jobs=1, task_timeout=600.0)
+        task = asyncio.ensure_future(pool.run(_sleep_forever, ()))
+        while pool.ledger.sim_attempts == 0:
+            await asyncio.sleep(0.01)
+        task.cancel()
+        with pytest.raises(asyncio.CancelledError):
+            await task
+        assert pool.ledger.sim_cancelled == 1
+        # The semaphore slot was released: the pool is immediately
+        # usable again (a leaked child would hold the slot).
+        assert await asyncio.wait_for(pool.run(_square, (3,)), 30) == 9
+    run(main())
+
+
+def test_chaos_kill_is_a_real_crash_and_retry_recovers():
+    killed = []
+
+    def chaos(tag, attempt):
+        if attempt == 1:
+            killed.append(tag)
+            return "kill"
+        return None
+
+    async def main():
+        pool = AsyncWorkerPool(jobs=1, retries=1, backoff=0.01,
+                               chaos=chaos)
+        result = await pool.run(_square, (5,), tag="victim")
+        assert result == 25
+        assert killed == ["victim"]
+        snap = pool.ledger.snapshot()
+        assert snap["sim_crashed"] == 1 and snap["sim_retried"] == 1
+        assert snap["sim_ok"] == 1
+    run(main())
+
+
+def test_failures_and_successes_feed_the_breaker():
+    async def main():
+        breaker = CircuitBreaker(threshold=2, reset_timeout=60.0)
+        pool = AsyncWorkerPool(jobs=1, retries=0, breaker=breaker,
+                               chaos=lambda _tag, _attempt: "kill")
+        for _ in range(2):
+            with pytest.raises(TaskCrashed):
+                await pool.run(_square, (1,))
+        assert breaker.state == "open"
+    run(main())
+
+
+def test_ledger_attempts_always_balance():
+    def chaos(tag, attempt):
+        return "kill" if tag == "die" and attempt == 1 else None
+
+    async def main():
+        ledger = ServingLedger()
+        pool = AsyncWorkerPool(jobs=2, retries=1, backoff=0.01,
+                               ledger=ledger, chaos=chaos)
+        await pool.run(_square, (2,), tag="live")
+        await pool.run(_square, (3,), tag="die")
+        with pytest.raises(TaskFailed):
+            await pool.run(_raise, (), tag="raise")
+        snap = ledger.snapshot()
+        assert snap["sim_attempts"] == (
+            snap["sim_ok"] + snap["sim_crashed"] + snap["sim_timeout"]
+            + snap["sim_error"] + snap["sim_cancelled"])
+        assert (snap["sim_crashed"] + snap["sim_timeout"]
+                == snap["sim_retried"] + snap["sim_exhausted"])
+    run(main())
+
+
+def test_closed_pool_refuses_work():
+    async def main():
+        pool = AsyncWorkerPool(jobs=1)
+        await pool.close()
+        with pytest.raises(Exception):
+            await pool.run(_square, (1,))
+    run(main())
+
+
+def test_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        AsyncWorkerPool(jobs=0)
+    with pytest.raises(ValueError):
+        AsyncWorkerPool(task_timeout=0)
+    with pytest.raises(ValueError):
+        AsyncWorkerPool(retries=-1)

@@ -1,0 +1,143 @@
+"""End-to-end smoke: the real `python -m repro serve` process.
+
+What CI's chaos-smoke job also drives: start the service as a real
+subprocess, query it over real sockets, SIGTERM it, and require a
+clean drain within the deadline.
+"""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+QUICK = {"workload": "wordcount", "slo_seconds": 200.0,
+         "nodes_candidates": [2], "data_scale": 0.05}
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src")
+    env["PYTHONUNBUFFERED"] = "1"
+    return env
+
+
+def _spawn_serve(tmp_path, *extra):
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--jobs", "2", *extra],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        cwd=str(tmp_path), env=_env(), text=True)
+    line = proc.stdout.readline()
+    match = re.search(r"http://127\.0\.0\.1:(\d+)", line)
+    if match is None:
+        proc.kill()
+        raise AssertionError(f"no listening banner, got {line!r}")
+    return proc, int(match.group(1))
+
+
+def _post(port, path, body, timeout=60):
+    req = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=json.dumps(body).encode(), method="POST")
+    with urllib.request.urlopen(req, timeout=timeout) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def _get(port, path, timeout=10):
+    with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}{path}", timeout=timeout) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+@pytest.mark.slow
+def test_serve_subprocess_answers_and_drains(tmp_path):
+    proc, port = _spawn_serve(tmp_path, "--cache", "cache")
+    try:
+        status, health = _get(port, "/healthz")
+        assert status == 200 and health["ok"]
+
+        status, first = _post(port, "/v1/plan", QUICK)
+        assert status == 200 and first["cached"] is False
+        status, second = _post(port, "/v1/plan", QUICK)
+        assert second["cached"] is True
+        assert second["answer_digest"] == first["answer_digest"]
+
+        status, stats = _get(port, "/statz")
+        assert stats["ledger"]["completed_cache_hits"] == 1
+
+        # SIGTERM must drain within a tight deadline.
+        start = time.monotonic()
+        proc.send_signal(signal.SIGTERM)
+        out, _ = proc.communicate(timeout=30)
+        assert time.monotonic() - start < 30
+        assert proc.returncode == 0, out
+        assert "drained" in out
+        # The journal survived for the next incarnation.
+        assert (tmp_path / "cache" / "journal.jsonl").exists()
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+
+
+@pytest.mark.slow
+def test_serve_restart_serves_identical_answer_from_journal(tmp_path):
+    proc, port = _spawn_serve(tmp_path, "--cache", "cache")
+    try:
+        _status, first = _post(port, "/v1/plan", QUICK)
+        proc.send_signal(signal.SIGTERM)
+        proc.communicate(timeout=30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+
+    proc, port = _spawn_serve(tmp_path, "--cache", "cache")
+    try:
+        status, again = _post(port, "/v1/plan", QUICK)
+        assert status == 200
+        assert again["cached"] is True, (
+            "a restarted service must resume its journaled cache")
+        assert again["answer_digest"] == first["answer_digest"]
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        try:
+            proc.communicate(timeout=30)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.communicate()
+
+
+@pytest.mark.slow
+def test_plan_cli_one_shot(tmp_path):
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "plan", "--workload",
+         "wordcount", "--slo", "200", "--nodes-candidates", "2",
+         "--data-scale", "0.05", "--json"],
+        capture_output=True, text=True, env=_env(), cwd=str(tmp_path),
+        timeout=120)
+    assert result.returncode == 0, result.stderr
+    payload = json.loads(result.stdout)
+    assert payload["answer"]["feasible"]
+    assert payload["answer"]["nodes"] == 2
+
+
+@pytest.mark.slow
+def test_plan_cli_infeasible_exits_nonzero(tmp_path):
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "plan", "--workload",
+         "wordcount", "--slo", "0.001", "--nodes-candidates", "2",
+         "--data-scale", "0.05"],
+        capture_output=True, text=True, env=_env(), cwd=str(tmp_path),
+        timeout=120)
+    assert result.returncode == 1
+    assert "no feasible configuration" in result.stdout

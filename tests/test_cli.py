@@ -159,3 +159,70 @@ def test_figure_fig22_command(capsys):
     assert rc == 0
     out = capsys.readouterr().out
     assert "Overload survival" in out
+
+
+# ----------------------------------------------------------------------
+# Ctrl-C hygiene: SIGINT to a running campaign exits cleanly
+# ----------------------------------------------------------------------
+def _children_of(pid):
+    import os
+    kids = []
+    for entry in os.listdir("/proc"):
+        if not entry.isdigit():
+            continue
+        try:
+            with open(f"/proc/{entry}/stat") as fh:
+                fields = fh.read().split()
+            if int(fields[3]) == pid:
+                kids.append(int(entry))
+        except (OSError, IndexError, ValueError):
+            continue
+    return kids
+
+
+def test_sigint_to_campaign_is_one_line_not_traceback_spew(tmp_path):
+    """A Ctrl-C mid-campaign must terminate the workers, print one
+    short message, and exit 130 — no multiprocess traceback storm."""
+    import os
+    import signal
+    import subprocess
+    import sys
+    import time
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "src")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "resilience", "--jobs", "2",
+         "--workloads", "wordcount", "--trials", "2",
+         "--rates", "0.0", "0.5", "1.0", "2.0"],
+        cwd=str(tmp_path), env=env,
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+    try:
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            if _children_of(proc.pid):
+                break  # workers spawned: the campaign is running
+            if proc.poll() is not None:
+                pytest.fail("campaign exited before SIGINT: "
+                            + proc.communicate()[1])
+            time.sleep(0.05)
+        else:
+            pytest.fail("campaign never spawned workers")
+        time.sleep(0.2)
+        proc.send_signal(signal.SIGINT)
+        out, err = proc.communicate(timeout=60)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+
+    assert proc.returncode == 130, (out, err)
+    assert "interrupted" in err
+    assert "Traceback" not in err and "Traceback" not in out, (out, err)
+    # The workers were terminated with the coordinator: no orphans.
+    deadline = time.monotonic() + 10
+    while time.monotonic() < deadline and _children_of(proc.pid):
+        time.sleep(0.05)
+    assert not _children_of(proc.pid)

@@ -19,6 +19,7 @@ ROOT = pathlib.Path(__file__).resolve().parent.parent
                                   "docs/performance.md",
                                   "docs/resilience.md",
                                   "docs/scheduling.md",
+                                  "docs/serving.md",
                                   "docs/streaming.md",
                                   "docs/validation.md"])
 def test_doc_exists_and_nonempty(name):
